@@ -1,0 +1,42 @@
+//! The paper's 10× claim: "by performing the bulk of the computations
+//! at design time, we reduce the execution time of the replacement
+//! technique by 10 times with respect to an equivalent purely run-time
+//! one."
+//!
+//! Benchmarks job-sequence preparation for a 30-application sequence
+//! over the three multimedia templates:
+//!
+//! * `hybrid` — mobility computed once per template (3 computations),
+//!   instances share the annotation.
+//! * `purely_runtime` — mobility recomputed at every arrival (30
+//!   computations), the cost a system without the design-time phase
+//!   pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtr_core::pipeline::{prepare_jobs_hybrid, prepare_jobs_runtime};
+use rtr_manager::ManagerConfig;
+use rtr_taskgraph::TaskGraph;
+use rtr_workload::SequenceModel;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_pipelines(c: &mut Criterion) {
+    let templates: Vec<Arc<TaskGraph>> = rtr_taskgraph::benchmarks::multimedia_suite()
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    let sequence = SequenceModel::UniformRandom.generate(&templates, 30, 99);
+    let cfg = ManagerConfig::paper_default();
+
+    let mut group = c.benchmark_group("mobility_preparation_30_apps");
+    group.bench_function("hybrid_design_time", |b| {
+        b.iter(|| black_box(prepare_jobs_hybrid(&sequence, &cfg).unwrap()));
+    });
+    group.bench_function("purely_runtime", |b| {
+        b.iter(|| black_box(prepare_jobs_runtime(&sequence, &cfg).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! End-to-end simulator throughput and design-time cost benchmarks.
+//!
+//! * `fig9_run/<policy>` — one full Fig. 9 cell (500 applications,
+//!   4 RUs): the cost of regenerating one data point of the paper's
+//!   evaluation, and a regression guard for the event loop.
+//! * `mobility/<benchmark>` — the design-time phase per template
+//!   (the paper's Table II column 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtr_core::compute_mobility;
+use rtr_manager::ManagerConfig;
+use rtr_workload::runner::{run_cell, CellConfig};
+use rtr_workload::sequence::paper_workload;
+use rtr_workload::PolicyKind;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_full_runs(c: &mut Criterion) {
+    let sequence = paper_workload(42);
+    let mut group = c.benchmark_group("fig9_run_500_apps_4rus");
+    group.sample_size(10);
+    let policies = [
+        ("LRU", PolicyKind::Lru),
+        ("LocalLFD_1", PolicyKind::LocalLfd { window: 1, skip: false }),
+        (
+            "LocalLFD_1_skip",
+            PolicyKind::LocalLfd { window: 1, skip: true },
+        ),
+        ("LFD", PolicyKind::Lfd),
+    ];
+    for (name, kind) in policies {
+        let cell = CellConfig::new(kind, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cell, |b, cell| {
+            b.iter(|| black_box(run_cell(&sequence, cell).unwrap().stats.reuses));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mobility(c: &mut Criterion) {
+    let cfg = ManagerConfig::paper_default();
+    let mut group = c.benchmark_group("mobility_design_time");
+    for g in rtr_taskgraph::benchmarks::multimedia_suite() {
+        let graph = Arc::new(g);
+        let name = graph.name().to_string();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, graph| {
+            b.iter(|| black_box(compute_mobility(graph, &cfg).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_runs, bench_mobility);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion version of the paper's Table I: worst-case decision time
+//! per replacement strategy.
+//!
+//! The scenario matches §VI.B: the victim's configuration "never exists
+//! in the complete list of reconfigurations or the Dynamic List", so
+//! LFD-family policies scan their whole visible stream; all 4 RUs are
+//! candidates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtr_workload::experiments::table1::WorstCase;
+use rtr_workload::PolicyKind;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_worst_case_decision");
+    let cases: Vec<(&str, PolicyKind, usize)> = vec![
+        ("LRU", PolicyKind::Lru, 0),
+        ("LFD_full_sequence", PolicyKind::Lfd, usize::MAX),
+        (
+            "LocalLFD_1_skip",
+            PolicyKind::LocalLfd { window: 1, skip: true },
+            1,
+        ),
+        (
+            "LocalLFD_2_skip",
+            PolicyKind::LocalLfd { window: 2, skip: true },
+            2,
+        ),
+        (
+            "LocalLFD_4_skip",
+            PolicyKind::LocalLfd { window: 4, skip: true },
+            4,
+        ),
+    ];
+    for (name, kind, dl) in cases {
+        let wc = WorstCase::new(4, dl);
+        let mut policy = kind.build();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &wc, |b, wc| {
+            b.iter(|| black_box(wc.decide(policy.as_mut())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates the paper's Table II: the cost split between the
+//! design-time phase (mobility calculation) and the run-time
+//! replacement module, per benchmark application.
+//!
+//! ```text
+//! cargo run --release -p rtr-bench --bin table2
+//! ```
+
+use rtr_workload::experiments::table2::table2;
+
+fn main() {
+    println!("Table II — design-time vs run-time cost (host CPU; paper used a 100 MHz PowerPC)");
+    println!("Paper: initial exec 79/37/94 ms; manager 0.87/1.02/0.88 ms; replacement");
+    println!("       0.082 ms avg (0.09–0.22%); design-time 8.60/11.09/14.48 ms\n");
+    let t = table2(100);
+    println!("{}", t.to_markdown());
+    t.write_csv(std::path::Path::new("results/table2.csv"))
+        .expect("write csv");
+    println!("CSV written to results/table2.csv");
+}

@@ -1,0 +1,42 @@
+//! Shared helpers for the benchmark harness: paper-style schedule
+//! rendering used by the figure binaries.
+
+use rtr_manager::{SimulationOutcome, Trace};
+
+/// Renders a simulation's schedule as an ASCII Gantt chart plus a
+/// paper-style caption (`Reuse: X% / Overhead: Y ms`).
+pub fn render_outcome(title: &str, out: &SimulationOutcome, rus: usize) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("--- {title} ---\n"));
+    s.push_str(&format!(
+        "Reuse: {:.1}%   Overhead: {}   Makespan: {}\n",
+        out.stats.reuse_rate_pct(),
+        out.stats.total_overhead(),
+        out.stats.makespan,
+    ));
+    s.push_str(&render_gantt(&out.trace, rus));
+    s
+}
+
+/// Renders only the Gantt chart of a trace.
+pub fn render_gantt(trace: &Trace, rus: usize) -> String {
+    trace.to_gantt(rus).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_manager::{simulate, FirstCandidatePolicy, JobSpec, ManagerConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn renders_caption_and_rows() {
+        let jobs = vec![JobSpec::new(Arc::new(rtr_taskgraph::benchmarks::jpeg()))];
+        let cfg = ManagerConfig::paper_default();
+        let out = simulate(&cfg, &jobs, &mut FirstCandidatePolicy).unwrap();
+        let s = render_outcome("JPEG", &out, 4);
+        assert!(s.contains("Reuse: 0.0%"));
+        assert!(s.contains("RU1"));
+        assert!(s.contains("RU4"));
+    }
+}

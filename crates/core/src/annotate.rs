@@ -1,0 +1,103 @@
+//! Design-time artifacts bundled per graph template.
+//!
+//! The hybrid approach "performs the bulk of the computations at design
+//! time in order to save run-time computations": for every *template*
+//! (distinct task graph) the mobility vector is computed once and reused
+//! by every instance in the application sequence. [`TemplateCache`]
+//! provides exactly that memoisation keyed by template identity.
+
+use crate::mobility::{compute_mobility, MobilityError};
+use rtr_manager::{JobSpec, ManagerConfig};
+use rtr_taskgraph::TaskGraph;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A graph template plus its design-time annotations.
+#[derive(Debug, Clone)]
+pub struct AnnotatedTemplate {
+    /// The template graph.
+    pub graph: Arc<TaskGraph>,
+    /// Per-node mobility (aligned with node ids).
+    pub mobility: Arc<Vec<u32>>,
+}
+
+impl AnnotatedTemplate {
+    /// Runs the design-time phase for `graph` on the system in `cfg`.
+    pub fn prepare(graph: Arc<TaskGraph>, cfg: &ManagerConfig) -> Result<Self, MobilityError> {
+        let mobility = Arc::new(compute_mobility(&graph, cfg)?);
+        Ok(AnnotatedTemplate { graph, mobility })
+    }
+
+    /// Builds a job instance carrying the annotations.
+    pub fn instantiate(&self) -> JobSpec {
+        JobSpec::new(Arc::clone(&self.graph)).with_mobility(Arc::clone(&self.mobility))
+    }
+}
+
+/// Memoised design-time phase, keyed by template pointer identity.
+#[derive(Debug, Default)]
+pub struct TemplateCache {
+    entries: HashMap<*const TaskGraph, AnnotatedTemplate>,
+}
+
+impl TemplateCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the annotated template, computing it on first access.
+    pub fn get_or_prepare(
+        &mut self,
+        graph: &Arc<TaskGraph>,
+        cfg: &ManagerConfig,
+    ) -> Result<AnnotatedTemplate, MobilityError> {
+        if let Some(hit) = self.entries.get(&Arc::as_ptr(graph)) {
+            return Ok(hit.clone());
+        }
+        let annotated = AnnotatedTemplate::prepare(Arc::clone(graph), cfg)?;
+        self.entries.insert(Arc::as_ptr(graph), annotated.clone());
+        Ok(annotated)
+    }
+
+    /// Number of distinct templates prepared.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was prepared yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_taskgraph::benchmarks;
+
+    #[test]
+    fn prepare_and_instantiate() {
+        let cfg = ManagerConfig::paper_default();
+        let tpl =
+            AnnotatedTemplate::prepare(Arc::new(benchmarks::fig3_tg2()), &cfg).unwrap();
+        assert_eq!(*tpl.mobility, vec![0, 0, 0, 1]);
+        let job = tpl.instantiate();
+        assert_eq!(*job.mobility.unwrap(), vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn cache_prepares_each_template_once() {
+        let cfg = ManagerConfig::paper_default();
+        let g = Arc::new(benchmarks::jpeg());
+        let mut cache = TemplateCache::new();
+        let a = cache.get_or_prepare(&g, &cfg).unwrap();
+        let b = cache.get_or_prepare(&g, &cfg).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(Arc::ptr_eq(&a.mobility, &b.mobility));
+        // A different template adds an entry.
+        let h = Arc::new(benchmarks::hough());
+        cache.get_or_prepare(&h, &cfg).unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+}

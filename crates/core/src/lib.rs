@@ -1,0 +1,31 @@
+//! The paper's contribution: configuration-replacement policies that
+//! maximise task reuse, and the hybrid design-time/run-time pipeline.
+//!
+//! * [`lfd`] — the Longest-Forward-Distance policy. With the manager's
+//!   `Lookahead::All` it is Belady's clairvoyant LFD (the paper's
+//!   optimal-reuse upper bound); with `Lookahead::Graphs(w)` it is the
+//!   paper's **Local LFD (w)**, which only sees the Dynamic List.
+//! * [`history`] — the run-time baselines: LRU (the paper's main
+//!   comparison point), and FIFO / MRU / LFU / Random for the extended
+//!   ablations.
+//! * [`mobility`] — the design-time phase (the paper's Fig. 6): per-task
+//!   *mobility* values obtained by probing delayed schedules against the
+//!   reference ASAP schedule.
+//! * [`annotate`] — bundling graphs with their design-time artifacts and
+//!   caching them per template (the "bulk of the computations at design
+//!   time").
+//! * [`pipeline`] — end-to-end helpers that build annotated job
+//!   sequences the hybrid way (precomputed once per template) or the
+//!   purely run-time way (recomputed at every arrival), backing the
+//!   paper's 10× claim.
+
+pub mod annotate;
+pub mod history;
+pub mod lfd;
+pub mod mobility;
+pub mod pipeline;
+
+pub use annotate::{AnnotatedTemplate, TemplateCache};
+pub use history::{FifoPolicy, LfuPolicy, LruPolicy, MruPolicy, RandomPolicy};
+pub use lfd::{LfdPolicy, TieBreak};
+pub use mobility::{compute_mobility, MobilityError};

@@ -1,0 +1,183 @@
+//! The single-port reconfiguration controller.
+//!
+//! FPGAs expose one configuration interface (e.g. the ICAP port on
+//! Xilinx devices): reconfigurations are strictly serialised. The
+//! controller tracks the in-flight operation and enforces that
+//! exclusivity; the manager polls [`ReconfigController::is_idle`] at
+//! every event, exactly like the `reconfiguration_circuitry_idle()`
+//! checks in the paper's Fig. 4 pseudo-code.
+
+use crate::ru::RuId;
+use rtr_sim::{SimDuration, SimTime};
+use rtr_taskgraph::ConfigId;
+
+/// An in-flight reconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InFlight {
+    /// Destination RU.
+    pub ru: RuId,
+    /// Configuration being written.
+    pub config: ConfigId,
+    /// When the write started.
+    pub started: SimTime,
+    /// When the write completes.
+    pub completes: SimTime,
+}
+
+/// The reconfiguration circuitry: at most one load at a time, each
+/// taking a fixed latency.
+#[derive(Debug, Clone)]
+pub struct ReconfigController {
+    latency: SimDuration,
+    in_flight: Option<InFlight>,
+    completed_loads: u64,
+    busy_time: SimDuration,
+}
+
+impl ReconfigController {
+    /// Creates an idle controller with the given per-load latency.
+    ///
+    /// # Panics
+    /// Panics on a zero latency — use the manager's ideal-baseline mode
+    /// for zero-latency experiments instead, so the event semantics stay
+    /// well defined.
+    pub fn new(latency: SimDuration) -> Self {
+        assert!(
+            !latency.is_zero(),
+            "reconfiguration latency must be positive (the ideal baseline \
+             is simulated separately)"
+        );
+        ReconfigController {
+            latency,
+            in_flight: None,
+            completed_loads: 0,
+            busy_time: SimDuration::ZERO,
+        }
+    }
+
+    /// The fixed per-load latency.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// True when no reconfiguration is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_none()
+    }
+
+    /// The in-flight operation, if any.
+    pub fn in_flight(&self) -> Option<InFlight> {
+        self.in_flight
+    }
+
+    /// Starts writing `config` into `ru` at time `now`; returns the
+    /// completion time.
+    ///
+    /// # Panics
+    /// Panics if the controller is busy — callers must check
+    /// [`Self::is_idle`] first (the manager does, mirroring Fig. 4).
+    pub fn start(&mut self, ru: RuId, config: ConfigId, now: SimTime) -> SimTime {
+        assert!(
+            self.in_flight.is_none(),
+            "reconfiguration controller is single-ported: start() while busy"
+        );
+        let completes = now + self.latency;
+        self.in_flight = Some(InFlight {
+            ru,
+            config,
+            started: now,
+            completes,
+        });
+        completes
+    }
+
+    /// Completes the in-flight operation; `now` must match the promised
+    /// completion time.
+    pub fn complete(&mut self, now: SimTime) -> InFlight {
+        let op = self
+            .in_flight
+            .take()
+            .expect("complete() called with no reconfiguration in flight");
+        assert_eq!(
+            op.completes, now,
+            "reconfiguration completion fired at the wrong time"
+        );
+        self.completed_loads += 1;
+        self.busy_time += op.completes.since(op.started);
+        op
+    }
+
+    /// Number of completed loads (reuses do not count: they perform no
+    /// reconfiguration).
+    pub fn completed_loads(&self) -> u64 {
+        self.completed_loads
+    }
+
+    /// Total time the port spent writing bitstreams.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl() -> ReconfigController {
+        ReconfigController::new(SimDuration::from_ms(4))
+    }
+
+    #[test]
+    fn starts_idle_and_tracks_in_flight() {
+        let mut c = ctl();
+        assert!(c.is_idle());
+        let done = c.start(RuId(0), ConfigId(1), SimTime::from_ms(10));
+        assert_eq!(done, SimTime::from_ms(14));
+        assert!(!c.is_idle());
+        assert_eq!(c.in_flight().unwrap().config, ConfigId(1));
+    }
+
+    #[test]
+    fn complete_updates_stats() {
+        let mut c = ctl();
+        c.start(RuId(1), ConfigId(2), SimTime::ZERO);
+        let op = c.complete(SimTime::from_ms(4));
+        assert_eq!(op.ru, RuId(1));
+        assert!(c.is_idle());
+        assert_eq!(c.completed_loads(), 1);
+        assert_eq!(c.busy_time(), SimDuration::from_ms(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "single-ported")]
+    fn concurrent_loads_rejected() {
+        let mut c = ctl();
+        c.start(RuId(0), ConfigId(1), SimTime::ZERO);
+        c.start(RuId(1), ConfigId(2), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong time")]
+    fn completion_time_is_checked() {
+        let mut c = ctl();
+        c.start(RuId(0), ConfigId(1), SimTime::ZERO);
+        c.complete(SimTime::from_ms(3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_latency_rejected() {
+        let _ = ReconfigController::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let mut c = ctl();
+        c.start(RuId(0), ConfigId(1), SimTime::ZERO);
+        c.complete(SimTime::from_ms(4));
+        c.start(RuId(1), ConfigId(2), SimTime::from_ms(10));
+        c.complete(SimTime::from_ms(14));
+        assert_eq!(c.busy_time(), SimDuration::from_ms(8));
+        assert_eq!(c.completed_loads(), 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Device presets.
+//!
+//! A [`DeviceSpec`] bundles the hardware parameters the simulator needs:
+//! reconfiguration latency, per-RU bitstream size and the energy cost of
+//! one reconfiguration. The figures are representative of the devices
+//! the paper mentions (Virtex-II Pro XC2VP30 in its measurements,
+//! Virtex-5 for the latency citation) — the *experiments* only depend on
+//! the latency, which the paper fixes at 4 ms in every example.
+
+use rtr_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a reconfigurable device partitioned into equal RUs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Human-readable device name.
+    pub name: String,
+    /// Latency of one RU reconfiguration.
+    pub reconfig_latency: SimDuration,
+    /// Size of one RU's partial bitstream in bytes (drives bus-traffic
+    /// accounting).
+    pub bitstream_bytes: u64,
+    /// Energy of one reconfiguration, in microjoules (drives the energy
+    /// accounting; the paper's ref.&nbsp;4 reports tens of mJ per load).
+    pub energy_per_load_uj: u64,
+}
+
+impl DeviceSpec {
+    /// The configuration used throughout the paper's examples and
+    /// experiments: 4 ms per reconfiguration.
+    pub fn paper_default() -> Self {
+        DeviceSpec {
+            name: "paper-default (4ms)".to_string(),
+            reconfig_latency: SimDuration::from_ms(4),
+            // ~1/4 of a XC2VP30 full bitstream (~1.4 MB) per RU.
+            bitstream_bytes: 350 * 1024,
+            // ~20 mJ per partial reconfiguration.
+            energy_per_load_uj: 20_000,
+        }
+    }
+
+    /// A Virtex-II Pro XC2VP30-flavoured preset (the paper's measurement
+    /// platform).
+    pub fn virtex2_pro() -> Self {
+        DeviceSpec {
+            name: "Virtex-II Pro XC2VP30".to_string(),
+            reconfig_latency: SimDuration::from_ms(4),
+            bitstream_bytes: 350 * 1024,
+            energy_per_load_uj: 20_000,
+        }
+    }
+
+    /// A Virtex-5-flavoured preset (larger bitstreams, faster port).
+    pub fn virtex5() -> Self {
+        DeviceSpec {
+            name: "Virtex-5".to_string(),
+            reconfig_latency: SimDuration::from_ms(2),
+            bitstream_bytes: 900 * 1024,
+            energy_per_load_uj: 35_000,
+        }
+    }
+
+    /// Same device with a different reconfiguration latency — used by
+    /// the latency-sweep ablation.
+    pub fn with_latency(mut self, latency: SimDuration) -> Self {
+        self.reconfig_latency = latency;
+        self
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        DeviceSpec::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_4ms() {
+        assert_eq!(
+            DeviceSpec::paper_default().reconfig_latency,
+            SimDuration::from_ms(4)
+        );
+    }
+
+    #[test]
+    fn with_latency_overrides() {
+        let d = DeviceSpec::paper_default().with_latency(SimDuration::from_ms(8));
+        assert_eq!(d.reconfig_latency, SimDuration::from_ms(8));
+        assert_eq!(d.bitstream_bytes, 350 * 1024);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = DeviceSpec::virtex5();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DeviceSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

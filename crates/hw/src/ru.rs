@@ -1,0 +1,417 @@
+//! Reconfigurable-unit (RU) pool with a checked state machine.
+//!
+//! State machine per RU:
+//!
+//! ```text
+//!            begin_load                finish_load
+//!   Empty ───────────────▶ Loading ───────────────▶ Loaded{claimed}
+//!     ▲                                                 │  ▲
+//!     │                                begin_execution  │  │ finish_execution
+//!     │                                                 ▼  │ (→ unclaimed)
+//!     └───(never: configs persist)                   Executing
+//!
+//!   Loaded{unclaimed} ── claim_for_reuse ──▶ Loaded{claimed}
+//!   Loaded{unclaimed} ── begin_load(evict) ─▶ Loading (new config)
+//! ```
+//!
+//! The *claim* flag encodes the eviction rule reverse-engineered from the
+//! paper's figures: a configuration is evictable exactly when it is
+//! resident and **unclaimed** — i.e. the task that loaded or reused it
+//! has already finished executing. (In Fig. 3b, right after task 4
+//! finishes, tasks 1 *and* 4 are the two candidates, while the
+//! loaded-but-not-run tasks 5 and 6 are not.)
+
+use rtr_taskgraph::ConfigId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a reconfigurable unit.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct RuId(pub u16);
+
+impl RuId {
+    /// Index usable for slice access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // 1-based like the paper's figures (RU1..RU4).
+        write!(f, "RU{}", self.0 + 1)
+    }
+}
+
+/// State of one RU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuState {
+    /// Nothing resident (only at system start).
+    Empty,
+    /// A reconfiguration is writing `config` into this RU.
+    Loading {
+        /// Configuration being written.
+        config: ConfigId,
+    },
+    /// `config` is resident. `claimed` is true while a pending task of
+    /// the active graph owns it (not evictable).
+    Loaded {
+        /// Resident configuration.
+        config: ConfigId,
+        /// True while a not-yet-finished task owns the configuration.
+        claimed: bool,
+    },
+    /// The task using `config` is currently executing.
+    Executing {
+        /// Resident configuration.
+        config: ConfigId,
+    },
+}
+
+impl RuState {
+    /// The configuration physically present in the RU, if any.
+    pub fn resident_config(self) -> Option<ConfigId> {
+        match self {
+            RuState::Empty => None,
+            RuState::Loading { config }
+            | RuState::Loaded { config, .. }
+            | RuState::Executing { config } => Some(config),
+        }
+    }
+
+    /// True when the replacement module may evict this RU's contents.
+    pub fn is_eviction_candidate(self) -> bool {
+        matches!(self, RuState::Loaded { claimed: false, .. })
+    }
+}
+
+/// Errors raised on invalid state transitions — these indicate manager
+/// bugs, so they carry enough context to debug the event trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionError {
+    /// The RU on which the transition was attempted.
+    pub ru: RuId,
+    /// The state it was in.
+    pub found: RuState,
+    /// What the caller attempted.
+    pub attempted: &'static str,
+}
+
+impl fmt::Display for TransitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid RU transition: {} on {} in state {:?}",
+            self.attempted, self.ru, self.found
+        )
+    }
+}
+
+impl std::error::Error for TransitionError {}
+
+/// The pool of equal-sized RUs.
+#[derive(Debug, Clone)]
+pub struct RuPool {
+    states: Vec<RuState>,
+}
+
+impl RuPool {
+    /// Creates `count` empty RUs.
+    ///
+    /// # Panics
+    /// Panics if `count` is zero or exceeds `u16::MAX`.
+    pub fn new(count: usize) -> Self {
+        assert!(count > 0, "a reconfigurable system needs at least one RU");
+        assert!(count <= u16::MAX as usize, "RU count exceeds RuId range");
+        RuPool {
+            states: vec![RuState::Empty; count],
+        }
+    }
+
+    /// Number of RUs.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Always false (constructor requires ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// All RU ids in index order.
+    pub fn ids(&self) -> impl Iterator<Item = RuId> + '_ {
+        (0..self.states.len() as u16).map(RuId)
+    }
+
+    /// Current state of `ru`.
+    pub fn state(&self, ru: RuId) -> RuState {
+        self.states[ru.idx()]
+    }
+
+    /// Lowest-indexed empty RU, if any.
+    pub fn first_empty(&self) -> Option<RuId> {
+        self.ids().find(|&r| self.states[r.idx()] == RuState::Empty)
+    }
+
+    /// The RU where `config` is resident and **unclaimed** (available
+    /// for a reuse claim), lowest index first.
+    pub fn find_reusable(&self, config: ConfigId) -> Option<RuId> {
+        self.ids().find(|&r| {
+            matches!(
+                self.states[r.idx()],
+                RuState::Loaded { config: c, claimed: false } if c == config
+            )
+        })
+    }
+
+    /// Whether `config` is resident anywhere (any state).
+    pub fn is_resident(&self, config: ConfigId) -> bool {
+        self.ids()
+            .any(|r| self.states[r.idx()].resident_config() == Some(config))
+    }
+
+    /// Eviction candidates in RU-index order (the paper's tie-break:
+    /// "Local LFD selects the first candidate it finds").
+    pub fn eviction_candidates(&self) -> Vec<RuId> {
+        self.ids()
+            .filter(|&r| self.states[r.idx()].is_eviction_candidate())
+            .collect()
+    }
+
+    /// Starts loading `config` into `ru`, evicting any unclaimed
+    /// resident configuration.
+    pub fn begin_load(&mut self, ru: RuId, config: ConfigId) -> Result<(), TransitionError> {
+        match self.states[ru.idx()] {
+            RuState::Empty | RuState::Loaded { claimed: false, .. } => {
+                self.states[ru.idx()] = RuState::Loading { config };
+                Ok(())
+            }
+            found => Err(TransitionError {
+                ru,
+                found,
+                attempted: "begin_load",
+            }),
+        }
+    }
+
+    /// Completes the in-flight load; the new configuration starts out
+    /// claimed by the task that requested it.
+    pub fn finish_load(&mut self, ru: RuId) -> Result<ConfigId, TransitionError> {
+        match self.states[ru.idx()] {
+            RuState::Loading { config } => {
+                self.states[ru.idx()] = RuState::Loaded {
+                    config,
+                    claimed: true,
+                };
+                Ok(config)
+            }
+            found => Err(TransitionError {
+                ru,
+                found,
+                attempted: "finish_load",
+            }),
+        }
+    }
+
+    /// Claims a resident unclaimed configuration for reuse.
+    pub fn claim_for_reuse(&mut self, ru: RuId, config: ConfigId) -> Result<(), TransitionError> {
+        match self.states[ru.idx()] {
+            RuState::Loaded {
+                config: c,
+                claimed: false,
+            } if c == config => {
+                self.states[ru.idx()] = RuState::Loaded {
+                    config,
+                    claimed: true,
+                };
+                Ok(())
+            }
+            found => Err(TransitionError {
+                ru,
+                found,
+                attempted: "claim_for_reuse",
+            }),
+        }
+    }
+
+    /// Moves a claimed RU into execution.
+    pub fn begin_execution(&mut self, ru: RuId) -> Result<ConfigId, TransitionError> {
+        match self.states[ru.idx()] {
+            RuState::Loaded {
+                config,
+                claimed: true,
+            } => {
+                self.states[ru.idx()] = RuState::Executing { config };
+                Ok(config)
+            }
+            found => Err(TransitionError {
+                ru,
+                found,
+                attempted: "begin_execution",
+            }),
+        }
+    }
+
+    /// Finishes execution; the configuration stays resident, unclaimed
+    /// (it becomes a reuse and eviction candidate).
+    pub fn finish_execution(&mut self, ru: RuId) -> Result<ConfigId, TransitionError> {
+        match self.states[ru.idx()] {
+            RuState::Executing { config } => {
+                self.states[ru.idx()] = RuState::Loaded {
+                    config,
+                    claimed: false,
+                };
+                Ok(config)
+            }
+            found => Err(TransitionError {
+                ru,
+                found,
+                attempted: "finish_execution",
+            }),
+        }
+    }
+
+    /// Resident configurations with their claim status, for diagnostics.
+    pub fn snapshot(&self) -> Vec<(RuId, RuState)> {
+        self.ids().map(|r| (r, self.states[r.idx()])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C1: ConfigId = ConfigId(1);
+    const C2: ConfigId = ConfigId(2);
+
+    #[test]
+    fn fresh_pool_is_all_empty() {
+        let pool = RuPool::new(4);
+        assert_eq!(pool.len(), 4);
+        assert_eq!(pool.first_empty(), Some(RuId(0)));
+        assert!(pool.eviction_candidates().is_empty());
+        assert!(!pool.is_resident(C1));
+    }
+
+    #[test]
+    fn full_lifecycle() {
+        let mut pool = RuPool::new(2);
+        let ru = RuId(0);
+        pool.begin_load(ru, C1).unwrap();
+        assert_eq!(pool.state(ru), RuState::Loading { config: C1 });
+        assert!(pool.is_resident(C1));
+        assert_eq!(pool.find_reusable(C1), None, "loading is not reusable");
+
+        assert_eq!(pool.finish_load(ru).unwrap(), C1);
+        assert!(!pool.state(ru).is_eviction_candidate(), "claimed");
+
+        pool.begin_execution(ru).unwrap();
+        assert_eq!(pool.state(ru), RuState::Executing { config: C1 });
+
+        assert_eq!(pool.finish_execution(ru).unwrap(), C1);
+        assert!(pool.state(ru).is_eviction_candidate());
+        assert_eq!(pool.find_reusable(C1), Some(ru));
+        assert_eq!(pool.eviction_candidates(), vec![ru]);
+    }
+
+    #[test]
+    fn reuse_claim_cycle() {
+        let mut pool = RuPool::new(1);
+        let ru = RuId(0);
+        pool.begin_load(ru, C1).unwrap();
+        pool.finish_load(ru).unwrap();
+        pool.begin_execution(ru).unwrap();
+        pool.finish_execution(ru).unwrap();
+
+        pool.claim_for_reuse(ru, C1).unwrap();
+        assert!(!pool.state(ru).is_eviction_candidate());
+        pool.begin_execution(ru).unwrap();
+        pool.finish_execution(ru).unwrap();
+    }
+
+    #[test]
+    fn eviction_replaces_unclaimed_config() {
+        let mut pool = RuPool::new(1);
+        let ru = RuId(0);
+        pool.begin_load(ru, C1).unwrap();
+        pool.finish_load(ru).unwrap();
+        pool.begin_execution(ru).unwrap();
+        pool.finish_execution(ru).unwrap();
+
+        pool.begin_load(ru, C2).unwrap();
+        assert!(!pool.is_resident(C1), "old config evicted at load start");
+        assert!(pool.is_resident(C2));
+    }
+
+    #[test]
+    fn cannot_evict_claimed_or_executing() {
+        let mut pool = RuPool::new(1);
+        let ru = RuId(0);
+        pool.begin_load(ru, C1).unwrap();
+        pool.finish_load(ru).unwrap();
+        // Claimed: eviction rejected.
+        let err = pool.begin_load(ru, C2).unwrap_err();
+        assert_eq!(err.attempted, "begin_load");
+        pool.begin_execution(ru).unwrap();
+        // Executing: eviction rejected.
+        assert!(pool.begin_load(ru, C2).is_err());
+    }
+
+    #[test]
+    fn cannot_claim_wrong_or_claimed_config() {
+        let mut pool = RuPool::new(1);
+        let ru = RuId(0);
+        pool.begin_load(ru, C1).unwrap();
+        pool.finish_load(ru).unwrap();
+        // Claimed already.
+        assert!(pool.claim_for_reuse(ru, C1).is_err());
+        pool.begin_execution(ru).unwrap();
+        pool.finish_execution(ru).unwrap();
+        // Wrong config.
+        assert!(pool.claim_for_reuse(ru, C2).is_err());
+        // Right config, unclaimed.
+        assert!(pool.claim_for_reuse(ru, C1).is_ok());
+    }
+
+    #[test]
+    fn invalid_transitions_are_rejected() {
+        let mut pool = RuPool::new(1);
+        let ru = RuId(0);
+        assert!(pool.finish_load(ru).is_err());
+        assert!(pool.begin_execution(ru).is_err());
+        assert!(pool.finish_execution(ru).is_err());
+        assert!(pool.claim_for_reuse(ru, C1).is_err());
+    }
+
+    #[test]
+    fn candidates_ordered_by_index() {
+        let mut pool = RuPool::new(3);
+        for (i, c) in [(0u16, ConfigId(10)), (1, ConfigId(11)), (2, ConfigId(12))] {
+            let ru = RuId(i);
+            pool.begin_load(ru, c).unwrap();
+            pool.finish_load(ru).unwrap();
+            pool.begin_execution(ru).unwrap();
+            pool.finish_execution(ru).unwrap();
+        }
+        assert_eq!(
+            pool.eviction_candidates(),
+            vec![RuId(0), RuId(1), RuId(2)]
+        );
+    }
+
+    #[test]
+    fn display_is_one_based() {
+        assert_eq!(RuId(0).to_string(), "RU1");
+        assert_eq!(RuId(3).to_string(), "RU4");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rus_rejected() {
+        let _ = RuPool::new(0);
+    }
+}

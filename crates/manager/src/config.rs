@@ -1,0 +1,132 @@
+//! Manager configuration.
+
+use rtr_hw::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// How much of the future application sequence the replacement module
+/// can see — the paper's *Dynamic List* (DL).
+///
+/// The remaining reconfiguration sequence of the *current* graph is
+/// always visible (the manager owns it); the lookahead governs how many
+/// *future* task graphs are exposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Lookahead {
+    /// No future knowledge beyond the current graph (what a pure
+    /// history-based policy such as LRU effectively uses).
+    None,
+    /// The next `n` enqueued task graphs — "Local LFD (n)" in the paper.
+    Graphs(usize),
+    /// The entire remaining sequence — the clairvoyant LFD oracle.
+    All,
+}
+
+impl Lookahead {
+    /// Number of future graphs visible given `remaining` enqueued ones.
+    pub fn visible_graphs(self, remaining: usize) -> usize {
+        match self {
+            Lookahead::None => 0,
+            Lookahead::Graphs(n) => n.min(remaining),
+            Lookahead::All => remaining,
+        }
+    }
+}
+
+/// Full configuration of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManagerConfig {
+    /// Number of reconfigurable units.
+    pub rus: usize,
+    /// Device parameters (reconfiguration latency, bitstream size,
+    /// energy per load).
+    pub device: DeviceSpec,
+    /// Dynamic-List visibility for the replacement module.
+    pub lookahead: Lookahead,
+    /// Enables the run-time Skip Events feature (requires jobs carrying
+    /// mobility annotations to have any effect).
+    pub skip_events: bool,
+    /// When false, resident configurations are never reused — every task
+    /// instance reloads. This is the "original reconfiguration overhead"
+    /// baseline.
+    pub reuse_enabled: bool,
+    /// Record a full schedule trace (disable for large parameter sweeps).
+    pub record_trace: bool,
+}
+
+impl ManagerConfig {
+    /// The paper's default experimental setup: 4 RUs, 4 ms latency,
+    /// reuse on, skip off, DL = 1 graph.
+    pub fn paper_default() -> Self {
+        ManagerConfig {
+            rus: 4,
+            device: DeviceSpec::paper_default(),
+            lookahead: Lookahead::Graphs(1),
+            skip_events: false,
+            reuse_enabled: true,
+            record_trace: true,
+        }
+    }
+
+    /// Builder-style RU count override.
+    pub fn with_rus(mut self, rus: usize) -> Self {
+        self.rus = rus;
+        self
+    }
+
+    /// Builder-style lookahead override.
+    pub fn with_lookahead(mut self, lookahead: Lookahead) -> Self {
+        self.lookahead = lookahead;
+        self
+    }
+
+    /// Builder-style Skip Events toggle.
+    pub fn with_skip_events(mut self, on: bool) -> Self {
+        self.skip_events = on;
+        self
+    }
+
+    /// Builder-style reuse toggle.
+    pub fn with_reuse(mut self, on: bool) -> Self {
+        self.reuse_enabled = on;
+        self
+    }
+
+    /// Builder-style trace-recording toggle.
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visible_graphs_clamps_to_remaining() {
+        assert_eq!(Lookahead::None.visible_graphs(10), 0);
+        assert_eq!(Lookahead::Graphs(4).visible_graphs(2), 2);
+        assert_eq!(Lookahead::Graphs(4).visible_graphs(9), 4);
+        assert_eq!(Lookahead::All.visible_graphs(7), 7);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = ManagerConfig::paper_default()
+            .with_rus(6)
+            .with_lookahead(Lookahead::All)
+            .with_skip_events(true)
+            .with_reuse(false)
+            .with_trace(false);
+        assert_eq!(c.rus, 6);
+        assert_eq!(c.lookahead, Lookahead::All);
+        assert!(c.skip_events);
+        assert!(!c.reuse_enabled);
+        assert!(!c.record_trace);
+    }
+}

@@ -1,0 +1,94 @@
+//! Jobs: task-graph instances submitted to the manager.
+
+use rtr_taskgraph::TaskGraph;
+use std::sync::Arc;
+
+/// One application instance in the FIFO sequence handed to
+/// [`crate::simulate`].
+///
+/// The same `Arc<TaskGraph>` is typically shared by many instances
+/// (e.g. 500 random picks from three templates); design-time artifacts
+/// (reconfiguration sequence, configuration sequence) are computed once
+/// per distinct template inside the simulator.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The task graph to execute.
+    pub graph: Arc<TaskGraph>,
+    /// Per-node *mobility* values from the design-time phase (aligned
+    /// with node ids). Required for Skip Events to have any effect.
+    pub mobility: Option<Arc<Vec<u32>>>,
+    /// Per-node *forced delays* (aligned with node ids): before loading
+    /// node `n`, skip exactly `forced_delays[n]` events. Only used by
+    /// the design-time mobility calculation (the paper's Fig. 6), which
+    /// probes schedules with individual tasks delayed.
+    pub forced_delays: Option<Arc<Vec<u32>>>,
+}
+
+impl JobSpec {
+    /// A plain job with no annotations.
+    pub fn new(graph: Arc<TaskGraph>) -> Self {
+        JobSpec {
+            graph,
+            mobility: None,
+            forced_delays: None,
+        }
+    }
+
+    /// Attaches design-time mobility values.
+    ///
+    /// # Panics
+    /// Panics if the vector length does not match the node count.
+    pub fn with_mobility(mut self, mobility: Arc<Vec<u32>>) -> Self {
+        assert_eq!(
+            mobility.len(),
+            self.graph.len(),
+            "mobility annotation length must match node count"
+        );
+        self.mobility = Some(mobility);
+        self
+    }
+
+    /// Attaches forced per-node delays (mobility-calculation probes).
+    ///
+    /// # Panics
+    /// Panics if the vector length does not match the node count.
+    pub fn with_forced_delays(mut self, delays: Arc<Vec<u32>>) -> Self {
+        assert_eq!(
+            delays.len(),
+            self.graph.len(),
+            "forced-delay annotation length must match node count"
+        );
+        self.forced_delays = Some(delays);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_taskgraph::benchmarks;
+
+    #[test]
+    fn annotations_attach() {
+        let g = Arc::new(benchmarks::jpeg());
+        let job = JobSpec::new(Arc::clone(&g))
+            .with_mobility(Arc::new(vec![0, 1, 2, 0]))
+            .with_forced_delays(Arc::new(vec![0, 0, 1, 0]));
+        assert_eq!(job.mobility.as_ref().unwrap().len(), 4);
+        assert_eq!(job.forced_delays.as_ref().unwrap()[2], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mobility annotation length")]
+    fn wrong_mobility_length_panics() {
+        let g = Arc::new(benchmarks::jpeg());
+        let _ = JobSpec::new(g).with_mobility(Arc::new(vec![0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "forced-delay annotation length")]
+    fn wrong_delay_length_panics() {
+        let g = Arc::new(benchmarks::jpeg());
+        let _ = JobSpec::new(g).with_forced_delays(Arc::new(vec![0, 0]));
+    }
+}

@@ -1,0 +1,46 @@
+//! The external task-graph execution manager (the paper's ref.&nbsp;9) and
+//! the run-time replacement-module protocol (the paper's Figs. 4 and 8).
+//!
+//! The manager executes a FIFO sequence of task graphs on a pool of
+//! reconfigurable units. It is *event triggered*: all scheduling actions
+//! happen at `new_task_graph`, `end_of_reconfiguration` / `reused_task`
+//! or `end_of_execution` events. Semantics (validated against the
+//! paper's Figs. 2, 3 and 7 — see `DESIGN.md` §2):
+//!
+//! * Graphs execute strictly sequentially; a graph's reconfigurations
+//!   start when it becomes current.
+//! * Within the current graph, tasks load ASAP through the single
+//!   reconfiguration port in the design-time *reconfiguration sequence*
+//!   order (prefetch).
+//! * A task whose configuration is already resident and unclaimed is
+//!   *reused* — claimed with zero latency and zero energy.
+//! * When every RU is occupied, the replacement module picks a victim
+//!   among the RUs whose tasks finished executing. With *Skip Events*
+//!   enabled, a reconfiguration whose selected victim will be reused
+//!   within the visible future is delayed to the next event while the
+//!   task's design-time *mobility* budget allows.
+//!
+//! The crate also provides the [`policy::ReplacementPolicy`] trait the
+//! actual policies (in `rtr-core`) implement, a full schedule
+//! [`trace::Trace`] with an invariant [`validate`] pass,
+//! per-run [`stats`](stats::RunStats), and the zero-latency
+//! [`ideal`] baseline used to express overheads the way the paper
+//! does.
+
+pub mod config;
+pub mod ideal;
+pub mod job;
+pub mod manager;
+pub mod policy;
+pub mod stats;
+pub mod trace;
+pub mod validate;
+
+pub use config::{Lookahead, ManagerConfig};
+pub use job::JobSpec;
+pub use manager::{simulate, SimError, SimulationOutcome};
+pub use policy::{
+    FirstCandidatePolicy, FutureView, ReplacementContext, ReplacementPolicy, VictimCandidate,
+};
+pub use stats::RunStats;
+pub use trace::{Trace, TraceEvent};

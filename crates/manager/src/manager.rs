@@ -1,0 +1,766 @@
+//! The event-triggered execution manager (the paper's Fig. 4) with the
+//! replacement-module protocol (Fig. 8).
+//!
+//! See the crate docs and `DESIGN.md` §2 for the semantics; every branch
+//! here maps onto a line of the paper's pseudo-code:
+//!
+//! * `NewTaskGraph` → Fig. 4 lines 1–4 (activate, invoke replacement
+//!   module if the circuitry is idle — it always is at activation
+//!   because graphs execute sequentially).
+//! * `EndOfReconfiguration` / reuse claims → Fig. 4 lines 5–9 (start the
+//!   task if ready, then invoke the replacement module again).
+//! * `EndOfExecution` → Fig. 4 lines 10–19 (replacement module if the
+//!   circuitry is idle, then dependency update, then start any loaded
+//!   ready tasks).
+//! * the replacement-module loop (`try_advance`) → Fig. 8 (reuse claim / victim
+//!   selection / skip decision / load).
+
+use crate::config::{Lookahead, ManagerConfig};
+use crate::ideal::ideal_sequence_makespan;
+use crate::job::JobSpec;
+use crate::policy::{FutureView, ReplacementContext, ReplacementPolicy, VictimCandidate};
+use crate::stats::RunStats;
+use crate::trace::{Trace, TraceEvent};
+use rtr_hw::{EnergyModel, ReconfigController, RuId, RuPool};
+use rtr_sim::{EventQueue, SimTime};
+use rtr_taskgraph::{reconfiguration_sequence, ConfigId, NodeId, TaskGraph};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Same-time event ordering (lower fires first): task completions are
+/// observed before reconfiguration completions, and graph activations
+/// happen after all same-instant completions.
+const PRIO_END_OF_EXECUTION: u8 = 0;
+const PRIO_END_OF_RECONFIGURATION: u8 = 1;
+const PRIO_NEW_TASK_GRAPH: u8 = 2;
+
+/// Events driving the manager.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// The next job in the sequence becomes current.
+    NewTaskGraph,
+    /// The in-flight reconfiguration finished.
+    EndOfReconfiguration { ru: RuId, node: NodeId },
+    /// A task finished executing.
+    EndOfExecution { ru: RuId, node: NodeId },
+}
+
+/// Simulation failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event queue drained before all jobs completed. With correct
+    /// inputs this can only happen when a skip (run-time or forced
+    /// mobility probe) waited for a "following event" that does not
+    /// exist; the design-time mobility calculation treats it as an
+    /// infeasible delay.
+    StalledAwaitingEvent {
+        /// Jobs fully completed before the stall.
+        completed_jobs: usize,
+        /// Time of the last processed event.
+        at: SimTime,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::StalledAwaitingEvent { completed_jobs, at } => write!(
+                f,
+                "simulation stalled at {at} after {completed_jobs} jobs: a delayed \
+                 reconfiguration waited for an event that never comes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of [`simulate`].
+#[derive(Debug, Clone)]
+pub struct SimulationOutcome {
+    /// Aggregate statistics.
+    pub stats: RunStats,
+    /// Full schedule trace (empty when `record_trace` is off).
+    pub trace: Trace,
+}
+
+/// Design-time artifacts computed once per distinct graph template: the
+/// reconfiguration sequence and its configuration projection. This is
+/// the "bulk of the computations at design time" the hybrid approach
+/// banks on — at run time the manager only walks precomputed arrays.
+#[derive(Debug, Clone)]
+struct TemplateInfo {
+    rec_seq: Arc<Vec<NodeId>>,
+    cfg_seq: Arc<Vec<ConfigId>>,
+}
+
+/// Run-time state of the current task graph.
+#[derive(Debug)]
+struct ActiveJob {
+    idx: u32,
+    graph: Arc<TaskGraph>,
+    rec_seq: Arc<Vec<NodeId>>,
+    cfg_seq: Arc<Vec<ConfigId>>,
+    /// Cursor into `rec_seq`: next task to load.
+    seq_pos: usize,
+    pending_preds: Vec<u32>,
+    node_ru: Vec<Option<RuId>>,
+    loaded: Vec<bool>,
+    exec_started: Vec<bool>,
+    done_count: usize,
+    /// Run-time Skip Events counter — "initialized externally to this
+    /// function each time a new task graph starts its execution"
+    /// (Fig. 8).
+    skipped_events: u32,
+    /// Per-node forced delays already honoured (mobility probes).
+    forced_skips_done: Vec<u32>,
+    mobility: Option<Arc<Vec<u32>>>,
+    forced_delays: Option<Arc<Vec<u32>>>,
+}
+
+impl ActiveJob {
+    fn new(idx: u32, spec: &JobSpec, tpl: &TemplateInfo) -> Self {
+        let n = spec.graph.len();
+        let pending_preds = spec
+            .graph
+            .node_ids()
+            .map(|id| spec.graph.preds(id).len() as u32)
+            .collect();
+        ActiveJob {
+            idx,
+            graph: Arc::clone(&spec.graph),
+            rec_seq: Arc::clone(&tpl.rec_seq),
+            cfg_seq: Arc::clone(&tpl.cfg_seq),
+            seq_pos: 0,
+            pending_preds,
+            node_ru: vec![None; n],
+            loaded: vec![false; n],
+            exec_started: vec![false; n],
+            done_count: 0,
+            skipped_events: 0,
+            forced_skips_done: vec![0; n],
+            mobility: spec.mobility.clone(),
+            forced_delays: spec.forced_delays.clone(),
+        }
+    }
+
+    fn ready(&self, node: NodeId) -> bool {
+        self.loaded[node.idx()]
+            && !self.exec_started[node.idx()]
+            && self.pending_preds[node.idx()] == 0
+    }
+}
+
+struct ManagerState {
+    cfg: ManagerConfig,
+    pool: RuPool,
+    controller: ReconfigController,
+    energy: EnergyModel,
+    queue: EventQueue<Event>,
+    /// Per-job design-time info, indexed like `jobs`.
+    job_templates: Vec<TemplateInfo>,
+    current: Option<ActiveJob>,
+    next_job: usize,
+    completed_jobs: usize,
+    trace: Trace,
+    executed: u64,
+    reuses: u64,
+    loads: u64,
+    skips: u64,
+    stalls: u64,
+    graph_completions: Vec<SimTime>,
+    makespan_end: SimTime,
+}
+
+/// Runs the manager over `jobs` with the given replacement `policy`.
+///
+/// The policy's `reset` is invoked first, so policies can be reused
+/// across runs. Returns an error only when a delayed reconfiguration
+/// waits forever (see [`SimError`]).
+pub fn simulate(
+    cfg: &ManagerConfig,
+    jobs: &[JobSpec],
+    policy: &mut dyn ReplacementPolicy,
+) -> Result<SimulationOutcome, SimError> {
+    assert!(cfg.rus > 0, "need at least one RU");
+    policy.reset();
+
+    // Design-time phase: compute per-template artifacts once.
+    let mut by_template: HashMap<*const TaskGraph, TemplateInfo> = HashMap::new();
+    let job_templates: Vec<TemplateInfo> = jobs
+        .iter()
+        .map(|j| {
+            by_template
+                .entry(Arc::as_ptr(&j.graph))
+                .or_insert_with(|| {
+                    let rec_seq = reconfiguration_sequence(&j.graph);
+                    let cfg_seq = rec_seq.iter().map(|&n| j.graph.config_of(n)).collect();
+                    TemplateInfo {
+                        rec_seq: Arc::new(rec_seq),
+                        cfg_seq: Arc::new(cfg_seq),
+                    }
+                })
+                .clone()
+        })
+        .collect();
+
+    let mut m = ManagerState {
+        pool: RuPool::new(cfg.rus),
+        controller: ReconfigController::new(cfg.device.reconfig_latency),
+        energy: EnergyModel::new(cfg.device.clone()),
+        queue: EventQueue::new(),
+        job_templates,
+        current: None,
+        next_job: 0,
+        completed_jobs: 0,
+        trace: Trace::default(),
+        executed: 0,
+        reuses: 0,
+        loads: 0,
+        skips: 0,
+        stalls: 0,
+        graph_completions: Vec::with_capacity(jobs.len()),
+        makespan_end: SimTime::ZERO,
+        cfg: cfg.clone(),
+    };
+
+    if !jobs.is_empty() {
+        m.queue.push(SimTime::ZERO, PRIO_NEW_TASK_GRAPH, Event::NewTaskGraph);
+    }
+    while let Some(ev) = m.queue.pop() {
+        m.makespan_end = ev.time;
+        m.handle(ev.payload, ev.time, jobs, policy);
+    }
+    if m.completed_jobs != jobs.len() {
+        return Err(SimError::StalledAwaitingEvent {
+            completed_jobs: m.completed_jobs,
+            at: m.makespan_end,
+        });
+    }
+
+    let stats = RunStats {
+        policy: policy.name(),
+        makespan: m.makespan_end.since(SimTime::ZERO),
+        executed: m.executed,
+        reuses: m.reuses,
+        loads: m.loads,
+        skips: m.skips,
+        stalls: m.stalls,
+        traffic: m.energy.stats(),
+        graph_completions: m.graph_completions,
+        ideal_makespan: ideal_sequence_makespan(jobs, cfg.rus),
+        reconfig_latency: cfg.device.reconfig_latency,
+    };
+    Ok(SimulationOutcome {
+        stats,
+        trace: m.trace,
+    })
+}
+
+impl ManagerState {
+    fn record(&mut self, ev: TraceEvent) {
+        if self.cfg.record_trace {
+            self.trace.push(ev);
+        }
+    }
+
+    fn handle(
+        &mut self,
+        ev: Event,
+        now: SimTime,
+        jobs: &[JobSpec],
+        policy: &mut dyn ReplacementPolicy,
+    ) {
+        match ev {
+            Event::NewTaskGraph => {
+                debug_assert!(self.current.is_none(), "graphs execute sequentially");
+                debug_assert!(
+                    self.controller.is_idle(),
+                    "no cross-graph reconfigurations can be in flight"
+                );
+                let idx = self.next_job;
+                self.next_job += 1;
+                let job = ActiveJob::new(idx as u32, &jobs[idx], &self.job_templates[idx]);
+                self.record(TraceEvent::GraphStart {
+                    job: idx as u32,
+                    at: now,
+                });
+                self.current = Some(job);
+                policy.on_graph_start(idx as u32, now);
+                self.try_advance(now, jobs, policy);
+            }
+            Event::EndOfReconfiguration { ru, node } => {
+                let op = self.controller.complete(now);
+                debug_assert_eq!(op.ru, ru);
+                let config = self
+                    .pool
+                    .finish_load(ru)
+                    .expect("manager drives RU transitions correctly");
+                let job_idx = {
+                    let job = self
+                        .current
+                        .as_mut()
+                        .expect("loads only happen for the current graph");
+                    job.loaded[node.idx()] = true;
+                    job.node_ru[node.idx()] = Some(ru);
+                    job.idx
+                };
+                self.record(TraceEvent::LoadEnd {
+                    job: job_idx,
+                    node,
+                    config,
+                    ru,
+                    at: now,
+                });
+                policy.on_load_complete(config, ru, now);
+                // Fig. 4 lines 6–8: start the task if it is ready.
+                if self.current.as_ref().is_some_and(|j| j.ready(node)) {
+                    self.start_execution(node, now, policy);
+                }
+                // Fig. 4 line 9: invoke the replacement module again.
+                self.try_advance(now, jobs, policy);
+            }
+            Event::EndOfExecution { ru, node } => {
+                let config = self
+                    .pool
+                    .finish_execution(ru)
+                    .expect("manager drives RU transitions correctly");
+                let (job_idx, graph, done) = {
+                    let job = self
+                        .current
+                        .as_mut()
+                        .expect("executions only happen for the current graph");
+                    job.done_count += 1;
+                    (job.idx, Arc::clone(&job.graph), job.done_count)
+                };
+                self.executed += 1;
+                self.record(TraceEvent::ExecEnd {
+                    job: job_idx,
+                    node,
+                    config,
+                    ru,
+                    at: now,
+                });
+                policy.on_exec_end(config, now);
+                // Fig. 4 lines 11–13: replacement module first, if the
+                // reconfiguration circuitry is idle.
+                if self.controller.is_idle() {
+                    self.try_advance(now, jobs, policy);
+                }
+                // Fig. 4 line 14: update task dependencies.
+                let mut to_start: Vec<NodeId> = Vec::new();
+                if let Some(job) = self.current.as_mut() {
+                    for &s in graph.succs(node) {
+                        job.pending_preds[s.idx()] -= 1;
+                    }
+                    // Fig. 4 lines 15–19: start loaded ready tasks.
+                    for &s in graph.succs(node) {
+                        if job.ready(s) {
+                            to_start.push(s);
+                        }
+                    }
+                }
+                for s in to_start {
+                    self.start_execution(s, now, policy);
+                }
+                // Graph completion → activate the next job.
+                if done == graph.len() {
+                    self.record(TraceEvent::GraphEnd {
+                        job: job_idx,
+                        at: now,
+                    });
+                    policy.on_graph_end(job_idx, now);
+                    self.current = None;
+                    self.completed_jobs += 1;
+                    self.graph_completions.push(now);
+                    if self.next_job < jobs.len() {
+                        self.queue.push(now, PRIO_NEW_TASK_GRAPH, Event::NewTaskGraph);
+                    }
+                }
+            }
+        }
+    }
+
+    fn start_execution(&mut self, node: NodeId, now: SimTime, policy: &mut dyn ReplacementPolicy) {
+        let (ru, idx, end) = {
+            let job = self.current.as_mut().expect("start_execution needs a job");
+            let ru = job.node_ru[node.idx()].expect("ready tasks have an RU");
+            job.exec_started[node.idx()] = true;
+            (ru, job.idx, now + job.graph.exec_time(node))
+        };
+        let config = self
+            .pool
+            .begin_execution(ru)
+            .expect("ready tasks hold a claimed RU");
+        self.queue
+            .push(end, PRIO_END_OF_EXECUTION, Event::EndOfExecution { ru, node });
+        self.record(TraceEvent::ExecStart {
+            job: idx,
+            node,
+            config,
+            ru,
+            at: now,
+        });
+        policy.on_exec_start(config, now);
+    }
+
+    /// The replacement module (Fig. 8): processes the head of the
+    /// reconfiguration sequence while the circuitry is idle. Reuse
+    /// claims cascade (they occupy no circuitry); at most one load can
+    /// start (it occupies the circuitry).
+    fn try_advance(&mut self, now: SimTime, jobs: &[JobSpec], policy: &mut dyn ReplacementPolicy) {
+        loop {
+            if !self.controller.is_idle() {
+                return;
+            }
+            let (node, config, job_idx, forced_delay_pending) = {
+                let Some(job) = self.current.as_ref() else {
+                    return;
+                };
+                if job.seq_pos >= job.rec_seq.len() {
+                    return;
+                }
+                let node = job.rec_seq[job.seq_pos];
+                let forced = job
+                    .forced_delays
+                    .as_ref()
+                    .is_some_and(|req| job.forced_skips_done[node.idx()] < req[node.idx()]);
+                (node, job.cfg_seq[job.seq_pos], job.idx, forced)
+            };
+
+            // Forced delay probes (design-time mobility calculation,
+            // Fig. 6): delay this load by one event, unconditionally.
+            if forced_delay_pending {
+                let job = self.current.as_mut().expect("checked above");
+                job.forced_skips_done[node.idx()] += 1;
+                self.skips += 1;
+                self.record(TraceEvent::Skip {
+                    job: job_idx,
+                    node,
+                    forced: true,
+                    at: now,
+                });
+                return;
+            }
+
+            // Reuse: "the RU has identified that a task can be reused
+            // since it was already loaded in a previous execution".
+            if self.cfg.reuse_enabled {
+                if let Some(ru) = self.pool.find_reusable(config) {
+                    self.pool
+                        .claim_for_reuse(ru, config)
+                        .expect("find_reusable returned a claimable RU");
+                    {
+                        let job = self.current.as_mut().expect("checked above");
+                        job.loaded[node.idx()] = true;
+                        job.node_ru[node.idx()] = Some(ru);
+                        job.seq_pos += 1;
+                    }
+                    self.reuses += 1;
+                    self.energy.record_reuse();
+                    self.record(TraceEvent::Reuse {
+                        job: job_idx,
+                        node,
+                        config,
+                        ru,
+                        at: now,
+                    });
+                    policy.on_reuse(config, ru, now);
+                    if self.current.as_ref().is_some_and(|j| j.ready(node)) {
+                        self.start_execution(node, now, policy);
+                    }
+                    continue;
+                }
+            }
+
+            // Pick the destination RU: a free one if it exists,
+            // otherwise ask the policy for a victim (Fig. 8 step 2).
+            let target = if let Some(ru) = self.pool.first_empty() {
+                ru
+            } else {
+                let candidates: Vec<VictimCandidate> = self
+                    .pool
+                    .eviction_candidates()
+                    .into_iter()
+                    .map(|ru| VictimCandidate {
+                        ru,
+                        config: self
+                            .pool
+                            .state(ru)
+                            .resident_config()
+                            .expect("candidates are resident"),
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    // Fig. 8 step 3: no victim — retry at the next event.
+                    self.stalls += 1;
+                    self.record(TraceEvent::Stall {
+                        job: job_idx,
+                        node,
+                        at: now,
+                    });
+                    return;
+                }
+                let (victim, do_skip) = {
+                    let job = self.current.as_ref().expect("checked above");
+                    let future = self.build_future_view(job, jobs);
+                    let ctx = ReplacementContext {
+                        now,
+                        new_config: config,
+                        candidates: &candidates,
+                        future: &future,
+                    };
+                    let victim = policy.select_victim(&ctx);
+                    let victim_cfg = candidates
+                        .iter()
+                        .find(|c| c.ru == victim)
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "policy {} returned a non-candidate victim {victim}",
+                                policy.name()
+                            )
+                        })
+                        .config;
+                    // Fig. 8 steps 4–5: Skip Events. If the victim's
+                    // configuration will be requested within the visible
+                    // window and the new task still has mobility budget,
+                    // delay the reconfiguration to the next event.
+                    let do_skip = self.cfg.skip_events
+                        && job.mobility.as_ref().is_some_and(|mob| {
+                            mob[node.idx()] > job.skipped_events && future.contains(victim_cfg)
+                        });
+                    (victim, do_skip)
+                };
+                if do_skip {
+                    let job = self.current.as_mut().expect("checked above");
+                    job.skipped_events += 1;
+                    self.skips += 1;
+                    self.record(TraceEvent::Skip {
+                        job: job_idx,
+                        node,
+                        forced: false,
+                        at: now,
+                    });
+                    return;
+                }
+                victim
+            };
+
+            // Fig. 8 steps 6–7: trigger the reconfiguration and remove
+            // the task from the sequence.
+            self.pool
+                .begin_load(target, config)
+                .expect("target RU is empty or an unclaimed candidate");
+            let completes = self.controller.start(target, config, now);
+            {
+                let job = self.current.as_mut().expect("checked above");
+                job.seq_pos += 1;
+            }
+            self.loads += 1;
+            self.energy.record_load();
+            self.record(TraceEvent::LoadStart {
+                job: job_idx,
+                node,
+                config,
+                ru: target,
+                at: now,
+            });
+            self.queue.push(
+                completes,
+                PRIO_END_OF_RECONFIGURATION,
+                Event::EndOfReconfiguration { ru: target, node },
+            );
+            // Controller now busy: the loop exits on the next check.
+        }
+    }
+
+    /// Builds the visible future request stream: remaining loads of the
+    /// current graph, then the reconfiguration sequences of the next
+    /// `lookahead` jobs.
+    fn build_future_view<'a>(&'a self, job: &'a ActiveJob, jobs: &[JobSpec]) -> FutureView<'a> {
+        let mut segments: Vec<&'a [ConfigId]> = Vec::new();
+        // Remaining loads of the current graph, *after* the entry being
+        // placed now.
+        let rest = &job.cfg_seq[(job.seq_pos + 1).min(job.cfg_seq.len())..];
+        if !rest.is_empty() {
+            segments.push(rest);
+        }
+        let remaining = jobs.len() - self.next_job;
+        let visible = match self.cfg.lookahead {
+            Lookahead::None => 0,
+            Lookahead::Graphs(n) => n.min(remaining),
+            Lookahead::All => remaining,
+        };
+        for tpl in &self.job_templates[self.next_job..self.next_job + visible] {
+            segments.push(tpl.cfg_seq.as_slice());
+        }
+        FutureView::new(segments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::FirstCandidatePolicy;
+    use rtr_sim::SimDuration;
+    use rtr_taskgraph::benchmarks;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_ms(x)
+    }
+
+    fn run(
+        cfg: &ManagerConfig,
+        jobs: &[JobSpec],
+    ) -> SimulationOutcome {
+        simulate(cfg, jobs, &mut FirstCandidatePolicy).expect("simulation completes")
+    }
+
+    #[test]
+    fn empty_sequence_completes_immediately() {
+        let out = run(&ManagerConfig::paper_default(), &[]);
+        assert_eq!(out.stats.makespan, SimDuration::ZERO);
+        assert_eq!(out.stats.executed, 0);
+    }
+
+    #[test]
+    fn single_chain_graph_schedule() {
+        // JPEG on 4 RUs: loads pipeline behind the 21 ms VLD execution;
+        // only the initial 4 ms load is exposed. Makespan = 79 + 4.
+        let jobs = vec![JobSpec::new(Arc::new(benchmarks::jpeg()))];
+        let out = run(&ManagerConfig::paper_default(), &jobs);
+        assert_eq!(out.stats.makespan, ms(83));
+        assert_eq!(out.stats.executed, 4);
+        assert_eq!(out.stats.loads, 4);
+        assert_eq!(out.stats.reuses, 0);
+        assert_eq!(out.stats.total_overhead(), ms(4));
+    }
+
+    #[test]
+    fn repeated_graph_reuses_everything_with_enough_rus() {
+        let g = Arc::new(benchmarks::jpeg());
+        let jobs = vec![JobSpec::new(Arc::clone(&g)), JobSpec::new(g)];
+        let out = run(&ManagerConfig::paper_default(), &jobs);
+        // Second instance reuses all 4 configurations.
+        assert_eq!(out.stats.reuses, 4);
+        assert_eq!(out.stats.loads, 4);
+        assert_eq!(out.stats.makespan, ms(83 + 79));
+        assert!((out.stats.reuse_rate_pct() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reuse_disabled_reloads_everything() {
+        let g = Arc::new(benchmarks::jpeg());
+        let jobs = vec![JobSpec::new(Arc::clone(&g)), JobSpec::new(g)];
+        let cfg = ManagerConfig::paper_default().with_reuse(false);
+        let out = run(&cfg, &jobs);
+        assert_eq!(out.stats.reuses, 0);
+        assert_eq!(out.stats.loads, 8);
+        // Both instances pay the initial exposed load.
+        assert_eq!(out.stats.makespan, ms(83 + 83));
+    }
+
+    #[test]
+    fn graphs_execute_sequentially() {
+        let jobs = vec![
+            JobSpec::new(Arc::new(benchmarks::jpeg())),
+            JobSpec::new(Arc::new(benchmarks::mpeg1())),
+        ];
+        let out = run(&ManagerConfig::paper_default(), &jobs);
+        // First exec of job 1 must not precede last exec end of job 0.
+        let mut first_exec_job1 = None;
+        let mut last_end_job0 = None;
+        for ev in out.trace.iter() {
+            match *ev {
+                TraceEvent::ExecStart { job: 1, at, .. } => {
+                    first_exec_job1.get_or_insert(at);
+                }
+                TraceEvent::ExecEnd { job: 0, at, .. } => last_end_job0 = Some(at),
+                _ => {}
+            }
+        }
+        assert!(first_exec_job1.unwrap() >= last_end_job0.unwrap());
+    }
+
+    #[test]
+    fn single_ru_serialises_with_replacement() {
+        // MPEG-1 on one RU: every task must evict its predecessor.
+        let jobs = vec![JobSpec::new(Arc::new(benchmarks::mpeg1()))];
+        let cfg = ManagerConfig::paper_default().with_rus(1);
+        let out = run(&cfg, &jobs);
+        assert_eq!(out.stats.executed, 5);
+        assert_eq!(out.stats.loads, 5);
+        // Fully serial: each task pays its load latency then runs.
+        assert_eq!(
+            out.stats.makespan,
+            ms(5 * 4) + benchmarks::mpeg1().total_exec_time()
+        );
+    }
+
+    #[test]
+    fn stall_retries_until_candidate_appears() {
+        // Two RUs, a graph with three parallel sources and one sink:
+        // the third source cannot load until a source finishes.
+        let mut b = rtr_taskgraph::TaskGraphBuilder::new("wide");
+        let a = b.node("a", ConfigId(1), ms(10));
+        let c = b.node("b", ConfigId(2), ms(10));
+        let d = b.node("c", ConfigId(3), ms(10));
+        let e = b.node("d", ConfigId(4), ms(5));
+        b.edge(a, e).edge(c, e).edge(d, e);
+        let g = Arc::new(b.build().unwrap());
+        let cfg = ManagerConfig::paper_default().with_rus(2);
+        let out = run(&cfg, &[JobSpec::new(g)]);
+        assert_eq!(out.stats.executed, 4);
+        assert!(out.stats.stalls > 0, "expected stalled load attempts");
+    }
+
+    #[test]
+    fn forced_delay_shifts_schedule() {
+        // Fig. 7b: delaying T5 of Fig3-TG2 by one event gives 36 ms.
+        let g = Arc::new(benchmarks::fig3_tg2());
+        let job = JobSpec::new(Arc::clone(&g)).with_forced_delays(Arc::new(vec![0, 1, 0, 0]));
+        let out = run(&ManagerConfig::paper_default(), &[job]);
+        assert_eq!(out.stats.makespan, ms(36));
+        assert_eq!(out.stats.skips, 1);
+    }
+
+    #[test]
+    fn infeasible_forced_delay_errors() {
+        // Delaying the only task of a single-node graph: there is never
+        // a "following event".
+        let mut b = rtr_taskgraph::TaskGraphBuilder::new("solo");
+        b.node("t", ConfigId(1), ms(5));
+        let g = Arc::new(b.build().unwrap());
+        let job = JobSpec::new(g).with_forced_delays(Arc::new(vec![1]));
+        let err = simulate(
+            &ManagerConfig::paper_default(),
+            &[job],
+            &mut FirstCandidatePolicy,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::StalledAwaitingEvent { .. }));
+    }
+
+    #[test]
+    fn energy_accounting_tracks_loads_and_reuses() {
+        let g = Arc::new(benchmarks::jpeg());
+        let jobs = vec![JobSpec::new(Arc::clone(&g)), JobSpec::new(g)];
+        let out = run(&ManagerConfig::paper_default(), &jobs);
+        assert_eq!(out.stats.traffic.loads, 4);
+        assert_eq!(out.stats.traffic.reuses, 4);
+        assert_eq!(
+            out.stats.traffic.bytes_moved,
+            4 * u64::from(ManagerConfig::paper_default().device.bitstream_bytes)
+        );
+    }
+
+    #[test]
+    fn trace_recording_can_be_disabled() {
+        let jobs = vec![JobSpec::new(Arc::new(benchmarks::jpeg()))];
+        let cfg = ManagerConfig::paper_default().with_trace(false);
+        let out = run(&cfg, &jobs);
+        assert!(out.trace.is_empty());
+        assert_eq!(out.stats.executed, 4);
+    }
+}

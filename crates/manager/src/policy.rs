@@ -1,0 +1,202 @@
+//! The replacement-policy interface.
+//!
+//! The manager separates *mechanism* from *policy*: it computes the set
+//! of legal victims (unclaimed resident configurations) and the visible
+//! future request stream, and asks a [`ReplacementPolicy`] to choose.
+//! The policies themselves — LRU, LFD, the paper's Local LFD — live in
+//! `rtr-core`; this crate only ships the trivial
+//! [`FirstCandidatePolicy`] used by baselines and manager unit tests.
+
+use rtr_hw::RuId;
+use rtr_sim::SimTime;
+use rtr_taskgraph::ConfigId;
+
+/// One legal eviction victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VictimCandidate {
+    /// The RU that would be reconfigured.
+    pub ru: RuId,
+    /// The configuration currently resident there.
+    pub config: ConfigId,
+}
+
+/// The future request stream visible to the replacement module: the
+/// remaining loads of the current graph followed by the reconfiguration
+/// sequences of the task graphs in the Dynamic List window.
+///
+/// Stored as borrowed segments so constructing a view costs a few
+/// pointer copies even for a 500-application oracle stream.
+#[derive(Debug, Clone)]
+pub struct FutureView<'a> {
+    segments: Vec<&'a [ConfigId]>,
+}
+
+impl<'a> FutureView<'a> {
+    /// Builds a view over the given segments (earlier segment = sooner).
+    pub fn new(segments: Vec<&'a [ConfigId]>) -> Self {
+        FutureView { segments }
+    }
+
+    /// An empty view (no future knowledge).
+    pub fn empty() -> Self {
+        FutureView {
+            segments: Vec::new(),
+        }
+    }
+
+    /// Iterates over the stream in request order.
+    pub fn iter(&self) -> impl Iterator<Item = ConfigId> + '_ {
+        self.segments.iter().flat_map(|s| s.iter().copied())
+    }
+
+    /// Forward distance of `config`: 1-based position of its next
+    /// occurrence, or `None` if it does not occur in the visible window.
+    /// This is the linear search whose cost the paper's Table I measures.
+    pub fn distance_of(&self, config: ConfigId) -> Option<usize> {
+        self.iter().position(|c| c == config).map(|p| p + 1)
+    }
+
+    /// True when `config` occurs in the visible window (the
+    /// `reusable(victim)` predicate of the paper's Fig. 8).
+    pub fn contains(&self, config: ConfigId) -> bool {
+        self.iter().any(|c| c == config)
+    }
+
+    /// Total number of requests in the window.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(|s| s.len()).sum()
+    }
+
+    /// True when the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.segments.iter().all(|s| s.is_empty())
+    }
+}
+
+/// Everything a policy may consult when choosing a victim.
+#[derive(Debug)]
+pub struct ReplacementContext<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The configuration that needs an RU.
+    pub new_config: ConfigId,
+    /// Legal victims, in RU-index order. Never empty.
+    pub candidates: &'a [VictimCandidate],
+    /// The visible future request stream.
+    pub future: &'a FutureView<'a>,
+}
+
+/// A configuration-replacement policy.
+///
+/// `select_victim` must return the `ru` of one of the presented
+/// candidates; the manager asserts this. The notification callbacks give
+/// history-based policies (LRU, LFU, FIFO…) the usage signal they need;
+/// all have empty default bodies.
+pub trait ReplacementPolicy {
+    /// Short display name, e.g. `"LRU"` or `"Local LFD (2)"`.
+    fn name(&self) -> String;
+
+    /// Chooses the victim RU among `ctx.candidates`.
+    fn select_victim(&mut self, ctx: &ReplacementContext<'_>) -> RuId;
+
+    /// A reconfiguration of `config` into `ru` completed.
+    fn on_load_complete(&mut self, _config: ConfigId, _ru: RuId, _now: SimTime) {}
+
+    /// A resident `config` on `ru` was claimed for reuse.
+    fn on_reuse(&mut self, _config: ConfigId, _ru: RuId, _now: SimTime) {}
+
+    /// A task using `config` started executing.
+    fn on_exec_start(&mut self, _config: ConfigId, _now: SimTime) {}
+
+    /// A task using `config` finished executing.
+    fn on_exec_end(&mut self, _config: ConfigId, _now: SimTime) {}
+
+    /// Task graph number `job` became current.
+    fn on_graph_start(&mut self, _job: u32, _now: SimTime) {}
+
+    /// Task graph number `job` completed.
+    fn on_graph_end(&mut self, _job: u32, _now: SimTime) {}
+
+    /// Clears any per-run state so the policy can be reused.
+    fn reset(&mut self) {}
+}
+
+/// Picks the first (lowest-index RU) candidate. This is both the
+/// fallback tie-break the paper describes for Local LFD and a useful
+/// "no intelligence" baseline; it is also the policy used for the
+/// no-reuse original-overhead baseline where victim choice cannot
+/// matter.
+#[derive(Debug, Clone, Default)]
+pub struct FirstCandidatePolicy;
+
+impl ReplacementPolicy for FirstCandidatePolicy {
+    fn name(&self) -> String {
+        "FirstCandidate".to_string()
+    }
+
+    fn select_victim(&mut self, ctx: &ReplacementContext<'_>) -> RuId {
+        ctx.candidates[0].ru
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(id: u32) -> ConfigId {
+        ConfigId(id)
+    }
+
+    #[test]
+    fn future_view_distances() {
+        let seg1 = [c(4), c(5)];
+        let seg2 = [c(1), c(2), c(3)];
+        let view = FutureView::new(vec![&seg1, &seg2]);
+        assert_eq!(view.len(), 5);
+        assert_eq!(view.distance_of(c(4)), Some(1));
+        assert_eq!(view.distance_of(c(1)), Some(3));
+        assert_eq!(view.distance_of(c(3)), Some(5));
+        assert_eq!(view.distance_of(c(9)), None);
+        assert!(view.contains(c(2)));
+        assert!(!view.contains(c(9)));
+    }
+
+    #[test]
+    fn empty_view() {
+        let view = FutureView::empty();
+        assert!(view.is_empty());
+        assert_eq!(view.len(), 0);
+        assert_eq!(view.distance_of(c(1)), None);
+    }
+
+    #[test]
+    fn distance_uses_first_occurrence() {
+        let seg = [c(7), c(8), c(7)];
+        let view = FutureView::new(vec![&seg]);
+        assert_eq!(view.distance_of(c(7)), Some(1));
+    }
+
+    #[test]
+    fn first_candidate_picks_lowest_ru() {
+        let mut p = FirstCandidatePolicy;
+        let seg: [ConfigId; 0] = [];
+        let future = FutureView::new(vec![&seg]);
+        let candidates = [
+            VictimCandidate {
+                ru: RuId(1),
+                config: c(10),
+            },
+            VictimCandidate {
+                ru: RuId(3),
+                config: c(11),
+            },
+        ];
+        let ctx = ReplacementContext {
+            now: SimTime::ZERO,
+            new_config: c(1),
+            candidates: &candidates,
+            future: &future,
+        };
+        assert_eq!(p.select_victim(&ctx), RuId(1));
+    }
+}

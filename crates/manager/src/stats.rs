@@ -1,0 +1,108 @@
+//! Per-run statistics and the overhead metrics of the paper's Fig. 9.
+
+use rtr_hw::TrafficStats;
+use rtr_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Name of the replacement policy that produced this run.
+    pub policy: String,
+    /// Completion time of the last task graph.
+    pub makespan: SimDuration,
+    /// Task instances executed.
+    pub executed: u64,
+    /// Task instances whose configuration was reused (no load).
+    pub reuses: u64,
+    /// Reconfigurations performed.
+    pub loads: u64,
+    /// Reconfigurations delayed by the Skip Events feature (run-time
+    /// skips and forced mobility-probe delays combined).
+    pub skips: u64,
+    /// Load attempts that found no eviction candidate and retried.
+    pub stalls: u64,
+    /// Energy / bus-traffic counters.
+    pub traffic: TrafficStats,
+    /// Completion instant of each task graph, in sequence order.
+    pub graph_completions: Vec<SimTime>,
+    /// Zero-latency baseline makespan of the same job sequence (the
+    /// "ideal schedule where no reconfiguration overhead is generated"
+    /// of the paper's Fig. 2).
+    pub ideal_makespan: SimDuration,
+    /// Per-load reconfiguration latency used in the run.
+    pub reconfig_latency: SimDuration,
+}
+
+impl RunStats {
+    /// Reuse rate as the paper defines it: "the number of reused tasks
+    /// divided by the total number of executed tasks", in percent.
+    pub fn reuse_rate_pct(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.reuses as f64 / self.executed as f64 * 100.0
+        }
+    }
+
+    /// Reconfiguration overhead that remained visible in the makespan:
+    /// `makespan − ideal` (the "overhead: N ms" labels of Figs. 2/3).
+    pub fn total_overhead(&self) -> SimDuration {
+        self.makespan.saturating_sub(self.ideal_makespan)
+    }
+
+    /// The "original reconfiguration overhead": what reconfigurations
+    /// would cost if none were hidden or avoided — one full latency per
+    /// executed task instance.
+    pub fn original_overhead(&self) -> SimDuration {
+        self.reconfig_latency * self.executed
+    }
+
+    /// The Fig. 9c metric: percentage of the original reconfiguration
+    /// overhead still visible after prefetch + replacement.
+    pub fn remaining_overhead_pct(&self) -> f64 {
+        self.total_overhead().percent_of(self.original_overhead())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> RunStats {
+        RunStats {
+            policy: "test".into(),
+            makespan: SimDuration::from_ms(120),
+            executed: 10,
+            reuses: 4,
+            loads: 6,
+            skips: 1,
+            stalls: 2,
+            traffic: TrafficStats::default(),
+            graph_completions: vec![SimTime::from_ms(50), SimTime::from_ms(120)],
+            ideal_makespan: SimDuration::from_ms(100),
+            reconfig_latency: SimDuration::from_ms(4),
+        }
+    }
+
+    #[test]
+    fn reuse_rate_matches_paper_definition() {
+        assert!((stats().reuse_rate_pct() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overheads() {
+        let s = stats();
+        assert_eq!(s.total_overhead(), SimDuration::from_ms(20));
+        assert_eq!(s.original_overhead(), SimDuration::from_ms(40));
+        assert!((s.remaining_overhead_pct() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_executed_is_safe() {
+        let mut s = stats();
+        s.executed = 0;
+        assert_eq!(s.reuse_rate_pct(), 0.0);
+        assert_eq!(s.remaining_overhead_pct(), 0.0);
+    }
+}

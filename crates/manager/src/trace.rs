@@ -1,0 +1,300 @@
+//! Schedule traces.
+//!
+//! Every simulation can record the complete schedule as a sequence of
+//! [`TraceEvent`]s. Traces serve three purposes: the golden tests
+//! compare them against the paper's figures, the
+//! [`validate`](crate::validate) pass checks system invariants on them
+//! (used heavily by property tests), and they render as ASCII Gantt
+//! charts in the example binaries.
+
+use rtr_hw::RuId;
+use rtr_sim::gantt::GanttChart;
+use rtr_sim::SimTime;
+use rtr_taskgraph::{ConfigId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// One schedule event. `job` is the index of the application instance
+/// in the submitted sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Task graph `job` became the current graph.
+    GraphStart {
+        /// Application index.
+        job: u32,
+        /// Event time.
+        at: SimTime,
+    },
+    /// Task graph `job` finished all executions.
+    GraphEnd {
+        /// Application index.
+        job: u32,
+        /// Event time.
+        at: SimTime,
+    },
+    /// A reconfiguration started (evicting whatever was resident).
+    LoadStart {
+        /// Application index.
+        job: u32,
+        /// Node within the graph.
+        node: NodeId,
+        /// Configuration being written.
+        config: ConfigId,
+        /// Destination RU.
+        ru: RuId,
+        /// Event time.
+        at: SimTime,
+    },
+    /// A reconfiguration completed.
+    LoadEnd {
+        /// Application index.
+        job: u32,
+        /// Node within the graph.
+        node: NodeId,
+        /// Configuration written.
+        config: ConfigId,
+        /// Destination RU.
+        ru: RuId,
+        /// Event time.
+        at: SimTime,
+    },
+    /// A resident configuration was claimed without reconfiguration.
+    Reuse {
+        /// Application index.
+        job: u32,
+        /// Node within the graph.
+        node: NodeId,
+        /// Reused configuration.
+        config: ConfigId,
+        /// RU holding it.
+        ru: RuId,
+        /// Event time.
+        at: SimTime,
+    },
+    /// A task started executing.
+    ExecStart {
+        /// Application index.
+        job: u32,
+        /// Node within the graph.
+        node: NodeId,
+        /// Its configuration.
+        config: ConfigId,
+        /// RU executing it.
+        ru: RuId,
+        /// Event time.
+        at: SimTime,
+    },
+    /// A task finished executing.
+    ExecEnd {
+        /// Application index.
+        job: u32,
+        /// Node within the graph.
+        node: NodeId,
+        /// Its configuration.
+        config: ConfigId,
+        /// RU that executed it.
+        ru: RuId,
+        /// Event time.
+        at: SimTime,
+    },
+    /// The replacement module delayed a reconfiguration to the next
+    /// event (`forced` marks design-time mobility probes rather than
+    /// run-time Skip Events).
+    Skip {
+        /// Application index.
+        job: u32,
+        /// Node whose load was delayed.
+        node: NodeId,
+        /// Whether this was a forced (mobility-calculation) delay.
+        forced: bool,
+        /// Event time.
+        at: SimTime,
+    },
+    /// A load attempt found no eviction candidate and will retry at the
+    /// next event.
+    Stall {
+        /// Application index.
+        job: u32,
+        /// Node whose load is waiting.
+        node: NodeId,
+        /// Event time.
+        at: SimTime,
+    },
+}
+
+impl TraceEvent {
+    /// Event timestamp.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceEvent::GraphStart { at, .. }
+            | TraceEvent::GraphEnd { at, .. }
+            | TraceEvent::LoadStart { at, .. }
+            | TraceEvent::LoadEnd { at, .. }
+            | TraceEvent::Reuse { at, .. }
+            | TraceEvent::ExecStart { at, .. }
+            | TraceEvent::ExecEnd { at, .. }
+            | TraceEvent::Skip { at, .. }
+            | TraceEvent::Stall { at, .. } => at,
+        }
+    }
+}
+
+/// An ordered schedule trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Events in emission (and hence time) order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Appends an event (the manager guarantees time ordering).
+    pub fn push(&mut self, ev: TraceEvent) {
+        debug_assert!(
+            self.events.last().map_or(true, |last| last.at() <= ev.at()),
+            "trace events must be time-ordered"
+        );
+        self.events.push(ev);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one kind, via a filter-map on the event slice.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Count of reuse events.
+    pub fn reuse_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Reuse { .. }))
+            .count()
+    }
+
+    /// Renders the per-RU schedule as an ASCII Gantt chart:
+    /// `%` = reconfiguration, `#` = execution (labelled with the node
+    /// name's last char in future extensions), `.` = idle.
+    pub fn to_gantt(&self, rus: usize) -> GanttChart {
+        let mut chart = GanttChart::per_ms();
+        for i in 0..rus {
+            chart.add_row(format!("RU{}", i + 1));
+        }
+        // Pair up start/end events per RU.
+        let mut load_start: Vec<Option<SimTime>> = vec![None; rus];
+        let mut exec_start: Vec<Option<SimTime>> = vec![None; rus];
+        let mut exec_cfg: Vec<u32> = vec![0; rus];
+        for ev in &self.events {
+            match *ev {
+                TraceEvent::LoadStart { ru, at, .. } => load_start[ru.idx()] = Some(at),
+                TraceEvent::LoadEnd { ru, at, .. } => {
+                    if let Some(s) = load_start[ru.idx()].take() {
+                        chart.paint(ru.idx(), s, at, '%');
+                    }
+                }
+                TraceEvent::ExecStart { ru, at, config, .. } => {
+                    exec_start[ru.idx()] = Some(at);
+                    exec_cfg[ru.idx()] = config.0;
+                }
+                TraceEvent::ExecEnd { ru, at, .. } => {
+                    if let Some(s) = exec_start[ru.idx()].take() {
+                        let glyph = char::from_digit(exec_cfg[ru.idx()] % 36, 36).unwrap_or('#');
+                        chart.paint(ru.idx(), s, at, glyph);
+                    }
+                }
+                _ => {}
+            }
+        }
+        chart
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_ms(ms)
+    }
+
+    #[test]
+    fn push_keeps_order_and_counts() {
+        let mut tr = Trace::default();
+        tr.push(TraceEvent::GraphStart { job: 0, at: t(0) });
+        tr.push(TraceEvent::Reuse {
+            job: 0,
+            node: NodeId(0),
+            config: ConfigId(1),
+            ru: RuId(0),
+            at: t(0),
+        });
+        tr.push(TraceEvent::GraphEnd { job: 0, at: t(5) });
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.reuse_count(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn out_of_order_push_panics_in_debug() {
+        let mut tr = Trace::default();
+        tr.push(TraceEvent::GraphStart { job: 0, at: t(5) });
+        tr.push(TraceEvent::GraphEnd { job: 0, at: t(1) });
+    }
+
+    #[test]
+    fn gantt_paints_loads_and_execs() {
+        let mut tr = Trace::default();
+        let ru = RuId(0);
+        tr.push(TraceEvent::LoadStart {
+            job: 0,
+            node: NodeId(0),
+            config: ConfigId(1),
+            ru,
+            at: t(0),
+        });
+        tr.push(TraceEvent::LoadEnd {
+            job: 0,
+            node: NodeId(0),
+            config: ConfigId(1),
+            ru,
+            at: t(4),
+        });
+        tr.push(TraceEvent::ExecStart {
+            job: 0,
+            node: NodeId(0),
+            config: ConfigId(1),
+            ru,
+            at: t(4),
+        });
+        tr.push(TraceEvent::ExecEnd {
+            job: 0,
+            node: NodeId(0),
+            config: ConfigId(1),
+            ru,
+            at: t(9),
+        });
+        let s = tr.to_gantt(1).render();
+        assert!(s.contains("%%%%11111"), "{s}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut tr = Trace::default();
+        tr.push(TraceEvent::Skip {
+            job: 2,
+            node: NodeId(3),
+            forced: true,
+            at: t(7),
+        });
+        let json = serde_json::to_string(&tr).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tr);
+    }
+}

@@ -1,0 +1,426 @@
+//! Trace validation: checks that a recorded schedule obeys every system
+//! invariant. Property tests run random workloads through every policy
+//! and validate the traces; golden tests validate the paper examples.
+//!
+//! Checked invariants:
+//!
+//! 1. Reconfigurations are serialised on the single port and take
+//!    exactly the device latency.
+//! 2. Per RU, load and execution intervals never overlap.
+//! 3. A task executes exactly once, after its configuration was loaded
+//!    into or reused on its RU.
+//! 4. A task starts only after all its predecessors finished.
+//! 5. Graph executions are sequential and in FIFO order.
+//! 6. A reuse claim only happens when the same configuration was left
+//!    on that RU by a previous load with no intervening overwrite.
+//! 7. Stats counters match the trace.
+
+use crate::job::JobSpec;
+use crate::stats::RunStats;
+use crate::trace::{Trace, TraceEvent};
+use rtr_sim::{SimDuration, SimTime};
+use rtr_taskgraph::ConfigId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A violated invariant, with human-readable context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation(pub String);
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace invariant violated: {}", self.0)
+    }
+}
+
+macro_rules! check {
+    ($violations:expr, $cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            $violations.push(Violation(format!($($arg)+)));
+        }
+    };
+}
+
+/// Validates `trace` (produced by simulating `jobs`) against all
+/// invariants; returns every violation found.
+pub fn validate_trace(
+    trace: &Trace,
+    jobs: &[JobSpec],
+    latency: SimDuration,
+    stats: Option<&RunStats>,
+) -> Vec<Violation> {
+    let mut v: Vec<Violation> = Vec::new();
+
+    // --- Invariant 1: serialised reconfiguration port. ---
+    let mut port_busy_until: Option<(SimTime, u32)> = None;
+    // --- Per-RU interval tracking (invariant 2). ---
+    let mut ru_busy_until: HashMap<u16, SimTime> = HashMap::new();
+    // --- Per (job, node) lifecycle (invariants 3, 4). ---
+    #[derive(Default, Clone)]
+    struct NodeLife {
+        placed_at: Option<SimTime>, // load end or reuse
+        exec_start: Option<SimTime>,
+        exec_end: Option<SimTime>,
+        ru: Option<u16>,
+    }
+    let mut life: HashMap<(u32, u32), NodeLife> = HashMap::new();
+    // --- Resident config per RU (invariant 6). ---
+    let mut resident: HashMap<u16, ConfigId> = HashMap::new();
+    // --- Graph ordering (invariant 5). ---
+    let mut graph_started: Vec<u32> = Vec::new();
+    let mut graph_ended: Vec<(u32, SimTime)> = Vec::new();
+    let mut current_graph: Option<u32> = None;
+    // --- Counters (invariant 7). ---
+    let (mut loads, mut reuses, mut execs, mut skips, mut stalls) = (0u64, 0u64, 0u64, 0u64, 0u64);
+
+    let mut pending_load: HashMap<u16, (ConfigId, SimTime, u32, u32)> = HashMap::new();
+
+    for ev in trace.iter() {
+        match *ev {
+            TraceEvent::GraphStart { job, at } => {
+                check!(
+                    v,
+                    current_graph.is_none(),
+                    "graph {job} started at {at} while graph {current_graph:?} is active"
+                );
+                if let Some(&(prev, prev_end)) = graph_ended.last() {
+                    check!(
+                        v,
+                        at >= prev_end,
+                        "graph {job} started at {at} before graph {prev} ended at {prev_end}"
+                    );
+                }
+                check!(
+                    v,
+                    graph_started.last().map_or(0, |&g| g + 1) == job,
+                    "graphs must start in FIFO order; got {job} after {graph_started:?}"
+                );
+                graph_started.push(job);
+                current_graph = Some(job);
+            }
+            TraceEvent::GraphEnd { job, at } => {
+                check!(
+                    v,
+                    current_graph == Some(job),
+                    "graph {job} ended at {at} but is not current"
+                );
+                current_graph = None;
+                graph_ended.push((job, at));
+            }
+            TraceEvent::LoadStart {
+                job,
+                node,
+                config,
+                ru,
+                at,
+            } => {
+                loads += 1;
+                check!(
+                    v,
+                    current_graph == Some(job),
+                    "load for job {job} node {node} at {at}: job is not current \
+                     (no cross-graph prefetch)"
+                );
+                if let Some((busy_until, j)) = port_busy_until {
+                    check!(
+                        v,
+                        at >= busy_until,
+                        "load at {at} overlaps in-flight reconfiguration of job {j} \
+                         (busy until {busy_until})"
+                    );
+                }
+                port_busy_until = Some((at + latency, job));
+                if let Some(&busy) = ru_busy_until.get(&ru.0) {
+                    check!(
+                        v,
+                        at >= busy,
+                        "{ru} reloaded at {at} while busy until {busy}"
+                    );
+                }
+                ru_busy_until.insert(ru.0, at + latency);
+                pending_load.insert(ru.0, (config, at, job, node.0));
+                // Eviction: the previous resident is gone.
+                resident.remove(&ru.0);
+            }
+            TraceEvent::LoadEnd {
+                job,
+                node,
+                config,
+                ru,
+                at,
+            } => {
+                match pending_load.remove(&ru.0) {
+                    Some((c, started, j, n)) => {
+                        check!(
+                            v,
+                            c == config && j == job && n == node.0,
+                            "load end at {at} on {ru} does not match its start"
+                        );
+                        check!(
+                            v,
+                            at.since(started) == latency,
+                            "load of {config} on {ru} took {} (expected {latency})",
+                            at.since(started)
+                        );
+                    }
+                    None => v.push(Violation(format!(
+                        "load end at {at} on {ru} without a start"
+                    ))),
+                }
+                resident.insert(ru.0, config);
+                life.entry((job, node.0)).or_default().placed_at = Some(at);
+                life.entry((job, node.0)).or_default().ru = Some(ru.0);
+            }
+            TraceEvent::Reuse {
+                job,
+                node,
+                config,
+                ru,
+                at,
+            } => {
+                reuses += 1;
+                check!(
+                    v,
+                    current_graph == Some(job),
+                    "reuse for job {job} at {at}: job is not current"
+                );
+                check!(
+                    v,
+                    resident.get(&ru.0) == Some(&config),
+                    "reuse of {config} on {ru} at {at} but resident is {:?}",
+                    resident.get(&ru.0)
+                );
+                life.entry((job, node.0)).or_default().placed_at = Some(at);
+                life.entry((job, node.0)).or_default().ru = Some(ru.0);
+            }
+            TraceEvent::ExecStart {
+                job,
+                node,
+                config,
+                ru,
+                at,
+            } => {
+                check!(
+                    v,
+                    current_graph == Some(job),
+                    "exec start for job {job} at {at}: job is not current"
+                );
+                check!(
+                    v,
+                    resident.get(&ru.0) == Some(&config),
+                    "exec of {config} on {ru} at {at} but resident is {:?}",
+                    resident.get(&ru.0)
+                );
+                let entry = life.entry((job, node.0)).or_default();
+                check!(
+                    v,
+                    entry.exec_start.is_none(),
+                    "node {node} of job {job} executed twice"
+                );
+                match entry.placed_at {
+                    Some(p) => check!(
+                        v,
+                        at >= p,
+                        "node {node} of job {job} started at {at} before its \
+                         configuration arrived at {p}"
+                    ),
+                    None => v.push(Violation(format!(
+                        "node {node} of job {job} started without load or reuse"
+                    ))),
+                }
+                check!(
+                    v,
+                    entry.ru == Some(ru.0),
+                    "node {node} of job {job} executes on {ru} but was placed on RU{:?}",
+                    entry.ru.map(|r| r + 1)
+                );
+                entry.exec_start = Some(at);
+                // Predecessors must have finished.
+                let graph = &jobs[job as usize].graph;
+                for &p in graph.preds(rtr_taskgraph::NodeId(node.0)) {
+                    let pred_end = life.get(&(job, p.0)).and_then(|l| l.exec_end);
+                    match pred_end {
+                        Some(e) => check!(
+                            v,
+                            at >= e,
+                            "node {node} of job {job} started at {at} before \
+                             predecessor {p} finished at {e}"
+                        ),
+                        None => v.push(Violation(format!(
+                            "node {node} of job {job} started before predecessor {p} ran"
+                        ))),
+                    }
+                }
+            }
+            TraceEvent::ExecEnd {
+                job, node, ru, at, ..
+            } => {
+                execs += 1;
+                let entry = life.entry((job, node.0)).or_default();
+                match entry.exec_start {
+                    Some(s) => {
+                        let expected = jobs[job as usize]
+                            .graph
+                            .exec_time(rtr_taskgraph::NodeId(node.0));
+                        check!(
+                            v,
+                            at.since(s) == expected,
+                            "node {node} of job {job} ran {} (expected {expected})",
+                            at.since(s)
+                        );
+                    }
+                    None => v.push(Violation(format!(
+                        "exec end without start for node {node} of job {job}"
+                    ))),
+                }
+                check!(
+                    v,
+                    entry.exec_end.is_none(),
+                    "node {node} of job {job} finished twice"
+                );
+                entry.exec_end = Some(at);
+                ru_busy_until.insert(ru.0, at);
+            }
+            TraceEvent::Skip { at, .. } => {
+                skips += 1;
+                check!(
+                    v,
+                    current_graph.is_some(),
+                    "skip at {at} outside any active graph"
+                );
+            }
+            TraceEvent::Stall { at, .. } => {
+                stalls += 1;
+                check!(
+                    v,
+                    current_graph.is_some(),
+                    "stall at {at} outside any active graph"
+                );
+            }
+        }
+    }
+
+    // Every started graph ended.
+    check!(
+        v,
+        graph_ended.len() == graph_started.len(),
+        "{} graphs started but {} ended",
+        graph_started.len(),
+        graph_ended.len()
+    );
+    // Every executed node ran exactly once with a placement.
+    for ((job, node), l) in &life {
+        check!(
+            v,
+            l.exec_start.is_some() && l.exec_end.is_some(),
+            "node {node} of job {job} never completed execution"
+        );
+    }
+    // Executed count matches the workload.
+    let expected_execs: u64 = graph_started
+        .iter()
+        .map(|&j| jobs[j as usize].graph.len() as u64)
+        .sum();
+    check!(
+        v,
+        execs == expected_execs,
+        "trace has {execs} executions, workload requires {expected_execs}"
+    );
+
+    if let Some(s) = stats {
+        check!(v, s.loads == loads, "stats.loads {} != trace {loads}", s.loads);
+        check!(
+            v,
+            s.reuses == reuses,
+            "stats.reuses {} != trace {reuses}",
+            s.reuses
+        );
+        check!(
+            v,
+            s.executed == execs,
+            "stats.executed {} != trace {execs}",
+            s.executed
+        );
+        check!(v, s.skips == skips, "stats.skips {} != trace {skips}", s.skips);
+        check!(
+            v,
+            s.stalls == stalls,
+            "stats.stalls {} != trace {stalls}",
+            s.stalls
+        );
+    }
+    v
+}
+
+/// Panics with a readable report if `validate_trace` finds violations.
+pub fn assert_valid(trace: &Trace, jobs: &[JobSpec], latency: SimDuration, stats: Option<&RunStats>) {
+    let violations = validate_trace(trace, jobs, latency, stats);
+    if !violations.is_empty() {
+        let mut report = String::from("schedule trace violates invariants:\n");
+        for violation in &violations {
+            report.push_str(&format!("  - {violation}\n"));
+        }
+        panic!("{report}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ManagerConfig;
+    use crate::manager::simulate;
+    use crate::policy::FirstCandidatePolicy;
+    use rtr_taskgraph::benchmarks;
+    use std::sync::Arc;
+
+    fn jobs() -> Vec<JobSpec> {
+        let jpeg = Arc::new(benchmarks::jpeg());
+        let mpeg = Arc::new(benchmarks::mpeg1());
+        vec![
+            JobSpec::new(Arc::clone(&jpeg)),
+            JobSpec::new(mpeg),
+            JobSpec::new(jpeg),
+        ]
+    }
+
+    #[test]
+    fn valid_run_passes() {
+        let cfg = ManagerConfig::paper_default();
+        let jobs = jobs();
+        let out = simulate(&cfg, &jobs, &mut FirstCandidatePolicy).unwrap();
+        assert_valid(
+            &out.trace,
+            &jobs,
+            cfg.device.reconfig_latency,
+            Some(&out.stats),
+        );
+    }
+
+    #[test]
+    fn detects_tampered_counts() {
+        let cfg = ManagerConfig::paper_default();
+        let jobs = jobs();
+        let out = simulate(&cfg, &jobs, &mut FirstCandidatePolicy).unwrap();
+        let mut bad = out.stats.clone();
+        bad.reuses += 1;
+        let violations = validate_trace(&out.trace, &jobs, cfg.device.reconfig_latency, Some(&bad));
+        assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn detects_corrupted_trace() {
+        let cfg = ManagerConfig::paper_default();
+        let jobs = jobs();
+        let mut out = simulate(&cfg, &jobs, &mut FirstCandidatePolicy).unwrap();
+        // Remove an exec-end event: lifecycle checks must fire.
+        let idx = out
+            .trace
+            .events
+            .iter()
+            .position(|e| matches!(e, TraceEvent::ExecEnd { .. }))
+            .unwrap();
+        out.trace.events.remove(idx);
+        let violations = validate_trace(&out.trace, &jobs, cfg.device.reconfig_latency, None);
+        assert!(!violations.is_empty());
+    }
+}

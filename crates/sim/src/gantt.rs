@@ -1,0 +1,219 @@
+//! ASCII Gantt-chart rendering.
+//!
+//! The paper's motivational figures (Figs. 2, 3 and 7) are Gantt charts of
+//! reconfigurations and executions per reconfigurable unit. The example
+//! binaries in this workspace render the simulated schedules in the same
+//! style so they can be compared with the paper visually:
+//!
+//! ```text
+//! RU1 |%%%%111111------------|
+//! RU2 |....%%%%22222---------|
+//! ```
+//!
+//! where `%` marks reconfiguration, digits/letters mark execution and `.`
+//! marks idle time. The renderer is generic: callers provide labelled
+//! rows of `[start, end)` segments with a fill glyph.
+
+use crate::time::SimTime;
+use std::fmt::Write as _;
+
+/// One painted interval on a row.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Interval start (inclusive).
+    pub start: SimTime,
+    /// Interval end (exclusive).
+    pub end: SimTime,
+    /// Glyph used to fill the interval.
+    pub glyph: char,
+}
+
+impl Segment {
+    /// Convenience constructor.
+    pub fn new(start: SimTime, end: SimTime, glyph: char) -> Self {
+        Segment { start, end, glyph }
+    }
+}
+
+/// A labelled row (typically one reconfigurable unit).
+#[derive(Debug, Clone, Default)]
+pub struct Row {
+    /// Row label, e.g. `"RU1"`.
+    pub label: String,
+    /// Painted intervals; later segments overwrite earlier ones where
+    /// they overlap.
+    pub segments: Vec<Segment>,
+}
+
+/// A chart: rows plus a time scale.
+#[derive(Debug, Clone)]
+pub struct GanttChart {
+    rows: Vec<Row>,
+    /// Simulation time represented by one output column.
+    us_per_col: u64,
+}
+
+impl GanttChart {
+    /// Creates a chart where each output column spans `us_per_col`
+    /// microseconds (clamped to at least 1).
+    pub fn new(us_per_col: u64) -> Self {
+        GanttChart {
+            rows: Vec::new(),
+            us_per_col: us_per_col.max(1),
+        }
+    }
+
+    /// Chart with one column per millisecond — the scale of the paper's
+    /// figures.
+    pub fn per_ms() -> Self {
+        Self::new(1_000)
+    }
+
+    /// Adds a row and returns its index.
+    pub fn add_row(&mut self, label: impl Into<String>) -> usize {
+        self.rows.push(Row {
+            label: label.into(),
+            segments: Vec::new(),
+        });
+        self.rows.len() - 1
+    }
+
+    /// Paints `[start, end)` on row `row` with `glyph`.
+    pub fn paint(&mut self, row: usize, start: SimTime, end: SimTime, glyph: char) {
+        assert!(row < self.rows.len(), "gantt: row {row} out of bounds");
+        assert!(start <= end, "gantt: segment start after end");
+        self.rows[row].segments.push(Segment::new(start, end, glyph));
+    }
+
+    /// Latest painted instant across all rows.
+    pub fn horizon(&self) -> SimTime {
+        self.rows
+            .iter()
+            .flat_map(|r| r.segments.iter())
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Renders the chart to a multi-line string, with a time axis footer.
+    pub fn render(&self) -> String {
+        let horizon = self.horizon();
+        let cols = (horizon.as_us()).div_ceil(self.us_per_col) as usize;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.chars().count())
+            .max()
+            .unwrap_or(0);
+
+        let mut out = String::new();
+        for row in &self.rows {
+            let mut cells = vec!['.'; cols];
+            for seg in &row.segments {
+                let c0 = (seg.start.as_us() / self.us_per_col) as usize;
+                // End column: exclusive end, rounded up so sub-column
+                // segments remain visible.
+                let c1 = (seg.end.as_us().div_ceil(self.us_per_col) as usize).min(cols);
+                for cell in &mut cells[c0..c1] {
+                    *cell = seg.glyph;
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{:<label_w$} |{}|",
+                row.label,
+                cells.iter().collect::<String>()
+            );
+        }
+        // Time axis: a tick every 10 columns.
+        let mut axis = String::new();
+        let mut ticks = String::new();
+        let mut col = 0usize;
+        while col <= cols {
+            let t = SimTime::from_us(col as u64 * self.us_per_col);
+            let mark = format!("{}", t.as_ms_f64());
+            if axis.len() <= col {
+                axis.push_str(&" ".repeat(col - axis.len()));
+                axis.push('+');
+                ticks.push_str(&" ".repeat(col.saturating_sub(ticks.len())));
+                ticks.push_str(&mark);
+            }
+            col += 10;
+        }
+        let _ = writeln!(out, "{:<label_w$}  {}", "", axis);
+        let _ = writeln!(out, "{:<label_w$}  {}", "t/ms", ticks);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_ms(x)
+    }
+
+    #[test]
+    fn paints_segments_at_ms_scale() {
+        let mut g = GanttChart::per_ms();
+        let r = g.add_row("RU1");
+        g.paint(r, ms(0), ms(4), '%');
+        g.paint(r, ms(4), ms(8), '1');
+        let s = g.render();
+        let first = s.lines().next().unwrap();
+        assert!(first.contains("RU1"), "{s}");
+        assert!(first.contains("%%%%1111"), "{s}");
+    }
+
+    #[test]
+    fn later_segments_overwrite() {
+        let mut g = GanttChart::per_ms();
+        let r = g.add_row("RU1");
+        g.paint(r, ms(0), ms(4), 'a');
+        g.paint(r, ms(2), ms(4), 'b');
+        let s = g.render();
+        assert!(s.lines().next().unwrap().contains("aabb"), "{s}");
+    }
+
+    #[test]
+    fn horizon_is_max_end() {
+        let mut g = GanttChart::per_ms();
+        let a = g.add_row("A");
+        let b = g.add_row("B");
+        g.paint(a, ms(0), ms(5), 'x');
+        g.paint(b, ms(3), ms(9), 'y');
+        assert_eq!(g.horizon(), ms(9));
+    }
+
+    #[test]
+    fn idle_time_rendered_as_dots() {
+        let mut g = GanttChart::per_ms();
+        let r = g.add_row("RU2");
+        g.paint(r, ms(4), ms(6), '2');
+        let line = g.render().lines().next().unwrap().to_string();
+        assert!(line.contains("|....22|"), "{line}");
+    }
+
+    #[test]
+    fn empty_chart_renders() {
+        let g = GanttChart::per_ms();
+        let s = g.render();
+        assert!(s.contains("t/ms"));
+    }
+
+    #[test]
+    fn sub_column_segments_visible() {
+        let mut g = GanttChart::new(1_000);
+        let r = g.add_row("R");
+        g.paint(r, SimTime::from_us(500), SimTime::from_us(900), 'z');
+        assert!(g.render().lines().next().unwrap().contains('z'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn painting_missing_row_panics() {
+        let mut g = GanttChart::per_ms();
+        g.paint(3, ms(0), ms(1), 'x');
+    }
+}

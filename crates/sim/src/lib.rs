@@ -1,0 +1,22 @@
+//! Discrete-event simulation kernel for the `reconfig-reuse` workspace.
+//!
+//! This crate is deliberately small and dependency-free (besides `serde`):
+//! it provides the three ingredients every layer above builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — fixed-point simulation time in
+//!   microseconds. The paper works in milliseconds with fractional values
+//!   (e.g. task execution times of 2.5 ms in its Fig. 2), so an integer
+//!   microsecond base avoids all floating-point comparison hazards while
+//!   representing every quantity in the paper exactly.
+//! * [`EventQueue`] — a deterministic priority queue. Two events at the
+//!   same timestamp are ordered by an explicit priority class and then by
+//!   insertion sequence number, so simulations are exactly reproducible.
+//! * [`gantt`] — a small ASCII Gantt-chart renderer used by the example
+//!   binaries to draw schedules the way the paper's figures do.
+
+pub mod gantt;
+pub mod queue;
+pub mod time;
+
+pub use queue::{EventQueue, QueuedEvent};
+pub use time::{SimDuration, SimTime};

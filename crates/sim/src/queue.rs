@@ -1,0 +1,214 @@
+//! Deterministic event queue.
+//!
+//! The execution manager reproduced in this workspace is *event
+//! triggered*: every scheduling action happens at a discrete event
+//! (`new_task_graph`, `end_of_reconfiguration`, `reused_task`,
+//! `end_of_execution`). Several events frequently coincide — e.g. in the
+//! paper's Fig. 2 a task graph finishes at t = 16 ms at the same instant a
+//! reconfiguration completes — and the outcome depends on the order they
+//! are handled in. To make simulations exactly reproducible the queue
+//! orders events by `(time, priority class, insertion sequence)`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event plus the bookkeeping that fixes its position in the total
+/// order of the simulation.
+#[derive(Debug, Clone)]
+pub struct QueuedEvent<T> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Priority class: lower fires first among events at the same time.
+    pub priority: u8,
+    /// Insertion sequence number: breaks remaining ties FIFO.
+    pub seq: u64,
+    /// The caller's payload.
+    pub payload: T,
+}
+
+impl<T> PartialEq for QueuedEvent<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<T> Eq for QueuedEvent<T> {}
+
+impl<T> QueuedEvent<T> {
+    #[inline]
+    fn key(&self) -> (SimTime, u8, u64) {
+        (self.time, self.priority, self.seq)
+    }
+}
+
+impl<T> PartialOrd for QueuedEvent<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for QueuedEvent<T> {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest*
+    /// event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key().cmp(&self.key())
+    }
+}
+
+/// A deterministic min-priority event queue.
+///
+/// Events pop in `(time, priority, insertion order)` order. The queue also
+/// enforces the monotonicity invariant of discrete-event simulation: it is
+/// a logic error (checked in debug builds) to schedule an event earlier
+/// than the last popped time.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<QueuedEvent<T>>,
+    next_seq: u64,
+    last_popped: SimTime,
+    popped_any: bool,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+            popped_any: false,
+        }
+    }
+
+    /// Schedules `payload` at `time` with priority class `priority`
+    /// (lower = earlier among same-time events).
+    pub fn push(&mut self, time: SimTime, priority: u8, payload: T) {
+        debug_assert!(
+            !self.popped_any || time >= self.last_popped,
+            "EventQueue: scheduled event at {time} before current time {}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueuedEvent {
+            time,
+            priority,
+            seq,
+            payload,
+        });
+    }
+
+    /// Removes and returns the next event in deterministic order.
+    pub fn pop(&mut self) -> Option<QueuedEvent<T>> {
+        let ev = self.heap.pop();
+        if let Some(ref e) = ev {
+            self.last_popped = e.time;
+            self.popped_any = true;
+        }
+        ev
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time of the most recently popped event (simulation "now").
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(5), 0, "b");
+        q.push(SimTime::from_ms(1), 0, "a");
+        q.push(SimTime::from_ms(9), 0, "c");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_time_ordered_by_priority_then_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(3);
+        q.push(t, 2, "low-prio-first-inserted");
+        q.push(t, 0, "high-prio");
+        q.push(t, 2, "low-prio-second-inserted");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(
+            order,
+            vec![
+                "high-prio",
+                "low-prio-first-inserted",
+                "low-prio-second-inserted"
+            ]
+        );
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(2), 0, ());
+        q.push(SimTime::from_ms(7), 0, ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ms(2));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ms(7));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, 0, 1u32);
+        q.push(SimTime::ZERO, 0, 2u32);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(4), 1, 'x');
+        q.push(SimTime::from_ms(4), 0, 'y');
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(4)));
+        assert_eq!(q.pop().unwrap().payload, 'y');
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn push_into_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(5), 0, ());
+        q.pop();
+        q.push(SimTime::from_ms(1), 0, ());
+    }
+}

@@ -1,0 +1,345 @@
+//! Fixed-point simulation time.
+//!
+//! All quantities in the reproduced paper are expressed in milliseconds,
+//! sometimes with one fractional digit (Fig. 2 uses 2.5 ms execution
+//! times). We store time as integer **microseconds** in a `u64`, which
+//! represents every paper quantity exactly and gives ~584 000 years of
+//! range — far beyond any simulation horizon.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulation clock (microseconds since time zero).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(u64);
+
+/// A span of simulation time (microseconds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// Time zero — the start of every simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Builds an instant from raw microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Builds an instant from whole milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Raw microsecond count.
+    #[inline]
+    pub const fn as_us(self) -> u64 {
+        self.0
+    }
+
+    /// Value in milliseconds as a float (for reporting only).
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self` (in every build
+    /// profile — a reversed interval is always a logic error).
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        match self.0.checked_sub(earlier.0) {
+            Some(d) => SimDuration(d),
+            None => panic!("SimTime::since: earlier ({earlier}) is after self ({self})"),
+        }
+    }
+
+    /// Duration since `earlier`, clamping to zero instead of panicking.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration.
+    #[inline]
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The greatest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Builds a duration from raw microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Builds a duration from whole milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Raw microsecond count.
+    #[inline]
+    pub const fn as_us(self) -> u64 {
+        self.0
+    }
+
+    /// Value in milliseconds as a float (for reporting only).
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// True if this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Ratio of `self` to `denom` as a percentage (`NaN`-free: returns 0
+    /// when `denom` is zero).
+    #[inline]
+    pub fn percent_of(self, denom: SimDuration) -> f64 {
+        if denom.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / denom.0 as f64 * 100.0
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimTime overflow: instant + duration exceeded u64 microseconds"),
+        )
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime underflow: duration larger than instant"),
+        )
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimDuration overflow in addition"),
+        )
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration underflow in subtraction"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_mul(rhs)
+                .expect("SimDuration overflow in multiplication"),
+        )
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+/// Formats as milliseconds with the minimal number of fractional digits.
+fn fmt_ms(us: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let whole = us / 1_000;
+    let frac = us % 1_000;
+    if frac == 0 {
+        write!(f, "{whole}ms")
+    } else {
+        let mut frac_str = format!("{frac:03}");
+        while frac_str.ends_with('0') {
+            frac_str.pop();
+        }
+        write!(f, "{whole}.{frac_str}ms")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ms(self.0, f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ms(self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_units() {
+        assert_eq!(SimTime::from_ms(4).as_us(), 4_000);
+        assert_eq!(SimDuration::from_us(2_500).as_ms_f64(), 2.5);
+        assert_eq!(SimTime::ZERO.as_us(), 0);
+    }
+
+    #[test]
+    fn instant_duration_arithmetic() {
+        let t = SimTime::from_ms(10) + SimDuration::from_ms(4);
+        assert_eq!(t, SimTime::from_ms(14));
+        assert_eq!(t - SimTime::from_ms(4), SimDuration::from_ms(10));
+        assert_eq!(t - SimDuration::from_ms(14), SimTime::ZERO);
+    }
+
+    #[test]
+    fn since_and_saturating() {
+        let a = SimTime::from_ms(5);
+        let b = SimTime::from_ms(8);
+        assert_eq!(b.since(a), SimDuration::from_ms(3));
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn since_panics_when_reversed() {
+        let _ = SimTime::from_ms(1).since(SimTime::from_ms(2));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        assert_eq!(SimDuration::from_ms(4) * 3, SimDuration::from_ms(12));
+        assert_eq!(SimDuration::from_ms(9) / 2, SimDuration::from_us(4_500));
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: SimDuration = [1u64, 2, 3]
+            .iter()
+            .map(|&ms| SimDuration::from_ms(ms))
+            .sum();
+        assert_eq!(total, SimDuration::from_ms(6));
+    }
+
+    #[test]
+    fn percent_of_handles_zero_denominator() {
+        assert_eq!(SimDuration::from_ms(5).percent_of(SimDuration::ZERO), 0.0);
+        let p = SimDuration::from_ms(1).percent_of(SimDuration::from_ms(4));
+        assert!((p - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats_fractional_ms() {
+        assert_eq!(SimTime::from_us(2_500).to_string(), "2.5ms");
+        assert_eq!(SimTime::from_ms(74).to_string(), "74ms");
+        assert_eq!(SimDuration::from_us(1_230).to_string(), "1.23ms");
+        assert_eq!(SimDuration::from_us(7).to_string(), "0.007ms");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime::from_us(999) < SimTime::from_ms(1));
+        assert!(SimDuration::from_ms(2) > SimDuration::from_us(1_999));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = SimTime::from_us(123_456);
+        let s = serde_json::to_string(&t).unwrap();
+        assert_eq!(s, "123456");
+        let back: SimTime = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,198 @@
+//! Static (design-time) schedule analysis.
+//!
+//! All quantities here assume *zero reconfiguration latency and unlimited
+//! RUs* — they characterise the graph itself, independent of the hardware.
+//! The paper's Table II "Initial Execution Time" column is exactly
+//! [`GraphAnalysis::critical_path`] of each benchmark graph.
+
+use crate::graph::{NodeId, TaskGraph};
+use crate::topo::topological_order;
+use rtr_sim::{SimDuration, SimTime};
+
+/// Per-node and aggregate timing analysis of a task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphAnalysis {
+    /// Earliest possible start of each node (zero-latency, unbounded RUs).
+    pub asap_start: Vec<SimTime>,
+    /// Latest start of each node that still meets the critical path.
+    pub alap_start: Vec<SimTime>,
+    /// Makespan of the ideal schedule (the "initial execution time" of
+    /// the application in the paper's Table II).
+    pub critical_path: SimDuration,
+    /// Nodes per ASAP level (level = number of edges on the longest
+    /// path from a source).
+    pub levels: Vec<Vec<NodeId>>,
+}
+
+impl GraphAnalysis {
+    /// Scheduling slack of a node: how much its start may slip without
+    /// extending the critical path.
+    pub fn slack(&self, id: NodeId) -> SimDuration {
+        self.alap_start[id.idx()].since(self.asap_start[id.idx()])
+    }
+
+    /// Number of levels (longest path in *hop* count + 1).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Maximum number of nodes in any level — a cheap lower bound on the
+    /// parallelism the graph can exploit.
+    pub fn width(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Computes the full analysis.
+///
+/// # Panics
+/// Never panics for graphs built via [`crate::TaskGraphBuilder`] (they
+/// are guaranteed acyclic).
+pub fn analyze(g: &TaskGraph) -> GraphAnalysis {
+    let order = topological_order(g).expect("TaskGraph invariants guarantee acyclicity");
+    let n = g.len();
+
+    // ASAP forward pass.
+    let mut asap_start = vec![SimTime::ZERO; n];
+    let mut hop_level = vec![0usize; n];
+    for &id in &order {
+        let mut start = SimTime::ZERO;
+        let mut level = 0usize;
+        for &p in g.preds(id) {
+            let pred_finish = asap_start[p.idx()] + g.exec_time(p);
+            if pred_finish > start {
+                start = pred_finish;
+            }
+            level = level.max(hop_level[p.idx()] + 1);
+        }
+        asap_start[id.idx()] = start;
+        hop_level[id.idx()] = level;
+    }
+    let critical_path_end = order
+        .iter()
+        .map(|&id| asap_start[id.idx()] + g.exec_time(id))
+        .max()
+        .expect("graph is non-empty");
+    let critical_path = critical_path_end.since(SimTime::ZERO);
+
+    // ALAP backward pass.
+    let mut alap_start = vec![SimTime::MAX; n];
+    for &id in order.iter().rev() {
+        let latest_finish = if g.succs(id).is_empty() {
+            critical_path_end
+        } else {
+            g.succs(id)
+                .iter()
+                .map(|&s| alap_start[s.idx()])
+                .min()
+                .expect("non-empty successor list")
+        };
+        alap_start[id.idx()] = latest_finish - g.exec_time(id);
+    }
+
+    // Level decomposition.
+    let depth = hop_level.iter().copied().max().unwrap_or(0) + 1;
+    let mut levels = vec![Vec::new(); depth];
+    for id in g.node_ids() {
+        levels[hop_level[id.idx()]].push(id);
+    }
+
+    GraphAnalysis {
+        asap_start,
+        alap_start,
+        critical_path,
+        levels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ConfigId, TaskGraphBuilder};
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_ms(x)
+    }
+    fn at(x: u64) -> SimTime {
+        SimTime::from_ms(x)
+    }
+
+    /// Fig. 3's Task Graph 2 reconstruction: 4(12) -> {5(8), 6(6)} -> 7(6).
+    fn fig3_tg2() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new("tg2");
+        let t4 = b.node("T4", ConfigId(4), ms(12));
+        let t5 = b.node("T5", ConfigId(5), ms(8));
+        let t6 = b.node("T6", ConfigId(6), ms(6));
+        let t7 = b.node("T7", ConfigId(7), ms(6));
+        b.edge(t4, t5).edge(t4, t6).edge(t5, t7).edge(t6, t7);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn asap_of_fig3_tg2() {
+        let g = fig3_tg2();
+        let a = analyze(&g);
+        assert_eq!(a.asap_start, vec![at(0), at(12), at(12), at(20)]);
+        assert_eq!(a.critical_path, ms(26));
+    }
+
+    #[test]
+    fn alap_and_slack_of_fig3_tg2() {
+        let g = fig3_tg2();
+        let a = analyze(&g);
+        // Critical path runs 4 -> 5 -> 7; task 6 has 2 ms of slack.
+        assert_eq!(a.slack(NodeId(0)), SimDuration::ZERO);
+        assert_eq!(a.slack(NodeId(1)), SimDuration::ZERO);
+        assert_eq!(a.slack(NodeId(2)), ms(2));
+        assert_eq!(a.slack(NodeId(3)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn levels_and_width() {
+        let g = fig3_tg2();
+        let a = analyze(&g);
+        assert_eq!(a.depth(), 3);
+        assert_eq!(a.width(), 2);
+        assert_eq!(a.levels[0], vec![NodeId(0)]);
+        assert_eq!(a.levels[1], vec![NodeId(1), NodeId(2)]);
+        assert_eq!(a.levels[2], vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn chain_critical_path_is_sum() {
+        let mut b = TaskGraphBuilder::new("chain");
+        let ids: Vec<_> = [21u64, 15, 26, 17]
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| b.node(format!("t{i}"), ConfigId(i as u32), ms(t)))
+            .collect();
+        for w in ids.windows(2) {
+            b.edge(w[0], w[1]);
+        }
+        let g = b.build().unwrap();
+        let a = analyze(&g);
+        assert_eq!(a.critical_path, ms(79));
+        assert_eq!(a.width(), 1);
+        assert_eq!(a.depth(), 4);
+        // In a chain every task is critical.
+        for id in g.node_ids() {
+            assert_eq!(a.slack(id), SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn independent_tasks_all_level_zero() {
+        let mut b = TaskGraphBuilder::new("par");
+        for i in 0..5 {
+            b.node(format!("t{i}"), ConfigId(i), ms(i as u64 + 1));
+        }
+        let g = b.build().unwrap();
+        let a = analyze(&g);
+        assert_eq!(a.depth(), 1);
+        assert_eq!(a.width(), 5);
+        assert_eq!(a.critical_path, ms(5));
+        // Slack of task i is critical_path - exec_i.
+        assert_eq!(a.slack(NodeId(0)), ms(4));
+        assert_eq!(a.slack(NodeId(4)), ms(0));
+    }
+}

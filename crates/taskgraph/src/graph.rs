@@ -1,0 +1,372 @@
+//! Core DAG representation.
+
+use rtr_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a *configuration* (a bitstream). Two task instances with
+/// the same `ConfigId` can reuse each other's reconfiguration — this is
+/// the key the whole replacement machinery works on.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct ConfigId(pub u32);
+
+impl fmt::Display for ConfigId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Index of a node within one [`TaskGraph`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index usable for slice access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One task of a task graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskNode {
+    /// Human-readable label (e.g. `"IDCT"`, or `"T5"` for paper graphs).
+    pub name: String,
+    /// The configuration this task needs loaded on an RU.
+    pub config: ConfigId,
+    /// Execution time once started (must be non-zero).
+    pub exec_time: SimDuration,
+}
+
+/// Errors detected while building a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph has no nodes.
+    Empty,
+    /// An edge references a node id that was never created.
+    UnknownNode(NodeId),
+    /// An edge from a node to itself.
+    SelfLoop(NodeId),
+    /// The same edge was added twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// The edges form a cycle; the payload is one node on it.
+    Cycle(NodeId),
+    /// A task was given a zero execution time.
+    ZeroExecTime(NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "task graph has no nodes"),
+            GraphError::UnknownNode(n) => write!(f, "edge references unknown node {n}"),
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n}"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            GraphError::Cycle(n) => write!(f, "dependency cycle through node {n}"),
+            GraphError::ZeroExecTime(n) => {
+                write!(f, "node {n} has zero execution time")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An immutable, validated task DAG.
+///
+/// Construction goes through [`TaskGraphBuilder`], which rejects cycles,
+/// self-loops, duplicate edges and zero execution times, so every
+/// `TaskGraph` in existence satisfies those invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskGraph {
+    name: String,
+    nodes: Vec<TaskNode>,
+    preds: Vec<Vec<NodeId>>,
+    succs: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl TaskGraph {
+    /// Graph label (e.g. `"JPEG"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false: builders reject empty graphs.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// All node ids in index order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Immutable access to a node.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this graph.
+    pub fn node(&self, id: NodeId) -> &TaskNode {
+        &self.nodes[id.idx()]
+    }
+
+    /// All nodes in index order.
+    pub fn nodes(&self) -> &[TaskNode] {
+        &self.nodes
+    }
+
+    /// Direct predecessors of `id`.
+    pub fn preds(&self, id: NodeId) -> &[NodeId] {
+        &self.preds[id.idx()]
+    }
+
+    /// Direct successors of `id`.
+    pub fn succs(&self, id: NodeId) -> &[NodeId] {
+        &self.succs[id.idx()]
+    }
+
+    /// Nodes with no predecessors.
+    pub fn sources(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|n| self.preds(*n).is_empty())
+    }
+
+    /// Nodes with no successors.
+    pub fn sinks(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|n| self.succs(*n).is_empty())
+    }
+
+    /// The configuration of node `id`.
+    pub fn config_of(&self, id: NodeId) -> ConfigId {
+        self.nodes[id.idx()].config
+    }
+
+    /// The execution time of node `id`.
+    pub fn exec_time(&self, id: NodeId) -> SimDuration {
+        self.nodes[id.idx()].exec_time
+    }
+
+    /// Sum of all execution times (a lower bound on single-RU makespan).
+    pub fn total_exec_time(&self) -> SimDuration {
+        self.nodes.iter().map(|n| n.exec_time).sum()
+    }
+}
+
+/// Incremental builder for [`TaskGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraphBuilder {
+    name: String,
+    nodes: Vec<TaskNode>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl TaskGraphBuilder {
+    /// Starts a builder for a graph named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        TaskGraphBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a task and returns its id.
+    pub fn node(
+        &mut self,
+        name: impl Into<String>,
+        config: ConfigId,
+        exec_time: SimDuration,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(TaskNode {
+            name: name.into(),
+            config,
+            exec_time,
+        });
+        id
+    }
+
+    /// Records a dependency `from -> to` (`to` cannot start until `from`
+    /// finishes). Validation happens in [`Self::build`].
+    pub fn edge(&mut self, from: NodeId, to: NodeId) -> &mut Self {
+        self.edges.push((from, to));
+        self
+    }
+
+    /// Validates and freezes the graph.
+    pub fn build(self) -> Result<TaskGraph, GraphError> {
+        if self.nodes.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let n = self.nodes.len();
+        for (id, node) in self.nodes.iter().enumerate() {
+            if node.exec_time.is_zero() {
+                return Err(GraphError::ZeroExecTime(NodeId(id as u32)));
+            }
+        }
+        let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &(from, to) in &self.edges {
+            if from.idx() >= n {
+                return Err(GraphError::UnknownNode(from));
+            }
+            if to.idx() >= n {
+                return Err(GraphError::UnknownNode(to));
+            }
+            if from == to {
+                return Err(GraphError::SelfLoop(from));
+            }
+            if succs[from.idx()].contains(&to) {
+                return Err(GraphError::DuplicateEdge(from, to));
+            }
+            succs[from.idx()].push(to);
+            preds[to.idx()].push(from);
+        }
+        // Canonicalise adjacency order so structurally equal graphs
+        // compare equal regardless of edge insertion order.
+        for list in preds.iter_mut().chain(succs.iter_mut()) {
+            list.sort_unstable();
+        }
+        let graph = TaskGraph {
+            name: self.name,
+            nodes: self.nodes,
+            preds,
+            succs,
+            edge_count: self.edges.len(),
+        };
+        // Cycle check via Kahn's algorithm.
+        if let Err(node) = crate::topo::topological_order(&graph) {
+            return Err(GraphError::Cycle(node));
+        }
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_ms(x)
+    }
+
+    fn chain3() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new("chain");
+        let a = b.node("a", ConfigId(1), ms(1));
+        let c = b.node("b", ConfigId(2), ms(2));
+        let d = b.node("c", ConfigId(3), ms(3));
+        b.edge(a, c).edge(c, d);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_exposes_structure() {
+        let g = chain3();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.preds(NodeId(1)), &[NodeId(0)]);
+        assert_eq!(g.succs(NodeId(1)), &[NodeId(2)]);
+        assert_eq!(g.sources().collect::<Vec<_>>(), vec![NodeId(0)]);
+        assert_eq!(g.sinks().collect::<Vec<_>>(), vec![NodeId(2)]);
+        assert_eq!(g.total_exec_time(), ms(6));
+        assert_eq!(g.config_of(NodeId(2)), ConfigId(3));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            TaskGraphBuilder::new("e").build().unwrap_err(),
+            GraphError::Empty
+        );
+    }
+
+    #[test]
+    fn rejects_zero_exec_time() {
+        let mut b = TaskGraphBuilder::new("z");
+        b.node("t", ConfigId(1), SimDuration::ZERO);
+        assert_eq!(b.build().unwrap_err(), GraphError::ZeroExecTime(NodeId(0)));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = TaskGraphBuilder::new("s");
+        let a = b.node("a", ConfigId(1), ms(1));
+        b.edge(a, a);
+        assert_eq!(b.build().unwrap_err(), GraphError::SelfLoop(a));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut b = TaskGraphBuilder::new("d");
+        let a = b.node("a", ConfigId(1), ms(1));
+        let c = b.node("b", ConfigId(2), ms(1));
+        b.edge(a, c).edge(a, c);
+        assert_eq!(b.build().unwrap_err(), GraphError::DuplicateEdge(a, c));
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let mut b = TaskGraphBuilder::new("u");
+        let a = b.node("a", ConfigId(1), ms(1));
+        b.edge(a, NodeId(7));
+        assert_eq!(b.build().unwrap_err(), GraphError::UnknownNode(NodeId(7)));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = TaskGraphBuilder::new("c");
+        let a = b.node("a", ConfigId(1), ms(1));
+        let c = b.node("b", ConfigId(2), ms(1));
+        let d = b.node("c", ConfigId(3), ms(1));
+        b.edge(a, c).edge(c, d).edge(d, a);
+        assert!(matches!(b.build().unwrap_err(), GraphError::Cycle(_)));
+    }
+
+    #[test]
+    fn allows_repeated_configs_within_graph() {
+        let mut b = TaskGraphBuilder::new("rep");
+        let a = b.node("dct1", ConfigId(9), ms(1));
+        let c = b.node("dct2", ConfigId(9), ms(1));
+        b.edge(a, c);
+        let g = b.build().unwrap();
+        assert_eq!(g.config_of(NodeId(0)), g.config_of(NodeId(1)));
+    }
+
+    #[test]
+    fn single_node_graph_is_valid() {
+        let mut b = TaskGraphBuilder::new("one");
+        b.node("only", ConfigId(4), ms(5));
+        let g = b.build().unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.sources().count(), 1);
+        assert_eq!(g.sinks().count(), 1);
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(GraphError::Empty.to_string().contains("no nodes"));
+        assert!(GraphError::Cycle(NodeId(3)).to_string().contains("n3"));
+    }
+}

@@ -1,0 +1,80 @@
+//! The design-time *reconfiguration sequence*.
+//!
+//! The execution manager of the paper's ref.&nbsp;9 "performs a pre-processing
+//! of the task graphs at design time in order to identify in which order
+//! the tasks must be loaded in the system. Thus, the tasks are stored in a
+//! sorted sequence of reconfigurations that will be followed at run time."
+//!
+//! The order that reproduces every example in the paper is ASAP start
+//! time (zero-latency, unbounded RUs) with node-id tie-breaking: tasks
+//! that can run earlier are loaded earlier, and among simultaneous
+//! starters the paper's figures always load the lower-numbered task first
+//! (e.g. Fig. 3 loads T5 before T6, both ASAP-ready at t = 12).
+//!
+//! Because builders reject zero execution times, ASAP start strictly
+//! increases along every edge, so the sequence is always a topological
+//! order — the run-time manager never has to load a successor before a
+//! predecessor.
+
+use crate::analysis::analyze;
+use crate::graph::{NodeId, TaskGraph};
+
+/// Computes the reconfiguration sequence of `g`.
+pub fn reconfiguration_sequence(g: &TaskGraph) -> Vec<NodeId> {
+    let analysis = analyze(g);
+    let mut order: Vec<NodeId> = g.node_ids().collect();
+    order.sort_by_key(|id| (analysis.asap_start[id.idx()], *id));
+    debug_assert!(
+        crate::topo::is_topological_order(g, &order),
+        "reconfiguration sequence must be a topological order"
+    );
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ConfigId, TaskGraphBuilder};
+    use crate::topo::is_topological_order;
+    use rtr_sim::SimDuration;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_ms(x)
+    }
+
+    #[test]
+    fn fig3_tg2_sequence_is_4_5_6_7() {
+        let mut b = TaskGraphBuilder::new("tg2");
+        let t4 = b.node("T4", ConfigId(4), ms(12));
+        let t5 = b.node("T5", ConfigId(5), ms(8));
+        let t6 = b.node("T6", ConfigId(6), ms(6));
+        let t7 = b.node("T7", ConfigId(7), ms(6));
+        b.edge(t4, t5).edge(t4, t6).edge(t5, t7).edge(t6, t7);
+        let g = b.build().unwrap();
+        assert_eq!(reconfiguration_sequence(&g), vec![t4, t5, t6, t7]);
+    }
+
+    #[test]
+    fn earlier_asap_loads_first_regardless_of_id() {
+        // Node 0 starts at t=10 (behind a long pred), node 2 is a source.
+        let mut b = TaskGraphBuilder::new("g");
+        let slow = b.node("slow-start", ConfigId(0), ms(1));
+        let long = b.node("long", ConfigId(1), ms(10));
+        let src = b.node("src", ConfigId(2), ms(1));
+        b.edge(long, slow);
+        let g = b.build().unwrap();
+        let seq = reconfiguration_sequence(&g);
+        assert_eq!(seq, vec![long, src, slow]);
+        assert!(is_topological_order(&g, &seq));
+    }
+
+    #[test]
+    fn ties_broken_by_node_id() {
+        let mut b = TaskGraphBuilder::new("par");
+        let n0 = b.node("a", ConfigId(0), ms(3));
+        let n1 = b.node("b", ConfigId(1), ms(1));
+        let n2 = b.node("c", ConfigId(2), ms(2));
+        let g = b.build().unwrap();
+        assert_eq!(reconfiguration_sequence(&g), vec![n0, n1, n2]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Topological ordering (Kahn's algorithm).
+
+use crate::graph::{NodeId, TaskGraph};
+
+/// Returns the nodes in a topological order (ties broken by node index,
+/// so the result is deterministic), or `Err(node)` with some node that
+/// lies on a cycle.
+///
+/// Used both for cycle detection at build time and as the canonical
+/// iteration order for the analyses in [`crate::analysis`].
+pub fn topological_order(g: &TaskGraph) -> Result<Vec<NodeId>, NodeId> {
+    let n = g.len();
+    let mut indegree: Vec<u32> = (0..n)
+        .map(|i| g.preds(NodeId(i as u32)).len() as u32)
+        .collect();
+    // A BinaryHeap<Reverse<..>> would give the same order; with the small
+    // graphs used here a sorted ready list keeps the code simple and the
+    // order obviously deterministic.
+    let mut ready: Vec<NodeId> = (0..n as u32)
+        .map(NodeId)
+        .filter(|id| indegree[id.idx()] == 0)
+        .collect();
+    ready.sort_unstable();
+    let mut order = Vec::with_capacity(n);
+    // `ready` is kept sorted ascending; pop from the front via an index.
+    let mut head = 0usize;
+    while head < ready.len() {
+        let next = ready[head];
+        head += 1;
+        order.push(next);
+        let mut newly_ready: Vec<NodeId> = Vec::new();
+        for &s in g.succs(next) {
+            indegree[s.idx()] -= 1;
+            if indegree[s.idx()] == 0 {
+                newly_ready.push(s);
+            }
+        }
+        newly_ready.sort_unstable();
+        // Insert keeping the unprocessed tail sorted.
+        let tail = ready.split_off(head);
+        let mut merged = Vec::with_capacity(tail.len() + newly_ready.len());
+        let (mut i, mut j) = (0, 0);
+        while i < tail.len() && j < newly_ready.len() {
+            if tail[i] <= newly_ready[j] {
+                merged.push(tail[i]);
+                i += 1;
+            } else {
+                merged.push(newly_ready[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&tail[i..]);
+        merged.extend_from_slice(&newly_ready[j..]);
+        ready.extend(merged);
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        // Some node still has positive indegree: it lies on (or behind) a
+        // cycle. Report the smallest such node.
+        let culprit = (0..n as u32)
+            .map(NodeId)
+            .find(|id| indegree[id.idx()] > 0)
+            .expect("cycle detected but no node with positive indegree");
+        Err(culprit)
+    }
+}
+
+/// True if `order` is a permutation of `g`'s nodes that respects every
+/// edge. Used by property tests.
+pub fn is_topological_order(g: &TaskGraph, order: &[NodeId]) -> bool {
+    if order.len() != g.len() {
+        return false;
+    }
+    let mut position = vec![usize::MAX; g.len()];
+    for (pos, id) in order.iter().enumerate() {
+        if id.idx() >= g.len() || position[id.idx()] != usize::MAX {
+            return false;
+        }
+        position[id.idx()] = pos;
+    }
+    g.node_ids()
+        .all(|n| g.succs(n).iter().all(|&s| position[n.idx()] < position[s.idx()]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ConfigId, TaskGraphBuilder};
+    use rtr_sim::SimDuration;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_ms(x)
+    }
+
+    fn diamond() -> TaskGraph {
+        // 0 -> {1, 2} -> 3
+        let mut b = TaskGraphBuilder::new("diamond");
+        let n0 = b.node("0", ConfigId(0), ms(1));
+        let n1 = b.node("1", ConfigId(1), ms(1));
+        let n2 = b.node("2", ConfigId(2), ms(1));
+        let n3 = b.node("3", ConfigId(3), ms(1));
+        b.edge(n0, n1).edge(n0, n2).edge(n1, n3).edge(n2, n3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn orders_diamond_with_id_tiebreak() {
+        let g = diamond();
+        let order = topological_order(&g).unwrap();
+        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert!(is_topological_order(&g, &order));
+    }
+
+    #[test]
+    fn id_tiebreak_prefers_lower_ids_even_when_added_later() {
+        // Two independent sources 0 and 1; 1 was declared second but has
+        // an earlier successor.
+        let mut b = TaskGraphBuilder::new("t");
+        let a = b.node("a", ConfigId(0), ms(1));
+        let c = b.node("b", ConfigId(1), ms(1));
+        let d = b.node("c", ConfigId(2), ms(1));
+        b.edge(c, d);
+        let g = b.build().unwrap();
+        let order = topological_order(&g).unwrap();
+        assert_eq!(order, vec![a, c, d]);
+    }
+
+    #[test]
+    fn validator_rejects_bad_orders() {
+        let g = diamond();
+        assert!(!is_topological_order(
+            &g,
+            &[NodeId(3), NodeId(1), NodeId(2), NodeId(0)]
+        ));
+        assert!(!is_topological_order(&g, &[NodeId(0), NodeId(1)]));
+        assert!(!is_topological_order(
+            &g,
+            &[NodeId(0), NodeId(0), NodeId(1), NodeId(2)]
+        ));
+    }
+
+    #[test]
+    fn long_chain_order() {
+        let mut b = TaskGraphBuilder::new("chain");
+        let ids: Vec<_> = (0..50)
+            .map(|i| b.node(format!("t{i}"), ConfigId(i), ms(1)))
+            .collect();
+        for w in ids.windows(2) {
+            b.edge(w[0], w[1]);
+        }
+        let g = b.build().unwrap();
+        let order = topological_order(&g).unwrap();
+        assert_eq!(order, ids);
+    }
+}

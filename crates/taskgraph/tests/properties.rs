@@ -1,0 +1,102 @@
+//! Property-based tests for the task-graph substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtr_taskgraph::analysis::analyze;
+use rtr_taskgraph::generate::{self, GenConfig};
+use rtr_taskgraph::graph::TaskGraph;
+use rtr_taskgraph::recseq::reconfiguration_sequence;
+use rtr_taskgraph::serialize::{from_json, to_json};
+use rtr_taskgraph::topo::{is_topological_order, topological_order};
+use rtr_sim::SimDuration;
+
+/// Strategy: an arbitrary generated DAG, labelled by generator kind.
+fn arb_graph() -> impl Strategy<Value = TaskGraph> {
+    (0u8..5, any::<u64>(), 1usize..20, 0.0f64..1.0).prop_map(|(kind, seed, size, p)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = GenConfig::default();
+        match kind {
+            0 => generate::chain(&mut rng, "chain", size, &cfg),
+            1 => generate::fork_join(&mut rng, "fj", size, &cfg),
+            2 => generate::layered(&mut rng, "layered", (size % 6) + 1, 4, p, &cfg),
+            3 => generate::series_parallel(&mut rng, "sp", size, &cfg),
+            _ => generate::gnp_dag(&mut rng, "gnp", size, p, &cfg),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn generated_graphs_have_valid_topological_order(g in arb_graph()) {
+        let order = topological_order(&g).expect("generated graphs are acyclic");
+        prop_assert!(is_topological_order(&g, &order));
+    }
+
+    #[test]
+    fn reconfiguration_sequence_is_topological(g in arb_graph()) {
+        let seq = reconfiguration_sequence(&g);
+        prop_assert!(is_topological_order(&g, &seq));
+    }
+
+    #[test]
+    fn asap_respects_dependencies(g in arb_graph()) {
+        let a = analyze(&g);
+        for id in g.node_ids() {
+            for &p in g.preds(id) {
+                let pred_finish = a.asap_start[p.idx()] + g.exec_time(p);
+                prop_assert!(a.asap_start[id.idx()] >= pred_finish);
+            }
+        }
+    }
+
+    #[test]
+    fn alap_never_before_asap(g in arb_graph()) {
+        let a = analyze(&g);
+        for id in g.node_ids() {
+            prop_assert!(a.alap_start[id.idx()] >= a.asap_start[id.idx()]);
+        }
+    }
+
+    #[test]
+    fn critical_path_bounds(g in arb_graph()) {
+        let a = analyze(&g);
+        let max_single = g.nodes().iter().map(|n| n.exec_time).max().unwrap();
+        prop_assert!(a.critical_path >= max_single);
+        prop_assert!(a.critical_path <= g.total_exec_time());
+    }
+
+    #[test]
+    fn critical_path_equals_sum_iff_effectively_serial(g in arb_graph()) {
+        let a = analyze(&g);
+        // Width 1 means every level has one node, so the graph is a chain
+        // of levels and the critical path must be the sum of all times.
+        if a.width() == 1 {
+            prop_assert_eq!(a.critical_path, g.total_exec_time());
+        }
+    }
+
+    #[test]
+    fn json_round_trip(g in arb_graph()) {
+        let back = from_json(&to_json(&g)).expect("round trip parses");
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn levels_partition_nodes(g in arb_graph()) {
+        let a = analyze(&g);
+        let total: usize = a.levels.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.len());
+        prop_assert_eq!(a.depth(), a.levels.len());
+    }
+
+    #[test]
+    fn slack_zero_on_some_critical_node(g in arb_graph()) {
+        let a = analyze(&g);
+        // At least one node lies on the critical path.
+        let has_critical = g.node_ids().any(|id| a.slack(id) == SimDuration::ZERO);
+        prop_assert!(has_critical);
+    }
+}

@@ -1,0 +1,10 @@
+//! Per-figure/table experiment drivers.
+//!
+//! Each module regenerates one artefact of the paper's evaluation
+//! section; see `DESIGN.md` §6 for the experiment index and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured results.
+
+pub mod ablations;
+pub mod fig9;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,155 @@
+//! Table II — cost split between the design-time and run-time parts of
+//! the replacement technique, per benchmark application.
+//!
+//! Paper columns: initial execution time of the application; run-time
+//! cost of the execution manager; run-time cost of the replacement
+//! module (averaged over Local LFD with DL = 1, 2, 4); its overhead
+//! relative to the application; and the design-time (mobility) cost.
+//! Absolute values are platform-bound (the paper measured a 100 MHz
+//! PowerPC 405); the *relationships* — replacement ≪ manager ≪
+//! application, design-time orders of magnitude above run-time — are
+//! what the reproduction checks.
+
+use crate::policies::PolicyKind;
+use crate::runner::{run_cell, CellConfig};
+use crate::table::{fmt_f, Table};
+use rtr_taskgraph::{analysis::analyze, TaskGraph};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Measured cost split for one benchmark.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Initial (ideal) execution time, ms — paper column 2.
+    pub initial_exec_ms: f64,
+    /// Manager run-time cost per graph instance (everything except the
+    /// replacement decisions), µs — paper column 3 analogue.
+    pub manager_us_per_graph: f64,
+    /// Replacement-module run-time cost per graph instance, µs,
+    /// averaged over Local LFD (1/2/4) + Skip Events — paper column 4.
+    pub replacement_us_per_graph: f64,
+    /// Replacement cost as % of the initial execution time — column 5.
+    pub overhead_pct: f64,
+    /// Design-time (mobility calculation) cost per template, µs —
+    /// column 6.
+    pub design_us: f64,
+}
+
+/// Runs the Table II measurement: `instances` copies of each benchmark,
+/// averaged over Local LFD with DL ∈ {1, 2, 4} (+ Skip Events).
+///
+/// The RU count is `min(4, nodes − 1)` per benchmark: the paper used 4
+/// RUs, but under our per-task-release semantics a homogeneous JPEG
+/// sequence on 4 RUs reuses all four configurations forever and the
+/// replacement module is never invoked — one fewer RU forces the
+/// evictions whose cost the table measures.
+pub fn measure(instances: usize) -> Vec<Table2Row> {
+    let windows = [1usize, 2, 4];
+    rtr_taskgraph::benchmarks::multimedia_suite()
+        .into_iter()
+        .map(|g| {
+            let graph = Arc::new(g);
+            let rus = 4.min(graph.len().saturating_sub(1)).max(1);
+            let sequence: Vec<Arc<TaskGraph>> =
+                (0..instances).map(|_| Arc::clone(&graph)).collect();
+            let mut manager_t = Duration::ZERO;
+            let mut replacement_t = Duration::ZERO;
+            let mut design_t = Duration::ZERO;
+            for w in windows {
+                let cell = CellConfig::new(
+                    PolicyKind::LocalLfd { window: w, skip: true },
+                    rus,
+                );
+                let out = run_cell(&sequence, &cell)
+                    .expect("benchmark workloads simulate to completion");
+                manager_t += out.total_time.saturating_sub(out.replacement_time);
+                replacement_t += out.replacement_time;
+                design_t += out.design_time;
+            }
+            let runs = windows.len() as f64;
+            let per_graph = runs * instances as f64;
+            let initial = analyze(&graph).critical_path;
+            Table2Row {
+                name: graph.name().to_string(),
+                initial_exec_ms: initial.as_ms_f64(),
+                manager_us_per_graph: manager_t.as_nanos() as f64 / 1_000.0 / per_graph,
+                replacement_us_per_graph: replacement_t.as_nanos() as f64 / 1_000.0 / per_graph,
+                overhead_pct: (replacement_t.as_nanos() as f64 / 1_000_000.0 / per_graph)
+                    / initial.as_ms_f64()
+                    * 100.0,
+                design_us: design_t.as_nanos() as f64 / 1_000.0 / runs,
+            }
+        })
+        .collect()
+}
+
+/// Formats the measurement as the paper's Table II.
+pub fn table2(instances: usize) -> Table {
+    let mut t = Table::new(
+        "Table II — replacement module cost vs application (Local LFD 1/2/4 + Skip)",
+        &[
+            "Task graph",
+            "Initial exec (ms)",
+            "Manager run-time (µs/graph)",
+            "Replacement run-time (µs/graph)",
+            "Overhead (%)",
+            "Design-time (µs/template)",
+        ],
+    );
+    for row in measure(instances) {
+        t.push_row(vec![
+            row.name,
+            fmt_f(row.initial_exec_ms, 0),
+            fmt_f(row.manager_us_per_graph, 2),
+            fmt_f(row.replacement_us_per_graph, 3),
+            fmt_f(row.overhead_pct, 4),
+            fmt_f(row.design_us, 1),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_exec_times_match_paper() {
+        let rows = measure(5);
+        let by_name = |n: &str| rows.iter().find(|r| r.name == n).unwrap().initial_exec_ms;
+        assert_eq!(by_name("JPEG"), 79.0);
+        assert_eq!(by_name("MPEG-1"), 37.0);
+        assert_eq!(by_name("HOUGH"), 94.0);
+    }
+
+    #[test]
+    fn design_time_dominates_runtime() {
+        // The paper: design-time is 1–3 orders of magnitude above the
+        // run-time module. Assert a conservative 5× on this platform.
+        for row in measure(10) {
+            assert!(
+                row.design_us > 5.0 * row.replacement_us_per_graph,
+                "{}: design {:.1}µs vs runtime {:.3}µs",
+                row.name,
+                row.design_us,
+                row.replacement_us_per_graph
+            );
+        }
+    }
+
+    #[test]
+    fn replacement_overhead_is_tiny() {
+        // Paper: 0.09%–0.22% of the application execution time. Allow a
+        // loose bound (simulated time vs host wall time differ).
+        for row in measure(10) {
+            assert!(
+                row.overhead_pct < 5.0,
+                "{}: overhead {:.3}%",
+                row.name,
+                row.overhead_pct
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment substrate: workload generation, policy grids, parallel
+//! parameter sweeps and result tables for the paper's evaluation
+//! (Fig. 9a/b/c, Tables I and II) plus the extended ablations.
+//!
+//! * [`sequence`] — seeded application-sequence models (the paper's
+//!   "sequence of 500 applications randomly selected from our set of
+//!   benchmarks", plus weighted/bursty/round-robin variants).
+//! * [`policies`] — a serialisable policy selector that couples each
+//!   policy with the manager configuration it needs (lookahead window,
+//!   Skip Events flag).
+//! * [`runner`] — runs one (policy × system) cell, preparing mobility
+//!   annotations the hybrid way; includes a timing wrapper that
+//!   attributes wall-clock cost to the replacement module.
+//! * [`parallel`] — a crossbeam-based deterministic parallel map used
+//!   for parameter sweeps.
+//! * [`table`] — Markdown/CSV result tables.
+//! * [`experiments`] — the per-figure/table drivers.
+
+pub mod experiments;
+pub mod parallel;
+pub mod policies;
+pub mod runner;
+pub mod scenario;
+pub mod sequence;
+pub mod table;
+
+pub use policies::PolicyKind;
+pub use runner::{run_cell, CellConfig};
+pub use scenario::Scenario;
+pub use sequence::SequenceModel;
+pub use table::Table;

@@ -1,0 +1,131 @@
+//! Deterministic parallel map for parameter sweeps.
+//!
+//! Experiment grids (policy × RU count × seed) are embarrassingly
+//! parallel: each cell is an independent, internally deterministic
+//! simulation. [`parallel_map`] fans the cells out over a scoped
+//! crossbeam thread pool and returns results in input order, so sweep
+//! output is identical to a sequential run regardless of scheduling.
+
+use crossbeam::channel;
+use std::num::NonZeroUsize;
+
+/// Applies `f` to every item, using up to `workers` threads, preserving
+/// input order in the result.
+///
+/// Items are distributed through a work-stealing channel, so uneven
+/// per-item cost (an LFD oracle cell is far more expensive than an LRU
+/// cell) balances automatically.
+pub fn parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let (work_tx, work_rx) = channel::unbounded::<(usize, T)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+    for pair in items.into_iter().enumerate() {
+        work_tx.send(pair).expect("unbounded channel accepts all work");
+    }
+    drop(work_tx);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let work_rx = work_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            scope.spawn(move |_| {
+                while let Ok((idx, item)) = work_rx.recv() {
+                    let out = f(item);
+                    if res_tx.send((idx, out)).is_err() {
+                        return; // receiver gone: abort quietly
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (idx, r) in res_rx.iter() {
+            slots[idx] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index produced a result"))
+            .collect()
+    })
+    .expect("worker threads do not panic")
+}
+
+/// A sensible default worker count: available parallelism, at least 1.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items, 8, |x| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = parallel_map((0..57).collect::<Vec<_>>(), 4, |x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 57);
+        assert_eq!(counter.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_is_sequential() {
+        let out = parallel_map(vec![3, 1, 2], 1, |x| x + 1);
+        assert_eq!(out, vec![4, 2, 3]);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let out = parallel_map(vec![1, 2], 16, |x| x * 10);
+        assert_eq!(out, vec![10, 20]);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // Items with wildly different cost still return in order.
+        let out = parallel_map((0..20u64).collect::<Vec<_>>(), 4, |x| {
+            if x % 5 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x
+        });
+        assert_eq!(out, (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn default_workers_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

@@ -1,0 +1,250 @@
+//! Runs one experiment cell: a policy on a workload on a system.
+//!
+//! The runner owns the glue the paper describes as the hybrid flow: it
+//! prepares mobility annotations once per template (design time) when
+//! the policy needs them, configures the manager to match the policy
+//! (lookahead, skip events), runs the simulation, and reports both the
+//! schedule statistics and the wall-clock cost split between the
+//! replacement module and the rest of the manager (the paper's
+//! Tables I/II distinction).
+
+use crate::policies::PolicyKind;
+use rtr_core::TemplateCache;
+use rtr_hw::{DeviceSpec, RuId};
+use rtr_manager::{
+    simulate, JobSpec, ManagerConfig, ReplacementContext, ReplacementPolicy, RunStats, SimError,
+    Trace,
+};
+use rtr_sim::SimTime;
+use rtr_taskgraph::{ConfigId, TaskGraph};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One grid cell: which policy, on how many RUs, on which device.
+#[derive(Debug, Clone)]
+pub struct CellConfig {
+    /// Policy (and implied manager settings).
+    pub policy: PolicyKind,
+    /// Number of reconfigurable units.
+    pub rus: usize,
+    /// Device parameters.
+    pub device: DeviceSpec,
+    /// Record the full schedule trace.
+    pub record_trace: bool,
+}
+
+impl CellConfig {
+    /// Cell on the paper's default device.
+    pub fn new(policy: PolicyKind, rus: usize) -> Self {
+        CellConfig {
+            policy,
+            rus,
+            device: DeviceSpec::paper_default(),
+            record_trace: false,
+        }
+    }
+
+    /// The manager configuration this cell implies.
+    pub fn manager_config(&self) -> ManagerConfig {
+        ManagerConfig {
+            rus: self.rus,
+            device: self.device.clone(),
+            lookahead: self.policy.lookahead(),
+            skip_events: self.policy.skip_events(),
+            reuse_enabled: true,
+            record_trace: self.record_trace,
+        }
+    }
+}
+
+/// Outcome of one cell, with cost attribution.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Schedule statistics.
+    pub stats: RunStats,
+    /// Schedule trace (empty unless requested).
+    pub trace: Trace,
+    /// Wall-clock time spent *inside* `select_victim` calls.
+    pub replacement_time: Duration,
+    /// Number of `select_victim` invocations.
+    pub replacement_calls: u64,
+    /// Wall-clock time of the whole simulation (including the above).
+    pub total_time: Duration,
+    /// Wall-clock time of the design-time phase (mobility preparation);
+    /// zero when the policy does not need mobility.
+    pub design_time: Duration,
+}
+
+/// Wraps a policy and attributes wall-clock time to its decisions.
+pub struct TimingPolicy<'a> {
+    inner: &'a mut dyn ReplacementPolicy,
+    spent: Duration,
+    calls: u64,
+}
+
+impl<'a> TimingPolicy<'a> {
+    /// Wraps `inner`.
+    pub fn new(inner: &'a mut dyn ReplacementPolicy) -> Self {
+        TimingPolicy {
+            inner,
+            spent: Duration::ZERO,
+            calls: 0,
+        }
+    }
+
+    /// Accumulated decision time.
+    pub fn spent(&self) -> Duration {
+        self.spent
+    }
+
+    /// Number of decisions made.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+}
+
+impl ReplacementPolicy for TimingPolicy<'_> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+    fn select_victim(&mut self, ctx: &ReplacementContext<'_>) -> RuId {
+        let t0 = Instant::now();
+        let v = self.inner.select_victim(ctx);
+        self.spent += t0.elapsed();
+        self.calls += 1;
+        v
+    }
+    fn on_load_complete(&mut self, config: ConfigId, ru: RuId, now: SimTime) {
+        self.inner.on_load_complete(config, ru, now);
+    }
+    fn on_reuse(&mut self, config: ConfigId, ru: RuId, now: SimTime) {
+        self.inner.on_reuse(config, ru, now);
+    }
+    fn on_exec_start(&mut self, config: ConfigId, now: SimTime) {
+        self.inner.on_exec_start(config, now);
+    }
+    fn on_exec_end(&mut self, config: ConfigId, now: SimTime) {
+        self.inner.on_exec_end(config, now);
+    }
+    fn on_graph_start(&mut self, job: u32, now: SimTime) {
+        self.inner.on_graph_start(job, now);
+    }
+    fn on_graph_end(&mut self, job: u32, now: SimTime) {
+        self.inner.on_graph_end(job, now);
+    }
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+/// Builds the job sequence for a cell, preparing mobility annotations
+/// (design time) when the policy requires them. Returns the jobs and
+/// the wall-clock design time.
+pub fn prepare_jobs(
+    sequence: &[Arc<TaskGraph>],
+    cell: &CellConfig,
+) -> Result<(Vec<JobSpec>, Duration), SimError> {
+    if !cell.policy.needs_mobility() {
+        let jobs = sequence
+            .iter()
+            .map(|g| JobSpec::new(Arc::clone(g)))
+            .collect();
+        return Ok((jobs, Duration::ZERO));
+    }
+    let cfg = cell.manager_config();
+    let mut cache = TemplateCache::new();
+    let t0 = Instant::now();
+    let jobs: Vec<JobSpec> = sequence
+        .iter()
+        .map(|g| {
+            cache
+                .get_or_prepare(g, &cfg)
+                .expect("benchmark graphs have feasible reference schedules")
+                .instantiate()
+        })
+        .collect();
+    Ok((jobs, t0.elapsed()))
+}
+
+/// Runs one cell over an application sequence.
+pub fn run_cell(sequence: &[Arc<TaskGraph>], cell: &CellConfig) -> Result<CellResult, SimError> {
+    let (jobs, design_time) = prepare_jobs(sequence, cell)?;
+    let cfg = cell.manager_config();
+    let mut policy = cell.policy.build();
+    let mut timed = TimingPolicy::new(policy.as_mut());
+    let t0 = Instant::now();
+    let out = simulate(&cfg, &jobs, &mut timed)?;
+    let total_time = t0.elapsed();
+    Ok(CellResult {
+        stats: out.stats,
+        trace: out.trace,
+        replacement_time: timed.spent(),
+        replacement_calls: timed.calls(),
+        total_time,
+        design_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::SequenceModel;
+    use rtr_taskgraph::benchmarks;
+
+    fn small_sequence(seed: u64) -> Vec<Arc<TaskGraph>> {
+        let templates: Vec<Arc<TaskGraph>> = benchmarks::multimedia_suite()
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        SequenceModel::UniformRandom.generate(&templates, 40, seed)
+    }
+
+    #[test]
+    fn lru_cell_runs() {
+        let seq = small_sequence(1);
+        let out = run_cell(&seq, &CellConfig::new(PolicyKind::Lru, 4)).unwrap();
+        assert_eq!(out.stats.executed as usize, seq.iter().map(|g| g.len()).sum::<usize>());
+        assert!(out.design_time.is_zero());
+    }
+
+    #[test]
+    fn skip_cell_prepares_mobility() {
+        let seq = small_sequence(2);
+        let cell = CellConfig::new(PolicyKind::LocalLfd { window: 1, skip: true }, 4);
+        let out = run_cell(&seq, &cell).unwrap();
+        assert!(out.design_time > Duration::ZERO);
+        assert!(out.stats.executed > 0);
+    }
+
+    #[test]
+    fn lfd_dominates_lru_on_reuse() {
+        let seq = small_sequence(3);
+        let lru = run_cell(&seq, &CellConfig::new(PolicyKind::Lru, 4)).unwrap();
+        let lfd = run_cell(&seq, &CellConfig::new(PolicyKind::Lfd, 4)).unwrap();
+        assert!(
+            lfd.stats.reuses >= lru.stats.reuses,
+            "LFD {} vs LRU {}",
+            lfd.stats.reuses,
+            lru.stats.reuses
+        );
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let seq = small_sequence(4);
+        let cell = CellConfig::new(PolicyKind::LocalLfd { window: 2, skip: false }, 5);
+        let a = run_cell(&seq, &cell).unwrap();
+        let b = run_cell(&seq, &cell).unwrap();
+        assert_eq!(a.stats.makespan, b.stats.makespan);
+        assert_eq!(a.stats.reuses, b.stats.reuses);
+        assert_eq!(a.stats.loads, b.stats.loads);
+    }
+
+    #[test]
+    fn replacement_calls_counted() {
+        let seq = small_sequence(5);
+        let out = run_cell(&seq, &CellConfig::new(PolicyKind::Lru, 4)).unwrap();
+        assert!(out.replacement_calls > 0);
+        assert!(out.total_time >= out.replacement_time);
+    }
+}

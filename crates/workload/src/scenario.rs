@@ -1,0 +1,133 @@
+//! Declarative experiment scenarios.
+//!
+//! A [`Scenario`] is a serialisable description of a complete
+//! experiment: workload shape, system parameters and the policy grid.
+//! Scenarios round-trip through JSON so experiment configurations can
+//! be versioned next to their results.
+
+use crate::policies::PolicyKind;
+use crate::runner::{run_cell, CellConfig};
+use crate::sequence::SequenceModel;
+use crate::table::{fmt_f, Table};
+use rtr_hw::DeviceSpec;
+use rtr_taskgraph::serialize::GraphSpec;
+use rtr_taskgraph::TaskGraph;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A complete, serialisable experiment description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name (used in output tables).
+    pub name: String,
+    /// Graph templates (validated on load).
+    pub templates: Vec<GraphSpec>,
+    /// How the application sequence is drawn.
+    pub model: SequenceModel,
+    /// Number of applications.
+    pub apps: usize,
+    /// RNG seed for the sequence.
+    pub seed: u64,
+    /// RU count.
+    pub rus: usize,
+    /// Device parameters.
+    pub device: DeviceSpec,
+    /// Policies to compare.
+    pub policies: Vec<PolicyKind>,
+}
+
+impl Scenario {
+    /// The paper's §VI experiment as a scenario.
+    pub fn paper_fig9(rus: usize, apps: usize, seed: u64) -> Self {
+        Scenario {
+            name: format!("fig9-{rus}rus"),
+            templates: rtr_taskgraph::benchmarks::multimedia_suite()
+                .iter()
+                .map(GraphSpec::from)
+                .collect(),
+            model: SequenceModel::UniformRandom,
+            apps,
+            seed,
+            rus,
+            device: DeviceSpec::paper_default(),
+            policies: PolicyKind::fig9a_set(),
+        }
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scenario serialisation is total")
+    }
+
+    /// Parses and re-validates a scenario from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let scenario: Scenario = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        // Validate each template through the builder path.
+        for spec in &scenario.templates {
+            TaskGraph::try_from(spec.clone()).map_err(|e| e.to_string())?;
+        }
+        Ok(scenario)
+    }
+
+    /// Materialised template set.
+    pub fn template_graphs(&self) -> Vec<Arc<TaskGraph>> {
+        self.templates
+            .iter()
+            .map(|s| Arc::new(TaskGraph::try_from(s.clone()).expect("validated on load")))
+            .collect()
+    }
+
+    /// Runs every policy of the scenario and tabulates the outcome.
+    pub fn run(&self) -> Table {
+        let templates = self.template_graphs();
+        let sequence = self.model.generate(&templates, self.apps, self.seed);
+        let mut t = Table::new(
+            format!("Scenario {} ({} apps, {} RUs)", self.name, self.apps, self.rus),
+            &["Policy", "Reuse (%)", "Overhead (ms)", "Remaining (%)", "Loads"],
+        );
+        for &policy in &self.policies {
+            let mut cell = CellConfig::new(policy, self.rus);
+            cell.device = self.device.clone();
+            let out = run_cell(&sequence, &cell).expect("scenario cell simulates");
+            t.push_row(vec![
+                policy.label(),
+                fmt_f(out.stats.reuse_rate_pct(), 2),
+                fmt_f(out.stats.total_overhead().as_ms_f64(), 1),
+                fmt_f(out.stats.remaining_overhead_pct(), 2),
+                out.stats.loads.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let s = Scenario::paper_fig9(4, 50, 7);
+        let json = s.to_json();
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn rejects_corrupt_templates() {
+        let mut s = Scenario::paper_fig9(4, 10, 1);
+        // Introduce a cycle.
+        s.templates[0].edges.push((1, 0));
+        s.templates[0].edges.push((0, 1));
+        let json = s.to_json();
+        assert!(Scenario::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn runs_to_a_table() {
+        let s = Scenario::paper_fig9(5, 30, 3);
+        let t = s.run();
+        assert_eq!(t.len(), s.policies.len());
+        assert!(t.to_markdown().contains("LFD"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Application-sequence models.
+//!
+//! §VI of the paper: "we have executed a sequence of 500 applications
+//! randomly selected from our set of benchmarks". [`SequenceModel`]
+//! reproduces that (uniform) selection and adds weighted, bursty and
+//! round-robin variants for the ablation experiments. All models are
+//! deterministic given a seed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rtr_taskgraph::TaskGraph;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// How application instances are drawn from the template set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SequenceModel {
+    /// Uniform random selection — the paper's model.
+    UniformRandom,
+    /// Weighted random selection (weights aligned with the template
+    /// list; they need not sum to 1).
+    Weighted(Vec<f64>),
+    /// Markovian bursts: with probability `repeat_prob` the previous
+    /// application repeats, otherwise a uniform fresh draw. High repeat
+    /// probabilities model the recurrent-task workloads reuse thrives
+    /// on.
+    Bursty {
+        /// Probability of repeating the previous application.
+        repeat_prob: f64,
+    },
+    /// Deterministic round-robin over the template list.
+    RoundRobin,
+}
+
+impl SequenceModel {
+    /// Draws a sequence of `count` application instances.
+    ///
+    /// # Panics
+    /// Panics if `templates` is empty, or if `Weighted` weights are
+    /// invalid (wrong length, negative, or all zero).
+    pub fn generate(
+        &self,
+        templates: &[Arc<TaskGraph>],
+        count: usize,
+        seed: u64,
+    ) -> Vec<Arc<TaskGraph>> {
+        assert!(!templates.is_empty(), "need at least one template");
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            SequenceModel::UniformRandom => (0..count)
+                .map(|_| Arc::clone(&templates[rng.random_range(0..templates.len())]))
+                .collect(),
+            SequenceModel::Weighted(weights) => {
+                assert_eq!(
+                    weights.len(),
+                    templates.len(),
+                    "one weight per template required"
+                );
+                assert!(
+                    weights.iter().all(|w| *w >= 0.0),
+                    "weights must be non-negative"
+                );
+                let total: f64 = weights.iter().sum();
+                assert!(total > 0.0, "weights must not all be zero");
+                (0..count)
+                    .map(|_| {
+                        let mut x = rng.random_range(0.0..total);
+                        let mut idx = 0;
+                        for (i, w) in weights.iter().enumerate() {
+                            if x < *w {
+                                idx = i;
+                                break;
+                            }
+                            x -= w;
+                            idx = i;
+                        }
+                        Arc::clone(&templates[idx])
+                    })
+                    .collect()
+            }
+            SequenceModel::Bursty { repeat_prob } => {
+                assert!(
+                    (0.0..=1.0).contains(repeat_prob),
+                    "repeat_prob must be a probability"
+                );
+                let mut out: Vec<Arc<TaskGraph>> = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let repeat = !out.is_empty() && rng.random_bool(*repeat_prob);
+                    if repeat {
+                        out.push(Arc::clone(out.last().expect("non-empty")));
+                    } else {
+                        out.push(Arc::clone(
+                            &templates[rng.random_range(0..templates.len())],
+                        ));
+                    }
+                }
+                out
+            }
+            SequenceModel::RoundRobin => (0..count)
+                .map(|i| Arc::clone(&templates[i % templates.len()]))
+                .collect(),
+        }
+    }
+}
+
+/// The paper's experimental workload: 500 uniform-random picks from
+/// {JPEG, MPEG-1, Hough}.
+pub fn paper_workload(seed: u64) -> Vec<Arc<TaskGraph>> {
+    let templates: Vec<Arc<TaskGraph>> = rtr_taskgraph::benchmarks::multimedia_suite()
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    SequenceModel::UniformRandom.generate(&templates, 500, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_taskgraph::benchmarks;
+
+    fn templates() -> Vec<Arc<TaskGraph>> {
+        benchmarks::multimedia_suite()
+            .into_iter()
+            .map(Arc::new)
+            .collect()
+    }
+
+    #[test]
+    fn uniform_is_deterministic_and_covers_templates() {
+        let t = templates();
+        let a = SequenceModel::UniformRandom.generate(&t, 500, 42);
+        let b = SequenceModel::UniformRandom.generate(&t, 500, 42);
+        assert_eq!(a.len(), 500);
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| Arc::ptr_eq(x, y)));
+        // All three templates appear in a 500-long sequence.
+        for tpl in &t {
+            assert!(a.iter().any(|g| Arc::ptr_eq(g, tpl)));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let t = templates();
+        let a = SequenceModel::UniformRandom.generate(&t, 100, 1);
+        let b = SequenceModel::UniformRandom.generate(&t, 100, 2);
+        assert!(a.iter().zip(&b).any(|(x, y)| !Arc::ptr_eq(x, y)));
+    }
+
+    #[test]
+    fn weighted_respects_zero_weight() {
+        let t = templates();
+        let seq = SequenceModel::Weighted(vec![1.0, 0.0, 0.0]).generate(&t, 50, 3);
+        assert!(seq.iter().all(|g| Arc::ptr_eq(g, &t[0])));
+    }
+
+    #[test]
+    fn bursty_one_repeats_forever() {
+        let t = templates();
+        let seq = SequenceModel::Bursty { repeat_prob: 1.0 }.generate(&t, 20, 5);
+        assert!(seq.iter().all(|g| Arc::ptr_eq(g, &seq[0])));
+    }
+
+    #[test]
+    fn bursty_zero_equals_uniform_draws() {
+        let t = templates();
+        let seq = SequenceModel::Bursty { repeat_prob: 0.0 }.generate(&t, 50, 5);
+        assert_eq!(seq.len(), 50);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let t = templates();
+        let seq = SequenceModel::RoundRobin.generate(&t, 7, 0);
+        for (i, g) in seq.iter().enumerate() {
+            assert!(Arc::ptr_eq(g, &t[i % 3]));
+        }
+    }
+
+    #[test]
+    fn paper_workload_is_500_apps() {
+        let w = paper_workload(42);
+        assert_eq!(w.len(), 500);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = SequenceModel::Bursty { repeat_prob: 0.25 };
+        let json = serde_json::to_string(&m).unwrap();
+        assert_eq!(serde_json::from_str::<SequenceModel>(&json).unwrap(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one template")]
+    fn empty_templates_panics() {
+        SequenceModel::UniformRandom.generate(&[], 5, 0);
+    }
+}

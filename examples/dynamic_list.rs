@@ -1,0 +1,69 @@
+//! The Dynamic List in action (the paper's Fig. 1): how much the
+//! scheduler knows about the future changes what Local LFD can do.
+//!
+//! The same 100-application sequence is executed with Dynamic Lists of
+//! 0–8 task graphs plus the clairvoyant oracle; the example prints the
+//! reuse and overhead trajectory, showing diminishing returns — the
+//! paper's observation that "Local LFD (4) is very close to the optimal
+//! one".
+//!
+//! ```text
+//! cargo run --release --example dynamic_list
+//! ```
+
+use reconfig_reuse::prelude::*;
+use reconfig_reuse::workload::SequenceModel;
+use std::sync::Arc;
+
+fn main() {
+    let templates: Vec<Arc<TaskGraph>> = taskgraph::benchmarks::multimedia_suite()
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    let seq = SequenceModel::UniformRandom.generate(&templates, 100, 1234);
+    let jobs: Vec<JobSpec> = seq.iter().map(|g| JobSpec::new(Arc::clone(g))).collect();
+
+    // Fig. 1 illustration: the first few entries of the FIFO queue.
+    println!("Dynamic List head (Fig. 1): the scheduler only sees a window of this queue");
+    print!("  DL = [");
+    for g in seq.iter().take(6) {
+        print!(" {}", g.name());
+    }
+    println!(" ... ]\n");
+
+    println!(
+        "{:<18} {:>8} {:>12} {:>10}",
+        "visibility", "reuse%", "overhead", "loads"
+    );
+    for window in [0usize, 1, 2, 4, 8] {
+        let (lookahead, mut policy) = if window == 0 {
+            (Lookahead::None, LfdPolicy::local(0))
+        } else {
+            (Lookahead::Graphs(window), LfdPolicy::local(window))
+        };
+        let cfg = ManagerConfig::paper_default()
+            .with_rus(8)
+            .with_lookahead(lookahead);
+        let out = manager::simulate(&cfg, &jobs, &mut policy).unwrap();
+        println!(
+            "{:<18} {:>8.1} {:>12} {:>10}",
+            format!("DL = {window} graphs"),
+            out.stats.reuse_rate_pct(),
+            out.stats.total_overhead().to_string(),
+            out.stats.loads
+        );
+    }
+    let cfg = ManagerConfig::paper_default()
+        .with_rus(8)
+        .with_lookahead(Lookahead::All);
+    let out = manager::simulate(&cfg, &jobs, &mut LfdPolicy::oracle()).unwrap();
+    println!(
+        "{:<18} {:>8.1} {:>12} {:>10}",
+        "oracle (LFD)",
+        out.stats.reuse_rate_pct(),
+        out.stats.total_overhead().to_string(),
+        out.stats.loads
+    );
+    println!("\nEven one graph of lookahead recovers most of the oracle's reuse;");
+    println!("the remaining gap closes by DL = 4 — the paper's Fig. 9a story.");
+}

@@ -1,0 +1,56 @@
+//! Quickstart: simulate a small application sequence on a 4-RU
+//! reconfigurable system and compare LRU with the paper's Local LFD.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use reconfig_reuse::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Task graphs: use the paper's JPEG decoder and MPEG-1 encoder.
+    let jpeg = Arc::new(taskgraph::benchmarks::jpeg());
+    let mpeg = Arc::new(taskgraph::benchmarks::mpeg1());
+
+    // 2. A FIFO application sequence (two instances of each, interleaved).
+    let jobs: Vec<JobSpec> = [&jpeg, &mpeg, &jpeg, &mpeg]
+        .iter()
+        .map(|g| JobSpec::new(Arc::clone(g)))
+        .collect();
+
+    // 3. The system: 6 RUs, 4 ms reconfigurations, Dynamic List of one
+    //    future task graph. (With only 4 RUs the nine distinct
+    //    configurations thrash and no policy can save much — the
+    //    regime the paper's Fig. 9 sweeps explore.)
+    let cfg = ManagerConfig::paper_default()
+        .with_rus(6)
+        .with_lookahead(Lookahead::Graphs(1));
+
+    // 4. Run two replacement policies over the same workload.
+    let mut lru = LruPolicy::new();
+    let lru_out = manager::simulate(&cfg.clone().with_lookahead(Lookahead::None), &jobs, &mut lru)
+        .expect("simulation completes");
+
+    let mut local_lfd = LfdPolicy::local(1);
+    let lfd_out = manager::simulate(&cfg, &jobs, &mut local_lfd).expect("simulation completes");
+
+    for out in [&lru_out, &lfd_out] {
+        println!(
+            "{:<14} reuse {:>5.1}%   loads {:<3} makespan {}   overhead {}",
+            out.stats.policy,
+            out.stats.reuse_rate_pct(),
+            out.stats.loads,
+            out.stats.makespan,
+            out.stats.total_overhead(),
+        );
+    }
+
+    // 5. Reuse saves energy and bus traffic (one bitstream per avoided load).
+    let saved = lfd_out.stats.traffic.reuses * cfg.device.bitstream_bytes;
+    println!(
+        "Local LFD avoided {} reconfigurations = {} KiB of configuration traffic",
+        lfd_out.stats.traffic.reuses,
+        saved / 1024
+    );
+}
