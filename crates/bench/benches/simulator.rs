@@ -21,10 +21,19 @@ fn bench_full_runs(c: &mut Criterion) {
     group.sample_size(10);
     let policies = [
         ("LRU", PolicyKind::Lru),
-        ("LocalLFD_1", PolicyKind::LocalLfd { window: 1, skip: false }),
+        (
+            "LocalLFD_1",
+            PolicyKind::LocalLfd {
+                window: 1,
+                skip: false,
+            },
+        ),
         (
             "LocalLFD_1_skip",
-            PolicyKind::LocalLfd { window: 1, skip: true },
+            PolicyKind::LocalLfd {
+                window: 1,
+                skip: true,
+            },
         ),
         ("LFD", PolicyKind::Lfd),
     ];

@@ -18,17 +18,26 @@ fn bench_table1(c: &mut Criterion) {
         ("LFD_full_sequence", PolicyKind::Lfd, usize::MAX),
         (
             "LocalLFD_1_skip",
-            PolicyKind::LocalLfd { window: 1, skip: true },
+            PolicyKind::LocalLfd {
+                window: 1,
+                skip: true,
+            },
             1,
         ),
         (
             "LocalLFD_2_skip",
-            PolicyKind::LocalLfd { window: 2, skip: true },
+            PolicyKind::LocalLfd {
+                window: 2,
+                skip: true,
+            },
             2,
         ),
         (
             "LocalLFD_4_skip",
-            PolicyKind::LocalLfd { window: 4, skip: true },
+            PolicyKind::LocalLfd {
+                window: 4,
+                skip: true,
+            },
             4,
         ),
     ];

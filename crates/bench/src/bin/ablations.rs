@@ -18,7 +18,8 @@ fn main() {
     // window behaves alike).
     let t = dl_window_sweep(500, 42, 7, &[1, 2, 3, 4, 6, 8]);
     println!("{}", t.to_markdown());
-    t.write_csv(&results.join("ablation_dl_window.csv")).unwrap();
+    t.write_csv(&results.join("ablation_dl_window.csv"))
+        .unwrap();
 
     let t = latency_sweep(500, 42, 4, &[1, 2, 4, 8, 16]);
     println!("{}", t.to_markdown());

@@ -79,8 +79,7 @@ mod tests {
     #[test]
     fn prepare_and_instantiate() {
         let cfg = ManagerConfig::paper_default();
-        let tpl =
-            AnnotatedTemplate::prepare(Arc::new(benchmarks::fig3_tg2()), &cfg).unwrap();
+        let tpl = AnnotatedTemplate::prepare(Arc::new(benchmarks::fig3_tg2()), &cfg).unwrap();
         assert_eq!(*tpl.mobility, vec![0, 0, 0, 1]);
         let job = tpl.instantiate();
         assert_eq!(*job.mobility.unwrap(), vec![0, 0, 0, 1]);

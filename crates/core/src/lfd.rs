@@ -131,7 +131,11 @@ impl ReplacementPolicy for LfdPolicy {
             let tied = dist[i] == dist[best];
             let lru_override = tied
                 && self.tie_break == TieBreak::LeastRecentlyUsed
-                && self.last_touch.get(&candidates[i].config).copied().unwrap_or(0)
+                && self
+                    .last_touch
+                    .get(&candidates[i].config)
+                    .copied()
+                    .unwrap_or(0)
                     < self
                         .last_touch
                         .get(&candidates[best].config)

@@ -146,7 +146,10 @@ mod tests {
         let m = compute_mobility(&g, &cfg()).unwrap();
         assert_eq!(m[0], 0, "first task is never probed");
         assert!(m[2] >= 1, "IDCT has event slack, got {m:?}");
-        assert!(m[3] >= m[2], "later chain tasks have at least as much slack");
+        assert!(
+            m[3] >= m[2],
+            "later chain tasks have at least as much slack"
+        );
     }
 
     #[test]

@@ -80,8 +80,7 @@ mod tests {
     fn hybrid_shares_annotations_across_instances() {
         let cfg = ManagerConfig::paper_default();
         let g = Arc::new(benchmarks::jpeg());
-        let jobs =
-            prepare_jobs_hybrid(&[Arc::clone(&g), Arc::clone(&g)], &cfg).unwrap();
+        let jobs = prepare_jobs_hybrid(&[Arc::clone(&g), Arc::clone(&g)], &cfg).unwrap();
         let a = jobs[0].mobility.as_ref().unwrap();
         let b = jobs[1].mobility.as_ref().unwrap();
         assert!(Arc::ptr_eq(a, b), "hybrid instances share one mobility Arc");

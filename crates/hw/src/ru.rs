@@ -26,9 +26,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a reconfigurable unit.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct RuId(pub u16);
 
@@ -397,10 +395,7 @@ mod tests {
             pool.begin_execution(ru).unwrap();
             pool.finish_execution(ru).unwrap();
         }
-        assert_eq!(
-            pool.eviction_candidates(),
-            vec![RuId(0), RuId(1), RuId(2)]
-        );
+        assert_eq!(pool.eviction_candidates(), vec![RuId(0), RuId(1), RuId(2)]);
     }
 
     #[test]

@@ -226,7 +226,8 @@ pub fn simulate(
     };
 
     if !jobs.is_empty() {
-        m.queue.push(SimTime::ZERO, PRIO_NEW_TASK_GRAPH, Event::NewTaskGraph);
+        m.queue
+            .push(SimTime::ZERO, PRIO_NEW_TASK_GRAPH, Event::NewTaskGraph);
     }
     while let Some(ev) = m.queue.pop() {
         m.makespan_end = ev.time;
@@ -375,7 +376,8 @@ impl ManagerState {
                     self.completed_jobs += 1;
                     self.graph_completions.push(now);
                     if self.next_job < jobs.len() {
-                        self.queue.push(now, PRIO_NEW_TASK_GRAPH, Event::NewTaskGraph);
+                        self.queue
+                            .push(now, PRIO_NEW_TASK_GRAPH, Event::NewTaskGraph);
                     }
                 }
             }
@@ -393,8 +395,11 @@ impl ManagerState {
             .pool
             .begin_execution(ru)
             .expect("ready tasks hold a claimed RU");
-        self.queue
-            .push(end, PRIO_END_OF_EXECUTION, Event::EndOfExecution { ru, node });
+        self.queue.push(
+            end,
+            PRIO_END_OF_EXECUTION,
+            Event::EndOfExecution { ru, node },
+        );
         self.record(TraceEvent::ExecStart {
             job: idx,
             node,
@@ -610,10 +615,7 @@ mod tests {
         SimDuration::from_ms(x)
     }
 
-    fn run(
-        cfg: &ManagerConfig,
-        jobs: &[JobSpec],
-    ) -> SimulationOutcome {
+    fn run(cfg: &ManagerConfig, jobs: &[JobSpec]) -> SimulationOutcome {
         simulate(cfg, jobs, &mut FirstCandidatePolicy).expect("simulation completes")
     }
 

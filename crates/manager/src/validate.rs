@@ -328,7 +328,12 @@ pub fn validate_trace(
     );
 
     if let Some(s) = stats {
-        check!(v, s.loads == loads, "stats.loads {} != trace {loads}", s.loads);
+        check!(
+            v,
+            s.loads == loads,
+            "stats.loads {} != trace {loads}",
+            s.loads
+        );
         check!(
             v,
             s.reuses == reuses,
@@ -341,7 +346,12 @@ pub fn validate_trace(
             "stats.executed {} != trace {execs}",
             s.executed
         );
-        check!(v, s.skips == skips, "stats.skips {} != trace {skips}", s.skips);
+        check!(
+            v,
+            s.skips == skips,
+            "stats.skips {} != trace {skips}",
+            s.skips
+        );
         check!(
             v,
             s.stalls == stalls,
@@ -353,7 +363,12 @@ pub fn validate_trace(
 }
 
 /// Panics with a readable report if `validate_trace` finds violations.
-pub fn assert_valid(trace: &Trace, jobs: &[JobSpec], latency: SimDuration, stats: Option<&RunStats>) {
+pub fn assert_valid(
+    trace: &Trace,
+    jobs: &[JobSpec],
+    latency: SimDuration,
+    stats: Option<&RunStats>,
+) {
     let violations = validate_trace(trace, jobs, latency, stats);
     if !violations.is_empty() {
         let mut report = String::from("schedule trace violates invariants:\n");

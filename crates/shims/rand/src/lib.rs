@@ -1,0 +1,242 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the subset the workspace uses: a [`Rng`] core trait, the
+//! [`RngExt`] extension with `random_range` / `random_bool`, a
+//! [`SeedableRng`] constructor trait, and a deterministic
+//! [`rngs::StdRng`].
+//!
+//! `StdRng` here is a SplitMix64 generator: tiny, fast, and
+//! statistically solid for simulation workloads. It is **not**
+//! cryptographically secure, and its streams differ from the real
+//! `rand::rngs::StdRng` — seeds are workspace-local, which is fine
+//! because every consumer treats seeds as opaque reproducibility
+//! handles.
+
+use std::ops::{Bound, RangeBounds};
+
+/// A source of random 64-bit words.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Convenience sampling methods, available on every [`Rng`].
+pub trait RngExt: Rng {
+    /// Samples uniformly from `range` (e.g. `0..n`, `lo..=hi`,
+    /// `0.0..x`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty or unbounded.
+    fn random_range<T, B>(&mut self, range: B) -> T
+    where
+        T: SampleUniform,
+        B: RangeBounds<T>,
+        Self: Sized,
+    {
+        let lo = match range.start_bound() {
+            Bound::Included(x) => x.clone(),
+            Bound::Excluded(_) => panic!("exclusive start bounds are unsupported"),
+            Bound::Unbounded => panic!("unbounded ranges are unsupported"),
+        };
+        let (hi, inclusive) = match range.end_bound() {
+            Bound::Included(x) => (x.clone(), true),
+            Bound::Excluded(x) => (x.clone(), false),
+            Bound::Unbounded => panic!("unbounded ranges are unsupported"),
+        };
+        T::sample_in(self, lo, hi, inclusive)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.next_unit_f64() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types [`RngExt::random_range`] can sample.
+pub trait SampleUniform: Clone + PartialOrd {
+    /// Samples uniformly in `[lo, hi]` or `[lo, hi)`.
+    fn sample_in<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let (lo, hi) = (lo as u64, hi as u64);
+                assert!(
+                    if inclusive { lo <= hi } else { lo < hi },
+                    "empty range in random_range"
+                );
+                let width = hi - lo;
+                if inclusive {
+                    match width.checked_add(1) {
+                        Some(span) => (lo + rng.next_u64() % span) as $t,
+                        // lo..=MAX of a 64-bit type with lo == 0:
+                        // every word is valid.
+                        None => rng.next_u64() as $t,
+                    }
+                } else {
+                    (lo + rng.next_u64() % width) as $t
+                }
+            }
+        }
+    )*};
+}
+impl_sample_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let lo_w = lo as i64;
+                let hi_w = hi as i64;
+                let span = (hi_w.wrapping_sub(lo_w) as u64)
+                    .checked_add(u64::from(inclusive))
+                    .filter(|s| *s > 0)
+                    .expect("empty range in random_range");
+                lo_w.wrapping_add((rng.next_u64() % span) as i64) as $t
+            }
+        }
+    )*};
+}
+impl_sample_signed!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_in<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+        if inclusive {
+            assert!(lo <= hi, "empty range in random_range");
+            // Uniform in [0, 1] (the divisor makes the top word map
+            // to exactly 1.0), so `hi` itself is reachable.
+            let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+            lo + unit * (hi - lo)
+        } else {
+            assert!(lo < hi, "empty range in random_range");
+            lo + rng.next_unit_f64() * (hi - lo)
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_in<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+        f64::sample_in(rng, f64::from(lo), f64::from(hi), inclusive) as f32
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0u64..1_000_000),
+                b.random_range(0u64..1_000_000)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let x: usize = rng.random_range(3..=8);
+            assert!((3..=8).contains(&x));
+            let y: u32 = rng.random_range(0..5);
+            assert!(y < 5);
+            let z: f64 = rng.random_range(0.0..2.5);
+            assert!((0.0..2.5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_to_type_max() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1_000 {
+            let x: u64 = rng.random_range(1..=u64::MAX);
+            assert!(x >= 1);
+            let y: u8 = rng.random_range(250..=u8::MAX);
+            assert!(y >= 250);
+            let z: u64 = rng.random_range(0..=u64::MAX);
+            let _ = z;
+        }
+    }
+
+    #[test]
+    fn inclusive_float_ranges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Singleton inclusive range is valid and returns its endpoint.
+        let x: f64 = rng.random_range(2.5..=2.5);
+        assert_eq!(x, 2.5);
+        for _ in 0..1_000 {
+            let y: f64 = rng.random_range(0.0..=1.0);
+            assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn unit_interval_is_half_open() {
+        use super::Rng;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let u = rng.next_unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to a crate
+//! registry, so the workspace vendors minimal replacements for its
+//! external dependencies under `crates/shims/`. This crate provides the
+//! subset of serde the workspace uses:
+//!
+//! * [`Serialize`] / [`Deserialize`] traits (JSON-value based rather
+//!   than visitor based — every consumer in the workspace goes through
+//!   `serde_json`, so the generic serializer machinery is unnecessary).
+//! * `#[derive(Serialize, Deserialize)]` via the `serde_derive` shim,
+//!   supporting plain structs, `#[serde(transparent)]` newtypes, and
+//!   enums with unit / tuple / struct variants (externally tagged,
+//!   matching real serde's default representation).
+//! * A [`Value`] tree plus the JSON reader/writer backing the
+//!   `serde_json` shim.
+//!
+//! The representation is wire-compatible with what real serde_json
+//! would produce for the same derives, so swapping the real crates back
+//! in (when a registry is available) only requires deleting the shims
+//! and pointing the manifests at crates.io.
+
+pub mod json;
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+use std::fmt;
+
+/// Serialization/deserialization error (shared with `serde_json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+
+    /// Creates a "expected X, found Y" type-mismatch error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Error(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves as a JSON [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON value tree.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the derive-generated code.
+// ---------------------------------------------------------------------------
+
+/// Looks up and deserializes a struct field from an object map.
+pub fn field<T: Deserialize>(m: &Map, key: &str) -> Result<T, Error> {
+    match m.get(key) {
+        Some(v) => T::deserialize(v).map_err(|e| Error(format!("field `{key}`: {e}"))),
+        // Missing `Option` fields deserialize from an implicit null.
+        None => T::deserialize(&Value::Null).map_err(|_| Error(format!("missing field `{key}`"))),
+    }
+}
+
+/// Deserializes the `i`-th element of a JSON array (tuple structs).
+pub fn index<T: Deserialize>(a: &[Value], i: usize) -> Result<T, Error> {
+    match a.get(i) {
+        Some(v) => T::deserialize(v).map_err(|e| Error(format!("index {i}: {e}"))),
+        None => Err(Error(format!("missing tuple element {i}"))),
+    }
+}
+
+/// Builds an externally tagged enum variant: `{"Tag": inner}`.
+pub fn variant(tag: &str, inner: Value) -> Value {
+    let mut m = Map::new();
+    m.insert(tag.to_string(), inner);
+    Value::Object(m)
+}
+
+/// Destructures an externally tagged enum variant.
+pub fn as_variant(v: &Value) -> Result<(&String, &Value), Error> {
+    match v {
+        Value::Object(m) if m.len() == 1 => {
+            let (k, inner) = m.iter().next().expect("len checked");
+            Ok((k, inner))
+        }
+        other => Err(Error::expected("single-key variant object", other)),
+    }
+}
+
+/// Extracts an object map or errors.
+pub fn as_object(v: &Value) -> Result<&Map, Error> {
+    match v {
+        Value::Object(m) => Ok(m),
+        other => Err(Error::expected("object", other)),
+    }
+}
+
+/// Extracts an array or errors.
+pub fn as_array(v: &Value) -> Result<&[Value], Error> {
+    match v {
+        Value::Array(a) => Ok(a),
+        other => Err(Error::expected("array", other)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blanket/base impls.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(Number::U64(n)) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(Error::expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let x = *self as i64;
+                if x >= 0 {
+                    Value::Number(Number::U64(x as u64))
+                } else {
+                    Value::Number(Number::I64(x))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let wide: i64 = match v {
+                    Value::Number(Number::U64(n)) => i64::try_from(*n)
+                        .map_err(|_| Error::msg(format!("{n} out of range for i64")))?,
+                    Value::Number(Number::I64(n)) => *n,
+                    other => return Err(Error::expected(stringify!($t), other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::msg(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(Error::expected("f64", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::F64(f64::from(*self)))
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        as_array(v)?.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for std::sync::Arc<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(std::sync::Arc::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let a = as_array(v)?;
+        Ok((index(a, 0)?, index(a, 1)?))
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.serialize());
+        }
+        Value::Object(m)
+    }
+}
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let mut out = std::collections::BTreeMap::new();
+        for (k, v) in as_object(v)? {
+            out.insert(k.clone(), V::deserialize(v)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,404 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the shapes the workspace actually uses, without `syn`/`quote`
+//! (neither is available offline): the input token stream is parsed by
+//! hand and the impls are emitted as source text.
+//!
+//! Supported shapes (matching real serde's default, externally tagged
+//! representation):
+//!
+//! * structs with named fields → JSON objects
+//! * tuple structs → JSON arrays, or the inner value with
+//!   `#[serde(transparent)]`
+//! * unit structs → `null`
+//! * enums with unit variants (→ `"Name"`), newtype variants
+//!   (→ `{"Name": inner}`), tuple variants (→ `{"Name": [..]}`) and
+//!   struct variants (→ `{"Name": {..}}`)
+//!
+//! Generic types are rejected with a compile error — nothing in the
+//! workspace derives on a generic type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.gen_serialize().parse().expect("generated code parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.gen_deserialize()
+        .parse()
+        .expect("generated code parses")
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+impl Item {
+    fn parse(ts: TokenStream) -> Item {
+        let toks: Vec<TokenTree> = ts.into_iter().collect();
+        let mut i = 0;
+        let mut transparent = false;
+
+        // Outer attributes (doc comments arrive as `#[doc = ...]`).
+        while let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                let s = g.stream().to_string();
+                if s.starts_with("serde") && s.contains("transparent") {
+                    transparent = true;
+                }
+            }
+            i += 2;
+        }
+
+        skip_visibility(&toks, &mut i);
+
+        let kw = expect_ident(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == '<' {
+                panic!("serde shim derive: generic type `{name}` is unsupported");
+            }
+        }
+
+        let kind = match kw.as_str() {
+            "struct" => match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Kind::NamedStruct(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Kind::TupleStruct(count_fields(g.stream()))
+                }
+                _ => Kind::UnitStruct,
+            },
+            "enum" => match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Kind::Enum(parse_variants(g.stream()))
+                }
+                _ => panic!("serde shim derive: malformed enum `{name}`"),
+            },
+            other => panic!("serde shim derive: unsupported item kind `{other}`"),
+        };
+
+        Item {
+            name,
+            transparent,
+            kind,
+        }
+    }
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn skip_attributes(toks: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 2; // '#' + bracket group
+    }
+}
+
+/// Advances past a type (or other expression) up to a top-level comma,
+/// tracking angle-bracket depth so `Map<String, u64>` does not split.
+fn skip_to_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth <= 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        skip_attributes(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_visibility(&toks, &mut i);
+        out.push(expect_ident(&toks, &mut i));
+        // ':' then the type, up to the next top-level comma.
+        skip_to_comma(&toks, &mut i);
+        i += 1; // the comma itself (or end)
+    }
+    out
+}
+
+fn count_fields(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        skip_to_comma(&toks, &mut i);
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        skip_attributes(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        skip_to_comma(&toks, &mut i);
+        i += 1;
+        out.push(Variant { name, fields });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+impl Item {
+    fn gen_serialize(&self) -> String {
+        let name = &self.name;
+        let body = match &self.kind {
+            Kind::NamedStruct(fields) => {
+                let mut s = String::from("let mut m = ::serde::Map::new();\n");
+                for f in fields {
+                    s.push_str(&format!(
+                        "m.insert(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f}));\n"
+                    ));
+                }
+                s.push_str("::serde::Value::Object(m)");
+                s
+            }
+            Kind::TupleStruct(1) if self.transparent => {
+                "::serde::Serialize::serialize(&self.0)".to_string()
+            }
+            Kind::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+            Kind::UnitStruct => "::serde::Value::Null".to_string(),
+            Kind::Enum(variants) => {
+                let mut s = String::from("match self {\n");
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => s.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                        )),
+                        VariantFields::Tuple(1) => s.push_str(&format!(
+                            "{name}::{vn}(f0) => ::serde::variant(\"{vn}\", ::serde::Serialize::serialize(f0)),\n"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            s.push_str(&format!(
+                                "{name}::{vn}({}) => ::serde::variant(\"{vn}\", ::serde::Value::Array(vec![{}])),\n",
+                                binds.join(", "),
+                                items.join(", ")
+                            ));
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let mut inner = String::from(
+                                "{ let mut m = ::serde::Map::new();\n",
+                            );
+                            for f in fields {
+                                inner.push_str(&format!(
+                                    "m.insert(\"{f}\".to_string(), ::serde::Serialize::serialize({f}));\n"
+                                ));
+                            }
+                            inner.push_str(&format!(
+                                "::serde::variant(\"{vn}\", ::serde::Value::Object(m)) }}"
+                            ));
+                            s.push_str(&format!("{name}::{vn} {{ {binds} }} => {inner},\n"));
+                        }
+                    }
+                }
+                s.push('}');
+                s
+            }
+        };
+        format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+             }}"
+        )
+    }
+
+    fn gen_deserialize(&self) -> String {
+        let name = &self.name;
+        let body = match &self.kind {
+            Kind::NamedStruct(fields) => {
+                let mut s = String::from("let m = ::serde::as_object(v)?;\n");
+                s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+                for f in fields {
+                    s.push_str(&format!("{f}: ::serde::field(m, \"{f}\")?,\n"));
+                }
+                s.push_str("})");
+                s
+            }
+            Kind::TupleStruct(1) if self.transparent => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))")
+            }
+            Kind::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::index(a, {i})?"))
+                    .collect();
+                format!(
+                    "let a = ::serde::as_array(v)?;\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+            Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+            Kind::Enum(variants) => {
+                let mut s = String::new();
+                // Unit variants arrive as bare strings.
+                s.push_str("if let ::serde::Value::String(s) = v {\n");
+                s.push_str("return match s.as_str() {\n");
+                for v in variants {
+                    if matches!(v.fields, VariantFields::Unit) {
+                        let vn = &v.name;
+                        s.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                }
+                s.push_str(&format!(
+                    "other => ::std::result::Result::Err(::serde::Error::msg(format!(\"unknown {name} variant `{{other}}`\"))),\n"
+                ));
+                s.push_str("};\n}\n");
+                // Data variants arrive as single-key objects.
+                s.push_str("let (tag, inner) = ::serde::as_variant(v)?;\n");
+                s.push_str("match tag.as_str() {\n");
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => {}
+                        VariantFields::Tuple(1) => s.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(inner)?)),\n"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::index(a, {i})?"))
+                                .collect();
+                            s.push_str(&format!(
+                                "\"{vn}\" => {{ let a = ::serde::as_array(inner)?; ::std::result::Result::Ok({name}::{vn}({})) }},\n",
+                                items.join(", ")
+                            ));
+                        }
+                        VariantFields::Named(fields) => {
+                            let mut inner_s = String::from(
+                                "{ let m = ::serde::as_object(inner)?; ",
+                            );
+                            inner_s.push_str(&format!(
+                                "::std::result::Result::Ok({name}::{vn} {{ "
+                            ));
+                            for f in fields {
+                                inner_s.push_str(&format!(
+                                    "{f}: ::serde::field(m, \"{f}\")?, "
+                                ));
+                            }
+                            inner_s.push_str("}) }");
+                            s.push_str(&format!("\"{vn}\" => {inner_s},\n"));
+                        }
+                    }
+                }
+                s.push_str(&format!(
+                    "other => ::std::result::Result::Err(::serde::Error::msg(format!(\"unknown {name} variant `{{other}}`\"))),\n"
+                ));
+                s.push('}');
+                s
+            }
+        };
+        format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+             }}"
+        )
+    }
+}

@@ -1,0 +1,87 @@
+//! Offline stand-in for `serde_json`, backed by the `serde` shim's
+//! value tree and JSON reader/writer.
+
+pub use serde::value::{Map, Number, Value};
+pub use serde::Error;
+
+/// Serializes `value` to compact JSON.
+///
+/// The `Result` return mirrors real serde_json; the shim's value-based
+/// serializers are total, so this never fails.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_compact(&value.serialize()))
+}
+
+/// Serializes `value` to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_pretty(&value.serialize()))
+}
+
+/// Parses a value from a JSON string.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    T::deserialize(&serde::json::parse(s)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: u32,
+        y: i32,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+    #[serde(transparent)]
+    struct Wrapper(u64);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Unit,
+        Newtype(u32),
+        Pair(u8, u8),
+        Named { w: f64, tag: String },
+    }
+
+    #[test]
+    fn struct_round_trip() {
+        let p = Point { x: 3, y: -4 };
+        let json = super::to_string(&p).unwrap();
+        assert_eq!(json, r#"{"x":3,"y":-4}"#);
+        assert_eq!(super::from_str::<Point>(&json).unwrap(), p);
+    }
+
+    #[test]
+    fn transparent_newtype_is_bare() {
+        assert_eq!(super::to_string(&Wrapper(9)).unwrap(), "9");
+        assert_eq!(super::from_str::<Wrapper>("9").unwrap(), Wrapper(9));
+    }
+
+    #[test]
+    fn enum_variants_round_trip() {
+        for (v, json) in [
+            (Shape::Unit, r#""Unit""#.to_string()),
+            (Shape::Newtype(7), r#"{"Newtype":7}"#.to_string()),
+            (Shape::Pair(1, 2), r#"{"Pair":[1,2]}"#.to_string()),
+            (
+                Shape::Named {
+                    w: 0.5,
+                    tag: "t".into(),
+                },
+                r#"{"Named":{"tag":"t","w":0.5}}"#.to_string(),
+            ),
+        ] {
+            assert_eq!(super::to_string(&v).unwrap(), json);
+            assert_eq!(super::from_str::<Shape>(&json).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn vec_and_option_round_trip() {
+        let xs: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let json = super::to_string(&xs).unwrap();
+        assert_eq!(json, "[1,null,3]");
+        assert_eq!(super::from_str::<Vec<Option<u32>>>(&json).unwrap(), xs);
+    }
+}

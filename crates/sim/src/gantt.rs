@@ -82,7 +82,9 @@ impl GanttChart {
     pub fn paint(&mut self, row: usize, start: SimTime, end: SimTime, glyph: char) {
         assert!(row < self.rows.len(), "gantt: row {row} out of bounds");
         assert!(start <= end, "gantt: segment start after end");
-        self.rows[row].segments.push(Segment::new(start, end, glyph));
+        self.rows[row]
+            .segments
+            .push(Segment::new(start, end, glyph));
     }
 
     /// Latest painted instant across all rows.

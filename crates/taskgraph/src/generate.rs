@@ -92,7 +92,8 @@ pub fn fork_join<R: Rng>(rng: &mut R, name: &str, branches: usize, cfg: &GenConf
     for m in &mids {
         b.edge(src, *m).edge(*m, sink);
     }
-    b.build().expect("fork_join generator produces valid graphs")
+    b.build()
+        .expect("fork_join generator produces valid graphs")
 }
 
 /// A layered DAG: `layers` ranks of `1..=max_width` nodes; every node has
@@ -106,7 +107,10 @@ pub fn layered<R: Rng>(
     edge_prob: f64,
     cfg: &GenConfig,
 ) -> TaskGraph {
-    assert!(layers > 0 && max_width > 0, "layered needs layers and width");
+    assert!(
+        layers > 0 && max_width > 0,
+        "layered needs layers and width"
+    );
     let mut b = TaskGraphBuilder::new(name);
     let mut ordinal = 0u32;
     let mut prev_layer: Vec<NodeId> = Vec::new();
@@ -228,11 +232,7 @@ pub fn gnp_dag<R: Rng>(rng: &mut R, name: &str, n: usize, p: f64, cfg: &GenConfi
 /// Generates a family of `count` distinct graph templates for workload
 /// experiments, mixing all generator shapes. Config ids are segmented per
 /// template (base + 100·index) unless a shared pool is requested.
-pub fn template_family<R: Rng>(
-    rng: &mut R,
-    count: usize,
-    base_cfg: &GenConfig,
-) -> Vec<TaskGraph> {
+pub fn template_family<R: Rng>(rng: &mut R, count: usize, base_cfg: &GenConfig) -> Vec<TaskGraph> {
     (0..count)
         .map(|i| {
             let mut cfg = base_cfg.clone();

@@ -7,9 +7,7 @@ use std::fmt;
 /// Identity of a *configuration* (a bitstream). Two task instances with
 /// the same `ConfigId` can reuse each other's reconfiguration — this is
 /// the key the whole replacement machinery works on.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct ConfigId(pub u32);
 
@@ -20,9 +18,7 @@ impl fmt::Display for ConfigId {
 }
 
 /// Index of a node within one [`TaskGraph`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct NodeId(pub u32);
 

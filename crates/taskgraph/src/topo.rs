@@ -79,8 +79,11 @@ pub fn is_topological_order(g: &TaskGraph, order: &[NodeId]) -> bool {
         }
         position[id.idx()] = pos;
     }
-    g.node_ids()
-        .all(|n| g.succs(n).iter().all(|&s| position[n.idx()] < position[s.idx()]))
+    g.node_ids().all(|n| {
+        g.succs(n)
+            .iter()
+            .all(|&s| position[n.idx()] < position[s.idx()])
+    })
 }
 
 #[cfg(test)]

@@ -3,13 +3,13 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rtr_sim::SimDuration;
 use rtr_taskgraph::analysis::analyze;
 use rtr_taskgraph::generate::{self, GenConfig};
 use rtr_taskgraph::graph::TaskGraph;
 use rtr_taskgraph::recseq::reconfiguration_sequence;
 use rtr_taskgraph::serialize::{from_json, to_json};
 use rtr_taskgraph::topo::{is_topological_order, topological_order};
-use rtr_sim::SimDuration;
 
 /// Strategy: an arbitrary generated DAG, labelled by generator kind.
 fn arb_graph() -> impl Strategy<Value = TaskGraph> {

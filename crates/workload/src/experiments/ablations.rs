@@ -28,9 +28,19 @@ fn templates() -> Vec<Arc<TaskGraph>> {
 pub fn dl_window_sweep(apps: usize, seed: u64, rus: usize, windows: &[usize]) -> Table {
     let seq = SequenceModel::UniformRandom.generate(&templates(), apps, seed);
     let results = parallel_map(windows.to_vec(), crate::parallel::default_workers(), |w| {
-        let cell = CellConfig::new(PolicyKind::LocalLfd { window: w, skip: false }, rus);
+        let cell = CellConfig::new(
+            PolicyKind::LocalLfd {
+                window: w,
+                skip: false,
+            },
+            rus,
+        );
         let out = run_cell(&seq, &cell).expect("sweep cell simulates");
-        (w, out.stats.reuse_rate_pct(), out.stats.remaining_overhead_pct())
+        (
+            w,
+            out.stats.reuse_rate_pct(),
+            out.stats.remaining_overhead_pct(),
+        )
     });
     let mut t = Table::new(
         format!("Ablation — DL window sweep ({rus} RUs, {apps} apps)"),
@@ -50,7 +60,13 @@ pub fn latency_sweep(apps: usize, seed: u64, rus: usize, latencies_ms: &[u64]) -
         .flat_map(|&l| {
             [
                 (l, PolicyKind::Lru),
-                (l, PolicyKind::LocalLfd { window: 1, skip: false }),
+                (
+                    l,
+                    PolicyKind::LocalLfd {
+                        window: 1,
+                        skip: false,
+                    },
+                ),
                 (l, PolicyKind::Lfd),
             ]
         })
@@ -76,7 +92,13 @@ pub fn latency_sweep(apps: usize, seed: u64, rus: usize, latencies_ms: &[u64]) -
         t.push_row(vec![
             l.to_string(),
             fmt_f(get(&PolicyKind::Lru), 1),
-            fmt_f(get(&PolicyKind::LocalLfd { window: 1, skip: false }), 1),
+            fmt_f(
+                get(&PolicyKind::LocalLfd {
+                    window: 1,
+                    skip: false,
+                }),
+                1,
+            ),
             fmt_f(get(&PolicyKind::Lfd), 1),
         ]);
     }
@@ -134,7 +156,13 @@ pub fn sequence_model_sweep(apps: usize, seed: u64, rus: usize) -> Table {
         .flat_map(|i| {
             [
                 (i, PolicyKind::Lru),
-                (i, PolicyKind::LocalLfd { window: 1, skip: false }),
+                (
+                    i,
+                    PolicyKind::LocalLfd {
+                        window: 1,
+                        skip: false,
+                    },
+                ),
                 (i, PolicyKind::Lfd),
             ]
         })
@@ -163,7 +191,13 @@ pub fn sequence_model_sweep(apps: usize, seed: u64, rus: usize) -> Table {
         t.push_row(vec![
             name.to_string(),
             fmt_f(get(&PolicyKind::Lru), 2),
-            fmt_f(get(&PolicyKind::LocalLfd { window: 1, skip: false }), 2),
+            fmt_f(
+                get(&PolicyKind::LocalLfd {
+                    window: 1,
+                    skip: false,
+                }),
+                2,
+            ),
             fmt_f(get(&PolicyKind::Lfd), 2),
         ]);
     }
@@ -192,9 +226,7 @@ mod tests {
         let t = latency_sweep(40, 6, 4, &[1, 4, 16]);
         let csv = t.to_csv();
         let rows: Vec<&str> = csv.lines().skip(1).collect();
-        let overhead = |row: &str| -> f64 {
-            row.split(',').nth(3).unwrap().parse().unwrap()
-        };
+        let overhead = |row: &str| -> f64 { row.split(',').nth(3).unwrap().parse().unwrap() };
         assert!(overhead(rows[2]) >= overhead(rows[0]));
     }
 

@@ -117,11 +117,12 @@ pub fn run_matrix(params: &Fig9Params, policies: &[PolicyKind]) -> Vec<Fig9Cell>
     });
 
     // Average over seeds, keyed by (rus, policy position).
-    let policy_pos =
-        |p: &PolicyKind| policies.iter().position(|q| q == p).expect("known policy");
+    let policy_pos = |p: &PolicyKind| policies.iter().position(|q| q == p).expect("known policy");
     let mut acc: BTreeMap<(usize, usize), (f64, f64, f64, f64, f64, u32)> = BTreeMap::new();
     for (rus, policy, reuse, remaining, overhead, loads, energy) in results {
-        let e = acc.entry((rus, policy_pos(&policy))).or_insert((0.0, 0.0, 0.0, 0.0, 0.0, 0));
+        let e = acc
+            .entry((rus, policy_pos(&policy)))
+            .or_insert((0.0, 0.0, 0.0, 0.0, 0.0, 0));
         e.0 += reuse;
         e.1 += remaining;
         e.2 += overhead;
@@ -242,8 +243,14 @@ mod tests {
                     .reuse_pct
             };
             let lru = get(&PolicyKind::Lru);
-            let l1 = get(&PolicyKind::LocalLfd { window: 1, skip: false });
-            let l4 = get(&PolicyKind::LocalLfd { window: 4, skip: false });
+            let l1 = get(&PolicyKind::LocalLfd {
+                window: 1,
+                skip: false,
+            });
+            let l4 = get(&PolicyKind::LocalLfd {
+                window: 4,
+                skip: false,
+            });
             let lfd = get(&PolicyKind::Lfd);
             assert!(lfd + 1e-9 >= l4, "LFD {lfd} vs L4 {l4} at {r} RUs");
             assert!(l4 + 1e-9 >= l1 - 2.0, "L4 {l4} vs L1 {l1} at {r} RUs");

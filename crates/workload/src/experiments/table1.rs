@@ -93,9 +93,27 @@ pub fn table1_rows(iters: u32) -> Table {
     let cases: Vec<(PolicyKind, usize)> = vec![
         (PolicyKind::Lru, 0),
         (PolicyKind::Lfd, usize::MAX),
-        (PolicyKind::LocalLfd { window: 1, skip: true }, 1),
-        (PolicyKind::LocalLfd { window: 2, skip: true }, 2),
-        (PolicyKind::LocalLfd { window: 4, skip: true }, 4),
+        (
+            PolicyKind::LocalLfd {
+                window: 1,
+                skip: true,
+            },
+            1,
+        ),
+        (
+            PolicyKind::LocalLfd {
+                window: 2,
+                skip: true,
+            },
+            2,
+        ),
+        (
+            PolicyKind::LocalLfd {
+                window: 4,
+                skip: true,
+            },
+            4,
+        ),
     ];
     for (kind, dl) in cases {
         let wc = WorstCase::new(4, dl);
@@ -135,7 +153,10 @@ mod tests {
         for kind in [
             PolicyKind::Lru,
             PolicyKind::Lfd,
-            PolicyKind::LocalLfd { window: 2, skip: true },
+            PolicyKind::LocalLfd {
+                window: 2,
+                skip: true,
+            },
         ] {
             let mut p = kind.build();
             let v = wc.decide(p.as_mut());

@@ -59,11 +59,14 @@ pub fn measure(instances: usize) -> Vec<Table2Row> {
             let mut design_t = Duration::ZERO;
             for w in windows {
                 let cell = CellConfig::new(
-                    PolicyKind::LocalLfd { window: w, skip: true },
+                    PolicyKind::LocalLfd {
+                        window: w,
+                        skip: true,
+                    },
                     rus,
                 );
-                let out = run_cell(&sequence, &cell)
-                    .expect("benchmark workloads simulate to completion");
+                let out =
+                    run_cell(&sequence, &cell).expect("benchmark workloads simulate to completion");
                 manager_t += out.total_time.saturating_sub(out.replacement_time);
                 replacement_t += out.replacement_time;
                 design_t += out.design_time;

@@ -33,7 +33,9 @@ where
     let (work_tx, work_rx) = channel::unbounded::<(usize, T)>();
     let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
     for pair in items.into_iter().enumerate() {
-        work_tx.send(pair).expect("unbounded channel accepts all work");
+        work_tx
+            .send(pair)
+            .expect("unbounded channel accepts all work");
     }
     drop(work_tx);
 

@@ -89,7 +89,10 @@ impl PolicyKind {
             PolicyKind::Mru => "MRU".into(),
             PolicyKind::Lfu => "LFU".into(),
             PolicyKind::Random { .. } => "Random".into(),
-            PolicyKind::LocalLfd { window, skip: false } => format!("Local LFD ({window})"),
+            PolicyKind::LocalLfd {
+                window,
+                skip: false,
+            } => format!("Local LFD ({window})"),
             PolicyKind::LocalLfd { window, skip: true } => {
                 format!("Local LFD ({window}) + Skip Events")
             }
@@ -102,9 +105,18 @@ impl PolicyKind {
     pub fn fig9a_set() -> Vec<PolicyKind> {
         vec![
             PolicyKind::Lru,
-            PolicyKind::LocalLfd { window: 1, skip: false },
-            PolicyKind::LocalLfd { window: 2, skip: false },
-            PolicyKind::LocalLfd { window: 4, skip: false },
+            PolicyKind::LocalLfd {
+                window: 1,
+                skip: false,
+            },
+            PolicyKind::LocalLfd {
+                window: 2,
+                skip: false,
+            },
+            PolicyKind::LocalLfd {
+                window: 4,
+                skip: false,
+            },
             PolicyKind::Lfd,
         ]
     }
@@ -113,8 +125,14 @@ impl PolicyKind {
     pub fn fig9b_set() -> Vec<PolicyKind> {
         vec![
             PolicyKind::Lru,
-            PolicyKind::LocalLfd { window: 1, skip: false },
-            PolicyKind::LocalLfd { window: 1, skip: true },
+            PolicyKind::LocalLfd {
+                window: 1,
+                skip: false,
+            },
+            PolicyKind::LocalLfd {
+                window: 1,
+                skip: true,
+            },
             PolicyKind::Lfd,
         ]
     }
@@ -123,9 +141,18 @@ impl PolicyKind {
     pub fn fig9c_set() -> Vec<PolicyKind> {
         vec![
             PolicyKind::Lru,
-            PolicyKind::LocalLfd { window: 1, skip: true },
-            PolicyKind::LocalLfd { window: 2, skip: true },
-            PolicyKind::LocalLfd { window: 4, skip: true },
+            PolicyKind::LocalLfd {
+                window: 1,
+                skip: true,
+            },
+            PolicyKind::LocalLfd {
+                window: 2,
+                skip: true,
+            },
+            PolicyKind::LocalLfd {
+                window: 4,
+                skip: true,
+            },
             PolicyKind::Lfd,
         ]
     }
@@ -139,11 +166,19 @@ mod tests {
     fn labels_match_paper() {
         assert_eq!(PolicyKind::Lru.label(), "LRU");
         assert_eq!(
-            PolicyKind::LocalLfd { window: 4, skip: false }.label(),
+            PolicyKind::LocalLfd {
+                window: 4,
+                skip: false
+            }
+            .label(),
             "Local LFD (4)"
         );
         assert_eq!(
-            PolicyKind::LocalLfd { window: 1, skip: true }.label(),
+            PolicyKind::LocalLfd {
+                window: 1,
+                skip: true
+            }
+            .label(),
             "Local LFD (1) + Skip Events"
         );
         assert_eq!(PolicyKind::Lfd.label(), "LFD");
@@ -153,7 +188,11 @@ mod tests {
     fn lookahead_coupling() {
         assert_eq!(PolicyKind::Lru.lookahead(), Lookahead::None);
         assert_eq!(
-            PolicyKind::LocalLfd { window: 2, skip: true }.lookahead(),
+            PolicyKind::LocalLfd {
+                window: 2,
+                skip: true
+            }
+            .lookahead(),
             Lookahead::Graphs(2)
         );
         assert_eq!(PolicyKind::Lfd.lookahead(), Lookahead::All);
@@ -162,8 +201,16 @@ mod tests {
     #[test]
     fn skip_and_mobility_only_for_skip_variants() {
         assert!(!PolicyKind::Lfd.skip_events());
-        assert!(!PolicyKind::LocalLfd { window: 1, skip: false }.needs_mobility());
-        assert!(PolicyKind::LocalLfd { window: 1, skip: true }.needs_mobility());
+        assert!(!PolicyKind::LocalLfd {
+            window: 1,
+            skip: false
+        }
+        .needs_mobility());
+        assert!(PolicyKind::LocalLfd {
+            window: 1,
+            skip: true
+        }
+        .needs_mobility());
     }
 
     #[test]
@@ -183,7 +230,10 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let k = PolicyKind::LocalLfd { window: 4, skip: true };
+        let k = PolicyKind::LocalLfd {
+            window: 4,
+            skip: true,
+        };
         let json = serde_json::to_string(&k).unwrap();
         assert_eq!(serde_json::from_str::<PolicyKind>(&json).unwrap(), k);
     }

@@ -203,14 +203,23 @@ mod tests {
     fn lru_cell_runs() {
         let seq = small_sequence(1);
         let out = run_cell(&seq, &CellConfig::new(PolicyKind::Lru, 4)).unwrap();
-        assert_eq!(out.stats.executed as usize, seq.iter().map(|g| g.len()).sum::<usize>());
+        assert_eq!(
+            out.stats.executed as usize,
+            seq.iter().map(|g| g.len()).sum::<usize>()
+        );
         assert!(out.design_time.is_zero());
     }
 
     #[test]
     fn skip_cell_prepares_mobility() {
         let seq = small_sequence(2);
-        let cell = CellConfig::new(PolicyKind::LocalLfd { window: 1, skip: true }, 4);
+        let cell = CellConfig::new(
+            PolicyKind::LocalLfd {
+                window: 1,
+                skip: true,
+            },
+            4,
+        );
         let out = run_cell(&seq, &cell).unwrap();
         assert!(out.design_time > Duration::ZERO);
         assert!(out.stats.executed > 0);
@@ -232,7 +241,13 @@ mod tests {
     #[test]
     fn determinism_across_runs() {
         let seq = small_sequence(4);
-        let cell = CellConfig::new(PolicyKind::LocalLfd { window: 2, skip: false }, 5);
+        let cell = CellConfig::new(
+            PolicyKind::LocalLfd {
+                window: 2,
+                skip: false,
+            },
+            5,
+        );
         let a = run_cell(&seq, &cell).unwrap();
         let b = run_cell(&seq, &cell).unwrap();
         assert_eq!(a.stats.makespan, b.stats.makespan);

@@ -82,8 +82,17 @@ impl Scenario {
         let templates = self.template_graphs();
         let sequence = self.model.generate(&templates, self.apps, self.seed);
         let mut t = Table::new(
-            format!("Scenario {} ({} apps, {} RUs)", self.name, self.apps, self.rus),
-            &["Policy", "Reuse (%)", "Overhead (ms)", "Remaining (%)", "Loads"],
+            format!(
+                "Scenario {} ({} apps, {} RUs)",
+                self.name, self.apps, self.rus
+            ),
+            &[
+                "Policy",
+                "Reuse (%)",
+                "Overhead (ms)",
+                "Remaining (%)",
+                "Loads",
+            ],
         );
         for &policy in &self.policies {
             let mut cell = CellConfig::new(policy, self.rus);

@@ -89,9 +89,7 @@ impl SequenceModel {
                     if repeat {
                         out.push(Arc::clone(out.last().expect("non-empty")));
                     } else {
-                        out.push(Arc::clone(
-                            &templates[rng.random_range(0..templates.len())],
-                        ));
+                        out.push(Arc::clone(&templates[rng.random_range(0..templates.len())]));
                     }
                 }
                 out
@@ -131,10 +129,7 @@ mod tests {
         let a = SequenceModel::UniformRandom.generate(&t, 500, 42);
         let b = SequenceModel::UniformRandom.generate(&t, 500, 42);
         assert_eq!(a.len(), 500);
-        assert!(a
-            .iter()
-            .zip(&b)
-            .all(|(x, y)| Arc::ptr_eq(x, y)));
+        assert!(a.iter().zip(&b).all(|(x, y)| Arc::ptr_eq(x, y)));
         // All three templates appear in a 500-long sequence.
         for tpl in &t {
             assert!(a.iter().any(|g| Arc::ptr_eq(g, tpl)));

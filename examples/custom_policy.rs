@@ -12,8 +12,8 @@
 //! cargo run --release --example custom_policy
 //! ```
 
-use reconfig_reuse::prelude::*;
 use reconfig_reuse::manager::ReplacementContext;
+use reconfig_reuse::prelude::*;
 use reconfig_reuse::workload::SequenceModel;
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -39,9 +39,18 @@ fn main() {
         PolicyKind::Mru,
         PolicyKind::Lfu,
         PolicyKind::Lru,
-        PolicyKind::LocalLfd { window: 1, skip: false },
-        PolicyKind::LocalLfd { window: 1, skip: true },
-        PolicyKind::LocalLfd { window: 4, skip: true },
+        PolicyKind::LocalLfd {
+            window: 1,
+            skip: false,
+        },
+        PolicyKind::LocalLfd {
+            window: 1,
+            skip: true,
+        },
+        PolicyKind::LocalLfd {
+            window: 4,
+            skip: true,
+        },
         PolicyKind::Lfd,
     ];
     for kind in policies {

@@ -29,8 +29,12 @@ fn main() {
 
     // 4. Run two replacement policies over the same workload.
     let mut lru = LruPolicy::new();
-    let lru_out = manager::simulate(&cfg.clone().with_lookahead(Lookahead::None), &jobs, &mut lru)
-        .expect("simulation completes");
+    let lru_out = manager::simulate(
+        &cfg.clone().with_lookahead(Lookahead::None),
+        &jobs,
+        &mut lru,
+    )
+    .expect("simulation completes");
 
     let mut local_lfd = LfdPolicy::local(1);
     let lfd_out = manager::simulate(&cfg, &jobs, &mut local_lfd).expect("simulation completes");

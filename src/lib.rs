@@ -49,6 +49,8 @@
 //! assert!(out.stats.reuses > 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub use rtr_core as core;
 pub use rtr_hw as hw;
 pub use rtr_manager as manager;

@@ -101,9 +101,7 @@ fn fig2_first_victim_of_local_lfd_is_ru1() {
         .trace
         .iter()
         .find_map(|e| match *e {
-            manager::TraceEvent::LoadStart { config, ru, .. } if config == ConfigId(5) => {
-                Some(ru)
-            }
+            manager::TraceEvent::LoadStart { config, ru, .. } if config == ConfigId(5) => Some(ru),
             _ => None,
         })
         .expect("task 5 is loaded");
@@ -120,9 +118,7 @@ fn fig2_first_victim_of_local_lfd_is_ru1() {
         .trace
         .iter()
         .find_map(|e| match *e {
-            manager::TraceEvent::LoadStart { config, ru, .. } if config == ConfigId(5) => {
-                Some(ru)
-            }
+            manager::TraceEvent::LoadStart { config, ru, .. } if config == ConfigId(5) => Some(ru),
             _ => None,
         })
         .unwrap();
@@ -156,7 +152,12 @@ fn fig3a_asap_local_lfd() {
     let cfg = ManagerConfig::paper_default().with_lookahead(Lookahead::Graphs(1));
     let jobs = fig3_jobs(&cfg);
     let out = manager::simulate(&cfg, &jobs, &mut LfdPolicy::local(1)).unwrap();
-    assert_valid(&out.trace, &jobs, cfg.device.reconfig_latency, Some(&out.stats));
+    assert_valid(
+        &out.trace,
+        &jobs,
+        cfg.device.reconfig_latency,
+        Some(&out.stats),
+    );
     assert_eq!(out.stats.executed, 10);
     assert_eq!(out.stats.reuses, 0);
     assert_eq!(out.stats.makespan, ms(74));
@@ -173,7 +174,12 @@ fn fig3b_skip_events_local_lfd() {
         .with_skip_events(true);
     let jobs = fig3_jobs(&cfg);
     let out = manager::simulate(&cfg, &jobs, &mut LfdPolicy::local_with_skip(1)).unwrap();
-    assert_valid(&out.trace, &jobs, cfg.device.reconfig_latency, Some(&out.stats));
+    assert_valid(
+        &out.trace,
+        &jobs,
+        cfg.device.reconfig_latency,
+        Some(&out.stats),
+    );
     assert_eq!(out.stats.executed, 10);
     assert_eq!(out.stats.reuses, 1, "Task 1 is reused");
     assert!((out.stats.reuse_rate_pct() - 10.0).abs() < 1e-9);
@@ -222,6 +228,10 @@ fn fig3_graph_timeline_matches_figure() {
     let out = manager::simulate(&cfg, &jobs, &mut LfdPolicy::local(1)).unwrap();
     assert_eq!(
         out.stats.graph_completions,
-        vec![SimTime::from_ms(22), SimTime::from_ms(52), SimTime::from_ms(74)]
+        vec![
+            SimTime::from_ms(22),
+            SimTime::from_ms(52),
+            SimTime::from_ms(74)
+        ]
     );
 }

@@ -76,7 +76,14 @@ fn local_lfd_reuse_grows_with_dynamic_list() {
     for rus in [5usize, 7, 9] {
         let mut prev = 0u64;
         for w in [1usize, 2, 4] {
-            let reuse = total_reuses(PolicyKind::LocalLfd { window: w, skip: false }, rus, &seqs);
+            let reuse = total_reuses(
+                PolicyKind::LocalLfd {
+                    window: w,
+                    skip: false,
+                },
+                rus,
+                &seqs,
+            );
             assert!(
                 reuse + 5 >= prev,
                 "{rus} RUs: reuse dropped from {prev} to {reuse} at window {w}"
@@ -101,8 +108,22 @@ fn skip_events_raise_reuse_beyond_the_oracle() {
     let mut plain_total = 0u64;
     let mut oracle_total = 0u64;
     for rus in [4usize, 5, 6, 7] {
-        skip_total += total_reuses(PolicyKind::LocalLfd { window: 1, skip: true }, rus, &seqs);
-        plain_total += total_reuses(PolicyKind::LocalLfd { window: 1, skip: false }, rus, &seqs);
+        skip_total += total_reuses(
+            PolicyKind::LocalLfd {
+                window: 1,
+                skip: true,
+            },
+            rus,
+            &seqs,
+        );
+        plain_total += total_reuses(
+            PolicyKind::LocalLfd {
+                window: 1,
+                skip: false,
+            },
+            rus,
+            &seqs,
+        );
         oracle_total += total_reuses(PolicyKind::Lfd, rus, &seqs);
     }
     assert!(
@@ -123,7 +144,10 @@ fn overhead_shrinks_as_rus_grow() {
     let seqs = sequences(150);
     for kind in [
         PolicyKind::Lru,
-        PolicyKind::LocalLfd { window: 1, skip: true },
+        PolicyKind::LocalLfd {
+            window: 1,
+            skip: true,
+        },
         PolicyKind::Lfd,
     ] {
         let small = total_overhead_ms(kind, 4, &seqs);
@@ -146,8 +170,22 @@ fn skip_events_reduce_overhead_under_high_competition() {
     // RUs grows ... LFD is powerful enough to outperform Local LFD".
     // Assert the 4-RU win strictly and bound the high-RU give-back.
     let seqs = sequences(200);
-    let plain4 = total_overhead_ms(PolicyKind::LocalLfd { window: 1, skip: false }, 4, &seqs);
-    let skip4 = total_overhead_ms(PolicyKind::LocalLfd { window: 1, skip: true }, 4, &seqs);
+    let plain4 = total_overhead_ms(
+        PolicyKind::LocalLfd {
+            window: 1,
+            skip: false,
+        },
+        4,
+        &seqs,
+    );
+    let skip4 = total_overhead_ms(
+        PolicyKind::LocalLfd {
+            window: 1,
+            skip: true,
+        },
+        4,
+        &seqs,
+    );
     let lfd4 = total_overhead_ms(PolicyKind::Lfd, 4, &seqs);
     assert!(
         skip4 <= plain4,
@@ -161,8 +199,22 @@ fn skip_events_reduce_overhead_under_high_competition() {
     // overhead (EXPERIMENTS.md records ~25% at 8 RUs); bound the
     // give-back so a regression cannot silently blow it up.
     for rus in [6usize, 8] {
-        let plain = total_overhead_ms(PolicyKind::LocalLfd { window: 1, skip: false }, rus, &seqs);
-        let skip = total_overhead_ms(PolicyKind::LocalLfd { window: 1, skip: true }, rus, &seqs);
+        let plain = total_overhead_ms(
+            PolicyKind::LocalLfd {
+                window: 1,
+                skip: false,
+            },
+            rus,
+            &seqs,
+        );
+        let skip = total_overhead_ms(
+            PolicyKind::LocalLfd {
+                window: 1,
+                skip: true,
+            },
+            rus,
+            &seqs,
+        );
         assert!(
             skip <= plain * 1.35,
             "{rus} RUs: skip overhead {skip} ms exceeds ASAP {plain} ms by more than 35%"

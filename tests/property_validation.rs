@@ -33,7 +33,13 @@ fn build_workload(seed: u64, templates: usize, apps: usize, rus: usize, shared: 
 }
 
 fn arb_workload() -> impl Strategy<Value = Workload> {
-    (any::<u64>(), 1usize..5, 1usize..18, 1usize..8, any::<bool>())
+    (
+        any::<u64>(),
+        1usize..5,
+        1usize..18,
+        1usize..8,
+        any::<bool>(),
+    )
         .prop_map(|(seed, templates, apps, rus, shared)| {
             build_workload(seed, templates, apps, rus, shared)
         })

@@ -1,0 +1,52 @@
+//! Smoke test guarding the README / `examples/quickstart.rs` code path.
+//!
+//! Mirrors the quickstart example statement for statement (the example
+//! itself is compiled by `cargo test` alongside this suite, so both the
+//! build and the behavior of the advertised entry point are guarded):
+//! two multimedia applications interleaved on 6 RUs must complete, and
+//! Local LFD must report strictly positive reuse — the paper's headline
+//! effect and the number the quickstart prints.
+
+use reconfig_reuse::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn quickstart_reports_positive_reuse() {
+    let jpeg = Arc::new(taskgraph::benchmarks::jpeg());
+    let mpeg = Arc::new(taskgraph::benchmarks::mpeg1());
+    let jobs: Vec<JobSpec> = [&jpeg, &mpeg, &jpeg, &mpeg]
+        .iter()
+        .map(|g| JobSpec::new(Arc::clone(g)))
+        .collect();
+
+    let cfg = ManagerConfig::paper_default()
+        .with_rus(6)
+        .with_lookahead(Lookahead::Graphs(1));
+
+    let mut lru = LruPolicy::new();
+    let lru_out = manager::simulate(
+        &cfg.clone().with_lookahead(Lookahead::None),
+        &jobs,
+        &mut lru,
+    )
+    .expect("LRU simulation completes");
+
+    let mut local_lfd = LfdPolicy::local(1);
+    let lfd_out = manager::simulate(&cfg, &jobs, &mut local_lfd).expect("LFD simulation completes");
+
+    // The quickstart's printed claims, as assertions.
+    assert!(
+        lfd_out.stats.reuses > 0,
+        "quickstart must report reuses > 0, got {}",
+        lfd_out.stats.reuses
+    );
+    assert!(lfd_out.stats.reuse_rate_pct() > 0.0);
+    assert!(
+        lfd_out.stats.reuses >= lru_out.stats.reuses,
+        "Local LFD should reuse at least as much as LRU on the quickstart workload"
+    );
+    // The traffic figure the quickstart prints: one avoided
+    // reconfiguration saves one bitstream of bus traffic.
+    let saved = lfd_out.stats.traffic.reuses * cfg.device.bitstream_bytes;
+    assert!(saved > 0, "positive reuse must save configuration traffic");
+}
