@@ -1,0 +1,91 @@
+//! Streaming-engine hot-path benchmarks.
+//!
+//! * `streaming/<feed>` — 500 applications pushed through the online
+//!   queue of `rtr_manager::Engine` under batch, Poisson and bursty
+//!   feeds: the cost of the arrival/activation path on top of the event
+//!   loop, and a regression guard for the streaming hot path.
+//! * `streaming/submit_only` — the per-job submission cost in
+//!   isolation (design-time cache hit + arrival event push).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtr_core::LfdPolicy;
+use rtr_manager::{Engine, JobSpec, Lookahead, ManagerConfig, ReplacementPolicy};
+use rtr_sim::SimTime;
+use rtr_workload::arrivals::ArrivalProcess;
+use rtr_workload::sequence::paper_workload;
+use std::hint::black_box;
+
+fn jobs_with(arrivals: &[SimTime]) -> Vec<JobSpec> {
+    paper_workload(42)
+        .into_iter()
+        .zip(arrivals)
+        .map(|(g, &at)| JobSpec::new(g).with_arrival(at))
+        .collect()
+}
+
+fn cfg() -> ManagerConfig {
+    ManagerConfig::paper_default()
+        .with_lookahead(Lookahead::Graphs(1))
+        .with_trace(false)
+}
+
+fn run_stream(cfg: &ManagerConfig, jobs: &[JobSpec], policy: &mut dyn ReplacementPolicy) -> u64 {
+    policy.reset();
+    let mut engine = Engine::new(cfg);
+    for job in jobs {
+        engine.submit(job.clone());
+    }
+    engine.run(policy);
+    engine
+        .finish()
+        .expect("streaming run completes")
+        .stats
+        .reuses
+}
+
+fn bench_streaming_feeds(c: &mut Criterion) {
+    let feeds = [
+        ("batch", ArrivalProcess::Batch),
+        (
+            "poisson_70ms",
+            ArrivalProcess::Poisson {
+                mean_gap_us: 70_000,
+            },
+        ),
+        (
+            "bursty_8x560ms",
+            ArrivalProcess::Bursty {
+                size: 8,
+                mean_gap_us: 560_000,
+            },
+        ),
+    ];
+    let cfg = cfg();
+    let mut group = c.benchmark_group("streaming_500_apps_4rus");
+    group.sample_size(10);
+    for (name, process) in feeds {
+        let jobs = jobs_with(&process.generate(500, 7));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &jobs, |b, jobs| {
+            let mut policy = LfdPolicy::local(1);
+            b.iter(|| black_box(run_stream(&cfg, jobs, &mut policy)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_submission(c: &mut Criterion) {
+    let cfg = cfg();
+    let jobs = jobs_with(&ArrivalProcess::Periodic { period_us: 1_000 }.generate(500, 7));
+    c.bench_function("streaming/submit_only_500_jobs", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(&cfg);
+            for job in &jobs {
+                engine.submit(job.clone());
+            }
+            black_box(engine.submitted_jobs())
+        });
+    });
+}
+
+criterion_group!(benches, bench_streaming_feeds, bench_submission);
+criterion_main!(benches);

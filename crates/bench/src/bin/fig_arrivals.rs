@@ -1,0 +1,49 @@
+//! Streaming-arrival experiment: policy × RU count × arrival intensity
+//! on the multimedia workload, fed through the manager's online queue.
+//!
+//! ```text
+//! cargo run --release -p rtr-bench --bin fig_arrivals            # full grid
+//! cargo run --release -p rtr-bench --bin fig_arrivals -- smoke   # CI-sized
+//! cargo run --release -p rtr-bench --bin fig_arrivals -- 500 11  # apps seed
+//! ```
+//!
+//! The table is printed as Markdown and written as CSV under
+//! `results/fig_arrivals.csv`. Everything is seeded: re-running with
+//! the same arguments reproduces the table bit for bit.
+
+use rtr_workload::experiments::arrivals::{fig_arrivals, ArrivalsParams};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut params = match args.first().map(String::as_str) {
+        Some("smoke") => ArrivalsParams::smoke(),
+        _ => ArrivalsParams::default(),
+    };
+    if let Some(apps) = args.first().filter(|a| a.as_str() != "smoke") {
+        params.apps = apps.parse().expect("apps must be a number");
+    }
+    if let Some(seed) = args.get(1) {
+        params.seed = seed.parse().expect("seed must be a number");
+    }
+
+    println!(
+        "fig_arrivals — {} apps from {{JPEG, MPEG-1, Hough}}, seed {}, RUs {:?}",
+        params.apps, params.seed, params.rus
+    );
+    println!(
+        "arrival processes: {}\n",
+        params
+            .processes
+            .iter()
+            .map(|p| p.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let t = fig_arrivals(&params);
+    println!("{}", t.to_markdown());
+    let csv = Path::new("results").join("fig_arrivals.csv");
+    t.write_csv(&csv).expect("write csv");
+    println!("CSV written to {}", csv.display());
+}

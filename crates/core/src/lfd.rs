@@ -43,6 +43,10 @@ pub enum TieBreak {
 /// The LFD / Local LFD victim-selection policy.
 #[derive(Debug, Clone)]
 pub struct LfdPolicy {
+    /// Base name of the flavour ("LFD", "Local LFD (w)", …); the
+    /// displayed label is always rebuilt from this, so tie-break
+    /// overrides never stack or leave stale suffixes.
+    base_label: String,
     label: String,
     tie_break: TieBreak,
     /// Touch history, only maintained for the LRU tie-break.
@@ -53,6 +57,7 @@ pub struct LfdPolicy {
 impl LfdPolicy {
     fn new(label: String) -> Self {
         LfdPolicy {
+            base_label: label.clone(),
             label,
             tie_break: TieBreak::FirstCandidate,
             last_touch: HashMap::new(),
@@ -77,11 +82,15 @@ impl LfdPolicy {
         Self::new(format!("Local LFD ({window}) + Skip"))
     }
 
-    /// Overrides the tie-break strategy (ablation).
+    /// Overrides the tie-break strategy (ablation). Idempotent: the
+    /// label is rebuilt from the base name on every call, so repeated
+    /// overrides never stack suffixes and switching back to
+    /// [`TieBreak::FirstCandidate`] restores the plain name.
     pub fn with_tie_break(mut self, tie_break: TieBreak) -> Self {
-        if tie_break != TieBreak::FirstCandidate {
-            self.label = format!("{} [tie: {:?}]", self.label, tie_break);
-        }
+        self.label = match tie_break {
+            TieBreak::FirstCandidate => self.base_label.clone(),
+            other => format!("{} [tie: {other:?}]", self.base_label),
+        };
         self.tie_break = tie_break;
         self
     }
@@ -239,6 +248,21 @@ mod tests {
                 .name(),
             "Local LFD (1) [tie: LeastRecentlyUsed]"
         );
+    }
+
+    #[test]
+    fn tie_break_label_never_stacks_and_reverts_cleanly() {
+        // Regression: with_tie_break used to append a suffix to the
+        // *current* label, so repeated calls stacked "[tie: ...]" and
+        // switching back to FirstCandidate kept a stale suffix.
+        let p = LfdPolicy::local(2)
+            .with_tie_break(TieBreak::LeastRecentlyUsed)
+            .with_tie_break(TieBreak::LeastRecentlyUsed);
+        assert_eq!(p.name(), "Local LFD (2) [tie: LeastRecentlyUsed]");
+        let p = p.with_tie_break(TieBreak::FirstCandidate);
+        assert_eq!(p.name(), "Local LFD (2)");
+        let p = p.with_tie_break(TieBreak::LeastRecentlyUsed);
+        assert_eq!(p.name(), "Local LFD (2) [tie: LeastRecentlyUsed]");
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Jobs: task-graph instances submitted to the manager.
 
+use rtr_sim::SimTime;
 use rtr_taskgraph::TaskGraph;
 use std::sync::Arc;
 
-/// One application instance in the FIFO sequence handed to
-/// [`crate::simulate`].
+/// One application instance submitted to the streaming
+/// [`Engine`](crate::Engine) (or, in batch form, to
+/// [`crate::simulate`]).
 ///
 /// The same `Arc<TaskGraph>` is typically shared by many instances
 /// (e.g. 500 random picks from three templates); design-time artifacts
@@ -14,6 +16,12 @@ use std::sync::Arc;
 pub struct JobSpec {
     /// The task graph to execute.
     pub graph: Arc<TaskGraph>,
+    /// When the job enters the manager's online queue. Jobs become
+    /// eligible for activation (and visible to the replacement module's
+    /// Dynamic List) only from this instant on. The default of
+    /// [`SimTime::ZERO`] reproduces the paper's batch setting where the
+    /// whole sequence is known up front.
+    pub arrival: SimTime,
     /// Per-node *mobility* values from the design-time phase (aligned
     /// with node ids). Required for Skip Events to have any effect.
     pub mobility: Option<Arc<Vec<u32>>>,
@@ -25,13 +33,20 @@ pub struct JobSpec {
 }
 
 impl JobSpec {
-    /// A plain job with no annotations.
+    /// A plain job with no annotations, arriving at time zero.
     pub fn new(graph: Arc<TaskGraph>) -> Self {
         JobSpec {
             graph,
+            arrival: SimTime::ZERO,
             mobility: None,
             forced_delays: None,
         }
+    }
+
+    /// Sets the arrival instant (builder style).
+    pub fn with_arrival(mut self, arrival: SimTime) -> Self {
+        self.arrival = arrival;
+        self
     }
 
     /// Attaches design-time mobility values.
@@ -76,6 +91,15 @@ mod tests {
             .with_forced_delays(Arc::new(vec![0, 0, 1, 0]));
         assert_eq!(job.mobility.as_ref().unwrap().len(), 4);
         assert_eq!(job.forced_delays.as_ref().unwrap()[2], 1);
+    }
+
+    #[test]
+    fn default_arrival_is_time_zero() {
+        let g = Arc::new(benchmarks::jpeg());
+        let job = JobSpec::new(Arc::clone(&g));
+        assert_eq!(job.arrival, SimTime::ZERO);
+        let late = JobSpec::new(g).with_arrival(SimTime::from_ms(25));
+        assert_eq!(late.arrival, SimTime::from_ms(25));
     }
 
     #[test]

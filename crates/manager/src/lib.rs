@@ -1,14 +1,19 @@
 //! The external task-graph execution manager (the paper's ref.&nbsp;9) and
 //! the run-time replacement-module protocol (the paper's Figs. 4 and 8).
 //!
-//! The manager executes a FIFO sequence of task graphs on a pool of
-//! reconfigurable units. It is *event triggered*: all scheduling actions
-//! happen at `new_task_graph`, `end_of_reconfiguration` / `reused_task`
-//! or `end_of_execution` events. Semantics (validated against the
-//! paper's Figs. 2, 3 and 7 — see `DESIGN.md` §2):
+//! The manager executes task graphs on a pool of reconfigurable units,
+//! consuming jobs from an online arrival queue through the streaming
+//! [`manager::Engine`] ([`simulate`] is its batch wrapper: every job
+//! arrives at t = 0, reproducing the paper's fixed FIFO sequence). It
+//! is *event triggered*: all scheduling actions happen at
+//! `job_arrival`, `new_task_graph`, `end_of_reconfiguration` /
+//! `reused_task` or `end_of_execution` events. Semantics (validated
+//! against the paper's Figs. 2, 3 and 7 — see `DESIGN.md` §2):
 //!
-//! * Graphs execute strictly sequentially; a graph's reconfigurations
-//!   start when it becomes current.
+//! * Graphs execute strictly sequentially in arrival order; a graph's
+//!   reconfigurations start when it becomes current. When no arrived
+//!   job is waiting the manager idles with RU residency intact and
+//!   resumes on the next arrival.
 //! * Within the current graph, tasks load ASAP through the single
 //!   reconfiguration port in the design-time *reconfiguration sequence*
 //!   order (prefetch).
@@ -38,7 +43,7 @@ pub mod validate;
 
 pub use config::{Lookahead, ManagerConfig};
 pub use job::JobSpec;
-pub use manager::{simulate, SimError, SimulationOutcome};
+pub use manager::{simulate, Engine, SimError, SimulationOutcome};
 pub use policy::{
     FirstCandidatePolicy, FutureView, ReplacementContext, ReplacementPolicy, VictimCandidate,
 };

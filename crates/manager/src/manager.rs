@@ -1,9 +1,13 @@
 //! The event-triggered execution manager (the paper's Fig. 4) with the
-//! replacement-module protocol (Fig. 8).
+//! replacement-module protocol (Fig. 8), generalised into a streaming
+//! [`Engine`] that consumes jobs from an online arrival queue.
 //!
 //! See the crate docs and `DESIGN.md` §2 for the semantics; every branch
 //! here maps onto a line of the paper's pseudo-code:
 //!
+//! * `JobArrival` → the job enters the manager's online queue. In the
+//!   paper's batch setting every job arrives at t = 0, which reproduces
+//!   the fixed FIFO sequence of Fig. 4 exactly.
 //! * `NewTaskGraph` → Fig. 4 lines 1–4 (activate, invoke replacement
 //!   module if the circuitry is idle — it always is at activation
 //!   because graphs execute sequentially).
@@ -14,8 +18,13 @@
 //!   ready tasks).
 //! * the replacement-module loop (`try_advance`) → Fig. 8 (reuse claim / victim
 //!   selection / skip decision / load).
+//!
+//! When the current graph completes and no arrived job is waiting, the
+//! manager goes *idle*: resident configurations stay in place (so reuse
+//! survives idle gaps) and the next `JobArrival` event resumes
+//! activation.
 
-use crate::config::{Lookahead, ManagerConfig};
+use crate::config::ManagerConfig;
 use crate::ideal::ideal_sequence_makespan;
 use crate::job::JobSpec;
 use crate::policy::{FutureView, ReplacementContext, ReplacementPolicy, VictimCandidate};
@@ -24,21 +33,25 @@ use crate::trace::{Trace, TraceEvent};
 use rtr_hw::{EnergyModel, ReconfigController, RuId, RuPool};
 use rtr_sim::{EventQueue, SimTime};
 use rtr_taskgraph::{reconfiguration_sequence, ConfigId, NodeId, TaskGraph};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
 /// Same-time event ordering (lower fires first): task completions are
-/// observed before reconfiguration completions, and graph activations
-/// happen after all same-instant completions.
+/// observed before reconfiguration completions, then arrivals enter the
+/// online queue, and graph activations happen after all same-instant
+/// completions and arrivals.
 const PRIO_END_OF_EXECUTION: u8 = 0;
 const PRIO_END_OF_RECONFIGURATION: u8 = 1;
-const PRIO_NEW_TASK_GRAPH: u8 = 2;
+const PRIO_JOB_ARRIVAL: u8 = 2;
+const PRIO_NEW_TASK_GRAPH: u8 = 3;
 
 /// Events driving the manager.
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    /// The next job in the sequence becomes current.
+    /// Job `idx` enters the online queue.
+    JobArrival { idx: usize },
+    /// The longest-waiting arrived job becomes current.
     NewTaskGraph,
     /// The in-flight reconfiguration finished.
     EndOfReconfiguration { ru: RuId, node: NodeId },
@@ -161,7 +174,13 @@ struct ManagerState {
     /// Per-job design-time info, indexed like `jobs`.
     job_templates: Vec<TemplateInfo>,
     current: Option<ActiveJob>,
-    next_job: usize,
+    /// Online queue: jobs that have arrived but not yet been activated,
+    /// in arrival order (ties broken by submission order). This is what
+    /// the replacement module's Dynamic List is built from.
+    arrived: VecDeque<usize>,
+    /// A `NewTaskGraph` event is already enqueued (prevents
+    /// double-activation when several jobs arrive at the same instant).
+    activation_pending: bool,
     completed_jobs: usize,
     trace: Trace,
     executed: u64,
@@ -169,11 +188,187 @@ struct ManagerState {
     loads: u64,
     skips: u64,
     stalls: u64,
+    /// Arrival instant of each graph, in activation order.
+    graph_arrivals: Vec<SimTime>,
     graph_completions: Vec<SimTime>,
     makespan_end: SimTime,
 }
 
+/// The streaming execution engine: an online generalisation of the
+/// paper's batch simulator.
+///
+/// Jobs are [`submit`](Engine::submit)ted with explicit arrival times
+/// and consumed as they arrive; [`run`](Engine::run) drains every
+/// currently scheduled event (arrivals included), after which more jobs
+/// may be submitted and `run` called again — an open-loop driver can
+/// interleave submission and simulation indefinitely. The manager
+/// idles (RU residency intact) whenever the online queue is empty while
+/// later arrivals are still pending, and resumes on the next arrival.
+///
+/// **Batch equivalence:** submitting every job with `arrival == t0 = 0`
+/// and draining the queue reproduces the paper's fixed-sequence
+/// semantics event for event — [`simulate`] is exactly that wrapper,
+/// and the golden Fig. 2/3/7 numbers are regression-tested through it.
+pub struct Engine {
+    m: ManagerState,
+    jobs: Vec<JobSpec>,
+    /// Design-time artifact cache, keyed by template identity.
+    by_template: HashMap<*const TaskGraph, TemplateInfo>,
+    /// Name of the policy last passed to [`Engine::run`] (for stats).
+    policy_name: String,
+}
+
+impl Engine {
+    /// Creates an idle engine with no jobs.
+    ///
+    /// # Panics
+    /// Panics if `cfg.rus == 0`.
+    pub fn new(cfg: &ManagerConfig) -> Self {
+        assert!(cfg.rus > 0, "need at least one RU");
+        Engine {
+            m: ManagerState {
+                pool: RuPool::new(cfg.rus),
+                controller: ReconfigController::new(cfg.device.reconfig_latency),
+                energy: EnergyModel::new(cfg.device.clone()),
+                queue: EventQueue::new(),
+                job_templates: Vec::new(),
+                current: None,
+                arrived: VecDeque::new(),
+                activation_pending: false,
+                completed_jobs: 0,
+                trace: Trace::default(),
+                executed: 0,
+                reuses: 0,
+                loads: 0,
+                skips: 0,
+                stalls: 0,
+                graph_arrivals: Vec::new(),
+                graph_completions: Vec::new(),
+                makespan_end: SimTime::ZERO,
+                cfg: cfg.clone(),
+            },
+            jobs: Vec::new(),
+            by_template: HashMap::new(),
+            policy_name: String::new(),
+        }
+    }
+
+    /// Submits a job; its arrival event fires at `job.arrival`. Returns
+    /// the job's index (activation order may differ — jobs activate in
+    /// arrival order).
+    ///
+    /// The design-time phase (reconfiguration sequence, configuration
+    /// projection) runs here, once per distinct graph template.
+    ///
+    /// # Panics
+    /// Panics if the arrival lies in the simulated past (before the
+    /// time of the last processed event).
+    pub fn submit(&mut self, job: JobSpec) -> usize {
+        assert!(
+            job.arrival >= self.m.queue.now(),
+            "job arrival {} is in the simulated past (now = {})",
+            job.arrival,
+            self.m.queue.now()
+        );
+        let tpl = self
+            .by_template
+            .entry(Arc::as_ptr(&job.graph))
+            .or_insert_with(|| {
+                let rec_seq = reconfiguration_sequence(&job.graph);
+                let cfg_seq = rec_seq.iter().map(|&n| job.graph.config_of(n)).collect();
+                TemplateInfo {
+                    rec_seq: Arc::new(rec_seq),
+                    cfg_seq: Arc::new(cfg_seq),
+                }
+            })
+            .clone();
+        let idx = self.jobs.len();
+        self.m.job_templates.push(tpl);
+        self.m
+            .queue
+            .push(job.arrival, PRIO_JOB_ARRIVAL, Event::JobArrival { idx });
+        self.jobs.push(job);
+        idx
+    }
+
+    /// Processes events until the queue drains: every submitted job has
+    /// arrived and either completed or stalled. More jobs may be
+    /// submitted afterwards and `run` called again.
+    ///
+    /// The policy is passed per call (not stored) so the same engine
+    /// can be driven by external schedulers; pass the same policy on
+    /// every call for meaningful history-based decisions. `reset` is
+    /// *not* invoked — callers owning the full run (like [`simulate`])
+    /// reset the policy themselves.
+    pub fn run(&mut self, policy: &mut dyn ReplacementPolicy) {
+        self.policy_name = policy.name();
+        while let Some(ev) = self.m.queue.pop() {
+            self.m.makespan_end = ev.time;
+            self.m.handle(ev.payload, ev.time, &self.jobs, policy);
+        }
+    }
+
+    /// The simulation clock: time of the last processed event.
+    pub fn now(&self) -> SimTime {
+        self.m.queue.now()
+    }
+
+    /// Number of jobs submitted so far.
+    pub fn submitted_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of jobs that ran to completion so far.
+    pub fn completed_jobs(&self) -> usize {
+        self.m.completed_jobs
+    }
+
+    /// True when no graph is active and no events (arrivals included)
+    /// are pending.
+    pub fn is_idle(&self) -> bool {
+        self.m.current.is_none() && self.m.queue.is_empty()
+    }
+
+    /// Finalises the run into stats + trace.
+    ///
+    /// Returns [`SimError::StalledAwaitingEvent`] when some submitted
+    /// job did not complete (a delayed reconfiguration waited for an
+    /// event that never came).
+    pub fn finish(self) -> Result<SimulationOutcome, SimError> {
+        if self.m.completed_jobs != self.jobs.len() {
+            return Err(SimError::StalledAwaitingEvent {
+                completed_jobs: self.m.completed_jobs,
+                at: self.m.makespan_end,
+            });
+        }
+        let stats = RunStats {
+            policy: self.policy_name,
+            makespan: self.m.makespan_end.since(SimTime::ZERO),
+            executed: self.m.executed,
+            reuses: self.m.reuses,
+            loads: self.m.loads,
+            skips: self.m.skips,
+            stalls: self.m.stalls,
+            traffic: self.m.energy.stats(),
+            graph_arrivals: self.m.graph_arrivals,
+            graph_completions: self.m.graph_completions,
+            ideal_makespan: ideal_sequence_makespan(&self.jobs, self.m.cfg.rus),
+            reconfig_latency: self.m.cfg.device.reconfig_latency,
+        };
+        Ok(SimulationOutcome {
+            stats,
+            trace: self.m.trace,
+        })
+    }
+}
+
 /// Runs the manager over `jobs` with the given replacement `policy`.
+///
+/// This is the batch entry point: every job is submitted up front to a
+/// streaming [`Engine`] and the event queue is drained once. Jobs
+/// carrying the default `arrival == 0` reproduce the paper's
+/// fixed-sequence semantics exactly; arrival-annotated jobs stream in
+/// at their own instants.
 ///
 /// The policy's `reset` is invoked first, so policies can be reused
 /// across runs. Returns an error only when a delayed reconfiguration
@@ -183,80 +378,13 @@ pub fn simulate(
     jobs: &[JobSpec],
     policy: &mut dyn ReplacementPolicy,
 ) -> Result<SimulationOutcome, SimError> {
-    assert!(cfg.rus > 0, "need at least one RU");
     policy.reset();
-
-    // Design-time phase: compute per-template artifacts once.
-    let mut by_template: HashMap<*const TaskGraph, TemplateInfo> = HashMap::new();
-    let job_templates: Vec<TemplateInfo> = jobs
-        .iter()
-        .map(|j| {
-            by_template
-                .entry(Arc::as_ptr(&j.graph))
-                .or_insert_with(|| {
-                    let rec_seq = reconfiguration_sequence(&j.graph);
-                    let cfg_seq = rec_seq.iter().map(|&n| j.graph.config_of(n)).collect();
-                    TemplateInfo {
-                        rec_seq: Arc::new(rec_seq),
-                        cfg_seq: Arc::new(cfg_seq),
-                    }
-                })
-                .clone()
-        })
-        .collect();
-
-    let mut m = ManagerState {
-        pool: RuPool::new(cfg.rus),
-        controller: ReconfigController::new(cfg.device.reconfig_latency),
-        energy: EnergyModel::new(cfg.device.clone()),
-        queue: EventQueue::new(),
-        job_templates,
-        current: None,
-        next_job: 0,
-        completed_jobs: 0,
-        trace: Trace::default(),
-        executed: 0,
-        reuses: 0,
-        loads: 0,
-        skips: 0,
-        stalls: 0,
-        graph_completions: Vec::with_capacity(jobs.len()),
-        makespan_end: SimTime::ZERO,
-        cfg: cfg.clone(),
-    };
-
-    if !jobs.is_empty() {
-        m.queue
-            .push(SimTime::ZERO, PRIO_NEW_TASK_GRAPH, Event::NewTaskGraph);
+    let mut engine = Engine::new(cfg);
+    for job in jobs {
+        engine.submit(job.clone());
     }
-    while let Some(ev) = m.queue.pop() {
-        m.makespan_end = ev.time;
-        m.handle(ev.payload, ev.time, jobs, policy);
-    }
-    if m.completed_jobs != jobs.len() {
-        return Err(SimError::StalledAwaitingEvent {
-            completed_jobs: m.completed_jobs,
-            at: m.makespan_end,
-        });
-    }
-
-    let stats = RunStats {
-        policy: policy.name(),
-        makespan: m.makespan_end.since(SimTime::ZERO),
-        executed: m.executed,
-        reuses: m.reuses,
-        loads: m.loads,
-        skips: m.skips,
-        stalls: m.stalls,
-        traffic: m.energy.stats(),
-        graph_completions: m.graph_completions,
-        ideal_makespan: ideal_sequence_makespan(jobs, cfg.rus),
-        reconfig_latency: cfg.device.reconfig_latency,
-    };
-    Ok(SimulationOutcome {
-        stats,
-        trace: m.trace,
-    })
+    engine.run(policy);
+    engine.finish()
 }
 
 impl ManagerState {
@@ -274,22 +402,47 @@ impl ManagerState {
         policy: &mut dyn ReplacementPolicy,
     ) {
         match ev {
+            Event::JobArrival { idx } => {
+                self.record(TraceEvent::JobArrival {
+                    job: idx as u32,
+                    at: now,
+                });
+                self.arrived.push_back(idx);
+                if self.current.is_none() {
+                    // Idle manager: resume by activating at this instant
+                    // (unless a same-instant activation is already queued).
+                    if !self.activation_pending {
+                        self.queue
+                            .push(now, PRIO_NEW_TASK_GRAPH, Event::NewTaskGraph);
+                        self.activation_pending = true;
+                    }
+                } else {
+                    // The Dynamic List just grew: a stalled or skipped
+                    // reconfiguration of the current graph may retry at
+                    // this event.
+                    self.try_advance(now, policy);
+                }
+            }
             Event::NewTaskGraph => {
                 debug_assert!(self.current.is_none(), "graphs execute sequentially");
                 debug_assert!(
                     self.controller.is_idle(),
                     "no cross-graph reconfigurations can be in flight"
                 );
-                let idx = self.next_job;
-                self.next_job += 1;
+                self.activation_pending = false;
+                let idx = self
+                    .arrived
+                    .pop_front()
+                    .expect("activation follows an arrival");
                 let job = ActiveJob::new(idx as u32, &jobs[idx], &self.job_templates[idx]);
                 self.record(TraceEvent::GraphStart {
                     job: idx as u32,
                     at: now,
                 });
+                self.graph_arrivals.push(jobs[idx].arrival);
                 self.current = Some(job);
                 policy.on_graph_start(idx as u32, now);
-                self.try_advance(now, jobs, policy);
+                self.try_advance(now, policy);
             }
             Event::EndOfReconfiguration { ru, node } => {
                 let op = self.controller.complete(now);
@@ -320,7 +473,7 @@ impl ManagerState {
                     self.start_execution(node, now, policy);
                 }
                 // Fig. 4 line 9: invoke the replacement module again.
-                self.try_advance(now, jobs, policy);
+                self.try_advance(now, policy);
             }
             Event::EndOfExecution { ru, node } => {
                 let config = self
@@ -347,7 +500,7 @@ impl ManagerState {
                 // Fig. 4 lines 11–13: replacement module first, if the
                 // reconfiguration circuitry is idle.
                 if self.controller.is_idle() {
-                    self.try_advance(now, jobs, policy);
+                    self.try_advance(now, policy);
                 }
                 // Fig. 4 line 14: update task dependencies.
                 let mut to_start: Vec<NodeId> = Vec::new();
@@ -365,7 +518,8 @@ impl ManagerState {
                 for s in to_start {
                     self.start_execution(s, now, policy);
                 }
-                // Graph completion → activate the next job.
+                // Graph completion → activate the longest-waiting
+                // arrived job, or go idle until the next arrival.
                 if done == graph.len() {
                     self.record(TraceEvent::GraphEnd {
                         job: job_idx,
@@ -375,9 +529,10 @@ impl ManagerState {
                     self.current = None;
                     self.completed_jobs += 1;
                     self.graph_completions.push(now);
-                    if self.next_job < jobs.len() {
+                    if !self.arrived.is_empty() {
                         self.queue
                             .push(now, PRIO_NEW_TASK_GRAPH, Event::NewTaskGraph);
+                        self.activation_pending = true;
                     }
                 }
             }
@@ -414,7 +569,7 @@ impl ManagerState {
     /// reconfiguration sequence while the circuitry is idle. Reuse
     /// claims cascade (they occupy no circuitry); at most one load can
     /// start (it occupies the circuitry).
-    fn try_advance(&mut self, now: SimTime, jobs: &[JobSpec], policy: &mut dyn ReplacementPolicy) {
+    fn try_advance(&mut self, now: SimTime, policy: &mut dyn ReplacementPolicy) {
         loop {
             if !self.controller.is_idle() {
                 return;
@@ -509,7 +664,7 @@ impl ManagerState {
                 }
                 let (victim, do_skip) = {
                     let job = self.current.as_ref().expect("checked above");
-                    let future = self.build_future_view(job, jobs);
+                    let future = self.build_future_view(job);
                     let ctx = ReplacementContext {
                         now,
                         new_config: config,
@@ -582,8 +737,14 @@ impl ManagerState {
 
     /// Builds the visible future request stream: remaining loads of the
     /// current graph, then the reconfiguration sequences of the next
-    /// `lookahead` jobs.
-    fn build_future_view<'a>(&'a self, job: &'a ActiveJob, jobs: &[JobSpec]) -> FutureView<'a> {
+    /// `lookahead` jobs in the online queue.
+    ///
+    /// Only *arrived* jobs are visible — an online manager cannot look
+    /// into arrivals that have not happened yet, so even
+    /// `Lookahead::All` is clairvoyant only about the enqueued backlog.
+    /// In the batch setting every job arrives at t = 0 and this is
+    /// exactly the paper's Dynamic List over the remaining sequence.
+    fn build_future_view<'a>(&'a self, job: &'a ActiveJob) -> FutureView<'a> {
         let mut segments: Vec<&'a [ConfigId]> = Vec::new();
         // Remaining loads of the current graph, *after* the entry being
         // placed now.
@@ -591,14 +752,9 @@ impl ManagerState {
         if !rest.is_empty() {
             segments.push(rest);
         }
-        let remaining = jobs.len() - self.next_job;
-        let visible = match self.cfg.lookahead {
-            Lookahead::None => 0,
-            Lookahead::Graphs(n) => n.min(remaining),
-            Lookahead::All => remaining,
-        };
-        for tpl in &self.job_templates[self.next_job..self.next_job + visible] {
-            segments.push(tpl.cfg_seq.as_slice());
+        let visible = self.cfg.lookahead.visible_graphs(self.arrived.len());
+        for &idx in self.arrived.iter().take(visible) {
+            segments.push(self.job_templates[idx].cfg_seq.as_slice());
         }
         FutureView::new(segments)
     }
@@ -753,7 +909,7 @@ mod tests {
         assert_eq!(out.stats.traffic.reuses, 4);
         assert_eq!(
             out.stats.traffic.bytes_moved,
-            4 * u64::from(ManagerConfig::paper_default().device.bitstream_bytes)
+            4 * ManagerConfig::paper_default().device.bitstream_bytes
         );
     }
 
@@ -764,5 +920,115 @@ mod tests {
         let out = run(&cfg, &jobs);
         assert!(out.trace.is_empty());
         assert_eq!(out.stats.executed, 4);
+    }
+
+    #[test]
+    fn late_arrival_idles_then_resumes() {
+        // One JPEG at t = 0 (makespan 83 ms solo), a second arriving at
+        // 200 ms: the manager idles in between, and residency survives
+        // the gap, so the second instance reuses all 4 configurations
+        // and finishes at 200 + 79 ms.
+        let g = Arc::new(benchmarks::jpeg());
+        let jobs = vec![
+            JobSpec::new(Arc::clone(&g)),
+            JobSpec::new(g).with_arrival(SimTime::from_ms(200)),
+        ];
+        let out = run(&ManagerConfig::paper_default(), &jobs);
+        assert_eq!(out.stats.reuses, 4, "residency survives the idle gap");
+        assert_eq!(out.stats.makespan, ms(200 + 79));
+        // The idle gap absorbs job 0's exposed initial load (it ends at
+        // 83 ms, well before job 1 arrives), so no overhead is visible.
+        assert_eq!(out.stats.total_overhead(), ms(0));
+        assert_eq!(
+            out.stats.graph_arrivals,
+            vec![SimTime::ZERO, SimTime::from_ms(200)]
+        );
+    }
+
+    #[test]
+    fn activation_follows_arrival_order_not_submission_order() {
+        // Job 1 arrives before job 0: it must run first.
+        let jobs = vec![
+            JobSpec::new(Arc::new(benchmarks::jpeg())).with_arrival(SimTime::from_ms(50)),
+            JobSpec::new(Arc::new(benchmarks::mpeg1())).with_arrival(SimTime::from_ms(10)),
+        ];
+        let out = run(&ManagerConfig::paper_default(), &jobs);
+        let starts: Vec<u32> = out
+            .trace
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::GraphStart { job, .. } => Some(job),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starts, vec![1, 0]);
+    }
+
+    #[test]
+    fn engine_interleaves_submission_and_running() {
+        // Drive the engine open-loop: run to idle, then submit more.
+        let g = Arc::new(benchmarks::jpeg());
+        let mut policy = FirstCandidatePolicy;
+        let mut engine = Engine::new(&ManagerConfig::paper_default());
+        engine.submit(JobSpec::new(Arc::clone(&g)));
+        engine.run(&mut policy);
+        assert!(engine.is_idle());
+        assert_eq!(engine.completed_jobs(), 1);
+        let t = engine.now();
+        assert_eq!(t, SimTime::from_ms(83));
+        // Submit a job arriving strictly later than "now".
+        engine.submit(JobSpec::new(g).with_arrival(t + ms(17)));
+        engine.run(&mut policy);
+        assert_eq!(engine.completed_jobs(), 2);
+        let out = engine.finish().expect("both jobs completed");
+        assert_eq!(out.stats.reuses, 4);
+        assert_eq!(out.stats.makespan, ms(100 + 79));
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated past")]
+    fn submitting_into_the_past_panics() {
+        let g = Arc::new(benchmarks::jpeg());
+        let mut engine = Engine::new(&ManagerConfig::paper_default());
+        engine.submit(JobSpec::new(Arc::clone(&g)));
+        engine.run(&mut FirstCandidatePolicy);
+        // now == 83 ms; an arrival at 5 ms is in the past.
+        engine.submit(JobSpec::new(g).with_arrival(SimTime::from_ms(5)));
+    }
+
+    #[test]
+    fn simultaneous_arrivals_activate_in_submission_order() {
+        let jobs = vec![
+            JobSpec::new(Arc::new(benchmarks::jpeg())).with_arrival(SimTime::from_ms(30)),
+            JobSpec::new(Arc::new(benchmarks::mpeg1())).with_arrival(SimTime::from_ms(30)),
+        ];
+        let out = run(&ManagerConfig::paper_default(), &jobs);
+        let starts: Vec<u32> = out
+            .trace
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::GraphStart { job, .. } => Some(job),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starts, vec![0, 1]);
+        // Nothing can run before the shared arrival instant.
+        assert!(out.stats.makespan >= ms(30 + 83));
+    }
+
+    #[test]
+    fn streaming_trace_records_arrivals() {
+        let jobs =
+            vec![JobSpec::new(Arc::new(benchmarks::jpeg())).with_arrival(SimTime::from_ms(7))];
+        let out = run(&ManagerConfig::paper_default(), &jobs);
+        let arrivals: Vec<(u32, SimTime)> = out
+            .trace
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::JobArrival { job, at } => Some((job, at)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(arrivals, vec![(0, SimTime::from_ms(7))]);
     }
 }

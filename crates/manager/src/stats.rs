@@ -24,7 +24,11 @@ pub struct RunStats {
     pub stalls: u64,
     /// Energy / bus-traffic counters.
     pub traffic: TrafficStats,
-    /// Completion instant of each task graph, in sequence order.
+    /// Arrival instant of each task graph, in activation order
+    /// (all-zero in the paper's batch setting).
+    pub graph_arrivals: Vec<SimTime>,
+    /// Completion instant of each task graph, in activation order
+    /// (equal to submission order when all jobs arrive at t = 0).
     pub graph_completions: Vec<SimTime>,
     /// Zero-latency baseline makespan of the same job sequence (the
     /// "ideal schedule where no reconfiguration overhead is generated"
@@ -63,6 +67,31 @@ impl RunStats {
     pub fn remaining_overhead_pct(&self) -> f64 {
         self.total_overhead().percent_of(self.original_overhead())
     }
+
+    /// Per-graph sojourn times (completion − arrival): how long each
+    /// application spent in the system, queueing included. The key
+    /// responsiveness metric of streaming-arrival runs; in the batch
+    /// setting it degenerates to the completion instants.
+    pub fn sojourns(&self) -> impl Iterator<Item = SimDuration> + '_ {
+        self.graph_arrivals
+            .iter()
+            .zip(&self.graph_completions)
+            .map(|(&a, &c)| c.since(a))
+    }
+
+    /// Mean sojourn time in milliseconds (0 when no graph completed).
+    pub fn mean_sojourn_ms(&self) -> f64 {
+        let n = self.graph_completions.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sojourns().map(|d| d.as_ms_f64()).sum::<f64>() / n as f64
+    }
+
+    /// Worst-case sojourn time across all graphs.
+    pub fn max_sojourn(&self) -> SimDuration {
+        self.sojourns().max().unwrap_or(SimDuration::ZERO)
+    }
 }
 
 #[cfg(test)]
@@ -79,6 +108,7 @@ mod tests {
             skips: 1,
             stalls: 2,
             traffic: TrafficStats::default(),
+            graph_arrivals: vec![SimTime::ZERO, SimTime::from_ms(40)],
             graph_completions: vec![SimTime::from_ms(50), SimTime::from_ms(120)],
             ideal_makespan: SimDuration::from_ms(100),
             reconfig_latency: SimDuration::from_ms(4),
@@ -104,5 +134,22 @@ mod tests {
         s.executed = 0;
         assert_eq!(s.reuse_rate_pct(), 0.0);
         assert_eq!(s.remaining_overhead_pct(), 0.0);
+    }
+
+    #[test]
+    fn sojourn_metrics() {
+        // Graph 0: 50 − 0 = 50 ms; graph 1: 120 − 40 = 80 ms.
+        let s = stats();
+        assert!((s.mean_sojourn_ms() - 65.0).abs() < 1e-12);
+        assert_eq!(s.max_sojourn(), SimDuration::from_ms(80));
+    }
+
+    #[test]
+    fn empty_run_sojourn_is_zero() {
+        let mut s = stats();
+        s.graph_arrivals.clear();
+        s.graph_completions.clear();
+        assert_eq!(s.mean_sojourn_ms(), 0.0);
+        assert_eq!(s.max_sojourn(), SimDuration::ZERO);
     }
 }

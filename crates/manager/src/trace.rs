@@ -17,6 +17,13 @@ use serde::{Deserialize, Serialize};
 /// in the submitted sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TraceEvent {
+    /// Task graph `job` entered the manager's online queue.
+    JobArrival {
+        /// Application index.
+        job: u32,
+        /// Event time.
+        at: SimTime,
+    },
     /// Task graph `job` became the current graph.
     GraphStart {
         /// Application index.
@@ -125,7 +132,8 @@ impl TraceEvent {
     /// Event timestamp.
     pub fn at(&self) -> SimTime {
         match *self {
-            TraceEvent::GraphStart { at, .. }
+            TraceEvent::JobArrival { at, .. }
+            | TraceEvent::GraphStart { at, .. }
             | TraceEvent::GraphEnd { at, .. }
             | TraceEvent::LoadStart { at, .. }
             | TraceEvent::LoadEnd { at, .. }
@@ -149,7 +157,7 @@ impl Trace {
     /// Appends an event (the manager guarantees time ordering).
     pub fn push(&mut self, ev: TraceEvent) {
         debug_assert!(
-            self.events.last().map_or(true, |last| last.at() <= ev.at()),
+            self.events.last().is_none_or(|last| last.at() <= ev.at()),
             "trace events must be time-ordered"
         );
         self.events.push(ev);

@@ -10,7 +10,9 @@
 //! 3. A task executes exactly once, after its configuration was loaded
 //!    into or reused on its RU.
 //! 4. A task starts only after all its predecessors finished.
-//! 5. Graph executions are sequential and in FIFO order.
+//! 5. Graph executions are sequential and in arrival order (FIFO over
+//!    the online queue; plain submission order in the batch setting),
+//!    and never start before the job's arrival.
 //! 6. A reuse claim only happens when the same configuration was left
 //!    on that RU by a previous load with no intervening overwrite.
 //! 7. Stats counters match the trace.
@@ -66,7 +68,11 @@ pub fn validate_trace(
     let mut life: HashMap<(u32, u32), NodeLife> = HashMap::new();
     // --- Resident config per RU (invariant 6). ---
     let mut resident: HashMap<u16, ConfigId> = HashMap::new();
-    // --- Graph ordering (invariant 5). ---
+    // --- Graph ordering (invariant 5): activation follows arrival
+    // order, ties broken by submission index (the engine's queue is
+    // FIFO per instant). ---
+    let mut expected_order: Vec<u32> = (0..jobs.len() as u32).collect();
+    expected_order.sort_by_key(|&i| (jobs[i as usize].arrival, i));
     let mut graph_started: Vec<u32> = Vec::new();
     let mut graph_ended: Vec<(u32, SimTime)> = Vec::new();
     let mut current_graph: Option<u32> = None;
@@ -77,6 +83,14 @@ pub fn validate_trace(
 
     for ev in trace.iter() {
         match *ev {
+            TraceEvent::JobArrival { job, at } => {
+                check!(
+                    v,
+                    jobs.get(job as usize).map(|j| j.arrival) == Some(at),
+                    "job {job} arrived at {at}, but its spec says {:?}",
+                    jobs.get(job as usize).map(|j| j.arrival)
+                );
+            }
             TraceEvent::GraphStart { job, at } => {
                 check!(
                     v,
@@ -92,8 +106,15 @@ pub fn validate_trace(
                 }
                 check!(
                     v,
-                    graph_started.last().map_or(0, |&g| g + 1) == job,
-                    "graphs must start in FIFO order; got {job} after {graph_started:?}"
+                    jobs.get(job as usize).is_none_or(|j| at >= j.arrival),
+                    "graph {job} started at {at} before its arrival at {:?}",
+                    jobs.get(job as usize).map(|j| j.arrival)
+                );
+                check!(
+                    v,
+                    expected_order.get(graph_started.len()) == Some(&job),
+                    "graphs must start in arrival order {expected_order:?}; \
+                     got {job} after {graph_started:?}"
                 );
                 graph_started.push(job);
                 current_graph = Some(job);

@@ -127,7 +127,7 @@ mod tests {
 
     #[test]
     fn scope_joins_and_returns() {
-        let data = vec![1, 2, 3];
+        let data = [1, 2, 3];
         let sum = super::thread::scope(|s| {
             let h = s.spawn(|_| data.iter().sum::<i32>());
             h.join().unwrap()

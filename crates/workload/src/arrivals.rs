@@ -1,0 +1,210 @@
+//! Seeded arrival processes for streaming workloads.
+//!
+//! The paper evaluates replacement policies on a fixed batch of
+//! applications; the streaming [`Engine`](rtr_manager::Engine) accepts
+//! jobs *as they arrive*. An [`ArrivalProcess`] turns a job count and a
+//! seed into a deterministic, non-decreasing vector of arrival instants
+//! that rides on [`JobSpec::arrival`](rtr_manager::JobSpec):
+//!
+//! * [`ArrivalProcess::Batch`] — everything at t = 0 (the paper's
+//!   setting; golden numbers reproduce bit-exactly through it).
+//! * [`ArrivalProcess::Poisson`] — memoryless open-loop traffic, the
+//!   standard model for independent tenants.
+//! * [`ArrivalProcess::Periodic`] — a fixed-rate feed (sensor
+//!   pipelines, frame-locked media).
+//! * [`ArrivalProcess::Bursty`] — batched tenants: groups of jobs land
+//!   together, bursts separated by exponential gaps.
+//!
+//! All times are integer microseconds on the simulation clock, so the
+//! generated scenarios serialise exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtr_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// How job arrival instants are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// All jobs arrive at t = 0 — the paper's batch setting.
+    Batch,
+    /// Poisson process: i.i.d. exponential inter-arrival gaps with the
+    /// given mean (µs). Mean offered load is
+    /// `mean service time / mean_gap_us`.
+    Poisson {
+        /// Mean inter-arrival gap in microseconds.
+        mean_gap_us: u64,
+    },
+    /// Fixed-rate arrivals: job *i* arrives at `i * period_us`.
+    Periodic {
+        /// Gap between consecutive arrivals in microseconds.
+        period_us: u64,
+    },
+    /// Bursts of `size` jobs arriving at the same instant, bursts
+    /// separated by exponential gaps with mean `mean_gap_us`.
+    Bursty {
+        /// Jobs per burst (≥ 1).
+        size: usize,
+        /// Mean gap between bursts in microseconds.
+        mean_gap_us: u64,
+    },
+}
+
+/// One exponential draw with the given mean, rounded to whole µs.
+fn exp_gap_us(rng: &mut StdRng, mean_us: u64) -> u64 {
+    // 1 − u ∈ (0, 1], so the log is finite and the gap non-negative.
+    let u = rng.next_unit_f64();
+    (-(mean_us as f64) * (1.0 - u).ln()).round() as u64
+}
+
+impl ArrivalProcess {
+    /// Draws `count` non-decreasing arrival instants, fully determined
+    /// by `seed`.
+    pub fn generate(&self, count: usize, seed: u64) -> Vec<SimTime> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match *self {
+            ArrivalProcess::Batch => vec![SimTime::ZERO; count],
+            ArrivalProcess::Poisson { mean_gap_us } => {
+                let mut t = 0u64;
+                (0..count)
+                    .map(|_| {
+                        t += exp_gap_us(&mut rng, mean_gap_us);
+                        SimTime::from_us(t)
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Periodic { period_us } => (0..count as u64)
+                .map(|i| SimTime::from_us(i * period_us))
+                .collect(),
+            ArrivalProcess::Bursty { size, mean_gap_us } => {
+                assert!(size >= 1, "bursts need at least one job");
+                let mut t = 0u64;
+                (0..count)
+                    .map(|i| {
+                        if i % size == 0 {
+                            t += exp_gap_us(&mut rng, mean_gap_us);
+                        }
+                        SimTime::from_us(t)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Short display label for tables.
+    pub fn label(&self) -> String {
+        match *self {
+            ArrivalProcess::Batch => "batch".into(),
+            ArrivalProcess::Poisson { mean_gap_us } => {
+                format!("poisson({}ms)", mean_gap_us as f64 / 1_000.0)
+            }
+            ArrivalProcess::Periodic { period_us } => {
+                format!("periodic({}ms)", period_us as f64 / 1_000.0)
+            }
+            ArrivalProcess::Bursty { size, mean_gap_us } => {
+                format!("bursty({size}x{}ms)", mean_gap_us as f64 / 1_000.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_sorted(ts: &[SimTime]) {
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "non-monotonic: {ts:?}");
+    }
+
+    #[test]
+    fn batch_is_all_zero() {
+        let ts = ArrivalProcess::Batch.generate(10, 1);
+        assert_eq!(ts, vec![SimTime::ZERO; 10]);
+    }
+
+    #[test]
+    fn poisson_is_deterministic_and_monotone() {
+        let p = ArrivalProcess::Poisson { mean_gap_us: 5_000 };
+        let a = p.generate(200, 42);
+        let b = p.generate(200, 42);
+        assert_eq!(a, b);
+        assert_sorted(&a);
+        assert_ne!(a, p.generate(200, 43), "seeds must matter");
+    }
+
+    #[test]
+    fn poisson_mean_gap_is_close_to_nominal() {
+        let mean = 10_000u64;
+        let n = 4_000;
+        let ts = ArrivalProcess::Poisson { mean_gap_us: mean }.generate(n, 7);
+        let total = ts.last().unwrap().as_us() as f64;
+        let observed = total / n as f64;
+        let err = (observed - mean as f64).abs() / mean as f64;
+        assert!(err < 0.1, "mean gap {observed} vs nominal {mean}");
+    }
+
+    #[test]
+    fn periodic_is_a_fixed_grid() {
+        let ts = ArrivalProcess::Periodic { period_us: 2_500 }.generate(4, 9);
+        let expect: Vec<SimTime> = (0..4).map(|i| SimTime::from_us(i * 2_500)).collect();
+        assert_eq!(ts, expect);
+    }
+
+    #[test]
+    fn bursty_groups_share_instants() {
+        let p = ArrivalProcess::Bursty {
+            size: 4,
+            mean_gap_us: 50_000,
+        };
+        let ts = p.generate(12, 3);
+        assert_sorted(&ts);
+        for burst in ts.chunks(4) {
+            assert!(burst.iter().all(|&t| t == burst[0]), "burst split: {ts:?}");
+        }
+        // Consecutive bursts are (almost surely) separated.
+        assert!(ts[0] < ts[4] && ts[4] < ts[8]);
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        assert_eq!(ArrivalProcess::Batch.label(), "batch");
+        assert_eq!(
+            ArrivalProcess::Poisson { mean_gap_us: 2_500 }.label(),
+            "poisson(2.5ms)"
+        );
+        assert_eq!(
+            ArrivalProcess::Bursty {
+                size: 8,
+                mean_gap_us: 100_000
+            }
+            .label(),
+            "bursty(8x100ms)"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for p in [
+            ArrivalProcess::Batch,
+            ArrivalProcess::Poisson { mean_gap_us: 1 },
+            ArrivalProcess::Periodic { period_us: 9 },
+            ArrivalProcess::Bursty {
+                size: 3,
+                mean_gap_us: 77,
+            },
+        ] {
+            let json = serde_json::to_string(&p).unwrap();
+            assert_eq!(serde_json::from_str::<ArrivalProcess>(&json).unwrap(), p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn zero_burst_size_panics() {
+        ArrivalProcess::Bursty {
+            size: 0,
+            mean_gap_us: 1,
+        }
+        .generate(1, 0);
+    }
+}

@@ -117,8 +117,10 @@ pub fn run_matrix(params: &Fig9Params, policies: &[PolicyKind]) -> Vec<Fig9Cell>
     });
 
     // Average over seeds, keyed by (rus, policy position).
+    // Running sums of the five per-cell metrics plus the sample count.
+    type MetricAcc = (f64, f64, f64, f64, f64, u32);
     let policy_pos = |p: &PolicyKind| policies.iter().position(|q| q == p).expect("known policy");
-    let mut acc: BTreeMap<(usize, usize), (f64, f64, f64, f64, f64, u32)> = BTreeMap::new();
+    let mut acc: BTreeMap<(usize, usize), MetricAcc> = BTreeMap::new();
     for (rus, policy, reuse, remaining, overhead, loads, energy) in results {
         let e = acc
             .entry((rus, policy_pos(&policy)))

@@ -5,6 +5,7 @@
 //! `EXPERIMENTS.md` for recorded paper-vs-measured results.
 
 pub mod ablations;
+pub mod arrivals;
 pub mod fig9;
 pub mod table1;
 pub mod table2;

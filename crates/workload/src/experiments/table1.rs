@@ -34,7 +34,7 @@ impl WorstCase {
     /// `dl_graphs` applications of the paper's 500-app workload
     /// (`usize::MAX` = the whole 500-app sequence, the LFD oracle case).
     pub fn new(rus: usize, dl_graphs: usize) -> Self {
-        let workload = paper_workload(0xF16_9);
+        let workload = paper_workload(0xF169);
         let take = dl_graphs.min(workload.len());
         let mut stream = Vec::new();
         for g in workload.iter().take(take) {

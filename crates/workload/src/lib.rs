@@ -1,10 +1,14 @@
 //! Experiment substrate: workload generation, policy grids, parallel
 //! parameter sweeps and result tables for the paper's evaluation
-//! (Fig. 9a/b/c, Tables I and II) plus the extended ablations.
+//! (Fig. 9a/b/c, Tables I and II) plus the extended ablations and the
+//! streaming-arrival experiments.
 //!
 //! * [`sequence`] — seeded application-sequence models (the paper's
 //!   "sequence of 500 applications randomly selected from our set of
 //!   benchmarks", plus weighted/bursty/round-robin variants).
+//! * [`arrivals`] — seeded arrival processes (Poisson / periodic /
+//!   bursty) stamping per-job arrival instants for the streaming
+//!   engine; `ArrivalProcess::Batch` reproduces the paper's setting.
 //! * [`policies`] — a serialisable policy selector that couples each
 //!   policy with the manager configuration it needs (lookahead window,
 //!   Skip Events flag).
@@ -16,6 +20,7 @@
 //! * [`table`] — Markdown/CSV result tables.
 //! * [`experiments`] — the per-figure/table drivers.
 
+pub mod arrivals;
 pub mod experiments;
 pub mod parallel;
 pub mod policies;
@@ -24,8 +29,9 @@ pub mod scenario;
 pub mod sequence;
 pub mod table;
 
+pub use arrivals::ArrivalProcess;
 pub use policies::PolicyKind;
-pub use runner::{run_cell, CellConfig};
+pub use runner::{run_cell, run_cell_with_arrivals, CellConfig};
 pub use scenario::Scenario;
 pub use sequence::SequenceModel;
 pub use table::Table;

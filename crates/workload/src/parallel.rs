@@ -7,7 +7,31 @@
 //! output is identical to a sequential run regardless of scheduling.
 
 use crossbeam::channel;
+use std::any::Any;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A captured panic payload, tagged with the input index it came from.
+type CellPanic = (usize, Box<dyn Any + Send + 'static>);
+
+/// Best-effort extraction of the human-readable message from a panic
+/// payload (`panic!` produces `&str` or `String` payloads).
+fn panic_message(payload: &(dyn Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
+}
+
+/// Re-raises a captured per-cell panic, prefixed with the failing cell
+/// index so sweep failures name the cell instead of aborting opaquely.
+fn resume_cell_panic(idx: usize, payload: Box<dyn Any + Send + 'static>) -> ! {
+    panic!(
+        "parallel_map: cell {idx} panicked: {}",
+        panic_message(payload.as_ref())
+    );
+}
 
 /// Applies `f` to every item, using up to `workers` threads, preserving
 /// input order in the result.
@@ -15,6 +39,12 @@ use std::num::NonZeroUsize;
 /// Items are distributed through a work-stealing channel, so uneven
 /// per-item cost (an LFD oracle cell is far more expensive than an LRU
 /// cell) balances automatically.
+///
+/// # Panics
+/// If `f` panics on some item, the panic is captured per cell, the
+/// remaining items still drain (workers keep going), and the panic of
+/// the lowest failing index is re-raised on the caller's thread with
+/// the cell index and original message attached.
 pub fn parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -27,11 +57,18 @@ where
     }
     let workers = workers.clamp(1, n);
     if workers == 1 {
-        return items.into_iter().map(f).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(idx, item)| {
+                catch_unwind(AssertUnwindSafe(|| f(item)))
+                    .unwrap_or_else(|payload| resume_cell_panic(idx, payload))
+            })
+            .collect();
     }
 
     let (work_tx, work_rx) = channel::unbounded::<(usize, T)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, Result<R, Box<dyn Any + Send>>)>();
     for pair in items.into_iter().enumerate() {
         work_tx
             .send(pair)
@@ -39,14 +76,28 @@ where
     }
     drop(work_tx);
 
-    crossbeam::thread::scope(|scope| {
+    // Set once any cell panics: later items drain without running `f`,
+    // so a long sweep fails fast instead of computing every remaining
+    // cell first. Items are dispatched FIFO, so the lowest-indexed
+    // failing cell is always computed before the flag can be set.
+    let aborted = std::sync::atomic::AtomicBool::new(false);
+    let (slots, first_panic) = crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
             let work_rx = work_rx.clone();
             let res_tx = res_tx.clone();
             let f = &f;
+            let aborted = &aborted;
             scope.spawn(move |_| {
                 while let Ok((idx, item)) = work_rx.recv() {
-                    let out = f(item);
+                    if aborted.load(std::sync::atomic::Ordering::Relaxed) {
+                        continue; // drain the queue without computing
+                    }
+                    // Catch per-cell panics so one bad cell neither
+                    // poisons the scope join nor loses its origin.
+                    let out = catch_unwind(AssertUnwindSafe(|| f(item)));
+                    if out.is_err() {
+                        aborted.store(true, std::sync::atomic::Ordering::Relaxed);
+                    }
                     if res_tx.send((idx, out)).is_err() {
                         return; // receiver gone: abort quietly
                     }
@@ -55,15 +106,28 @@ where
         }
         drop(res_tx);
         let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut first_panic: Option<CellPanic> = None;
         for (idx, r) in res_rx.iter() {
-            slots[idx] = Some(r);
+            match r {
+                Ok(val) => slots[idx] = Some(val),
+                Err(payload) => {
+                    if first_panic.as_ref().is_none_or(|(i, _)| idx < *i) {
+                        first_panic = Some((idx, payload));
+                    }
+                }
+            }
         }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every index produced a result"))
-            .collect()
+        (slots, first_panic)
     })
-    .expect("worker threads do not panic")
+    .expect("workers catch their own panics");
+
+    if let Some((idx, payload)) = first_panic {
+        resume_cell_panic(idx, payload);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced a result"))
+        .collect()
 }
 
 /// A sensible default worker count: available parallelism, at least 1.
@@ -76,6 +140,7 @@ pub fn default_workers() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
@@ -129,5 +194,74 @@ mod tests {
     #[test]
     fn default_workers_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    /// Runs `op` with the default panic hook silenced, so expected-panic
+    /// tests do not spam stderr with worker backtraces. The hook is
+    /// process-global state and tests run on parallel threads, so
+    /// swap/restore is serialised through a mutex — otherwise two
+    /// overlapping calls could capture each other's silent hook and
+    /// leave it installed for the rest of the test run.
+    fn quiet_panics<R>(op: impl FnOnce() -> R) -> R {
+        static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        // `op` contains its panics via catch_unwind, so the restore
+        // below always runs under the lock.
+        let out = op();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn panicking_cell_reports_its_index() {
+        // Regression: a worker panic used to surface as an opaque
+        // "worker threads do not panic" abort with no failing cell.
+        let err = quiet_panics(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                parallel_map((0..20u64).collect::<Vec<_>>(), 4, |x| {
+                    assert!(x != 13, "unlucky cell");
+                    x
+                })
+            }))
+            .expect_err("a cell panicked")
+        });
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("cell 13"), "missing index: {msg}");
+        assert!(msg.contains("unlucky cell"), "missing original: {msg}");
+    }
+
+    #[test]
+    fn lowest_failing_index_wins() {
+        let err = quiet_panics(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                parallel_map((0..40u64).collect::<Vec<_>>(), 8, |x| {
+                    assert!(x % 10 != 7, "boom {x}");
+                    x
+                })
+            }))
+            .expect_err("cells panicked")
+        });
+        let msg = panic_message(err.as_ref());
+        assert!(
+            msg.contains("cell 7 panicked"),
+            "expected lowest index: {msg}"
+        );
+    }
+
+    #[test]
+    fn sequential_path_reports_index_too() {
+        let err = quiet_panics(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                parallel_map(vec![1u32, 2, 3], 1, |x| {
+                    assert!(x != 2, "sequential boom");
+                    x
+                })
+            }))
+            .expect_err("a cell panicked")
+        });
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("cell 1"), "missing index: {msg}");
     }
 }

@@ -5,8 +5,10 @@
 //! Scenarios round-trip through JSON so experiment configurations can
 //! be versioned next to their results.
 
+use crate::arrivals::ArrivalProcess;
+use crate::parallel::parallel_map;
 use crate::policies::PolicyKind;
-use crate::runner::{run_cell, CellConfig};
+use crate::runner::{run_cell_with_arrivals, CellConfig};
 use crate::sequence::SequenceModel;
 use crate::table::{fmt_f, Table};
 use rtr_hw::DeviceSpec;
@@ -14,6 +16,10 @@ use rtr_taskgraph::serialize::GraphSpec;
 use rtr_taskgraph::TaskGraph;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Salt decorrelating the arrival-time RNG stream from the
+/// application-sequence stream drawn with the same scenario seed.
+const ARRIVAL_SEED_SALT: u64 = 0xA881_17A1;
 
 /// A complete, serialisable experiment description.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -24,9 +30,12 @@ pub struct Scenario {
     pub templates: Vec<GraphSpec>,
     /// How the application sequence is drawn.
     pub model: SequenceModel,
+    /// How job arrival instants are drawn ([`ArrivalProcess::Batch`]
+    /// reproduces the paper's fixed-sequence setting).
+    pub arrivals: ArrivalProcess,
     /// Number of applications.
     pub apps: usize,
-    /// RNG seed for the sequence.
+    /// RNG seed for the sequence (the arrival stream derives from it).
     pub seed: u64,
     /// RU count.
     pub rus: usize,
@@ -46,11 +55,22 @@ impl Scenario {
                 .map(GraphSpec::from)
                 .collect(),
             model: SequenceModel::UniformRandom,
+            arrivals: ArrivalProcess::Batch,
             apps,
             seed,
             rus,
             device: DeviceSpec::paper_default(),
             policies: PolicyKind::fig9a_set(),
+        }
+    }
+
+    /// A streaming variant of the paper's workload: same templates and
+    /// sequence model, jobs arriving through `arrivals`.
+    pub fn streaming(rus: usize, apps: usize, seed: u64, arrivals: ArrivalProcess) -> Self {
+        Scenario {
+            name: format!("stream-{}-{rus}rus", arrivals.label()),
+            arrivals,
+            ..Scenario::paper_fig9(rus, apps, seed)
         }
     }
 
@@ -77,34 +97,54 @@ impl Scenario {
             .collect()
     }
 
-    /// Runs every policy of the scenario and tabulates the outcome.
+    /// Runs every policy of the scenario sequentially and tabulates the
+    /// outcome. Equivalent to [`Scenario::run_with_workers`]`(1)`.
     pub fn run(&self) -> Table {
+        self.run_with_workers(1)
+    }
+
+    /// Runs the scenario's policy cells on up to `workers` threads.
+    /// Each cell is internally deterministic and results are collected
+    /// in policy order, so the table is identical to a sequential run.
+    pub fn run_with_workers(&self, workers: usize) -> Table {
         let templates = self.template_graphs();
         let sequence = self.model.generate(&templates, self.apps, self.seed);
+        let arrivals = self
+            .arrivals
+            .generate(self.apps, self.seed ^ ARRIVAL_SEED_SALT);
         let mut t = Table::new(
             format!(
-                "Scenario {} ({} apps, {} RUs)",
-                self.name, self.apps, self.rus
+                "Scenario {} ({} apps, {} arrivals, {} RUs)",
+                self.name,
+                self.apps,
+                self.arrivals.label(),
+                self.rus
             ),
             &[
                 "Policy",
                 "Reuse (%)",
                 "Overhead (ms)",
                 "Remaining (%)",
+                "Mean sojourn (ms)",
                 "Loads",
             ],
         );
-        for &policy in &self.policies {
+        let rows = parallel_map(self.policies.clone(), workers, |policy| {
             let mut cell = CellConfig::new(policy, self.rus);
             cell.device = self.device.clone();
-            let out = run_cell(&sequence, &cell).expect("scenario cell simulates");
-            t.push_row(vec![
+            let out = run_cell_with_arrivals(&sequence, Some(&arrivals), &cell)
+                .expect("scenario cell simulates");
+            vec![
                 policy.label(),
                 fmt_f(out.stats.reuse_rate_pct(), 2),
                 fmt_f(out.stats.total_overhead().as_ms_f64(), 1),
                 fmt_f(out.stats.remaining_overhead_pct(), 2),
+                fmt_f(out.stats.mean_sojourn_ms(), 1),
                 out.stats.loads.to_string(),
-            ]);
+            ]
+        });
+        for row in rows {
+            t.push_row(row);
         }
         t
     }
@@ -138,5 +178,22 @@ mod tests {
         let t = s.run();
         assert_eq!(t.len(), s.policies.len());
         assert!(t.to_markdown().contains("LFD"));
+    }
+
+    #[test]
+    fn streaming_scenario_round_trips_and_runs() {
+        let s = Scenario::streaming(
+            4,
+            20,
+            5,
+            ArrivalProcess::Poisson {
+                mean_gap_us: 80_000,
+            },
+        );
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        let t = s.run();
+        assert_eq!(t.len(), s.policies.len());
+        assert!(t.to_markdown().contains("poisson(80ms)"));
     }
 }

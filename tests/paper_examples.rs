@@ -101,7 +101,11 @@ fn fig2_first_victim_of_local_lfd_is_ru1() {
         .trace
         .iter()
         .find_map(|e| match *e {
-            manager::TraceEvent::LoadStart { config, ru, .. } if config == ConfigId(5) => Some(ru),
+            manager::TraceEvent::LoadStart {
+                config: ConfigId(5),
+                ru,
+                ..
+            } => Some(ru),
             _ => None,
         })
         .expect("task 5 is loaded");
@@ -118,7 +122,11 @@ fn fig2_first_victim_of_local_lfd_is_ru1() {
         .trace
         .iter()
         .find_map(|e| match *e {
-            manager::TraceEvent::LoadStart { config, ru, .. } if config == ConfigId(5) => Some(ru),
+            manager::TraceEvent::LoadStart {
+                config: ConfigId(5),
+                ru,
+                ..
+            } => Some(ru),
             _ => None,
         })
         .unwrap();

@@ -1,0 +1,178 @@
+//! Streaming-engine system tests.
+//!
+//! The batch-equivalence invariant: running the paper's job sets
+//! through the streaming `Engine` with every arrival at t = 0 must
+//! reproduce the golden Fig. 2/3 numbers bit for bit (`simulate` is
+//! that wrapper, so these go through `Engine` explicitly). On top,
+//! streaming-only behaviour: idle/resume across arrival gaps,
+//! arrival-order activation, and trace validity under random feeds.
+
+use reconfig_reuse::prelude::*;
+use reconfig_reuse::workload::arrivals::ArrivalProcess;
+use rtr_manager::validate::assert_valid;
+use rtr_manager::{Engine, FirstCandidatePolicy};
+use std::sync::Arc;
+
+fn ms(x: u64) -> SimDuration {
+    SimDuration::from_ms(x)
+}
+
+/// Fig. 2 workload: TG1, TG2, TG2, TG1, TG2 (12 task executions).
+fn fig2_jobs() -> Vec<JobSpec> {
+    let tg1 = Arc::new(taskgraph::benchmarks::fig2_tg1());
+    let tg2 = Arc::new(taskgraph::benchmarks::fig2_tg2());
+    [&tg1, &tg2, &tg2, &tg1, &tg2]
+        .iter()
+        .map(|g| JobSpec::new(Arc::clone(g)))
+        .collect()
+}
+
+fn stream(cfg: &ManagerConfig, jobs: &[JobSpec], policy: &mut dyn ReplacementPolicy) -> RunStats {
+    policy.reset();
+    let mut engine = Engine::new(cfg);
+    for job in jobs {
+        engine.submit(job.clone());
+    }
+    engine.run(policy);
+    let out = engine.finish().expect("streamed jobs complete");
+    assert_valid(
+        &out.trace,
+        jobs,
+        cfg.device.reconfig_latency,
+        Some(&out.stats),
+    );
+    out.stats
+}
+
+#[test]
+fn batch_equivalence_fig2_golden_numbers() {
+    // All arrivals at t = 0 through the streaming engine must hit the
+    // paper's exact Fig. 2 numbers (LRU 2/12 & 22 ms, LFD 5/12 & 11 ms,
+    // Local LFD (1) 5/12 & 15 ms).
+    let jobs = fig2_jobs();
+    let base = ManagerConfig::paper_default();
+
+    let lru = stream(
+        &base.clone().with_lookahead(Lookahead::None),
+        &jobs,
+        &mut LruPolicy::new(),
+    );
+    assert_eq!((lru.reuses, lru.total_overhead()), (2, ms(22)));
+
+    let lfd = stream(
+        &base.clone().with_lookahead(Lookahead::All),
+        &jobs,
+        &mut LfdPolicy::oracle(),
+    );
+    assert_eq!((lfd.reuses, lfd.total_overhead()), (5, ms(11)));
+
+    let local = stream(
+        &base.with_lookahead(Lookahead::Graphs(1)),
+        &jobs,
+        &mut LfdPolicy::local(1),
+    );
+    assert_eq!((local.reuses, local.total_overhead()), (5, ms(15)));
+}
+
+#[test]
+fn batch_equivalence_matches_simulate_exactly() {
+    // Engine-with-zero-arrivals and `simulate` are the same machine:
+    // identical stats *and* identical traces on a mixed workload.
+    let jobs: Vec<JobSpec> = [
+        taskgraph::benchmarks::jpeg(),
+        taskgraph::benchmarks::mpeg1(),
+        taskgraph::benchmarks::hough(),
+        taskgraph::benchmarks::jpeg(),
+    ]
+    .into_iter()
+    .map(|g| JobSpec::new(Arc::new(g)))
+    .collect();
+    let cfg = ManagerConfig::paper_default().with_lookahead(Lookahead::Graphs(2));
+
+    let batch = manager::simulate(&cfg, &jobs, &mut LfdPolicy::local(2)).unwrap();
+
+    let mut policy = LfdPolicy::local(2);
+    policy.reset();
+    let mut engine = Engine::new(&cfg);
+    for job in &jobs {
+        engine.submit(job.clone());
+    }
+    engine.run(&mut policy);
+    let streamed = engine.finish().unwrap();
+
+    assert_eq!(batch.stats, streamed.stats);
+    assert_eq!(batch.trace, streamed.trace);
+}
+
+#[test]
+fn idle_gap_preserves_residency_for_reuse() {
+    // Two identical JPEGs separated by a long silent gap: the manager
+    // idles, keeps the configurations resident, and the second instance
+    // reuses everything on resume.
+    let g = Arc::new(taskgraph::benchmarks::jpeg());
+    let jobs = vec![
+        JobSpec::new(Arc::clone(&g)),
+        JobSpec::new(g).with_arrival(SimTime::from_ms(500)),
+    ];
+    let stats = stream(
+        &ManagerConfig::paper_default(),
+        &jobs,
+        &mut FirstCandidatePolicy,
+    );
+    assert_eq!(stats.reuses, 4);
+    assert_eq!(stats.makespan, ms(500 + 79));
+    assert_eq!(stats.mean_sojourn_ms(), (83.0 + 79.0) / 2.0);
+}
+
+#[test]
+fn arrival_order_overrides_submission_order() {
+    let jobs = vec![
+        JobSpec::new(Arc::new(taskgraph::benchmarks::jpeg())).with_arrival(SimTime::from_ms(90)),
+        JobSpec::new(Arc::new(taskgraph::benchmarks::mpeg1())).with_arrival(SimTime::from_ms(40)),
+    ];
+    // assert_valid checks activation order against arrival order.
+    let stats = stream(
+        &ManagerConfig::paper_default(),
+        &jobs,
+        &mut FirstCandidatePolicy,
+    );
+    assert_eq!(
+        stats.graph_arrivals,
+        vec![SimTime::from_ms(40), SimTime::from_ms(90)]
+    );
+}
+
+#[test]
+fn random_feeds_produce_valid_deterministic_schedules() {
+    // Every arrival distribution yields a schedule that passes the full
+    // invariant validator and reproduces across runs.
+    let templates: Vec<Arc<TaskGraph>> = [
+        taskgraph::benchmarks::jpeg(),
+        taskgraph::benchmarks::mpeg1(),
+        taskgraph::benchmarks::hough(),
+    ]
+    .into_iter()
+    .map(Arc::new)
+    .collect();
+    let cfg = ManagerConfig::paper_default().with_lookahead(Lookahead::Graphs(1));
+    for process in [
+        ArrivalProcess::Poisson {
+            mean_gap_us: 30_000,
+        },
+        ArrivalProcess::Periodic { period_us: 45_000 },
+        ArrivalProcess::Bursty {
+            size: 5,
+            mean_gap_us: 200_000,
+        },
+    ] {
+        let arrivals = process.generate(25, 13);
+        let jobs: Vec<JobSpec> = (0..25)
+            .map(|i| JobSpec::new(Arc::clone(&templates[i % 3])).with_arrival(arrivals[i]))
+            .collect();
+        let expected: u64 = jobs.iter().map(|j| j.graph.len() as u64).sum();
+        let a = stream(&cfg, &jobs, &mut LfdPolicy::local(1));
+        let b = stream(&cfg, &jobs, &mut LfdPolicy::local(1));
+        assert_eq!(a, b, "non-deterministic schedule under {process:?}");
+        assert_eq!(a.executed, expected);
+    }
+}
