@@ -1,0 +1,195 @@
+//! Replacement-decision hot path: legacy linear scan vs. the
+//! incremental [`ReuseIndex`].
+//!
+//! Measures one `select_victim` call of the paper's LFD policy over the
+//! *same* decision, backed two ways:
+//!
+//! * `scan` — a [`FutureView`] over the visible stream, resolved by the
+//!   legacy joint linear pass: O(stream × candidates) worst case (the
+//!   cost model of the paper's Table I);
+//! * `index` — the engine's [`ReuseIndex`], one ordered lookup per
+//!   candidate: O(candidates · log n).
+//!
+//! The grid is stream length {10², 10³, 10⁴} × RU count {4, 8, 16};
+//! half the candidates never occur in the stream (the worst case that
+//! forces the scan to walk the whole window) and half occur late.
+//! Besides the criterion timings, running the bench writes
+//! `results/replacement_decision.csv` with per-cell medians and the
+//! scan/index speedup — the ISSUE 3 acceptance number.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use rtr_core::LfdPolicy;
+use rtr_hw::RuId;
+use rtr_manager::{DecisionContext, FutureView, ReplacementPolicy, ReuseIndex, VictimCandidate};
+use rtr_sim::SimTime;
+use rtr_taskgraph::ConfigId;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const STREAM_LENS: [usize; 3] = [100, 1_000, 10_000];
+const RU_COUNTS: [usize; 3] = [4, 8, 16];
+
+/// One decision scenario shared by both backings.
+struct Scenario {
+    stream: Vec<ConfigId>,
+    candidates: Vec<VictimCandidate>,
+    index: ReuseIndex,
+}
+
+impl Scenario {
+    /// Deterministic scenario: a stream over a 64-config pool; even
+    /// candidates hold configs that never occur (forcing the scan to
+    /// exhaust the window — the paper's Table I worst case), odd
+    /// candidates hold configs whose next occurrence is in the last
+    /// tenth of the stream (a deep but successful scan).
+    fn new(stream_len: usize, rus: usize) -> Self {
+        // Small xorshift so the stream is reproducible without pulling
+        // RNG deps into the bench.
+        let mut state = 0x9E37_79B9_u64 | stream_len as u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let late_base = 500u32;
+        let mut stream: Vec<ConfigId> = (0..stream_len)
+            .map(|_| ConfigId((next() % 64) as u32))
+            .collect();
+        let candidates: Vec<VictimCandidate> = (0..rus as u16)
+            .map(|i| {
+                let config = if i % 2 == 0 {
+                    ConfigId(9_000 + u32::from(i))
+                } else {
+                    ConfigId(late_base + u32::from(i))
+                };
+                VictimCandidate {
+                    ru: RuId(i),
+                    config,
+                }
+            })
+            .collect();
+        // Plant the "late" configs in the final tenth of the stream.
+        let tail_start = stream_len - stream_len / 10 - 1;
+        for (k, cand) in candidates.iter().enumerate() {
+            if cand.ru.0 % 2 == 1 {
+                let slot = tail_start + (k * 7) % (stream_len / 10).max(1);
+                stream[slot.min(stream_len - 1)] = cand.config;
+            }
+        }
+        let mut index = ReuseIndex::new();
+        index.push_job(Arc::new(stream.clone()));
+        Scenario {
+            stream,
+            candidates,
+            index,
+        }
+    }
+
+    fn decide_scan(&self, policy: &mut LfdPolicy) -> RuId {
+        let view = FutureView::new(vec![&self.stream]);
+        let ctx =
+            DecisionContext::from_view(SimTime::ZERO, ConfigId(8_888), &self.candidates, &view);
+        policy.select_victim(&ctx)
+    }
+
+    fn decide_index(&self, policy: &mut LfdPolicy) -> RuId {
+        let window = self.index.window(0, 0);
+        let ctx = DecisionContext::indexed(
+            SimTime::ZERO,
+            ConfigId(8_888),
+            &self.candidates,
+            &self.index,
+            window,
+        );
+        policy.select_victim(&ctx)
+    }
+}
+
+fn bench_replacement_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replacement_decision");
+    for &n in &STREAM_LENS {
+        for &rus in &RU_COUNTS {
+            let sc = Scenario::new(n, rus);
+            let mut policy = LfdPolicy::oracle();
+            assert_eq!(
+                sc.decide_scan(&mut policy),
+                sc.decide_index(&mut policy),
+                "backings must agree before being compared for speed"
+            );
+            group.bench_with_input(
+                BenchmarkId::new("scan", format!("n{n}_ru{rus}")),
+                &sc,
+                |b, sc| {
+                    let mut policy = LfdPolicy::oracle();
+                    b.iter(|| black_box(sc.decide_scan(&mut policy)));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("index", format!("n{n}_ru{rus}")),
+                &sc,
+                |b, sc| {
+                    let mut policy = LfdPolicy::oracle();
+                    b.iter(|| black_box(sc.decide_index(&mut policy)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Median nanoseconds per call of `f` (fixed batches, warmed up).
+fn median_ns<F: FnMut() -> RuId>(mut f: F) -> f64 {
+    const BATCHES: usize = 15;
+    const CALLS: u32 = 200;
+    for _ in 0..CALLS {
+        black_box(f());
+    }
+    let mut samples: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..CALLS {
+                black_box(f());
+            }
+            t0.elapsed().as_nanos() as f64 / f64::from(CALLS)
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    samples[BATCHES / 2]
+}
+
+/// Writes `results/replacement_decision.csv`: per-cell median decision
+/// times for both backings and the scan/index speedup.
+fn write_summary_csv() -> std::io::Result<()> {
+    let mut csv = String::from("stream_len,rus,scan_ns,index_ns,speedup\n");
+    for &n in &STREAM_LENS {
+        for &rus in &RU_COUNTS {
+            let sc = Scenario::new(n, rus);
+            let mut p_scan = LfdPolicy::oracle();
+            let mut p_index = LfdPolicy::oracle();
+            let scan = median_ns(|| sc.decide_scan(&mut p_scan));
+            let index = median_ns(|| sc.decide_index(&mut p_index));
+            let speedup = scan / index;
+            csv.push_str(&format!("{n},{rus},{scan:.1},{index:.1},{speedup:.2}\n"));
+            println!(
+                "summary: n={n} rus={rus} scan={scan:.1}ns index={index:.1}ns speedup={speedup:.2}x"
+            );
+        }
+    }
+    // Anchor on the manifest so the CSV lands in the workspace-root
+    // results/ directory regardless of the bench runner's CWD.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(dir)?;
+    let path = format!("{dir}/replacement_decision.csv");
+    std::fs::write(&path, csv)?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+criterion_group!(benches, bench_replacement_decision);
+
+fn main() {
+    benches();
+    write_summary_csv().expect("summary CSV is writable");
+}

@@ -13,7 +13,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rtr_hw::RuId;
-use rtr_manager::{ReplacementContext, ReplacementPolicy};
+use rtr_manager::{DecisionContext, ReplacementPolicy};
 use rtr_sim::SimTime;
 use rtr_taskgraph::ConfigId;
 use std::collections::HashMap;
@@ -43,7 +43,7 @@ impl ReplacementPolicy for LruPolicy {
         "LRU".to_string()
     }
 
-    fn select_victim(&mut self, ctx: &ReplacementContext<'_>) -> RuId {
+    fn select_victim(&mut self, ctx: &DecisionContext<'_>) -> RuId {
         // Least-recent touch wins; configurations never touched (only
         // possible right after reset) count as touch 0. Ties keep the
         // first (lowest RU).
@@ -102,7 +102,7 @@ impl ReplacementPolicy for MruPolicy {
         "MRU".to_string()
     }
 
-    fn select_victim(&mut self, ctx: &ReplacementContext<'_>) -> RuId {
+    fn select_victim(&mut self, ctx: &DecisionContext<'_>) -> RuId {
         let mut best = 0usize;
         let mut best_touch = 0u64;
         for (i, cand) in ctx.candidates.iter().enumerate() {
@@ -153,7 +153,7 @@ impl ReplacementPolicy for FifoPolicy {
         "FIFO".to_string()
     }
 
-    fn select_victim(&mut self, ctx: &ReplacementContext<'_>) -> RuId {
+    fn select_victim(&mut self, ctx: &DecisionContext<'_>) -> RuId {
         let mut best = 0usize;
         let mut best_seq = u64::MAX;
         for (i, cand) in ctx.candidates.iter().enumerate() {
@@ -195,7 +195,7 @@ impl ReplacementPolicy for LfuPolicy {
         "LFU".to_string()
     }
 
-    fn select_victim(&mut self, ctx: &ReplacementContext<'_>) -> RuId {
+    fn select_victim(&mut self, ctx: &DecisionContext<'_>) -> RuId {
         let mut best = 0usize;
         let mut best_count = u64::MAX;
         for (i, cand) in ctx.candidates.iter().enumerate() {
@@ -241,7 +241,7 @@ impl ReplacementPolicy for RandomPolicy {
         "Random".to_string()
     }
 
-    fn select_victim(&mut self, ctx: &ReplacementContext<'_>) -> RuId {
+    fn select_victim(&mut self, ctx: &DecisionContext<'_>) -> RuId {
         let i = self.rng.random_range(0..ctx.candidates.len());
         ctx.candidates[i].ru
     }
@@ -265,12 +265,7 @@ mod tests {
 
     fn ctx_select(policy: &mut dyn ReplacementPolicy, candidates: &[VictimCandidate]) -> RuId {
         let future = FutureView::empty();
-        let ctx = ReplacementContext {
-            now: SimTime::ZERO,
-            new_config: ConfigId(99),
-            candidates,
-            future: &future,
-        };
+        let ctx = DecisionContext::from_view(SimTime::ZERO, ConfigId(99), candidates, &future);
         policy.select_victim(&ctx)
     }
 

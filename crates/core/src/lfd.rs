@@ -11,15 +11,19 @@
 //! The *window* is not a property of this policy but of the manager's
 //! [`Lookahead`](rtr_manager::Lookahead): the same selection logic sees
 //! either the whole remaining sequence (oracle LFD) or only the Dynamic
-//! List (Local LFD (w)). The policy performs the linear search over the
-//! visible stream whose worst-case cost the paper's Table I measures.
+//! List (Local LFD (w)). Distances come from the
+//! [`DecisionContext`]: one ordered [`ReuseIndex`](crate::ReuseIndex)
+//! lookup per candidate inside the engine (O(log n)), or the legacy
+//! linear scan — whose worst-case cost the paper's Table I measures —
+//! when the context is view-backed. Both backings produce identical
+//! distances, so the choice never changes a decision.
 //!
 //! Tie-breaking follows the paper: "Local LFD selects the first
 //! candidate it finds" — among equal (including never-requested)
 //! distances the lowest-indexed RU wins.
 
 use rtr_hw::RuId;
-use rtr_manager::{ReplacementContext, ReplacementPolicy};
+use rtr_manager::{DecisionContext, ReplacementPolicy};
 use rtr_sim::SimTime;
 use rtr_taskgraph::ConfigId;
 use std::collections::HashMap;
@@ -108,25 +112,14 @@ impl ReplacementPolicy for LfdPolicy {
         self.label.clone()
     }
 
-    fn select_victim(&mut self, ctx: &ReplacementContext<'_>) -> RuId {
+    fn select_victim(&mut self, ctx: &DecisionContext<'_>) -> RuId {
         let candidates = ctx.candidates;
         debug_assert!(!candidates.is_empty());
-        // One pass over the visible stream resolves all candidate
-        // distances; `None` means "not requested in the window" =
-        // infinite distance.
-        let mut dist: Vec<Option<usize>> = vec![None; candidates.len()];
-        let mut unresolved = candidates.len();
-        for (pos, config) in ctx.future.iter().enumerate() {
-            for (i, cand) in candidates.iter().enumerate() {
-                if dist[i].is_none() && cand.config == config {
-                    dist[i] = Some(pos + 1);
-                    unresolved -= 1;
-                }
-            }
-            if unresolved == 0 {
-                break;
-            }
-        }
+        // All candidate distances at once: ordered index lookups when
+        // the engine's ReuseIndex backs the context, a single joint
+        // pass over the stream otherwise. `None` means "not requested
+        // in the window" = infinite distance.
+        let dist = ctx.candidate_distances();
         // Farthest distance wins; infinity beats everything; among ties
         // the configured tie-break decides (paper default: strict `>`
         // keeps the earliest candidate).
@@ -189,12 +182,7 @@ mod tests {
     fn select(candidates: &[VictimCandidate], stream: &[u32]) -> RuId {
         let configs: Vec<ConfigId> = stream.iter().map(|&c| ConfigId(c)).collect();
         let future = FutureView::new(vec![&configs]);
-        let ctx = ReplacementContext {
-            now: SimTime::ZERO,
-            new_config: ConfigId(99),
-            candidates,
-            future: &future,
-        };
+        let ctx = DecisionContext::from_view(SimTime::ZERO, ConfigId(99), candidates, &future);
         LfdPolicy::oracle().select_victim(&ctx)
     }
 
@@ -276,12 +264,7 @@ mod tests {
         // evicts config 2 (stale), not RU1-first.
         let configs: Vec<ConfigId> = vec![ConfigId(9)];
         let future = FutureView::new(vec![&configs]);
-        let ctx = ReplacementContext {
-            now: SimTime::ZERO,
-            new_config: ConfigId(99),
-            candidates: &victims,
-            future: &future,
-        };
+        let ctx = DecisionContext::from_view(SimTime::ZERO, ConfigId(99), &victims, &future);
         assert_eq!(p.select_victim(&ctx), RuId(1));
     }
 
@@ -294,12 +277,7 @@ mod tests {
         // regardless of recency.
         let configs: Vec<ConfigId> = vec![ConfigId(1), ConfigId(3)];
         let future = FutureView::new(vec![&configs]);
-        let ctx = ReplacementContext {
-            now: SimTime::ZERO,
-            new_config: ConfigId(99),
-            candidates: &victims,
-            future: &future,
-        };
+        let ctx = DecisionContext::from_view(SimTime::ZERO, ConfigId(99), &victims, &future);
         assert_eq!(p.select_victim(&ctx), RuId(2));
     }
 }

@@ -29,3 +29,7 @@ pub use annotate::{AnnotatedTemplate, TemplateCache};
 pub use history::{FifoPolicy, LfuPolicy, LruPolicy, MruPolicy, RandomPolicy};
 pub use lfd::{LfdPolicy, TieBreak};
 pub use mobility::{compute_mobility, MobilityError};
+// The incremental next-occurrence index lives in `rtr-manager` (the
+// engine maintains it), but it is the paper's decision-layer machinery,
+// so the canonical path re-exports here.
+pub use rtr_manager::{DecisionContext, ReuseIndex, ReuseWindow};

@@ -1,0 +1,147 @@
+//! The replacement module (the paper's Fig. 8): reuse claim / victim
+//! selection / skip decision / load, driven by the incremental
+//! [`ReuseIndex`](crate::ReuseIndex).
+//!
+//! The decision path is the engine's hot loop. Where the legacy
+//! implementation rebuilt a `FutureView` of the whole visible stream
+//! for every decision and let the policy rescan it per candidate
+//! (O(stream × candidates)), this module derives a [`ReuseWindow`] —
+//! two additions on the shared index — and hands the policy a
+//! [`DecisionContext`] whose distance queries are one ordered lookup
+//! each: O(candidates · log n) per decision, index shared across
+//! consecutive decisions.
+
+use super::{ActiveJob, ManagerState};
+use crate::policy::{DecisionContext, ReplacementPolicy};
+use crate::reuse_index::ReuseWindow;
+use crate::trace::TraceEvent;
+use rtr_sim::SimTime;
+
+impl ManagerState {
+    /// The visible Dynamic-List window of a decision for the current
+    /// `job`: the rest of its configuration sequence *after* the entry
+    /// being placed now, then the next `lookahead` arrived jobs.
+    ///
+    /// Only *arrived* jobs are visible — an online manager cannot look
+    /// into arrivals that have not happened yet, so even
+    /// `Lookahead::All` is clairvoyant only about the enqueued backlog.
+    /// In the batch setting every job arrives at t = 0 and this is
+    /// exactly the paper's Dynamic List over the remaining sequence.
+    fn decision_window(&self, job: &ActiveJob) -> ReuseWindow {
+        let visible = self.cfg.lookahead.visible_graphs(self.arrived.len());
+        self.reuse_index.window(job.seq_pos + 1, visible)
+    }
+
+    /// The replacement module (Fig. 8): processes the head of the
+    /// reconfiguration sequence while the circuitry is idle. Reuse
+    /// claims cascade (they occupy no circuitry); at most one load can
+    /// start (it occupies the circuitry).
+    pub(crate) fn try_advance(&mut self, now: SimTime, policy: &mut dyn ReplacementPolicy) {
+        loop {
+            if !self.controller.is_idle() {
+                return;
+            }
+            let (node, config, job_idx, forced_delay_pending) = {
+                let Some(job) = self.current.as_ref() else {
+                    return;
+                };
+                if job.seq_pos >= job.rec_seq.len() {
+                    return;
+                }
+                let node = job.rec_seq[job.seq_pos];
+                let forced = job
+                    .forced_delays
+                    .as_ref()
+                    .is_some_and(|req| job.forced_skips_done[node.idx()] < req[node.idx()]);
+                (node, job.cfg_seq[job.seq_pos], job.idx, forced)
+            };
+
+            // Forced delay probes (design-time mobility calculation,
+            // Fig. 6): delay this load by one event, unconditionally.
+            if forced_delay_pending {
+                let job = self.current.as_mut().expect("checked above");
+                job.forced_skips_done[node.idx()] += 1;
+                self.skips += 1;
+                self.record(TraceEvent::Skip {
+                    job: job_idx,
+                    node,
+                    forced: true,
+                    at: now,
+                });
+                return;
+            }
+
+            // Reuse: "the RU has identified that a task can be reused
+            // since it was already loaded in a previous execution".
+            if self.claim_reuse(node, config, job_idx, now, policy) {
+                continue;
+            }
+
+            // Pick the destination RU: a free one if it exists,
+            // otherwise ask the policy for a victim (Fig. 8 step 2).
+            let target = if let Some(ru) = self.pool.first_empty() {
+                ru
+            } else {
+                let candidates = self.collect_candidates();
+                if candidates.is_empty() {
+                    // Fig. 8 step 3: no victim — retry at the next event.
+                    self.stalls += 1;
+                    self.record(TraceEvent::Stall {
+                        job: job_idx,
+                        node,
+                        at: now,
+                    });
+                    return;
+                }
+                let (victim, do_skip) = {
+                    let job = self.current.as_ref().expect("checked above");
+                    let window = self.decision_window(job);
+                    let ctx = DecisionContext::indexed(
+                        now,
+                        config,
+                        &candidates,
+                        &self.reuse_index,
+                        window,
+                    );
+                    let victim = policy.select_victim(&ctx);
+                    let victim_cfg = candidates
+                        .iter()
+                        .find(|c| c.ru == victim)
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "policy {} returned a non-candidate victim {victim}",
+                                policy.name()
+                            )
+                        })
+                        .config;
+                    // Fig. 8 steps 4–5: Skip Events. If the victim's
+                    // configuration will be requested within the visible
+                    // window and the new task still has mobility budget,
+                    // delay the reconfiguration to the next event.
+                    let do_skip = self.cfg.skip_events
+                        && job.mobility.as_ref().is_some_and(|mob| {
+                            mob[node.idx()] > job.skipped_events
+                                && self.reuse_index.contains(victim_cfg, window)
+                        });
+                    (victim, do_skip)
+                };
+                if do_skip {
+                    let job = self.current.as_mut().expect("checked above");
+                    job.skipped_events += 1;
+                    self.skips += 1;
+                    self.record(TraceEvent::Skip {
+                        job: job_idx,
+                        node,
+                        forced: false,
+                        at: now,
+                    });
+                    return;
+                }
+                victim
+            };
+
+            self.begin_reconfiguration(target, node, config, job_idx, now);
+            // Controller now busy: the loop exits on the next check.
+        }
+    }
+}

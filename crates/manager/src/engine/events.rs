@@ -1,0 +1,182 @@
+//! The engine's event alphabet and per-event dispatch — the paper's
+//! Fig. 4 pseudo-code, one match arm per line group.
+
+use super::{ActiveJob, ManagerState};
+use crate::job::JobSpec;
+use crate::policy::ReplacementPolicy;
+use crate::trace::TraceEvent;
+use rtr_hw::RuId;
+use rtr_sim::SimTime;
+use rtr_taskgraph::NodeId;
+use std::sync::Arc;
+
+/// Same-time event ordering (lower fires first): task completions are
+/// observed before reconfiguration completions, then arrivals enter the
+/// online queue, and graph activations happen after all same-instant
+/// completions and arrivals.
+pub(crate) const PRIO_END_OF_EXECUTION: u8 = 0;
+pub(crate) const PRIO_END_OF_RECONFIGURATION: u8 = 1;
+pub(crate) const PRIO_JOB_ARRIVAL: u8 = 2;
+pub(crate) const PRIO_NEW_TASK_GRAPH: u8 = 3;
+
+/// Events driving the manager.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Event {
+    /// Job `idx` enters the online queue.
+    JobArrival { idx: usize },
+    /// The longest-waiting arrived job becomes current.
+    NewTaskGraph,
+    /// The in-flight reconfiguration finished.
+    EndOfReconfiguration { ru: RuId, node: NodeId },
+    /// A task finished executing.
+    EndOfExecution { ru: RuId, node: NodeId },
+}
+
+impl ManagerState {
+    /// Dispatches one event (the body of the paper's Fig. 4).
+    pub(crate) fn handle(
+        &mut self,
+        ev: Event,
+        now: SimTime,
+        jobs: &[JobSpec],
+        policy: &mut dyn ReplacementPolicy,
+    ) {
+        match ev {
+            Event::JobArrival { idx } => {
+                self.record(TraceEvent::JobArrival {
+                    job: idx as u32,
+                    at: now,
+                });
+                self.note_arrival(idx);
+                if self.current.is_none() {
+                    // Idle manager: resume by activating at this instant
+                    // (unless a same-instant activation is already queued).
+                    if !self.activation_pending {
+                        self.queue
+                            .push(now, PRIO_NEW_TASK_GRAPH, Event::NewTaskGraph);
+                        self.activation_pending = true;
+                    }
+                } else {
+                    // The Dynamic List just grew: a stalled or skipped
+                    // reconfiguration of the current graph may retry at
+                    // this event.
+                    self.try_advance(now, policy);
+                }
+            }
+            Event::NewTaskGraph => {
+                debug_assert!(self.current.is_none(), "graphs execute sequentially");
+                debug_assert!(
+                    self.controller.is_idle(),
+                    "no cross-graph reconfigurations can be in flight"
+                );
+                self.activation_pending = false;
+                let idx = self
+                    .arrived
+                    .pop_front()
+                    .expect("activation follows an arrival");
+                let job = ActiveJob::new(idx as u32, &jobs[idx], &self.job_templates[idx]);
+                self.record(TraceEvent::GraphStart {
+                    job: idx as u32,
+                    at: now,
+                });
+                self.graph_arrivals.push(jobs[idx].arrival);
+                self.current = Some(job);
+                policy.on_graph_start(idx as u32, now);
+                self.try_advance(now, policy);
+            }
+            Event::EndOfReconfiguration { ru, node } => {
+                let op = self.controller.complete(now);
+                debug_assert_eq!(op.ru, ru);
+                let config = self
+                    .pool
+                    .finish_load(ru)
+                    .expect("manager drives RU transitions correctly");
+                let job_idx = {
+                    let job = self
+                        .current
+                        .as_mut()
+                        .expect("loads only happen for the current graph");
+                    job.loaded[node.idx()] = true;
+                    job.node_ru[node.idx()] = Some(ru);
+                    job.idx
+                };
+                self.record(TraceEvent::LoadEnd {
+                    job: job_idx,
+                    node,
+                    config,
+                    ru,
+                    at: now,
+                });
+                policy.on_load_complete(config, ru, now);
+                // Fig. 4 lines 6–8: start the task if it is ready.
+                if self.current.as_ref().is_some_and(|j| j.ready(node)) {
+                    self.start_execution(node, now, policy);
+                }
+                // Fig. 4 line 9: invoke the replacement module again.
+                self.try_advance(now, policy);
+            }
+            Event::EndOfExecution { ru, node } => {
+                let config = self
+                    .pool
+                    .finish_execution(ru)
+                    .expect("manager drives RU transitions correctly");
+                let (job_idx, graph, done) = {
+                    let job = self
+                        .current
+                        .as_mut()
+                        .expect("executions only happen for the current graph");
+                    job.done_count += 1;
+                    (job.idx, Arc::clone(&job.graph), job.done_count)
+                };
+                self.executed += 1;
+                self.record(TraceEvent::ExecEnd {
+                    job: job_idx,
+                    node,
+                    config,
+                    ru,
+                    at: now,
+                });
+                policy.on_exec_end(config, now);
+                // Fig. 4 lines 11–13: replacement module first, if the
+                // reconfiguration circuitry is idle.
+                if self.controller.is_idle() {
+                    self.try_advance(now, policy);
+                }
+                // Fig. 4 line 14: update task dependencies.
+                let mut to_start: Vec<NodeId> = Vec::new();
+                if let Some(job) = self.current.as_mut() {
+                    for &s in graph.succs(node) {
+                        job.pending_preds[s.idx()] -= 1;
+                    }
+                    // Fig. 4 lines 15–19: start loaded ready tasks.
+                    for &s in graph.succs(node) {
+                        if job.ready(s) {
+                            to_start.push(s);
+                        }
+                    }
+                }
+                for s in to_start {
+                    self.start_execution(s, now, policy);
+                }
+                // Graph completion → activate the longest-waiting
+                // arrived job, or go idle until the next arrival.
+                if done == graph.len() {
+                    self.record(TraceEvent::GraphEnd {
+                        job: job_idx,
+                        at: now,
+                    });
+                    policy.on_graph_end(job_idx, now);
+                    self.current = None;
+                    self.retire_front_job();
+                    self.completed_jobs += 1;
+                    self.graph_completions.push(now);
+                    if !self.arrived.is_empty() {
+                        self.queue
+                            .push(now, PRIO_NEW_TASK_GRAPH, Event::NewTaskGraph);
+                        self.activation_pending = true;
+                    }
+                }
+            }
+        }
+    }
+}

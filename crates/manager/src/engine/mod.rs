@@ -1,0 +1,141 @@
+//! Internals of the streaming execution engine, decomposed by concern:
+//!
+//! * [`events`] — the event alphabet (the paper's Fig. 4 triggers) and
+//!   the per-event dispatch;
+//! * [`residency`] — everything that changes what is resident where:
+//!   reuse claims, load starts, execution starts, and the incremental
+//!   maintenance of the [`ReuseIndex`] as jobs arrive and retire;
+//! * [`decision`] — the replacement module (the paper's Fig. 8): victim
+//!   selection through [`DecisionContext`](crate::DecisionContext) and
+//!   the Skip Events rule.
+//!
+//! [`crate::manager`] remains the thin orchestrator owning the public
+//! [`Engine`](crate::Engine) / [`simulate`](crate::simulate) surface;
+//! the split keeps each concern small enough to reason about while the
+//! shared [`ManagerState`] stays one struct (the event loop is a state
+//! machine, not a layer cake).
+
+use crate::config::ManagerConfig;
+use crate::job::JobSpec;
+use crate::reuse_index::ReuseIndex;
+use crate::trace::{Trace, TraceEvent};
+use rtr_hw::{EnergyModel, ReconfigController, RuId, RuPool};
+use rtr_sim::{EventQueue, SimTime};
+use rtr_taskgraph::{ConfigId, NodeId, TaskGraph};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+pub(crate) mod decision;
+pub(crate) mod events;
+pub(crate) mod residency;
+
+pub(crate) use events::{Event, PRIO_JOB_ARRIVAL};
+
+/// Design-time artifacts computed once per distinct graph template: the
+/// reconfiguration sequence and its configuration projection. This is
+/// the "bulk of the computations at design time" the hybrid approach
+/// banks on — at run time the manager only walks precomputed arrays.
+#[derive(Debug, Clone)]
+pub(crate) struct TemplateInfo {
+    pub(crate) rec_seq: Arc<Vec<NodeId>>,
+    pub(crate) cfg_seq: Arc<Vec<ConfigId>>,
+}
+
+/// Run-time state of the current task graph.
+#[derive(Debug)]
+pub(crate) struct ActiveJob {
+    pub(crate) idx: u32,
+    pub(crate) graph: Arc<TaskGraph>,
+    pub(crate) rec_seq: Arc<Vec<NodeId>>,
+    pub(crate) cfg_seq: Arc<Vec<ConfigId>>,
+    /// Cursor into `rec_seq`: next task to load.
+    pub(crate) seq_pos: usize,
+    pub(crate) pending_preds: Vec<u32>,
+    pub(crate) node_ru: Vec<Option<RuId>>,
+    pub(crate) loaded: Vec<bool>,
+    pub(crate) exec_started: Vec<bool>,
+    pub(crate) done_count: usize,
+    /// Run-time Skip Events counter — "initialized externally to this
+    /// function each time a new task graph starts its execution"
+    /// (Fig. 8).
+    pub(crate) skipped_events: u32,
+    /// Per-node forced delays already honoured (mobility probes).
+    pub(crate) forced_skips_done: Vec<u32>,
+    pub(crate) mobility: Option<Arc<Vec<u32>>>,
+    pub(crate) forced_delays: Option<Arc<Vec<u32>>>,
+}
+
+impl ActiveJob {
+    pub(crate) fn new(idx: u32, spec: &JobSpec, tpl: &TemplateInfo) -> Self {
+        let n = spec.graph.len();
+        let pending_preds = spec
+            .graph
+            .node_ids()
+            .map(|id| spec.graph.preds(id).len() as u32)
+            .collect();
+        ActiveJob {
+            idx,
+            graph: Arc::clone(&spec.graph),
+            rec_seq: Arc::clone(&tpl.rec_seq),
+            cfg_seq: Arc::clone(&tpl.cfg_seq),
+            seq_pos: 0,
+            pending_preds,
+            node_ru: vec![None; n],
+            loaded: vec![false; n],
+            exec_started: vec![false; n],
+            done_count: 0,
+            skipped_events: 0,
+            forced_skips_done: vec![0; n],
+            mobility: spec.mobility.clone(),
+            forced_delays: spec.forced_delays.clone(),
+        }
+    }
+
+    pub(crate) fn ready(&self, node: NodeId) -> bool {
+        self.loaded[node.idx()]
+            && !self.exec_started[node.idx()]
+            && self.pending_preds[node.idx()] == 0
+    }
+}
+
+/// The mutable heart of the engine, shared by the submodules.
+pub(crate) struct ManagerState {
+    pub(crate) cfg: ManagerConfig,
+    pub(crate) pool: RuPool,
+    pub(crate) controller: ReconfigController,
+    pub(crate) energy: EnergyModel,
+    pub(crate) queue: EventQueue<Event>,
+    /// Per-job design-time info, indexed like `jobs`.
+    pub(crate) job_templates: Vec<TemplateInfo>,
+    pub(crate) current: Option<ActiveJob>,
+    /// Online queue: jobs that have arrived but not yet been activated,
+    /// in arrival order (ties broken by submission order). This is what
+    /// the replacement module's Dynamic List is built from.
+    pub(crate) arrived: VecDeque<usize>,
+    /// The incremental next-occurrence index over `[current] + arrived`
+    /// — shared across consecutive replacement decisions instead of a
+    /// per-decision stream rebuild.
+    pub(crate) reuse_index: ReuseIndex,
+    /// A `NewTaskGraph` event is already enqueued (prevents
+    /// double-activation when several jobs arrive at the same instant).
+    pub(crate) activation_pending: bool,
+    pub(crate) completed_jobs: usize,
+    pub(crate) trace: Trace,
+    pub(crate) executed: u64,
+    pub(crate) reuses: u64,
+    pub(crate) loads: u64,
+    pub(crate) skips: u64,
+    pub(crate) stalls: u64,
+    /// Arrival instant of each graph, in activation order.
+    pub(crate) graph_arrivals: Vec<SimTime>,
+    pub(crate) graph_completions: Vec<SimTime>,
+    pub(crate) makespan_end: SimTime,
+}
+
+impl ManagerState {
+    pub(crate) fn record(&mut self, ev: TraceEvent) {
+        if self.cfg.record_trace {
+            self.trace.push(ev);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Residency transitions: what is loaded where, and when it changes.
+//!
+//! This module owns every state change of the RU pool (reuse claims,
+//! load starts, execution starts) and — because residency decisions are
+//! driven by the future request stream — the incremental maintenance of
+//! the [`ReuseIndex`](crate::ReuseIndex): jobs are indexed the moment
+//! they arrive and pruned the moment their graph retires, so the index
+//! always mirrors `[current job] + arrived backlog`.
+
+use super::events::{Event, PRIO_END_OF_EXECUTION, PRIO_END_OF_RECONFIGURATION};
+use super::ManagerState;
+use crate::policy::{ReplacementPolicy, VictimCandidate};
+use crate::trace::TraceEvent;
+use rtr_hw::RuId;
+use rtr_sim::SimTime;
+use rtr_taskgraph::{ConfigId, NodeId};
+use std::sync::Arc;
+
+impl ManagerState {
+    /// A submitted job's arrival fired: append it to the online queue
+    /// and to the next-occurrence index (same order — the index's
+    /// segment deque mirrors `[current] + arrived` exactly).
+    pub(crate) fn note_arrival(&mut self, idx: usize) {
+        self.arrived.push_back(idx);
+        self.reuse_index
+            .push_job(Arc::clone(&self.job_templates[idx].cfg_seq));
+    }
+
+    /// The current graph completed: drop its (fully consumed) segment
+    /// from the index so memory tracks the live backlog.
+    pub(crate) fn retire_front_job(&mut self) {
+        self.reuse_index.retire_front();
+    }
+
+    /// Attempts the reuse claim of Fig. 8 step 1 for the sequence head:
+    /// if `config` is resident and unclaimed, claim it (zero latency,
+    /// zero energy), advance the sequence and start the task when
+    /// ready. Returns `true` when the claim happened.
+    pub(crate) fn claim_reuse(
+        &mut self,
+        node: NodeId,
+        config: ConfigId,
+        job_idx: u32,
+        now: SimTime,
+        policy: &mut dyn ReplacementPolicy,
+    ) -> bool {
+        if !self.cfg.reuse_enabled {
+            return false;
+        }
+        let Some(ru) = self.pool.find_reusable(config) else {
+            return false;
+        };
+        self.pool
+            .claim_for_reuse(ru, config)
+            .expect("find_reusable returned a claimable RU");
+        {
+            let job = self.current.as_mut().expect("reuse needs a current job");
+            job.loaded[node.idx()] = true;
+            job.node_ru[node.idx()] = Some(ru);
+            job.seq_pos += 1;
+        }
+        self.reuses += 1;
+        self.energy.record_reuse();
+        self.record(TraceEvent::Reuse {
+            job: job_idx,
+            node,
+            config,
+            ru,
+            at: now,
+        });
+        policy.on_reuse(config, ru, now);
+        if self.current.as_ref().is_some_and(|j| j.ready(node)) {
+            self.start_execution(node, now, policy);
+        }
+        true
+    }
+
+    /// The legal eviction victims: every unclaimed resident
+    /// configuration, in RU-index order.
+    pub(crate) fn collect_candidates(&self) -> Vec<VictimCandidate> {
+        self.pool
+            .eviction_candidates()
+            .into_iter()
+            .map(|ru| VictimCandidate {
+                ru,
+                config: self
+                    .pool
+                    .state(ru)
+                    .resident_config()
+                    .expect("candidates are resident"),
+            })
+            .collect()
+    }
+
+    /// Fig. 8 steps 6–7: triggers the reconfiguration of `config` into
+    /// `target` and removes the task from the sequence. The caller
+    /// guarantees the circuitry is idle and `target` is empty or an
+    /// unclaimed candidate.
+    pub(crate) fn begin_reconfiguration(
+        &mut self,
+        target: RuId,
+        node: NodeId,
+        config: ConfigId,
+        job_idx: u32,
+        now: SimTime,
+    ) {
+        self.pool
+            .begin_load(target, config)
+            .expect("target RU is empty or an unclaimed candidate");
+        let completes = self.controller.start(target, config, now);
+        {
+            let job = self.current.as_mut().expect("loads need a current job");
+            job.seq_pos += 1;
+        }
+        self.loads += 1;
+        self.energy.record_load();
+        self.record(TraceEvent::LoadStart {
+            job: job_idx,
+            node,
+            config,
+            ru: target,
+            at: now,
+        });
+        self.queue.push(
+            completes,
+            PRIO_END_OF_RECONFIGURATION,
+            Event::EndOfReconfiguration { ru: target, node },
+        );
+    }
+
+    /// Starts executing `node` on its claimed RU (Fig. 4 lines 6–8 and
+    /// 15–19).
+    pub(crate) fn start_execution(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        policy: &mut dyn ReplacementPolicy,
+    ) {
+        let (ru, idx, end) = {
+            let job = self.current.as_mut().expect("start_execution needs a job");
+            let ru = job.node_ru[node.idx()].expect("ready tasks have an RU");
+            job.exec_started[node.idx()] = true;
+            (ru, job.idx, now + job.graph.exec_time(node))
+        };
+        let config = self
+            .pool
+            .begin_execution(ru)
+            .expect("ready tasks hold a claimed RU");
+        self.queue.push(
+            end,
+            PRIO_END_OF_EXECUTION,
+            Event::EndOfExecution { ru, node },
+        );
+        self.record(TraceEvent::ExecStart {
+            job: idx,
+            node,
+            config,
+            ru,
+            at: now,
+        });
+        policy.on_exec_start(config, now);
+    }
+}

@@ -33,10 +33,12 @@
 //! does.
 
 pub mod config;
+pub(crate) mod engine;
 pub mod ideal;
 pub mod job;
 pub mod manager;
 pub mod policy;
+pub mod reuse_index;
 pub mod stats;
 pub mod trace;
 pub mod validate;
@@ -45,7 +47,8 @@ pub use config::{Lookahead, ManagerConfig};
 pub use job::JobSpec;
 pub use manager::{simulate, Engine, SimError, SimulationOutcome};
 pub use policy::{
-    FirstCandidatePolicy, FutureView, ReplacementContext, ReplacementPolicy, VictimCandidate,
+    DecisionContext, FirstCandidatePolicy, FutureView, ReplacementPolicy, VictimCandidate,
 };
+pub use reuse_index::{ReuseIndex, ReuseWindow};
 pub use stats::RunStats;
 pub use trace::{Trace, TraceEvent};

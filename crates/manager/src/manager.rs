@@ -2,22 +2,17 @@
 //! replacement-module protocol (Fig. 8), generalised into a streaming
 //! [`Engine`] that consumes jobs from an online arrival queue.
 //!
-//! See the crate docs and `DESIGN.md` §2 for the semantics; every branch
-//! here maps onto a line of the paper's pseudo-code:
+//! This file is the thin orchestrator: the public [`Engine`] /
+//! [`simulate`] surface, submission, the event-drain loop and run
+//! finalisation. The event semantics live in the focused submodules of
+//! `crate::engine`:
 //!
-//! * `JobArrival` → the job enters the manager's online queue. In the
-//!   paper's batch setting every job arrives at t = 0, which reproduces
-//!   the fixed FIFO sequence of Fig. 4 exactly.
-//! * `NewTaskGraph` → Fig. 4 lines 1–4 (activate, invoke replacement
-//!   module if the circuitry is idle — it always is at activation
-//!   because graphs execute sequentially).
-//! * `EndOfReconfiguration` / reuse claims → Fig. 4 lines 5–9 (start the
-//!   task if ready, then invoke the replacement module again).
-//! * `EndOfExecution` → Fig. 4 lines 10–19 (replacement module if the
-//!   circuitry is idle, then dependency update, then start any loaded
-//!   ready tasks).
-//! * the replacement-module loop (`try_advance`) → Fig. 8 (reuse claim / victim
-//!   selection / skip decision / load).
+//! * `engine/events.rs` — the event alphabet and dispatch (Fig. 4
+//!   lines 1–19);
+//! * `engine/residency.rs` — reuse claims, load/execution starts, and
+//!   incremental [`ReuseIndex`] maintenance;
+//! * `engine/decision.rs` — the replacement module (Fig. 8): victim
+//!   selection over the index and Skip Events.
 //!
 //! When the current graph completes and no arrived job is waiting, the
 //! manager goes *idle*: resident configurations stay in place (so reuse
@@ -25,39 +20,19 @@
 //! activation.
 
 use crate::config::ManagerConfig;
+use crate::engine::{Event, ManagerState, TemplateInfo, PRIO_JOB_ARRIVAL};
 use crate::ideal::ideal_sequence_makespan;
 use crate::job::JobSpec;
-use crate::policy::{FutureView, ReplacementContext, ReplacementPolicy, VictimCandidate};
+use crate::policy::ReplacementPolicy;
+use crate::reuse_index::ReuseIndex;
 use crate::stats::RunStats;
-use crate::trace::{Trace, TraceEvent};
-use rtr_hw::{EnergyModel, ReconfigController, RuId, RuPool};
+use crate::trace::Trace;
+use rtr_hw::{EnergyModel, ReconfigController, RuPool};
 use rtr_sim::{EventQueue, SimTime};
-use rtr_taskgraph::{reconfiguration_sequence, ConfigId, NodeId, TaskGraph};
+use rtr_taskgraph::{reconfiguration_sequence, TaskGraph};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
-
-/// Same-time event ordering (lower fires first): task completions are
-/// observed before reconfiguration completions, then arrivals enter the
-/// online queue, and graph activations happen after all same-instant
-/// completions and arrivals.
-const PRIO_END_OF_EXECUTION: u8 = 0;
-const PRIO_END_OF_RECONFIGURATION: u8 = 1;
-const PRIO_JOB_ARRIVAL: u8 = 2;
-const PRIO_NEW_TASK_GRAPH: u8 = 3;
-
-/// Events driving the manager.
-#[derive(Debug, Clone, Copy)]
-enum Event {
-    /// Job `idx` enters the online queue.
-    JobArrival { idx: usize },
-    /// The longest-waiting arrived job becomes current.
-    NewTaskGraph,
-    /// The in-flight reconfiguration finished.
-    EndOfReconfiguration { ru: RuId, node: NodeId },
-    /// A task finished executing.
-    EndOfExecution { ru: RuId, node: NodeId },
-}
 
 /// Simulation failure modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,102 +71,6 @@ pub struct SimulationOutcome {
     pub stats: RunStats,
     /// Full schedule trace (empty when `record_trace` is off).
     pub trace: Trace,
-}
-
-/// Design-time artifacts computed once per distinct graph template: the
-/// reconfiguration sequence and its configuration projection. This is
-/// the "bulk of the computations at design time" the hybrid approach
-/// banks on — at run time the manager only walks precomputed arrays.
-#[derive(Debug, Clone)]
-struct TemplateInfo {
-    rec_seq: Arc<Vec<NodeId>>,
-    cfg_seq: Arc<Vec<ConfigId>>,
-}
-
-/// Run-time state of the current task graph.
-#[derive(Debug)]
-struct ActiveJob {
-    idx: u32,
-    graph: Arc<TaskGraph>,
-    rec_seq: Arc<Vec<NodeId>>,
-    cfg_seq: Arc<Vec<ConfigId>>,
-    /// Cursor into `rec_seq`: next task to load.
-    seq_pos: usize,
-    pending_preds: Vec<u32>,
-    node_ru: Vec<Option<RuId>>,
-    loaded: Vec<bool>,
-    exec_started: Vec<bool>,
-    done_count: usize,
-    /// Run-time Skip Events counter — "initialized externally to this
-    /// function each time a new task graph starts its execution"
-    /// (Fig. 8).
-    skipped_events: u32,
-    /// Per-node forced delays already honoured (mobility probes).
-    forced_skips_done: Vec<u32>,
-    mobility: Option<Arc<Vec<u32>>>,
-    forced_delays: Option<Arc<Vec<u32>>>,
-}
-
-impl ActiveJob {
-    fn new(idx: u32, spec: &JobSpec, tpl: &TemplateInfo) -> Self {
-        let n = spec.graph.len();
-        let pending_preds = spec
-            .graph
-            .node_ids()
-            .map(|id| spec.graph.preds(id).len() as u32)
-            .collect();
-        ActiveJob {
-            idx,
-            graph: Arc::clone(&spec.graph),
-            rec_seq: Arc::clone(&tpl.rec_seq),
-            cfg_seq: Arc::clone(&tpl.cfg_seq),
-            seq_pos: 0,
-            pending_preds,
-            node_ru: vec![None; n],
-            loaded: vec![false; n],
-            exec_started: vec![false; n],
-            done_count: 0,
-            skipped_events: 0,
-            forced_skips_done: vec![0; n],
-            mobility: spec.mobility.clone(),
-            forced_delays: spec.forced_delays.clone(),
-        }
-    }
-
-    fn ready(&self, node: NodeId) -> bool {
-        self.loaded[node.idx()]
-            && !self.exec_started[node.idx()]
-            && self.pending_preds[node.idx()] == 0
-    }
-}
-
-struct ManagerState {
-    cfg: ManagerConfig,
-    pool: RuPool,
-    controller: ReconfigController,
-    energy: EnergyModel,
-    queue: EventQueue<Event>,
-    /// Per-job design-time info, indexed like `jobs`.
-    job_templates: Vec<TemplateInfo>,
-    current: Option<ActiveJob>,
-    /// Online queue: jobs that have arrived but not yet been activated,
-    /// in arrival order (ties broken by submission order). This is what
-    /// the replacement module's Dynamic List is built from.
-    arrived: VecDeque<usize>,
-    /// A `NewTaskGraph` event is already enqueued (prevents
-    /// double-activation when several jobs arrive at the same instant).
-    activation_pending: bool,
-    completed_jobs: usize,
-    trace: Trace,
-    executed: u64,
-    reuses: u64,
-    loads: u64,
-    skips: u64,
-    stalls: u64,
-    /// Arrival instant of each graph, in activation order.
-    graph_arrivals: Vec<SimTime>,
-    graph_completions: Vec<SimTime>,
-    makespan_end: SimTime,
 }
 
 /// The streaming execution engine: an online generalisation of the
@@ -234,6 +113,7 @@ impl Engine {
                 job_templates: Vec::new(),
                 current: None,
                 arrived: VecDeque::new(),
+                reuse_index: ReuseIndex::new(),
                 activation_pending: false,
                 completed_jobs: 0,
                 trace: Trace::default(),
@@ -329,6 +209,13 @@ impl Engine {
         self.m.current.is_none() && self.m.queue.is_empty()
     }
 
+    /// The engine's shared next-occurrence index over `[current job] +
+    /// arrived backlog` — exposed read-only for diagnostics and
+    /// benches.
+    pub fn reuse_index(&self) -> &ReuseIndex {
+        &self.m.reuse_index
+    }
+
     /// Finalises the run into stats + trace.
     ///
     /// Returns [`SimError::StalledAwaitingEvent`] when some submitted
@@ -387,385 +274,13 @@ pub fn simulate(
     engine.finish()
 }
 
-impl ManagerState {
-    fn record(&mut self, ev: TraceEvent) {
-        if self.cfg.record_trace {
-            self.trace.push(ev);
-        }
-    }
-
-    fn handle(
-        &mut self,
-        ev: Event,
-        now: SimTime,
-        jobs: &[JobSpec],
-        policy: &mut dyn ReplacementPolicy,
-    ) {
-        match ev {
-            Event::JobArrival { idx } => {
-                self.record(TraceEvent::JobArrival {
-                    job: idx as u32,
-                    at: now,
-                });
-                self.arrived.push_back(idx);
-                if self.current.is_none() {
-                    // Idle manager: resume by activating at this instant
-                    // (unless a same-instant activation is already queued).
-                    if !self.activation_pending {
-                        self.queue
-                            .push(now, PRIO_NEW_TASK_GRAPH, Event::NewTaskGraph);
-                        self.activation_pending = true;
-                    }
-                } else {
-                    // The Dynamic List just grew: a stalled or skipped
-                    // reconfiguration of the current graph may retry at
-                    // this event.
-                    self.try_advance(now, policy);
-                }
-            }
-            Event::NewTaskGraph => {
-                debug_assert!(self.current.is_none(), "graphs execute sequentially");
-                debug_assert!(
-                    self.controller.is_idle(),
-                    "no cross-graph reconfigurations can be in flight"
-                );
-                self.activation_pending = false;
-                let idx = self
-                    .arrived
-                    .pop_front()
-                    .expect("activation follows an arrival");
-                let job = ActiveJob::new(idx as u32, &jobs[idx], &self.job_templates[idx]);
-                self.record(TraceEvent::GraphStart {
-                    job: idx as u32,
-                    at: now,
-                });
-                self.graph_arrivals.push(jobs[idx].arrival);
-                self.current = Some(job);
-                policy.on_graph_start(idx as u32, now);
-                self.try_advance(now, policy);
-            }
-            Event::EndOfReconfiguration { ru, node } => {
-                let op = self.controller.complete(now);
-                debug_assert_eq!(op.ru, ru);
-                let config = self
-                    .pool
-                    .finish_load(ru)
-                    .expect("manager drives RU transitions correctly");
-                let job_idx = {
-                    let job = self
-                        .current
-                        .as_mut()
-                        .expect("loads only happen for the current graph");
-                    job.loaded[node.idx()] = true;
-                    job.node_ru[node.idx()] = Some(ru);
-                    job.idx
-                };
-                self.record(TraceEvent::LoadEnd {
-                    job: job_idx,
-                    node,
-                    config,
-                    ru,
-                    at: now,
-                });
-                policy.on_load_complete(config, ru, now);
-                // Fig. 4 lines 6–8: start the task if it is ready.
-                if self.current.as_ref().is_some_and(|j| j.ready(node)) {
-                    self.start_execution(node, now, policy);
-                }
-                // Fig. 4 line 9: invoke the replacement module again.
-                self.try_advance(now, policy);
-            }
-            Event::EndOfExecution { ru, node } => {
-                let config = self
-                    .pool
-                    .finish_execution(ru)
-                    .expect("manager drives RU transitions correctly");
-                let (job_idx, graph, done) = {
-                    let job = self
-                        .current
-                        .as_mut()
-                        .expect("executions only happen for the current graph");
-                    job.done_count += 1;
-                    (job.idx, Arc::clone(&job.graph), job.done_count)
-                };
-                self.executed += 1;
-                self.record(TraceEvent::ExecEnd {
-                    job: job_idx,
-                    node,
-                    config,
-                    ru,
-                    at: now,
-                });
-                policy.on_exec_end(config, now);
-                // Fig. 4 lines 11–13: replacement module first, if the
-                // reconfiguration circuitry is idle.
-                if self.controller.is_idle() {
-                    self.try_advance(now, policy);
-                }
-                // Fig. 4 line 14: update task dependencies.
-                let mut to_start: Vec<NodeId> = Vec::new();
-                if let Some(job) = self.current.as_mut() {
-                    for &s in graph.succs(node) {
-                        job.pending_preds[s.idx()] -= 1;
-                    }
-                    // Fig. 4 lines 15–19: start loaded ready tasks.
-                    for &s in graph.succs(node) {
-                        if job.ready(s) {
-                            to_start.push(s);
-                        }
-                    }
-                }
-                for s in to_start {
-                    self.start_execution(s, now, policy);
-                }
-                // Graph completion → activate the longest-waiting
-                // arrived job, or go idle until the next arrival.
-                if done == graph.len() {
-                    self.record(TraceEvent::GraphEnd {
-                        job: job_idx,
-                        at: now,
-                    });
-                    policy.on_graph_end(job_idx, now);
-                    self.current = None;
-                    self.completed_jobs += 1;
-                    self.graph_completions.push(now);
-                    if !self.arrived.is_empty() {
-                        self.queue
-                            .push(now, PRIO_NEW_TASK_GRAPH, Event::NewTaskGraph);
-                        self.activation_pending = true;
-                    }
-                }
-            }
-        }
-    }
-
-    fn start_execution(&mut self, node: NodeId, now: SimTime, policy: &mut dyn ReplacementPolicy) {
-        let (ru, idx, end) = {
-            let job = self.current.as_mut().expect("start_execution needs a job");
-            let ru = job.node_ru[node.idx()].expect("ready tasks have an RU");
-            job.exec_started[node.idx()] = true;
-            (ru, job.idx, now + job.graph.exec_time(node))
-        };
-        let config = self
-            .pool
-            .begin_execution(ru)
-            .expect("ready tasks hold a claimed RU");
-        self.queue.push(
-            end,
-            PRIO_END_OF_EXECUTION,
-            Event::EndOfExecution { ru, node },
-        );
-        self.record(TraceEvent::ExecStart {
-            job: idx,
-            node,
-            config,
-            ru,
-            at: now,
-        });
-        policy.on_exec_start(config, now);
-    }
-
-    /// The replacement module (Fig. 8): processes the head of the
-    /// reconfiguration sequence while the circuitry is idle. Reuse
-    /// claims cascade (they occupy no circuitry); at most one load can
-    /// start (it occupies the circuitry).
-    fn try_advance(&mut self, now: SimTime, policy: &mut dyn ReplacementPolicy) {
-        loop {
-            if !self.controller.is_idle() {
-                return;
-            }
-            let (node, config, job_idx, forced_delay_pending) = {
-                let Some(job) = self.current.as_ref() else {
-                    return;
-                };
-                if job.seq_pos >= job.rec_seq.len() {
-                    return;
-                }
-                let node = job.rec_seq[job.seq_pos];
-                let forced = job
-                    .forced_delays
-                    .as_ref()
-                    .is_some_and(|req| job.forced_skips_done[node.idx()] < req[node.idx()]);
-                (node, job.cfg_seq[job.seq_pos], job.idx, forced)
-            };
-
-            // Forced delay probes (design-time mobility calculation,
-            // Fig. 6): delay this load by one event, unconditionally.
-            if forced_delay_pending {
-                let job = self.current.as_mut().expect("checked above");
-                job.forced_skips_done[node.idx()] += 1;
-                self.skips += 1;
-                self.record(TraceEvent::Skip {
-                    job: job_idx,
-                    node,
-                    forced: true,
-                    at: now,
-                });
-                return;
-            }
-
-            // Reuse: "the RU has identified that a task can be reused
-            // since it was already loaded in a previous execution".
-            if self.cfg.reuse_enabled {
-                if let Some(ru) = self.pool.find_reusable(config) {
-                    self.pool
-                        .claim_for_reuse(ru, config)
-                        .expect("find_reusable returned a claimable RU");
-                    {
-                        let job = self.current.as_mut().expect("checked above");
-                        job.loaded[node.idx()] = true;
-                        job.node_ru[node.idx()] = Some(ru);
-                        job.seq_pos += 1;
-                    }
-                    self.reuses += 1;
-                    self.energy.record_reuse();
-                    self.record(TraceEvent::Reuse {
-                        job: job_idx,
-                        node,
-                        config,
-                        ru,
-                        at: now,
-                    });
-                    policy.on_reuse(config, ru, now);
-                    if self.current.as_ref().is_some_and(|j| j.ready(node)) {
-                        self.start_execution(node, now, policy);
-                    }
-                    continue;
-                }
-            }
-
-            // Pick the destination RU: a free one if it exists,
-            // otherwise ask the policy for a victim (Fig. 8 step 2).
-            let target = if let Some(ru) = self.pool.first_empty() {
-                ru
-            } else {
-                let candidates: Vec<VictimCandidate> = self
-                    .pool
-                    .eviction_candidates()
-                    .into_iter()
-                    .map(|ru| VictimCandidate {
-                        ru,
-                        config: self
-                            .pool
-                            .state(ru)
-                            .resident_config()
-                            .expect("candidates are resident"),
-                    })
-                    .collect();
-                if candidates.is_empty() {
-                    // Fig. 8 step 3: no victim — retry at the next event.
-                    self.stalls += 1;
-                    self.record(TraceEvent::Stall {
-                        job: job_idx,
-                        node,
-                        at: now,
-                    });
-                    return;
-                }
-                let (victim, do_skip) = {
-                    let job = self.current.as_ref().expect("checked above");
-                    let future = self.build_future_view(job);
-                    let ctx = ReplacementContext {
-                        now,
-                        new_config: config,
-                        candidates: &candidates,
-                        future: &future,
-                    };
-                    let victim = policy.select_victim(&ctx);
-                    let victim_cfg = candidates
-                        .iter()
-                        .find(|c| c.ru == victim)
-                        .unwrap_or_else(|| {
-                            panic!(
-                                "policy {} returned a non-candidate victim {victim}",
-                                policy.name()
-                            )
-                        })
-                        .config;
-                    // Fig. 8 steps 4–5: Skip Events. If the victim's
-                    // configuration will be requested within the visible
-                    // window and the new task still has mobility budget,
-                    // delay the reconfiguration to the next event.
-                    let do_skip = self.cfg.skip_events
-                        && job.mobility.as_ref().is_some_and(|mob| {
-                            mob[node.idx()] > job.skipped_events && future.contains(victim_cfg)
-                        });
-                    (victim, do_skip)
-                };
-                if do_skip {
-                    let job = self.current.as_mut().expect("checked above");
-                    job.skipped_events += 1;
-                    self.skips += 1;
-                    self.record(TraceEvent::Skip {
-                        job: job_idx,
-                        node,
-                        forced: false,
-                        at: now,
-                    });
-                    return;
-                }
-                victim
-            };
-
-            // Fig. 8 steps 6–7: trigger the reconfiguration and remove
-            // the task from the sequence.
-            self.pool
-                .begin_load(target, config)
-                .expect("target RU is empty or an unclaimed candidate");
-            let completes = self.controller.start(target, config, now);
-            {
-                let job = self.current.as_mut().expect("checked above");
-                job.seq_pos += 1;
-            }
-            self.loads += 1;
-            self.energy.record_load();
-            self.record(TraceEvent::LoadStart {
-                job: job_idx,
-                node,
-                config,
-                ru: target,
-                at: now,
-            });
-            self.queue.push(
-                completes,
-                PRIO_END_OF_RECONFIGURATION,
-                Event::EndOfReconfiguration { ru: target, node },
-            );
-            // Controller now busy: the loop exits on the next check.
-        }
-    }
-
-    /// Builds the visible future request stream: remaining loads of the
-    /// current graph, then the reconfiguration sequences of the next
-    /// `lookahead` jobs in the online queue.
-    ///
-    /// Only *arrived* jobs are visible — an online manager cannot look
-    /// into arrivals that have not happened yet, so even
-    /// `Lookahead::All` is clairvoyant only about the enqueued backlog.
-    /// In the batch setting every job arrives at t = 0 and this is
-    /// exactly the paper's Dynamic List over the remaining sequence.
-    fn build_future_view<'a>(&'a self, job: &'a ActiveJob) -> FutureView<'a> {
-        let mut segments: Vec<&'a [ConfigId]> = Vec::new();
-        // Remaining loads of the current graph, *after* the entry being
-        // placed now.
-        let rest = &job.cfg_seq[(job.seq_pos + 1).min(job.cfg_seq.len())..];
-        if !rest.is_empty() {
-            segments.push(rest);
-        }
-        let visible = self.cfg.lookahead.visible_graphs(self.arrived.len());
-        for &idx in self.arrived.iter().take(visible) {
-            segments.push(self.job_templates[idx].cfg_seq.as_slice());
-        }
-        FutureView::new(segments)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::policy::FirstCandidatePolicy;
+    use crate::trace::TraceEvent;
     use rtr_sim::SimDuration;
-    use rtr_taskgraph::benchmarks;
+    use rtr_taskgraph::{benchmarks, ConfigId};
 
     fn ms(x: u64) -> SimDuration {
         SimDuration::from_ms(x)
@@ -780,6 +295,10 @@ mod tests {
         let out = run(&ManagerConfig::paper_default(), &[]);
         assert_eq!(out.stats.makespan, SimDuration::ZERO);
         assert_eq!(out.stats.executed, 0);
+        // Derived metrics of the zero-job run are finite zeros, not NaN.
+        assert_eq!(out.stats.reuse_rate_pct(), 0.0);
+        assert_eq!(out.stats.remaining_overhead_pct(), 0.0);
+        assert_eq!(out.stats.mean_sojourn_ms(), 0.0);
     }
 
     #[test]
@@ -1030,5 +549,19 @@ mod tests {
             })
             .collect();
         assert_eq!(arrivals, vec![(0, SimTime::from_ms(7))]);
+    }
+
+    #[test]
+    fn reuse_index_tracks_backlog_and_drains() {
+        // Two jobs at t = 0: while job 0 runs, the index holds job 0 +
+        // the backlog job 1; after the run everything retired.
+        let g = Arc::new(benchmarks::jpeg());
+        let mut engine = Engine::new(&ManagerConfig::paper_default());
+        engine.submit(JobSpec::new(Arc::clone(&g)));
+        engine.submit(JobSpec::new(g));
+        assert!(engine.reuse_index().is_empty(), "indexed on arrival");
+        engine.run(&mut FirstCandidatePolicy);
+        assert!(engine.reuse_index().is_empty(), "retired on completion");
+        assert_eq!(engine.completed_jobs(), 2);
     }
 }

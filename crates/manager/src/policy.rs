@@ -2,11 +2,27 @@
 //!
 //! The manager separates *mechanism* from *policy*: it computes the set
 //! of legal victims (unclaimed resident configurations) and the visible
-//! future request stream, and asks a [`ReplacementPolicy`] to choose.
-//! The policies themselves — LRU, LFD, the paper's Local LFD — live in
-//! `rtr-core`; this crate only ships the trivial
-//! [`FirstCandidatePolicy`] used by baselines and manager unit tests.
+//! future request stream, and asks a [`ReplacementPolicy`] to choose
+//! through a [`DecisionContext`]. The policies themselves — LRU, LFD,
+//! the paper's Local LFD — live in `rtr-core`; this crate only ships
+//! the trivial [`FirstCandidatePolicy`] used by baselines and manager
+//! unit tests.
+//!
+//! A [`DecisionContext`] answers the future-knowledge questions two
+//! ways:
+//!
+//! * **Indexed** — backed by the engine's incremental
+//!   [`ReuseIndex`]: next-use distances in O(log n) per candidate, the
+//!   path every simulation takes.
+//! * **View** — backed by a borrowed [`FutureView`] stream: the legacy
+//!   linear scan, kept for tests, worst-case cost measurements
+//!   (Table I) and ad-hoc contexts built outside an engine.
+//!
+//! Both yield bit-identical distances (the equivalence is
+//! property-tested), so policies are written once against the context
+//! and never know which backing they got.
 
+use crate::reuse_index::{ReuseIndex, ReuseWindow};
 use rtr_hw::RuId;
 use rtr_sim::SimTime;
 use rtr_taskgraph::ConfigId;
@@ -20,12 +36,14 @@ pub struct VictimCandidate {
     pub config: ConfigId,
 }
 
-/// The future request stream visible to the replacement module: the
-/// remaining loads of the current graph followed by the reconfiguration
-/// sequences of the task graphs in the Dynamic List window.
+/// The future request stream as an explicit sequence of borrowed
+/// segments: the legacy representation of the replacement module's
+/// visible window.
 ///
-/// Stored as borrowed segments so constructing a view costs a few
-/// pointer copies even for a 500-application oracle stream.
+/// The engine no longer builds one per decision (it queries the
+/// [`ReuseIndex`] instead); `FutureView` remains the cheap way to
+/// construct a [`DecisionContext`] from raw slices in tests, benches
+/// and the Table I worst-case scenarios.
 #[derive(Debug, Clone)]
 pub struct FutureView<'a> {
     segments: Vec<&'a [ConfigId]>,
@@ -73,17 +91,145 @@ impl<'a> FutureView<'a> {
     }
 }
 
-/// Everything a policy may consult when choosing a victim.
+/// The two backings of a [`DecisionContext`]'s future knowledge.
 #[derive(Debug)]
-pub struct ReplacementContext<'a> {
+enum FutureSource<'a> {
+    /// The engine's shared incremental index, restricted to the
+    /// decision's visible window.
+    Indexed {
+        index: &'a ReuseIndex,
+        window: ReuseWindow,
+    },
+    /// A borrowed explicit stream (legacy linear scan).
+    View(&'a FutureView<'a>),
+}
+
+/// Everything a policy may consult when choosing a victim.
+///
+/// Constructed by the engine ([`DecisionContext::indexed`]) or by
+/// tests/benches ([`DecisionContext::from_view`]).
+#[derive(Debug)]
+pub struct DecisionContext<'a> {
     /// Current simulation time.
     pub now: SimTime,
     /// The configuration that needs an RU.
     pub new_config: ConfigId,
     /// Legal victims, in RU-index order. Never empty.
     pub candidates: &'a [VictimCandidate],
-    /// The visible future request stream.
-    pub future: &'a FutureView<'a>,
+    future: FutureSource<'a>,
+}
+
+impl<'a> DecisionContext<'a> {
+    /// Context backed by the engine's [`ReuseIndex`], restricted to the
+    /// decision's visible `window`.
+    pub fn indexed(
+        now: SimTime,
+        new_config: ConfigId,
+        candidates: &'a [VictimCandidate],
+        index: &'a ReuseIndex,
+        window: ReuseWindow,
+    ) -> Self {
+        DecisionContext {
+            now,
+            new_config,
+            candidates,
+            future: FutureSource::Indexed { index, window },
+        }
+    }
+
+    /// Context backed by an explicit [`FutureView`] (the legacy linear
+    /// scan) — for tests, benches and worst-case measurements.
+    pub fn from_view(
+        now: SimTime,
+        new_config: ConfigId,
+        candidates: &'a [VictimCandidate],
+        future: &'a FutureView<'a>,
+    ) -> Self {
+        DecisionContext {
+            now,
+            new_config,
+            candidates,
+            future: FutureSource::View(future),
+        }
+    }
+
+    /// True when this context is backed by the O(log n) index.
+    pub fn has_index(&self) -> bool {
+        matches!(self.future, FutureSource::Indexed { .. })
+    }
+
+    /// Forward distance of `config` in the visible window: 1-based
+    /// position of its next request, `None` when it is not requested.
+    /// O(log n) when indexed, O(n) on a view.
+    pub fn distance_of(&self, config: ConfigId) -> Option<usize> {
+        match self.future {
+            FutureSource::Indexed { index, window } => index.distance_of(config, window),
+            FutureSource::View(view) => view.distance_of(config),
+        }
+    }
+
+    /// Forward distances of every candidate's configuration, aligned
+    /// with [`candidates`](Self::candidates). Indexed: one ordered
+    /// lookup per candidate, O(candidates · log n). View: a single
+    /// joint pass over the stream, O(stream × candidates) worst case —
+    /// the legacy cost this refactor removes from the hot path.
+    pub fn candidate_distances(&self) -> Vec<Option<usize>> {
+        match self.future {
+            FutureSource::Indexed { index, window } => self
+                .candidates
+                .iter()
+                .map(|cand| index.distance_of(cand.config, window))
+                .collect(),
+            FutureSource::View(view) => {
+                let mut dist: Vec<Option<usize>> = vec![None; self.candidates.len()];
+                let mut unresolved = self.candidates.len();
+                for (pos, config) in view.iter().enumerate() {
+                    for (i, cand) in self.candidates.iter().enumerate() {
+                        if dist[i].is_none() && cand.config == config {
+                            dist[i] = Some(pos + 1);
+                            unresolved -= 1;
+                        }
+                    }
+                    if unresolved == 0 {
+                        break;
+                    }
+                }
+                dist
+            }
+        }
+    }
+
+    /// True when `config` is requested in the visible window (the
+    /// `reusable(victim)` predicate of the paper's Fig. 8).
+    pub fn future_contains(&self, config: ConfigId) -> bool {
+        match self.future {
+            FutureSource::Indexed { index, window } => index.contains(config, window),
+            FutureSource::View(view) => view.contains(config),
+        }
+    }
+
+    /// Number of requests in the visible window.
+    pub fn future_len(&self) -> usize {
+        match self.future {
+            FutureSource::Indexed { window, .. } => window.len(),
+            FutureSource::View(view) => view.len(),
+        }
+    }
+
+    /// True when the visible window is empty.
+    pub fn future_is_empty(&self) -> bool {
+        self.future_len() == 0
+    }
+
+    /// Iterates the visible window in request order — the legacy
+    /// iterator view, available on both backings for policies that
+    /// genuinely need to walk the stream.
+    pub fn future_iter(&self) -> Box<dyn Iterator<Item = ConfigId> + '_> {
+        match self.future {
+            FutureSource::Indexed { index, window } => Box::new(index.iter_window(window)),
+            FutureSource::View(view) => Box::new(view.iter()),
+        }
+    }
 }
 
 /// A configuration-replacement policy.
@@ -97,7 +243,7 @@ pub trait ReplacementPolicy {
     fn name(&self) -> String;
 
     /// Chooses the victim RU among `ctx.candidates`.
-    fn select_victim(&mut self, ctx: &ReplacementContext<'_>) -> RuId;
+    fn select_victim(&mut self, ctx: &DecisionContext<'_>) -> RuId;
 
     /// A reconfiguration of `config` into `ru` completed.
     fn on_load_complete(&mut self, _config: ConfigId, _ru: RuId, _now: SimTime) {}
@@ -134,7 +280,7 @@ impl ReplacementPolicy for FirstCandidatePolicy {
         "FirstCandidate".to_string()
     }
 
-    fn select_victim(&mut self, ctx: &ReplacementContext<'_>) -> RuId {
+    fn select_victim(&mut self, ctx: &DecisionContext<'_>) -> RuId {
         ctx.candidates[0].ru
     }
 }
@@ -142,6 +288,7 @@ impl ReplacementPolicy for FirstCandidatePolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn c(id: u32) -> ConfigId {
         ConfigId(id)
@@ -191,12 +338,56 @@ mod tests {
                 config: c(11),
             },
         ];
-        let ctx = ReplacementContext {
-            now: SimTime::ZERO,
-            new_config: c(1),
-            candidates: &candidates,
-            future: &future,
-        };
+        let ctx = DecisionContext::from_view(SimTime::ZERO, c(1), &candidates, &future);
         assert_eq!(p.select_victim(&ctx), RuId(1));
+    }
+
+    #[test]
+    fn indexed_and_view_backings_agree() {
+        let stream = [c(4), c(5), c(1), c(2), c(3), c(5)];
+        let view = FutureView::new(vec![&stream]);
+        let mut index = ReuseIndex::new();
+        // Current job contributing one already-consumed head entry,
+        // then the stream split across two backlog jobs.
+        index.push_job(Arc::new(vec![c(99)]));
+        index.push_job(Arc::new(vec![c(4), c(5), c(1)]));
+        index.push_job(Arc::new(vec![c(2), c(3), c(5)]));
+        let window = index.window(1, 2);
+        let candidates = [
+            VictimCandidate {
+                ru: RuId(0),
+                config: c(5),
+            },
+            VictimCandidate {
+                ru: RuId(1),
+                config: c(3),
+            },
+            VictimCandidate {
+                ru: RuId(2),
+                config: c(42),
+            },
+        ];
+        let by_view = DecisionContext::from_view(SimTime::ZERO, c(7), &candidates, &view);
+        let by_index = DecisionContext::indexed(SimTime::ZERO, c(7), &candidates, &index, window);
+        assert!(by_index.has_index());
+        assert!(!by_view.has_index());
+        assert_eq!(
+            by_view.candidate_distances(),
+            by_index.candidate_distances()
+        );
+        for cand in &candidates {
+            assert_eq!(
+                by_view.distance_of(cand.config),
+                by_index.distance_of(cand.config)
+            );
+            assert_eq!(
+                by_view.future_contains(cand.config),
+                by_index.future_contains(cand.config)
+            );
+        }
+        assert_eq!(by_view.future_len(), by_index.future_len());
+        let a: Vec<ConfigId> = by_view.future_iter().collect();
+        let b: Vec<ConfigId> = by_index.future_iter().collect();
+        assert_eq!(a, b);
     }
 }

@@ -1,0 +1,350 @@
+//! The incremental next-occurrence index over the future request
+//! stream — the data structure that turns a replacement decision from an
+//! O(stream × candidates) rescan into O(candidates · log n).
+//!
+//! Belady-style policies (LFD, the paper's Local LFD) need one question
+//! answered per candidate: *when is this configuration requested next?*
+//! The legacy implementation answered it by linearly walking a
+//! [`FutureView`](crate::FutureView) rebuilt for every decision. The
+//! [`ReuseIndex`] instead maintains, incrementally as the engine runs,
+//!
+//! * a **global position space**: every configuration request of every
+//!   job gets a monotonically increasing position as the job *arrives*
+//!   (arrival order = activation order, so positions are stream order);
+//! * **per-config occurrence lists**: for each [`ConfigId`], the sorted
+//!   list of its positions — sorted for free, because positions are
+//!   assigned monotonically;
+//! * a **segment deque** mirroring `[current job] + arrived backlog`,
+//!   so the visible Dynamic-List window of any decision is a single
+//!   *contiguous* position interval.
+//!
+//! That contiguity is the crux: the window the replacement module sees
+//! is always "the rest of the current graph's sequence, then the next
+//! `w` arrived graphs" — consecutive segments in activation order.
+//! A next-use query is therefore one binary search (`partition_point`)
+//! in the config's occurrence list against the window's lower bound,
+//! plus an upper-bound check. No per-decision rebuild, and the index is
+//! shared across consecutive decisions.
+//!
+//! Retired jobs are pruned front-first ([`ReuseIndex::retire_front`]),
+//! so memory tracks the live backlog, not the whole run history.
+
+use rtr_taskgraph::ConfigId;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// One job's contiguous slice of the global position space.
+#[derive(Debug, Clone)]
+struct IndexSegment {
+    /// Global position of the segment's first request.
+    base: u64,
+    /// The job's configuration sequence (design-time artifact, shared
+    /// with the engine's template cache).
+    cfgs: Arc<Vec<ConfigId>>,
+}
+
+impl IndexSegment {
+    /// One past the segment's last global position.
+    fn end(&self) -> u64 {
+        self.base + self.cfgs.len() as u64
+    }
+}
+
+/// A contiguous half-open interval `[lo, hi)` of global positions: the
+/// visible future window of one replacement decision.
+///
+/// Obtained from [`ReuseIndex::window`]; cheap to copy, valid until the
+/// index is mutated (the engine derives a fresh one per decision — it
+/// is two additions, not a rebuild).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReuseWindow {
+    lo: u64,
+    hi: u64,
+}
+
+impl ReuseWindow {
+    /// Number of requests inside the window.
+    pub fn len(&self) -> usize {
+        (self.hi - self.lo) as usize
+    }
+
+    /// True when the window contains no requests.
+    pub fn is_empty(&self) -> bool {
+        self.hi == self.lo
+    }
+}
+
+/// Per-config next-occurrence index over the future request stream.
+///
+/// Maintained by the engine as jobs arrive ([`push_job`]), as the
+/// current graph's sequence is consumed (positional, via the `consumed`
+/// argument of [`window`]), and as graphs retire ([`retire_front`]).
+/// Policies query it through
+/// [`DecisionContext`](crate::DecisionContext).
+///
+/// [`push_job`]: ReuseIndex::push_job
+/// [`window`]: ReuseIndex::window
+/// [`retire_front`]: ReuseIndex::retire_front
+#[derive(Debug, Clone, Default)]
+pub struct ReuseIndex {
+    /// Sorted global positions per configuration. Push order is
+    /// monotone (positions only grow), pops are front-first (retired
+    /// jobs hold the smallest positions), so the deque stays sorted
+    /// without ever sorting.
+    occurrences: HashMap<ConfigId, VecDeque<u64>>,
+    /// `[current job] + arrived backlog`, in activation order.
+    segments: VecDeque<IndexSegment>,
+    /// Next global position to assign.
+    next_pos: u64,
+}
+
+impl ReuseIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a job's configuration sequence to the stream, assigning
+    /// it the next contiguous position range. Call in *arrival* order —
+    /// the engine's activation order — so positions are stream order.
+    pub fn push_job(&mut self, cfgs: Arc<Vec<ConfigId>>) {
+        let base = self.next_pos;
+        for (k, &c) in cfgs.iter().enumerate() {
+            self.occurrences
+                .entry(c)
+                .or_default()
+                .push_back(base + k as u64);
+        }
+        self.next_pos = base + cfgs.len() as u64;
+        self.segments.push_back(IndexSegment { base, cfgs });
+    }
+
+    /// Retires the front (= oldest, the just-completed current) job,
+    /// pruning its occurrences. The front job holds the globally
+    /// smallest live positions, so pruning is a front pop per
+    /// occurrence — O(len of the retired sequence).
+    ///
+    /// # Panics
+    /// Panics if the index holds no jobs, or if the occurrence lists
+    /// are out of sync (an engine-integration bug).
+    pub fn retire_front(&mut self) {
+        let seg = self
+            .segments
+            .pop_front()
+            .expect("retire_front needs a live job");
+        for (k, c) in seg.cfgs.iter().enumerate() {
+            let list = self
+                .occurrences
+                .get_mut(c)
+                .expect("occurrence list exists while its job is live");
+            let popped = list.pop_front();
+            debug_assert_eq!(popped, Some(seg.base + k as u64));
+            if list.is_empty() {
+                self.occurrences.remove(c);
+            }
+        }
+    }
+
+    /// Number of live jobs (current + backlog) in the index.
+    pub fn jobs(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total number of live (not yet retired) requests indexed.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(|s| s.cfgs.len()).sum()
+    }
+
+    /// True when no job is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The visible window of one decision: the front job's sequence
+    /// with its first `consumed` entries dropped (the entries already
+    /// placed, plus the one being placed now), followed by the next
+    /// `visible_jobs` backlog jobs — one contiguous interval, because
+    /// segments are contiguous in activation order.
+    ///
+    /// # Panics
+    /// Panics if the index holds no jobs (decisions only happen while a
+    /// graph is current).
+    pub fn window(&self, consumed: usize, visible_jobs: usize) -> ReuseWindow {
+        let front = self.segments.front().expect("window needs a current job");
+        let lo = front.base + (consumed as u64).min(front.cfgs.len() as u64);
+        let last = visible_jobs.min(self.segments.len() - 1);
+        let hi = self.segments[last].end();
+        ReuseWindow { lo, hi }
+    }
+
+    /// Global position of `config`'s next request inside `window`, or
+    /// `None` if it is not requested there. One `partition_point` on
+    /// the config's sorted occurrence list: O(log n).
+    pub fn next_use(&self, config: ConfigId, window: ReuseWindow) -> Option<u64> {
+        let list = self.occurrences.get(&config)?;
+        let i = list.partition_point(|&p| p < window.lo);
+        match list.get(i) {
+            Some(&p) if p < window.hi => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Forward distance of `config` in `window`: the 1-based position
+    /// of its next request, exactly matching the legacy
+    /// [`FutureView::distance_of`](crate::FutureView::distance_of)
+    /// contract — so index-backed and scan-backed decisions compare
+    /// (and tie) identically.
+    pub fn distance_of(&self, config: ConfigId, window: ReuseWindow) -> Option<usize> {
+        self.next_use(config, window)
+            .map(|p| (p - window.lo + 1) as usize)
+    }
+
+    /// True when `config` is requested inside `window` — the
+    /// `reusable(victim)` predicate of the paper's Fig. 8, in O(log n).
+    pub fn contains(&self, config: ConfigId, window: ReuseWindow) -> bool {
+        self.next_use(config, window).is_some()
+    }
+
+    /// Iterates the window's requests in stream order — the legacy
+    /// iterator view, reconstructed from the segment deque without
+    /// copying (each item is a slice walk).
+    pub fn iter_window(&self, window: ReuseWindow) -> impl Iterator<Item = ConfigId> + '_ {
+        self.segments.iter().flat_map(move |seg| {
+            let lo = window.lo.max(seg.base).min(seg.end());
+            let hi = window.hi.max(seg.base).min(seg.end());
+            seg.cfgs[(lo - seg.base) as usize..(hi - seg.base) as usize]
+                .iter()
+                .copied()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(id: u32) -> ConfigId {
+        ConfigId(id)
+    }
+
+    fn seq(ids: &[u32]) -> Arc<Vec<ConfigId>> {
+        Arc::new(ids.iter().map(|&i| c(i)).collect())
+    }
+
+    #[test]
+    fn distances_match_stream_order() {
+        let mut idx = ReuseIndex::new();
+        idx.push_job(seq(&[1, 2, 3])); // current
+        idx.push_job(seq(&[4, 1]));
+        // Window: everything after the current job's first entry.
+        let w = idx.window(1, 1);
+        assert_eq!(w.len(), 4);
+        assert_eq!(idx.distance_of(c(2), w), Some(1));
+        assert_eq!(idx.distance_of(c(3), w), Some(2));
+        assert_eq!(idx.distance_of(c(4), w), Some(3));
+        assert_eq!(idx.distance_of(c(1), w), Some(4));
+        assert_eq!(idx.distance_of(c(9), w), None);
+    }
+
+    #[test]
+    fn window_excludes_consumed_prefix_and_invisible_jobs() {
+        let mut idx = ReuseIndex::new();
+        idx.push_job(seq(&[1, 2]));
+        idx.push_job(seq(&[3]));
+        idx.push_job(seq(&[4]));
+        // Only the current job's tail: lookahead 0.
+        let w = idx.window(1, 0);
+        assert_eq!(idx.distance_of(c(2), w), Some(1));
+        assert!(!idx.contains(c(3), w));
+        assert!(!idx.contains(c(4), w));
+        // One backlog job visible.
+        let w = idx.window(1, 1);
+        assert!(idx.contains(c(3), w));
+        assert!(!idx.contains(c(4), w));
+        // Visible-jobs request beyond the backlog clamps.
+        let w = idx.window(1, 99);
+        assert!(idx.contains(c(4), w));
+    }
+
+    #[test]
+    fn consumed_prefix_clamps_to_sequence_length() {
+        let mut idx = ReuseIndex::new();
+        idx.push_job(seq(&[1]));
+        idx.push_job(seq(&[1, 5]));
+        // The current job is fully consumed; only the backlog remains.
+        let w = idx.window(7, 1);
+        assert_eq!(idx.distance_of(c(1), w), Some(1));
+        assert_eq!(idx.distance_of(c(5), w), Some(2));
+    }
+
+    #[test]
+    fn first_occurrence_wins_with_duplicates() {
+        let mut idx = ReuseIndex::new();
+        idx.push_job(seq(&[7, 8, 7, 7]));
+        let w = idx.window(1, 0);
+        assert_eq!(idx.distance_of(c(7), w), Some(2));
+        assert_eq!(idx.distance_of(c(8), w), Some(1));
+    }
+
+    #[test]
+    fn retire_front_prunes_and_keeps_later_jobs_queryable() {
+        let mut idx = ReuseIndex::new();
+        idx.push_job(seq(&[1, 2]));
+        idx.push_job(seq(&[2, 3]));
+        assert_eq!(idx.len(), 4);
+        idx.retire_front();
+        assert_eq!(idx.jobs(), 1);
+        assert_eq!(idx.len(), 2);
+        let w = idx.window(0, 0);
+        assert_eq!(idx.distance_of(c(2), w), Some(1));
+        assert_eq!(idx.distance_of(c(3), w), Some(2));
+        assert!(!idx.contains(c(1), w));
+    }
+
+    #[test]
+    fn iter_window_reconstructs_the_stream() {
+        let mut idx = ReuseIndex::new();
+        idx.push_job(seq(&[1, 2, 3]));
+        idx.push_job(seq(&[4, 5]));
+        idx.push_job(seq(&[6]));
+        let w = idx.window(2, 1);
+        let got: Vec<u32> = idx.iter_window(w).map(|c| c.0).collect();
+        assert_eq!(got, vec![3, 4, 5]);
+        // Distances agree with the reconstructed stream.
+        for (i, cfg) in idx.iter_window(w).enumerate() {
+            assert_eq!(idx.distance_of(cfg, w), Some(i + 1));
+        }
+    }
+
+    #[test]
+    fn empty_window_has_no_occurrences() {
+        let mut idx = ReuseIndex::new();
+        idx.push_job(seq(&[1]));
+        let w = idx.window(1, 0);
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        assert_eq!(idx.next_use(c(1), w), None);
+        assert!(idx.iter_window(w).next().is_none());
+    }
+
+    #[test]
+    fn positions_survive_interleaved_push_retire() {
+        let mut idx = ReuseIndex::new();
+        for round in 0..100u32 {
+            idx.push_job(seq(&[round % 5, (round + 1) % 5]));
+            if round % 3 == 2 {
+                idx.retire_front();
+            }
+        }
+        // The index stays internally consistent: every live occurrence
+        // is addressable through a full window.
+        let w = idx.window(0, idx.jobs());
+        let stream: Vec<ConfigId> = idx.iter_window(w).collect();
+        assert_eq!(stream.len(), idx.len());
+        for (i, &cfg) in stream.iter().enumerate() {
+            let d = idx.distance_of(cfg, w).expect("occurs");
+            assert!(d <= i + 1, "next use cannot be after a later sighting");
+            assert_eq!(stream[d - 1], cfg, "distance points at an occurrence");
+        }
+    }
+}

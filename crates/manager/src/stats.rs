@@ -63,8 +63,12 @@ impl RunStats {
     }
 
     /// The Fig. 9c metric: percentage of the original reconfiguration
-    /// overhead still visible after prefetch + replacement.
+    /// overhead still visible after prefetch + replacement. A zero-task
+    /// run has no overhead to attribute, so it reports 0 (never NaN).
     pub fn remaining_overhead_pct(&self) -> f64 {
+        if self.executed == 0 {
+            return 0.0;
+        }
         self.total_overhead().percent_of(self.original_overhead())
     }
 
@@ -151,5 +155,38 @@ mod tests {
         s.graph_completions.clear();
         assert_eq!(s.mean_sojourn_ms(), 0.0);
         assert_eq!(s.max_sojourn(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn zero_task_and_zero_job_runs_report_zero_not_nan() {
+        // The stats of a run with no jobs at all (or whose jobs executed
+        // no tasks): every derived metric must be a finite 0, never a
+        // NaN from a 0/0 — empty and all-future-arrival scenarios
+        // tabulate cleanly.
+        let s = RunStats {
+            policy: "empty".into(),
+            makespan: SimDuration::ZERO,
+            executed: 0,
+            reuses: 0,
+            loads: 0,
+            skips: 0,
+            stalls: 0,
+            traffic: TrafficStats::default(),
+            graph_arrivals: Vec::new(),
+            graph_completions: Vec::new(),
+            ideal_makespan: SimDuration::ZERO,
+            reconfig_latency: SimDuration::from_ms(4),
+        };
+        for v in [
+            s.reuse_rate_pct(),
+            s.remaining_overhead_pct(),
+            s.mean_sojourn_ms(),
+        ] {
+            assert!(v.is_finite(), "derived metric must never be NaN/inf");
+            assert_eq!(v, 0.0);
+        }
+        assert_eq!(s.max_sojourn(), SimDuration::ZERO);
+        assert_eq!(s.total_overhead(), SimDuration::ZERO);
+        assert_eq!(s.original_overhead(), SimDuration::ZERO);
     }
 }

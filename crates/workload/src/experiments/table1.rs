@@ -15,7 +15,7 @@ use crate::policies::PolicyKind;
 use crate::sequence::paper_workload;
 use crate::table::Table;
 use rtr_hw::RuId;
-use rtr_manager::{FutureView, ReplacementContext, ReplacementPolicy, VictimCandidate};
+use rtr_manager::{DecisionContext, FutureView, ReplacementPolicy, VictimCandidate};
 use rtr_sim::SimTime;
 use rtr_taskgraph::{reconfiguration_sequence, ConfigId};
 use std::time::{Duration, Instant};
@@ -53,15 +53,13 @@ impl WorstCase {
     }
 
     /// Runs one decision on `policy` (primed history for the
-    /// history-based policies happens in [`time_policy`]).
+    /// history-based policies happens in [`time_policy`]). Built on the
+    /// legacy view backing on purpose: Table I measures the worst-case
+    /// *linear-scan* cost the paper reports.
     pub fn decide(&self, policy: &mut dyn ReplacementPolicy) -> RuId {
         let future = FutureView::new(vec![&self.stream]);
-        let ctx = ReplacementContext {
-            now: SimTime::ZERO,
-            new_config: ConfigId(8_888),
-            candidates: &self.candidates,
-            future: &future,
-        };
+        let ctx =
+            DecisionContext::from_view(SimTime::ZERO, ConfigId(8_888), &self.candidates, &future);
         policy.select_victim(&ctx)
     }
 }

@@ -12,8 +12,7 @@ use crate::policies::PolicyKind;
 use rtr_core::TemplateCache;
 use rtr_hw::{DeviceSpec, RuId};
 use rtr_manager::{
-    simulate, JobSpec, ManagerConfig, ReplacementContext, ReplacementPolicy, RunStats, SimError,
-    Trace,
+    simulate, DecisionContext, JobSpec, ManagerConfig, ReplacementPolicy, RunStats, SimError, Trace,
 };
 use rtr_sim::SimTime;
 use rtr_taskgraph::{ConfigId, TaskGraph};
@@ -107,7 +106,7 @@ impl ReplacementPolicy for TimingPolicy<'_> {
     fn name(&self) -> String {
         self.inner.name()
     }
-    fn select_victim(&mut self, ctx: &ReplacementContext<'_>) -> RuId {
+    fn select_victim(&mut self, ctx: &DecisionContext<'_>) -> RuId {
         let t0 = Instant::now();
         let v = self.inner.select_victim(ctx);
         self.spent += t0.elapsed();

@@ -181,6 +181,34 @@ mod tests {
     }
 
     #[test]
+    fn arrivals_round_trip_preserves_run_output() {
+        // The `arrivals` field (added with the streaming engine) must
+        // survive serialisation *semantically*: a scenario run before
+        // JSON round-tripping and the deserialised copy run afterwards
+        // produce the identical table, arrival instants included.
+        for arrivals in [
+            ArrivalProcess::Batch,
+            ArrivalProcess::Poisson {
+                mean_gap_us: 50_000,
+            },
+            ArrivalProcess::Bursty {
+                size: 4,
+                mean_gap_us: 300_000,
+            },
+        ] {
+            let s = Scenario::streaming(4, 25, 11, arrivals);
+            let back = Scenario::from_json(&s.to_json()).unwrap();
+            assert_eq!(back, s);
+            assert_eq!(
+                s.run().to_csv(),
+                back.run().to_csv(),
+                "round-tripped scenario diverged under {:?}",
+                s.arrivals
+            );
+        }
+    }
+
+    #[test]
     fn streaming_scenario_round_trips_and_runs() {
         let s = Scenario::streaming(
             4,

@@ -12,7 +12,7 @@
 //! cargo run --release --example custom_policy
 //! ```
 
-use reconfig_reuse::manager::ReplacementContext;
+use reconfig_reuse::manager::DecisionContext;
 use reconfig_reuse::prelude::*;
 use reconfig_reuse::workload::SequenceModel;
 use std::collections::HashMap;
@@ -37,12 +37,12 @@ impl ReplacementPolicy for LfdLruHybrid {
         "LFD+LRU-tiebreak".to_string()
     }
 
-    fn select_victim(&mut self, ctx: &ReplacementContext<'_>) -> RuId {
+    fn select_victim(&mut self, ctx: &DecisionContext<'_>) -> RuId {
         // Forward distance per candidate (None = never requested).
         let dist: Vec<Option<usize>> = ctx
             .candidates
             .iter()
-            .map(|c| ctx.future.distance_of(c.config))
+            .map(|c| ctx.distance_of(c.config))
             .collect();
         // If any candidate is never requested, pick the least recently
         // used among those; otherwise pick the farthest.
