@@ -10,19 +10,19 @@
 //! a task running it starts or finishes — i.e. recency reflects the
 //! last time the configuration was touched by the schedule.
 
+use crate::stamp::ConfigStamp;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rtr_hw::RuId;
 use rtr_manager::{DecisionContext, ReplacementPolicy};
 use rtr_sim::SimTime;
 use rtr_taskgraph::ConfigId;
-use std::collections::HashMap;
 
 /// Least Recently Used.
 #[derive(Debug, Clone, Default)]
 pub struct LruPolicy {
     /// Monotonic touch counter per configuration (larger = more recent).
-    last_touch: HashMap<ConfigId, u64>,
+    last_touch: ConfigStamp,
     clock: u64,
 }
 
@@ -34,13 +34,13 @@ impl LruPolicy {
 
     fn touch(&mut self, config: ConfigId) {
         self.clock += 1;
-        self.last_touch.insert(config, self.clock);
+        self.last_touch.set(config, self.clock);
     }
 }
 
 impl ReplacementPolicy for LruPolicy {
-    fn name(&self) -> String {
-        "LRU".to_string()
+    fn name(&self) -> &str {
+        "LRU"
     }
 
     fn select_victim(&mut self, ctx: &DecisionContext<'_>) -> RuId {
@@ -50,7 +50,7 @@ impl ReplacementPolicy for LruPolicy {
         let mut best = 0usize;
         let mut best_touch = u64::MAX;
         for (i, cand) in ctx.candidates.iter().enumerate() {
-            let touch = self.last_touch.get(&cand.config).copied().unwrap_or(0);
+            let touch = self.last_touch.get(cand.config);
             if touch < best_touch {
                 best_touch = touch;
                 best = i;
@@ -81,7 +81,7 @@ impl ReplacementPolicy for LruPolicy {
 /// an ablation extreme.
 #[derive(Debug, Clone, Default)]
 pub struct MruPolicy {
-    last_touch: HashMap<ConfigId, u64>,
+    last_touch: ConfigStamp,
     clock: u64,
 }
 
@@ -93,20 +93,20 @@ impl MruPolicy {
 
     fn touch(&mut self, config: ConfigId) {
         self.clock += 1;
-        self.last_touch.insert(config, self.clock);
+        self.last_touch.set(config, self.clock);
     }
 }
 
 impl ReplacementPolicy for MruPolicy {
-    fn name(&self) -> String {
-        "MRU".to_string()
+    fn name(&self) -> &str {
+        "MRU"
     }
 
     fn select_victim(&mut self, ctx: &DecisionContext<'_>) -> RuId {
         let mut best = 0usize;
         let mut best_touch = 0u64;
         for (i, cand) in ctx.candidates.iter().enumerate() {
-            let touch = self.last_touch.get(&cand.config).copied().unwrap_or(0);
+            let touch = self.last_touch.get(cand.config);
             if touch > best_touch {
                 best_touch = touch;
                 best = i;
@@ -137,7 +137,7 @@ impl ReplacementPolicy for MruPolicy {
 /// reuses do not refresh the load time (classic FIFO).
 #[derive(Debug, Clone, Default)]
 pub struct FifoPolicy {
-    loaded_at: HashMap<ConfigId, u64>,
+    loaded_at: ConfigStamp,
     clock: u64,
 }
 
@@ -149,15 +149,15 @@ impl FifoPolicy {
 }
 
 impl ReplacementPolicy for FifoPolicy {
-    fn name(&self) -> String {
-        "FIFO".to_string()
+    fn name(&self) -> &str {
+        "FIFO"
     }
 
     fn select_victim(&mut self, ctx: &DecisionContext<'_>) -> RuId {
         let mut best = 0usize;
         let mut best_seq = u64::MAX;
         for (i, cand) in ctx.candidates.iter().enumerate() {
-            let seq = self.loaded_at.get(&cand.config).copied().unwrap_or(0);
+            let seq = self.loaded_at.get(cand.config);
             if seq < best_seq {
                 best_seq = seq;
                 best = i;
@@ -168,7 +168,7 @@ impl ReplacementPolicy for FifoPolicy {
 
     fn on_load_complete(&mut self, config: ConfigId, _ru: RuId, _now: SimTime) {
         self.clock += 1;
-        self.loaded_at.insert(config, self.clock);
+        self.loaded_at.set(config, self.clock);
     }
     fn reset(&mut self) {
         self.loaded_at.clear();
@@ -180,7 +180,7 @@ impl ReplacementPolicy for FifoPolicy {
 /// reused) the fewest times; ties keep the first candidate.
 #[derive(Debug, Clone, Default)]
 pub struct LfuPolicy {
-    claims: HashMap<ConfigId, u64>,
+    claims: ConfigStamp,
 }
 
 impl LfuPolicy {
@@ -191,15 +191,15 @@ impl LfuPolicy {
 }
 
 impl ReplacementPolicy for LfuPolicy {
-    fn name(&self) -> String {
-        "LFU".to_string()
+    fn name(&self) -> &str {
+        "LFU"
     }
 
     fn select_victim(&mut self, ctx: &DecisionContext<'_>) -> RuId {
         let mut best = 0usize;
         let mut best_count = u64::MAX;
         for (i, cand) in ctx.candidates.iter().enumerate() {
-            let count = self.claims.get(&cand.config).copied().unwrap_or(0);
+            let count = self.claims.get(cand.config);
             if count < best_count {
                 best_count = count;
                 best = i;
@@ -209,10 +209,10 @@ impl ReplacementPolicy for LfuPolicy {
     }
 
     fn on_load_complete(&mut self, config: ConfigId, _ru: RuId, _now: SimTime) {
-        *self.claims.entry(config).or_insert(0) += 1;
+        self.claims.set(config, self.claims.get(config) + 1);
     }
     fn on_reuse(&mut self, config: ConfigId, _ru: RuId, _now: SimTime) {
-        *self.claims.entry(config).or_insert(0) += 1;
+        self.claims.set(config, self.claims.get(config) + 1);
     }
     fn reset(&mut self) {
         self.claims.clear();
@@ -237,8 +237,8 @@ impl RandomPolicy {
 }
 
 impl ReplacementPolicy for RandomPolicy {
-    fn name(&self) -> String {
-        "Random".to_string()
+    fn name(&self) -> &str {
+        "Random"
     }
 
     fn select_victim(&mut self, ctx: &DecisionContext<'_>) -> RuId {

@@ -22,11 +22,11 @@
 //! candidate it finds" — among equal (including never-requested)
 //! distances the lowest-indexed RU wins.
 
+use crate::stamp::ConfigStamp;
 use rtr_hw::RuId;
 use rtr_manager::{DecisionContext, ReplacementPolicy};
 use rtr_sim::SimTime;
 use rtr_taskgraph::ConfigId;
-use std::collections::HashMap;
 
 /// How [`LfdPolicy`] resolves ties (several candidates with the same —
 /// typically infinite — forward distance). The paper uses
@@ -54,8 +54,11 @@ pub struct LfdPolicy {
     label: String,
     tie_break: TieBreak,
     /// Touch history, only maintained for the LRU tie-break.
-    last_touch: HashMap<ConfigId, u64>,
+    last_touch: ConfigStamp,
     clock: u64,
+    /// Reusable distance buffer — one decision happens per load, so a
+    /// fresh Vec here would be a per-load allocation on the hot path.
+    dist_scratch: Vec<Option<usize>>,
 }
 
 impl LfdPolicy {
@@ -64,8 +67,9 @@ impl LfdPolicy {
             base_label: label.clone(),
             label,
             tie_break: TieBreak::FirstCandidate,
-            last_touch: HashMap::new(),
+            last_touch: ConfigStamp::default(),
             clock: 0,
+            dist_scratch: Vec::new(),
         }
     }
 
@@ -102,14 +106,14 @@ impl LfdPolicy {
     fn touch(&mut self, config: ConfigId) {
         if self.tie_break == TieBreak::LeastRecentlyUsed {
             self.clock += 1;
-            self.last_touch.insert(config, self.clock);
+            self.last_touch.set(config, self.clock);
         }
     }
 }
 
 impl ReplacementPolicy for LfdPolicy {
-    fn name(&self) -> String {
-        self.label.clone()
+    fn name(&self) -> &str {
+        &self.label
     }
 
     fn select_victim(&mut self, ctx: &DecisionContext<'_>) -> RuId {
@@ -118,8 +122,10 @@ impl ReplacementPolicy for LfdPolicy {
         // All candidate distances at once: ordered index lookups when
         // the engine's ReuseIndex backs the context, a single joint
         // pass over the stream otherwise. `None` means "not requested
-        // in the window" = infinite distance.
-        let dist = ctx.candidate_distances();
+        // in the window" = infinite distance. The buffer is policy
+        // state, reused across decisions.
+        let mut dist = std::mem::take(&mut self.dist_scratch);
+        ctx.candidate_distances_into(&mut dist);
         // Farthest distance wins; infinity beats everything; among ties
         // the configured tie-break decides (paper default: strict `>`
         // keeps the earliest candidate).
@@ -133,20 +139,13 @@ impl ReplacementPolicy for LfdPolicy {
             let tied = dist[i] == dist[best];
             let lru_override = tied
                 && self.tie_break == TieBreak::LeastRecentlyUsed
-                && self
-                    .last_touch
-                    .get(&candidates[i].config)
-                    .copied()
-                    .unwrap_or(0)
-                    < self
-                        .last_touch
-                        .get(&candidates[best].config)
-                        .copied()
-                        .unwrap_or(0);
+                && self.last_touch.get(candidates[i].config)
+                    < self.last_touch.get(candidates[best].config);
             if better || lru_override {
                 best = i;
             }
         }
+        self.dist_scratch = dist;
         candidates[best].ru
     }
 

@@ -18,17 +18,24 @@
 //!   sequences the hybrid way (precomputed once per template) or the
 //!   purely run-time way (recomputed at every arrival), backing the
 //!   paper's 10× claim.
+//! * [`registry`] — the process-wide design-time memo
+//!   ([`TemplateRegistry`]): structural artifacts plus mobility
+//!   vectors, shared across grid cells, worker threads and pooled
+//!   engines.
 
 pub mod annotate;
 pub mod history;
 pub mod lfd;
 pub mod mobility;
 pub mod pipeline;
+pub mod registry;
+mod stamp;
 
 pub use annotate::{AnnotatedTemplate, TemplateCache};
 pub use history::{FifoPolicy, LfuPolicy, LruPolicy, MruPolicy, RandomPolicy};
 pub use lfd::{LfdPolicy, TieBreak};
 pub use mobility::{compute_mobility, MobilityError};
+pub use registry::TemplateRegistry;
 // The incremental next-occurrence index lives in `rtr-manager` (the
 // engine maintains it), but it is the paper's decision-layer machinery,
 // so the canonical path re-exports here.

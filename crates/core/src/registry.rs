@@ -1,0 +1,203 @@
+//! The shared design-time template registry.
+//!
+//! The paper's hybrid approach banks on "performing the bulk of the
+//! computations at design time" — but a sweep harness that recomputes
+//! those artifacts per grid cell (or worse, per job instance) pays the
+//! design-time cost over and over at run time. [`TemplateRegistry`]
+//! is the process-wide memo: it bundles
+//!
+//! * the structural artifacts of every distinct template
+//!   (reconfiguration sequence, configuration projection, predecessor
+//!   counts) through a shared [`rtr_taskgraph::TemplateSet`], and
+//! * the *mobility* vectors of the design-time phase (the paper's
+//!   Fig. 6), memoised per `(template, system)` — mobility depends on
+//!   the RU count, the reconfiguration latency and the reuse switch,
+//!   but not on the lookahead window or trace settings, so cells that
+//!   differ only in policy share one entry.
+//!
+//! The registry is `Sync`: wrap it in an `Arc` and hand clones to
+//! every worker of a parallel grid and to every pooled
+//! [`Engine`](rtr_manager::Engine) (via
+//! [`Engine::with_templates`](rtr_manager::Engine::with_templates)).
+//! Every entry pins its graph `Arc`, so the pointer identity used as
+//! the key can never be recycled while the registry lives.
+
+use crate::mobility::{compute_mobility, MobilityError};
+use rtr_manager::{JobSpec, ManagerConfig};
+use rtr_sim::FxHashMap;
+use rtr_taskgraph::{TaskGraph, TemplateArtifacts, TemplateSet};
+use std::sync::{Arc, RwLock};
+
+/// The `ManagerConfig` fields mobility actually depends on (see
+/// [`compute_mobility`]): the probe schedules run a single graph with
+/// `FirstCandidatePolicy`, skips off and traces off, so lookahead and
+/// trace settings cannot influence the result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MobilityKey {
+    graph: usize,
+    rus: usize,
+    latency_us: u64,
+    reuse_enabled: bool,
+}
+
+impl MobilityKey {
+    fn new(graph: &Arc<TaskGraph>, cfg: &ManagerConfig) -> Self {
+        MobilityKey {
+            graph: Arc::as_ptr(graph) as usize,
+            rus: cfg.rus,
+            latency_us: cfg.device.reconfig_latency.as_us(),
+            reuse_enabled: cfg.reuse_enabled,
+        }
+    }
+}
+
+/// Process-wide memo of design-time artifacts, shared across grid
+/// cells, worker threads and pooled engines.
+#[derive(Debug, Default)]
+pub struct TemplateRegistry {
+    seqs: Arc<TemplateSet>,
+    mobility: RwLock<FxHashMap<MobilityKey, Arc<Vec<u32>>>>,
+}
+
+impl TemplateRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The structural-artifact table, for
+    /// [`Engine::with_templates`](rtr_manager::Engine::with_templates).
+    pub fn template_set(&self) -> Arc<TemplateSet> {
+        Arc::clone(&self.seqs)
+    }
+
+    /// Structural artifacts of `graph` (interned).
+    pub fn artifacts(&self, graph: &Arc<TaskGraph>) -> Arc<TemplateArtifacts> {
+        self.seqs.get_or_compute(graph)
+    }
+
+    /// The mobility vector of `graph` on the system described by `cfg`,
+    /// computed on first access per `(template, system)` pair.
+    pub fn mobility(
+        &self,
+        graph: &Arc<TaskGraph>,
+        cfg: &ManagerConfig,
+    ) -> Result<Arc<Vec<u32>>, MobilityError> {
+        // Intern first so the graph is pinned for the key's lifetime.
+        let _ = self.seqs.get_or_compute(graph);
+        let key = MobilityKey::new(graph, cfg);
+        if let Some(hit) = self.mobility.read().expect("registry lock").get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let computed = Arc::new(compute_mobility(graph, cfg)?);
+        let mut map = self.mobility.write().expect("registry lock");
+        // A racing thread may have inserted meanwhile; keep the first
+        // entry so every instance shares one Arc.
+        Ok(Arc::clone(
+            map.entry(key).or_insert_with(|| Arc::clone(&computed)),
+        ))
+    }
+
+    /// Builds a job for one instance of `graph`, attaching the memoised
+    /// mobility annotation when `with_mobility` is requested (policies
+    /// using Skip Events need it; pure history policies do not).
+    pub fn instantiate(
+        &self,
+        graph: &Arc<TaskGraph>,
+        cfg: &ManagerConfig,
+        with_mobility: bool,
+    ) -> Result<JobSpec, MobilityError> {
+        let job = JobSpec::new(Arc::clone(graph));
+        if with_mobility {
+            Ok(job.with_mobility(self.mobility(graph, cfg)?))
+        } else {
+            Ok(job)
+        }
+    }
+
+    /// Number of distinct templates interned.
+    pub fn templates(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Number of memoised `(template, system)` mobility entries.
+    pub fn mobility_entries(&self) -> usize {
+        self.mobility.read().expect("registry lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_taskgraph::benchmarks;
+
+    #[test]
+    fn mobility_is_memoised_per_system() {
+        let reg = TemplateRegistry::new();
+        let g = Arc::new(benchmarks::jpeg());
+        let cfg4 = ManagerConfig::paper_default();
+        let a = reg.mobility(&g, &cfg4).unwrap();
+        let b = reg.mobility(&g, &cfg4).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same system, one computation");
+        assert_eq!(reg.mobility_entries(), 1);
+        // A different RU count is a different system.
+        let cfg3 = cfg4.clone().with_rus(3);
+        let c = reg.mobility(&g, &cfg3).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(reg.mobility_entries(), 2);
+        // Lookahead/trace changes do NOT invalidate the memo.
+        let cfg_look = cfg4.clone().with_lookahead(rtr_manager::Lookahead::All);
+        let d = reg.mobility(&g, &cfg_look).unwrap();
+        assert!(Arc::ptr_eq(&a, &d), "lookahead is mobility-irrelevant");
+    }
+
+    #[test]
+    fn memoised_mobility_matches_direct_computation() {
+        let reg = TemplateRegistry::new();
+        let cfg = ManagerConfig::paper_default();
+        for g in [
+            Arc::new(benchmarks::jpeg()),
+            Arc::new(benchmarks::mpeg1()),
+            Arc::new(benchmarks::fig3_tg2()),
+        ] {
+            let memo = reg.mobility(&g, &cfg).unwrap();
+            let direct = compute_mobility(&g, &cfg).unwrap();
+            assert_eq!(*memo, direct, "graph {}", g.name());
+        }
+        assert_eq!(reg.templates(), 3);
+    }
+
+    #[test]
+    fn instantiate_attaches_mobility_on_request() {
+        let reg = TemplateRegistry::new();
+        let cfg = ManagerConfig::paper_default();
+        let g = Arc::new(benchmarks::hough());
+        let plain = reg.instantiate(&g, &cfg, false).unwrap();
+        assert!(plain.mobility.is_none());
+        let annotated = reg.instantiate(&g, &cfg, true).unwrap();
+        let again = reg.instantiate(&g, &cfg, true).unwrap();
+        assert!(Arc::ptr_eq(
+            annotated.mobility.as_ref().unwrap(),
+            again.mobility.as_ref().unwrap()
+        ));
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let reg = Arc::new(TemplateRegistry::new());
+        let g = Arc::new(benchmarks::jpeg());
+        let cfg = ManagerConfig::paper_default();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let g = Arc::clone(&g);
+                let cfg = cfg.clone();
+                std::thread::spawn(move || reg.mobility(&g, &cfg).unwrap().len())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), g.len());
+        }
+        assert_eq!(reg.mobility_entries(), 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! Shared per-configuration stamp table for history-aware policies.
+
+use rtr_sim::DenseIdMap;
+use rtr_taskgraph::ConfigId;
+
+/// Per-configuration `u64` stamps (touch clocks, load slots, claim
+/// counts) over a dense-by-id table ([`DenseIdMap`]) — one array access
+/// on the hot path, where even a fast hash map costs a multiply-probe.
+/// `0` doubles as "never recorded", matching the policies'
+/// default-to-zero convention.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ConfigStamp {
+    stamps: DenseIdMap<u64>,
+}
+
+impl ConfigStamp {
+    pub(crate) fn get(&self, config: ConfigId) -> u64 {
+        self.stamps.get(config.0).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn set(&mut self, config: ConfigId, value: u64) {
+        *self.stamps.entry(config.0) = value;
+    }
+
+    /// Zeroes every stamp, keeping the table allocation.
+    pub(crate) fn clear(&mut self) {
+        self.stamps.clear_values(|v| *v = 0);
+    }
+}

@@ -117,6 +117,24 @@ impl ReconfigController {
     pub fn busy_time(&self) -> SimDuration {
         self.busy_time
     }
+
+    /// Returns the controller to its just-constructed state (idle,
+    /// zeroed counters), optionally retargeting the per-load latency —
+    /// the pooled engine's reset hook.
+    ///
+    /// # Panics
+    /// Panics on a zero latency, like [`ReconfigController::new`].
+    pub fn reset(&mut self, latency: SimDuration) {
+        assert!(
+            !latency.is_zero(),
+            "reconfiguration latency must be positive (the ideal baseline \
+             is simulated separately)"
+        );
+        self.latency = latency;
+        self.in_flight = None;
+        self.completed_loads = 0;
+        self.busy_time = SimDuration::ZERO;
+    }
 }
 
 #[cfg(test)]

@@ -54,6 +54,13 @@ impl EnergyModel {
         self.stats.reuses += 1;
     }
 
+    /// Zeroes the counters, optionally retargeting the device — the
+    /// pooled engine's reset hook.
+    pub fn reset(&mut self, device: DeviceSpec) {
+        self.device = device;
+        self.stats = TrafficStats::default();
+    }
+
     /// Current counters.
     pub fn stats(&self) -> TrafficStats {
         self.stats

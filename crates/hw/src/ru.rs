@@ -21,9 +21,38 @@
 //! finishes, tasks 1 *and* 4 are the two candidates, while the
 //! loaded-but-not-run tasks 5 and 6 are not.)
 
+use rtr_sim::DenseIdMap;
 use rtr_taskgraph::ConfigId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Per-configuration bitmasks of the RUs where that configuration is
+/// resident *and unclaimed* — the set [`RuPool::find_reusable`] probes
+/// once per sequence head, turning the reuse check from an O(RUs) state
+/// scan into a `trailing_zeros`. Only maintained for pools of ≤ 64 RUs
+/// (one `u64` of mask); larger pools fall back to the scan.
+#[derive(Debug, Clone, Default)]
+struct ReusableTable {
+    masks: DenseIdMap<u64>,
+}
+
+impl ReusableTable {
+    fn mark(&mut self, config: ConfigId, ru: usize) {
+        *self.masks.entry(config.0) |= 1 << ru;
+    }
+
+    fn unmark(&mut self, config: ConfigId, ru: usize) {
+        *self.masks.entry(config.0) &= !(1 << ru);
+    }
+
+    fn mask(&self, config: ConfigId) -> u64 {
+        self.masks.get(config.0).copied().unwrap_or(0)
+    }
+
+    fn clear(&mut self) {
+        self.masks.clear_values(|m| *m = 0);
+    }
+}
 
 /// Index of a reconfigurable unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -115,6 +144,15 @@ impl std::error::Error for TransitionError {}
 #[derive(Debug, Clone)]
 pub struct RuPool {
     states: Vec<RuState>,
+    /// Number of RUs currently in [`RuState::Empty`] — lets the hot
+    /// "is there a free RU?" check short-circuit once the pool fills
+    /// (it never empties again within a run).
+    empties: usize,
+    /// Unclaimed-resident masks per configuration (see
+    /// [`ReusableTable`]); maintained only when `mask_tracking`.
+    reusable: ReusableTable,
+    /// True for pools of ≤ 64 RUs, where one `u64` covers the pool.
+    mask_tracking: bool,
 }
 
 impl RuPool {
@@ -127,6 +165,9 @@ impl RuPool {
         assert!(count <= u16::MAX as usize, "RU count exceeds RuId range");
         RuPool {
             states: vec![RuState::Empty; count],
+            empties: count,
+            reusable: ReusableTable::default(),
+            mask_tracking: count <= 64,
         }
     }
 
@@ -150,20 +191,53 @@ impl RuPool {
         self.states[ru.idx()]
     }
 
-    /// Lowest-indexed empty RU, if any.
+    /// Lowest-indexed empty RU, if any. O(1) when the pool is full —
+    /// the steady state of every run after warm-up.
     pub fn first_empty(&self) -> Option<RuId> {
+        if self.empties == 0 {
+            return None;
+        }
         self.ids().find(|&r| self.states[r.idx()] == RuState::Empty)
     }
 
     /// The RU where `config` is resident and **unclaimed** (available
-    /// for a reuse claim), lowest index first.
+    /// for a reuse claim), lowest index first. One mask probe plus a
+    /// `trailing_zeros` on pools of ≤ 64 RUs; a state scan otherwise.
     pub fn find_reusable(&self, config: ConfigId) -> Option<RuId> {
+        if self.mask_tracking {
+            let mask = self.reusable.mask(config);
+            if mask == 0 {
+                return None;
+            }
+            let ru = RuId(mask.trailing_zeros() as u16);
+            debug_assert!(matches!(
+                self.states[ru.idx()],
+                RuState::Loaded { config: c, claimed: false } if c == config
+            ));
+            return Some(ru);
+        }
         self.ids().find(|&r| {
             matches!(
                 self.states[r.idx()],
                 RuState::Loaded { config: c, claimed: false } if c == config
             )
         })
+    }
+
+    /// Finds a reusable RU for `config` and claims it in one step —
+    /// the fused form of [`RuPool::find_reusable`] +
+    /// [`RuPool::claim_for_reuse`] the engine's reuse cascade calls
+    /// once per sequence head.
+    pub fn try_claim_reuse(&mut self, config: ConfigId) -> Option<RuId> {
+        let ru = self.find_reusable(config)?;
+        if self.mask_tracking {
+            self.reusable.unmark(config, ru.idx());
+        }
+        self.states[ru.idx()] = RuState::Loaded {
+            config,
+            claimed: true,
+        };
+        Some(ru)
     }
 
     /// Whether `config` is resident anywhere (any state).
@@ -175,16 +249,62 @@ impl RuPool {
     /// Eviction candidates in RU-index order (the paper's tie-break:
     /// "Local LFD selects the first candidate it finds").
     pub fn eviction_candidates(&self) -> Vec<RuId> {
-        self.ids()
-            .filter(|&r| self.states[r.idx()].is_eviction_candidate())
-            .collect()
+        self.iter_eviction_candidates().map(|(r, _)| r).collect()
+    }
+
+    /// Eviction candidates with their resident configurations, in
+    /// RU-index order — the allocation-free form the engine's decision
+    /// hot path fills its pooled scratch buffer from.
+    pub fn iter_eviction_candidates(&self) -> impl Iterator<Item = (RuId, ConfigId)> + '_ {
+        self.ids().filter_map(|r| match self.states[r.idx()] {
+            RuState::Loaded {
+                config,
+                claimed: false,
+            } => Some((r, config)),
+            _ => None,
+        })
+    }
+
+    /// Returns every RU to [`RuState::Empty`], keeping the pool's
+    /// allocation — the power-on state a pooled engine resets to.
+    pub fn reset(&mut self) {
+        self.states.fill(RuState::Empty);
+        self.empties = self.states.len();
+        self.reusable.clear();
+    }
+
+    /// Resets and, if `count` differs from the current size, resizes the
+    /// pool (used when a pooled engine is re-targeted at another system
+    /// configuration).
+    ///
+    /// # Panics
+    /// Panics if `count` is zero or exceeds `u16::MAX`.
+    pub fn reset_to(&mut self, count: usize) {
+        assert!(count > 0, "a reconfigurable system needs at least one RU");
+        assert!(count <= u16::MAX as usize, "RU count exceeds RuId range");
+        self.states.clear();
+        self.states.resize(count, RuState::Empty);
+        self.empties = count;
+        self.reusable.clear();
+        self.mask_tracking = count <= 64;
     }
 
     /// Starts loading `config` into `ru`, evicting any unclaimed
     /// resident configuration.
     pub fn begin_load(&mut self, ru: RuId, config: ConfigId) -> Result<(), TransitionError> {
         match self.states[ru.idx()] {
-            RuState::Empty | RuState::Loaded { claimed: false, .. } => {
+            RuState::Empty => {
+                self.empties -= 1;
+                self.states[ru.idx()] = RuState::Loading { config };
+                Ok(())
+            }
+            RuState::Loaded {
+                config: evicted,
+                claimed: false,
+            } => {
+                if self.mask_tracking {
+                    self.reusable.unmark(evicted, ru.idx());
+                }
                 self.states[ru.idx()] = RuState::Loading { config };
                 Ok(())
             }
@@ -222,6 +342,9 @@ impl RuPool {
                 config: c,
                 claimed: false,
             } if c == config => {
+                if self.mask_tracking {
+                    self.reusable.unmark(config, ru.idx());
+                }
                 self.states[ru.idx()] = RuState::Loaded {
                     config,
                     claimed: true,
@@ -259,6 +382,9 @@ impl RuPool {
     pub fn finish_execution(&mut self, ru: RuId) -> Result<ConfigId, TransitionError> {
         match self.states[ru.idx()] {
             RuState::Executing { config } => {
+                if self.mask_tracking {
+                    self.reusable.mark(config, ru.idx());
+                }
                 self.states[ru.idx()] = RuState::Loaded {
                     config,
                     claimed: false,

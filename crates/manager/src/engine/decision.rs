@@ -15,7 +15,19 @@ use super::{ActiveJob, ManagerState};
 use crate::policy::{DecisionContext, ReplacementPolicy};
 use crate::reuse_index::ReuseWindow;
 use crate::trace::TraceEvent;
+use rtr_hw::RuId;
 use rtr_sim::SimTime;
+
+/// Outcome of one replacement-module invocation while the pooled
+/// candidate buffer is on loan.
+enum Decision {
+    /// No legal victim: retry at the next event.
+    Stall,
+    /// Skip Events delayed the reconfiguration to the next event.
+    Skip,
+    /// Evict the chosen RU and reconfigure into it.
+    Evict(RuId),
+}
 
 impl ManagerState {
     /// The visible Dynamic-List window of a decision for the current
@@ -36,7 +48,11 @@ impl ManagerState {
     /// reconfiguration sequence while the circuitry is idle. Reuse
     /// claims cascade (they occupy no circuitry); at most one load can
     /// start (it occupies the circuitry).
-    pub(crate) fn try_advance(&mut self, now: SimTime, policy: &mut dyn ReplacementPolicy) {
+    pub(crate) fn try_advance<P: ReplacementPolicy + ?Sized>(
+        &mut self,
+        now: SimTime,
+        policy: &mut P,
+    ) {
         loop {
             if !self.controller.is_idle() {
                 return;
@@ -45,15 +61,15 @@ impl ManagerState {
                 let Some(job) = self.current.as_ref() else {
                     return;
                 };
-                if job.seq_pos >= job.rec_seq.len() {
+                if job.seq_pos >= job.tpl.rec_seq.len() {
                     return;
                 }
-                let node = job.rec_seq[job.seq_pos];
+                let node = job.tpl.rec_seq[job.seq_pos];
                 let forced = job
                     .forced_delays
                     .as_ref()
                     .is_some_and(|req| job.forced_skips_done[node.idx()] < req[node.idx()]);
-                (node, job.cfg_seq[job.seq_pos], job.idx, forced)
+                (node, job.tpl.cfg_seq[job.seq_pos], job.idx, forced)
             };
 
             // Forced delay probes (design-time mobility calculation,
@@ -62,7 +78,7 @@ impl ManagerState {
                 let job = self.current.as_mut().expect("checked above");
                 job.forced_skips_done[node.idx()] += 1;
                 self.skips += 1;
-                self.record(TraceEvent::Skip {
+                self.record(|| TraceEvent::Skip {
                     job: job_idx,
                     node,
                     forced: true,
@@ -79,21 +95,17 @@ impl ManagerState {
 
             // Pick the destination RU: a free one if it exists,
             // otherwise ask the policy for a victim (Fig. 8 step 2).
+            // The candidate list lives in the engine's pooled scratch
+            // buffer (taken out for the borrow, returned on every exit).
             let target = if let Some(ru) = self.pool.first_empty() {
                 ru
             } else {
-                let candidates = self.collect_candidates();
-                if candidates.is_empty() {
+                let mut candidates = std::mem::take(&mut self.candidates);
+                self.fill_candidates(&mut candidates);
+                let outcome = if candidates.is_empty() {
                     // Fig. 8 step 3: no victim — retry at the next event.
-                    self.stalls += 1;
-                    self.record(TraceEvent::Stall {
-                        job: job_idx,
-                        node,
-                        at: now,
-                    });
-                    return;
-                }
-                let (victim, do_skip) = {
+                    Decision::Stall
+                } else {
                     let job = self.current.as_ref().expect("checked above");
                     let window = self.decision_window(job);
                     let ctx = DecisionContext::indexed(
@@ -123,21 +135,37 @@ impl ManagerState {
                             mob[node.idx()] > job.skipped_events
                                 && self.reuse_index.contains(victim_cfg, window)
                         });
-                    (victim, do_skip)
+                    if do_skip {
+                        Decision::Skip
+                    } else {
+                        Decision::Evict(victim)
+                    }
                 };
-                if do_skip {
-                    let job = self.current.as_mut().expect("checked above");
-                    job.skipped_events += 1;
-                    self.skips += 1;
-                    self.record(TraceEvent::Skip {
-                        job: job_idx,
-                        node,
-                        forced: false,
-                        at: now,
-                    });
-                    return;
+                self.candidates = candidates;
+                match outcome {
+                    Decision::Stall => {
+                        self.stalls += 1;
+                        self.record(|| TraceEvent::Stall {
+                            job: job_idx,
+                            node,
+                            at: now,
+                        });
+                        return;
+                    }
+                    Decision::Skip => {
+                        let job = self.current.as_mut().expect("checked above");
+                        job.skipped_events += 1;
+                        self.skips += 1;
+                        self.record(|| TraceEvent::Skip {
+                            job: job_idx,
+                            node,
+                            forced: false,
+                            at: now,
+                        });
+                        return;
+                    }
+                    Decision::Evict(victim) => victim,
                 }
-                victim
             };
 
             self.begin_reconfiguration(target, node, config, job_idx, now);

@@ -8,7 +8,6 @@ use crate::trace::TraceEvent;
 use rtr_hw::RuId;
 use rtr_sim::SimTime;
 use rtr_taskgraph::NodeId;
-use std::sync::Arc;
 
 /// Same-time event ordering (lower fires first): task completions are
 /// observed before reconfiguration completions, then arrivals enter the
@@ -33,28 +32,27 @@ pub(crate) enum Event {
 }
 
 impl ManagerState {
-    /// Dispatches one event (the body of the paper's Fig. 4).
-    pub(crate) fn handle(
+    /// Dispatches one event (the body of the paper's Fig. 4). Generic
+    /// over the policy type so concrete-policy runs
+    /// ([`Engine::run_with`](crate::Engine::run_with)) monomorphise the
+    /// whole event loop — the per-event callback fan-out inlines
+    /// instead of going through vtable dispatch.
+    pub(crate) fn handle<P: ReplacementPolicy + ?Sized>(
         &mut self,
         ev: Event,
         now: SimTime,
         jobs: &[JobSpec],
-        policy: &mut dyn ReplacementPolicy,
+        policy: &mut P,
     ) {
         match ev {
             Event::JobArrival { idx } => {
-                self.record(TraceEvent::JobArrival {
-                    job: idx as u32,
-                    at: now,
-                });
-                self.note_arrival(idx);
+                self.admit_arrival(idx, now);
                 if self.current.is_none() {
                     // Idle manager: resume by activating at this instant
-                    // (unless a same-instant activation is already queued).
-                    if !self.activation_pending {
-                        self.queue
-                            .push(now, PRIO_NEW_TASK_GRAPH, Event::NewTaskGraph);
-                        self.activation_pending = true;
+                    // (unless a same-instant activation is already
+                    // pending — the slot holds at most one).
+                    if self.pending_activation.is_none() {
+                        self.pending_activation = Some(now);
                     }
                 } else {
                     // The Dynamic List just grew: a stalled or skipped
@@ -69,13 +67,17 @@ impl ManagerState {
                     self.controller.is_idle(),
                     "no cross-graph reconfigurations can be in flight"
                 );
-                self.activation_pending = false;
                 let idx = self
                     .arrived
                     .pop_front()
                     .expect("activation follows an arrival");
-                let job = ActiveJob::new(idx as u32, &jobs[idx], &self.job_templates[idx]);
-                self.record(TraceEvent::GraphStart {
+                let job = ActiveJob::new(
+                    idx as u32,
+                    &jobs[idx],
+                    &self.job_templates[idx],
+                    &mut self.scratch,
+                );
+                self.record(|| TraceEvent::GraphStart {
                     job: idx as u32,
                     at: now,
                 });
@@ -100,7 +102,7 @@ impl ManagerState {
                     job.node_ru[node.idx()] = Some(ru);
                     job.idx
                 };
-                self.record(TraceEvent::LoadEnd {
+                self.record(|| TraceEvent::LoadEnd {
                     job: job_idx,
                     node,
                     config,
@@ -120,16 +122,16 @@ impl ManagerState {
                     .pool
                     .finish_execution(ru)
                     .expect("manager drives RU transitions correctly");
-                let (job_idx, graph, done) = {
+                let (job_idx, done, graph_len) = {
                     let job = self
                         .current
                         .as_mut()
                         .expect("executions only happen for the current graph");
                     job.done_count += 1;
-                    (job.idx, Arc::clone(&job.graph), job.done_count)
+                    (job.idx, job.done_count, job.graph().len())
                 };
                 self.executed += 1;
-                self.record(TraceEvent::ExecEnd {
+                self.record(|| TraceEvent::ExecEnd {
                     job: job_idx,
                     node,
                     config,
@@ -142,38 +144,54 @@ impl ManagerState {
                 if self.controller.is_idle() {
                     self.try_advance(now, policy);
                 }
-                // Fig. 4 line 14: update task dependencies.
-                let mut to_start: Vec<NodeId> = Vec::new();
+                // Fig. 4 line 14: update task dependencies. The ready
+                // set goes through the pooled `exec_ready` buffer —
+                // this path fires once per executed task, so a fresh
+                // Vec here would be a per-task allocation.
+                let mut to_start = std::mem::take(&mut self.exec_ready);
+                to_start.clear();
                 if let Some(job) = self.current.as_mut() {
-                    for &s in graph.succs(node) {
-                        job.pending_preds[s.idx()] -= 1;
+                    {
+                        // Split borrow: the successor list lives in the
+                        // template while the counters are mutated.
+                        let ActiveJob {
+                            tpl, pending_preds, ..
+                        } = &mut *job;
+                        for &s in tpl.graph.succs(node) {
+                            pending_preds[s.idx()] -= 1;
+                        }
                     }
                     // Fig. 4 lines 15–19: start loaded ready tasks.
-                    for &s in graph.succs(node) {
+                    for &s in job.tpl.graph.succs(node) {
                         if job.ready(s) {
                             to_start.push(s);
                         }
                     }
                 }
-                for s in to_start {
-                    self.start_execution(s, now, policy);
+                for &ready in &to_start {
+                    self.start_execution(ready, now, policy);
                 }
+                to_start.clear();
+                self.exec_ready = to_start;
                 // Graph completion → activate the longest-waiting
                 // arrived job, or go idle until the next arrival.
-                if done == graph.len() {
-                    self.record(TraceEvent::GraphEnd {
+                if done == graph_len {
+                    self.record(|| TraceEvent::GraphEnd {
                         job: job_idx,
                         at: now,
                     });
                     policy.on_graph_end(job_idx, now);
-                    self.current = None;
+                    let finished = self.current.take().expect("checked above");
+                    self.scratch.reclaim(finished);
                     self.retire_front_job();
                     self.completed_jobs += 1;
                     self.graph_completions.push(now);
                     if !self.arrived.is_empty() {
-                        self.queue
-                            .push(now, PRIO_NEW_TASK_GRAPH, Event::NewTaskGraph);
-                        self.activation_pending = true;
+                        debug_assert!(
+                            self.pending_activation.is_none(),
+                            "no activation can pend while a graph was current"
+                        );
+                        self.pending_activation = Some(now);
                     }
                 }
             }

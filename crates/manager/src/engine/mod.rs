@@ -14,14 +14,26 @@
 //! the split keeps each concern small enough to reason about while the
 //! shared [`ManagerState`] stays one struct (the event loop is a state
 //! machine, not a layer cake).
+//!
+//! **Pooling.** The engine has a reset-and-reuse lifecycle: every
+//! allocation that scales with the workload — the [`ActiveJob`] scratch
+//! vectors (recycled through [`JobScratch`] since graphs execute
+//! sequentially, one set serves the whole run), the eviction-candidate
+//! and ready-successor scratch buffers, the event heap, the
+//! [`ReuseIndex`] occurrence lists and the [`Trace`] buffer — survives
+//! across runs, so a replication loop's steady state performs no heap
+//! allocation per activation. Design-time artifacts come from a shared
+//! [`TemplateSet`](rtr_taskgraph::TemplateSet), computed once per
+//! distinct template per process rather than per job or per grid cell.
 
 use crate::config::ManagerConfig;
 use crate::job::JobSpec;
+use crate::policy::VictimCandidate;
 use crate::reuse_index::ReuseIndex;
 use crate::trace::{Trace, TraceEvent};
 use rtr_hw::{EnergyModel, ReconfigController, RuId, RuPool};
 use rtr_sim::{EventQueue, SimTime};
-use rtr_taskgraph::{ConfigId, NodeId, TaskGraph};
+use rtr_taskgraph::{NodeId, TaskGraph, TemplateArtifacts};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -29,26 +41,22 @@ pub(crate) mod decision;
 pub(crate) mod events;
 pub(crate) mod residency;
 
-pub(crate) use events::{Event, PRIO_JOB_ARRIVAL};
+pub(crate) use events::{
+    Event, PRIO_END_OF_EXECUTION, PRIO_END_OF_RECONFIGURATION, PRIO_JOB_ARRIVAL,
+    PRIO_NEW_TASK_GRAPH,
+};
 
-/// Design-time artifacts computed once per distinct graph template: the
-/// reconfiguration sequence and its configuration projection. This is
-/// the "bulk of the computations at design time" the hybrid approach
-/// banks on — at run time the manager only walks precomputed arrays.
-#[derive(Debug, Clone)]
-pub(crate) struct TemplateInfo {
-    pub(crate) rec_seq: Arc<Vec<NodeId>>,
-    pub(crate) cfg_seq: Arc<Vec<ConfigId>>,
-}
-
-/// Run-time state of the current task graph.
+/// Run-time state of the current task graph. The per-node vectors are
+/// on loan from the engine's [`JobScratch`] pool: they are moved in at
+/// activation and reclaimed at graph completion, never reallocated.
 #[derive(Debug)]
 pub(crate) struct ActiveJob {
     pub(crate) idx: u32,
-    pub(crate) graph: Arc<TaskGraph>,
-    pub(crate) rec_seq: Arc<Vec<NodeId>>,
-    pub(crate) cfg_seq: Arc<Vec<ConfigId>>,
-    /// Cursor into `rec_seq`: next task to load.
+    /// Shared design-time artifacts of the job's template (graph,
+    /// reconfiguration sequence, configuration projection, predecessor
+    /// counts).
+    pub(crate) tpl: Arc<TemplateArtifacts>,
+    /// Cursor into the template's `rec_seq`: next task to load.
     pub(crate) seq_pos: usize,
     pub(crate) pending_preds: Vec<u32>,
     pub(crate) node_ru: Vec<Option<RuId>>,
@@ -66,35 +74,76 @@ pub(crate) struct ActiveJob {
 }
 
 impl ActiveJob {
-    pub(crate) fn new(idx: u32, spec: &JobSpec, tpl: &TemplateInfo) -> Self {
+    pub(crate) fn new(
+        idx: u32,
+        spec: &JobSpec,
+        tpl: &Arc<TemplateArtifacts>,
+        scratch: &mut JobScratch,
+    ) -> Self {
         let n = spec.graph.len();
-        let pending_preds = spec
-            .graph
-            .node_ids()
-            .map(|id| spec.graph.preds(id).len() as u32)
-            .collect();
+        let mut pending_preds = std::mem::take(&mut scratch.pending_preds);
+        pending_preds.clear();
+        pending_preds.extend_from_slice(&tpl.pred_counts);
+        let mut node_ru = std::mem::take(&mut scratch.node_ru);
+        node_ru.clear();
+        node_ru.resize(n, None);
+        let mut loaded = std::mem::take(&mut scratch.loaded);
+        loaded.clear();
+        loaded.resize(n, false);
+        let mut exec_started = std::mem::take(&mut scratch.exec_started);
+        exec_started.clear();
+        exec_started.resize(n, false);
+        let mut forced_skips_done = std::mem::take(&mut scratch.forced_skips_done);
+        forced_skips_done.clear();
+        forced_skips_done.resize(n, 0);
         ActiveJob {
             idx,
-            graph: Arc::clone(&spec.graph),
-            rec_seq: Arc::clone(&tpl.rec_seq),
-            cfg_seq: Arc::clone(&tpl.cfg_seq),
+            tpl: Arc::clone(tpl),
             seq_pos: 0,
             pending_preds,
-            node_ru: vec![None; n],
-            loaded: vec![false; n],
-            exec_started: vec![false; n],
+            node_ru,
+            loaded,
+            exec_started,
             done_count: 0,
             skipped_events: 0,
-            forced_skips_done: vec![0; n],
+            forced_skips_done,
             mobility: spec.mobility.clone(),
             forced_delays: spec.forced_delays.clone(),
         }
+    }
+
+    /// The job's task graph (shared with the template artifacts).
+    pub(crate) fn graph(&self) -> &Arc<TaskGraph> {
+        &self.tpl.graph
     }
 
     pub(crate) fn ready(&self, node: NodeId) -> bool {
         self.loaded[node.idx()]
             && !self.exec_started[node.idx()]
             && self.pending_preds[node.idx()] == 0
+    }
+}
+
+/// The pooled per-node vectors loaned to the current [`ActiveJob`].
+/// Graphs execute strictly sequentially, so one set suffices; it grows
+/// to the largest graph seen and is never shrunk.
+#[derive(Debug, Default)]
+pub(crate) struct JobScratch {
+    pending_preds: Vec<u32>,
+    node_ru: Vec<Option<RuId>>,
+    loaded: Vec<bool>,
+    exec_started: Vec<bool>,
+    forced_skips_done: Vec<u32>,
+}
+
+impl JobScratch {
+    /// Takes the vectors back from a completed job.
+    pub(crate) fn reclaim(&mut self, job: ActiveJob) {
+        self.pending_preds = job.pending_preds;
+        self.node_ru = job.node_ru;
+        self.loaded = job.loaded;
+        self.exec_started = job.exec_started;
+        self.forced_skips_done = job.forced_skips_done;
     }
 }
 
@@ -105,9 +154,17 @@ pub(crate) struct ManagerState {
     pub(crate) controller: ReconfigController,
     pub(crate) energy: EnergyModel,
     pub(crate) queue: EventQueue<Event>,
-    /// Per-job design-time info, indexed like `jobs`.
-    pub(crate) job_templates: Vec<TemplateInfo>,
+    /// Per-job design-time artifacts, indexed like `jobs` (shared with
+    /// the engine's template set).
+    pub(crate) job_templates: Vec<Arc<TemplateArtifacts>>,
     pub(crate) current: Option<ActiveJob>,
+    /// Pool of per-node vectors for the current job (see [`JobScratch`]).
+    pub(crate) scratch: JobScratch,
+    /// Reusable buffer for the ready successors collected during an
+    /// `EndOfExecution` event (fires once per executed task).
+    pub(crate) exec_ready: Vec<NodeId>,
+    /// Reusable buffer for the legal eviction victims of one decision.
+    pub(crate) candidates: Vec<VictimCandidate>,
     /// Online queue: jobs that have arrived but not yet been activated,
     /// in arrival order (ties broken by submission order). This is what
     /// the replacement module's Dynamic List is built from.
@@ -116,9 +173,17 @@ pub(crate) struct ManagerState {
     /// — shared across consecutive replacement decisions instead of a
     /// per-decision stream rebuild.
     pub(crate) reuse_index: ReuseIndex,
-    /// A `NewTaskGraph` event is already enqueued (prevents
-    /// double-activation when several jobs arrive at the same instant).
-    pub(crate) activation_pending: bool,
+    /// The pending `NewTaskGraph` activation, if any. At most one can
+    /// exist (graphs execute sequentially), so it lives in a slot the
+    /// run loop merges at `PRIO_NEW_TASK_GRAPH` instead of paying
+    /// queue traffic once per job; the slot also prevents
+    /// double-activation when several jobs arrive at the same instant.
+    pub(crate) pending_activation: Option<SimTime>,
+    /// The in-flight reconfiguration's completion `(time, ru, node)`.
+    /// The port is single (at most one load in flight), so this too is
+    /// a slot, merged at `PRIO_END_OF_RECONFIGURATION` — the queue
+    /// proper only ever holds `EndOfExecution` events (≤ RU count).
+    pub(crate) pending_reconfig: Option<(SimTime, RuId, NodeId)>,
     pub(crate) completed_jobs: usize,
     pub(crate) trace: Trace,
     pub(crate) executed: u64,
@@ -133,9 +198,12 @@ pub(crate) struct ManagerState {
 }
 
 impl ManagerState {
-    pub(crate) fn record(&mut self, ev: TraceEvent) {
+    /// Records a trace event. Takes a closure so disabled-trace runs
+    /// (every large sweep) never even construct the event — this sits
+    /// on paths that fire once per task.
+    pub(crate) fn record(&mut self, ev: impl FnOnce() -> TraceEvent) {
         if self.cfg.record_trace {
-            self.trace.push(ev);
+            self.trace.push(ev());
         }
     }
 }

@@ -7,7 +7,7 @@
 //! they arrive and pruned the moment their graph retires, so the index
 //! always mirrors `[current job] + arrived backlog`.
 
-use super::events::{Event, PRIO_END_OF_EXECUTION, PRIO_END_OF_RECONFIGURATION};
+use super::events::{Event, PRIO_END_OF_EXECUTION};
 use super::ManagerState;
 use crate::policy::{ReplacementPolicy, VictimCandidate};
 use crate::trace::TraceEvent;
@@ -17,10 +17,17 @@ use rtr_taskgraph::{ConfigId, NodeId};
 use std::sync::Arc;
 
 impl ManagerState {
-    /// A submitted job's arrival fired: append it to the online queue
-    /// and to the next-occurrence index (same order — the index's
-    /// segment deque mirrors `[current] + arrived` exactly).
-    pub(crate) fn note_arrival(&mut self, idx: usize) {
+    /// A submitted job's arrival fired: record it, append it to the
+    /// online queue and to the next-occurrence index (same order — the
+    /// index's segment deque mirrors `[current] + arrived` exactly).
+    /// The single admission path shared by the event dispatch and the
+    /// run loop's same-instant burst fast path, so per-arrival
+    /// bookkeeping can never diverge between the two.
+    pub(crate) fn admit_arrival(&mut self, idx: usize, now: SimTime) {
+        self.record(|| TraceEvent::JobArrival {
+            job: idx as u32,
+            at: now,
+        });
         self.arrived.push_back(idx);
         self.reuse_index
             .push_job(Arc::clone(&self.job_templates[idx].cfg_seq));
@@ -36,23 +43,20 @@ impl ManagerState {
     /// if `config` is resident and unclaimed, claim it (zero latency,
     /// zero energy), advance the sequence and start the task when
     /// ready. Returns `true` when the claim happened.
-    pub(crate) fn claim_reuse(
+    pub(crate) fn claim_reuse<P: ReplacementPolicy + ?Sized>(
         &mut self,
         node: NodeId,
         config: ConfigId,
         job_idx: u32,
         now: SimTime,
-        policy: &mut dyn ReplacementPolicy,
+        policy: &mut P,
     ) -> bool {
         if !self.cfg.reuse_enabled {
             return false;
         }
-        let Some(ru) = self.pool.find_reusable(config) else {
+        let Some(ru) = self.pool.try_claim_reuse(config) else {
             return false;
         };
-        self.pool
-            .claim_for_reuse(ru, config)
-            .expect("find_reusable returned a claimable RU");
         {
             let job = self.current.as_mut().expect("reuse needs a current job");
             job.loaded[node.idx()] = true;
@@ -61,7 +65,7 @@ impl ManagerState {
         }
         self.reuses += 1;
         self.energy.record_reuse();
-        self.record(TraceEvent::Reuse {
+        self.record(|| TraceEvent::Reuse {
             job: job_idx,
             node,
             config,
@@ -75,21 +79,17 @@ impl ManagerState {
         true
     }
 
-    /// The legal eviction victims: every unclaimed resident
-    /// configuration, in RU-index order.
-    pub(crate) fn collect_candidates(&self) -> Vec<VictimCandidate> {
-        self.pool
-            .eviction_candidates()
-            .into_iter()
-            .map(|ru| VictimCandidate {
-                ru,
-                config: self
-                    .pool
-                    .state(ru)
-                    .resident_config()
-                    .expect("candidates are resident"),
-            })
-            .collect()
+    /// Fills `out` with the legal eviction victims: every unclaimed
+    /// resident configuration, in RU-index order. The caller passes the
+    /// pooled scratch buffer — the decision path runs once per load, so
+    /// a fresh Vec here would be a per-load allocation.
+    pub(crate) fn fill_candidates(&self, out: &mut Vec<VictimCandidate>) {
+        out.clear();
+        out.extend(
+            self.pool
+                .iter_eviction_candidates()
+                .map(|(ru, config)| VictimCandidate { ru, config }),
+        );
     }
 
     /// Fig. 8 steps 6–7: triggers the reconfiguration of `config` into
@@ -114,33 +114,32 @@ impl ManagerState {
         }
         self.loads += 1;
         self.energy.record_load();
-        self.record(TraceEvent::LoadStart {
+        self.record(|| TraceEvent::LoadStart {
             job: job_idx,
             node,
             config,
             ru: target,
             at: now,
         });
-        self.queue.push(
-            completes,
-            PRIO_END_OF_RECONFIGURATION,
-            Event::EndOfReconfiguration { ru: target, node },
-        );
+        // Single-port invariant: the completion lives in the engine's
+        // reconfiguration slot, not the queue (see `ManagerState`).
+        debug_assert!(self.pending_reconfig.is_none());
+        self.pending_reconfig = Some((completes, target, node));
     }
 
     /// Starts executing `node` on its claimed RU (Fig. 4 lines 6–8 and
     /// 15–19).
-    pub(crate) fn start_execution(
+    pub(crate) fn start_execution<P: ReplacementPolicy + ?Sized>(
         &mut self,
         node: NodeId,
         now: SimTime,
-        policy: &mut dyn ReplacementPolicy,
+        policy: &mut P,
     ) {
         let (ru, idx, end) = {
             let job = self.current.as_mut().expect("start_execution needs a job");
             let ru = job.node_ru[node.idx()].expect("ready tasks have an RU");
             job.exec_started[node.idx()] = true;
-            (ru, job.idx, now + job.graph.exec_time(node))
+            (ru, job.idx, now + job.graph().exec_time(node))
         };
         let config = self
             .pool
@@ -151,7 +150,7 @@ impl ManagerState {
             PRIO_END_OF_EXECUTION,
             Event::EndOfExecution { ru, node },
         );
-        self.record(TraceEvent::ExecStart {
+        self.record(|| TraceEvent::ExecStart {
             job: idx,
             node,
             config,

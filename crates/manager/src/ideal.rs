@@ -15,6 +15,7 @@
 use crate::job::JobSpec;
 use rtr_sim::{SimDuration, SimTime};
 use rtr_taskgraph::{reconfiguration_sequence, TaskGraph};
+use std::sync::Arc;
 
 /// Ideal (zero-latency) makespan of a single graph on `rus` units.
 pub fn ideal_graph_makespan(g: &TaskGraph, rus: usize) -> SimDuration {
@@ -73,10 +74,25 @@ pub fn ideal_graph_makespan(g: &TaskGraph, rus: usize) -> SimDuration {
 pub fn ideal_sequence_makespan(jobs: &[JobSpec], rus: usize) -> SimDuration {
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by_key(|&i| (jobs[i].arrival, i));
+    ideal_sequence_makespan_with(jobs, order, |g| ideal_graph_makespan(g, rus))
+}
+
+/// The sequencing rule itself, shared with the engine's memoised path
+/// ([`Engine::outcome`](crate::Engine::outcome)): jobs run strictly
+/// sequentially in the given `(arrival, submission)` order, each
+/// starting no earlier than its arrival, with `graph_ideal` supplying
+/// the per-graph zero-latency makespan (computed here, memoised per
+/// template in the engine). This is the single source of truth for the
+/// ideal baseline's ordering semantics.
+pub fn ideal_sequence_makespan_with(
+    jobs: &[JobSpec],
+    order: impl IntoIterator<Item = usize>,
+    mut graph_ideal: impl FnMut(&Arc<TaskGraph>) -> SimDuration,
+) -> SimDuration {
     let mut clock = SimTime::ZERO;
     for i in order {
         let start = clock.max(jobs[i].arrival);
-        clock = start + ideal_graph_makespan(&jobs[i].graph, rus);
+        clock = start + graph_ideal(&jobs[i].graph);
     }
     clock.since(SimTime::ZERO)
 }

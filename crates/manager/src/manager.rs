@@ -20,18 +20,22 @@
 //! activation.
 
 use crate::config::ManagerConfig;
-use crate::engine::{Event, ManagerState, TemplateInfo, PRIO_JOB_ARRIVAL};
-use crate::ideal::ideal_sequence_makespan;
+use crate::engine::{Event, JobScratch, ManagerState};
+use crate::engine::{
+    PRIO_END_OF_EXECUTION, PRIO_END_OF_RECONFIGURATION, PRIO_JOB_ARRIVAL, PRIO_NEW_TASK_GRAPH,
+};
+use crate::ideal::ideal_graph_makespan;
 use crate::job::JobSpec;
 use crate::policy::ReplacementPolicy;
 use crate::reuse_index::ReuseIndex;
 use crate::stats::RunStats;
 use crate::trace::Trace;
 use rtr_hw::{EnergyModel, ReconfigController, RuPool};
-use rtr_sim::{EventQueue, SimTime};
-use rtr_taskgraph::{reconfiguration_sequence, TaskGraph};
-use std::collections::{HashMap, VecDeque};
+use rtr_sim::{EventQueue, FxHashMap, SimDuration, SimTime};
+use rtr_taskgraph::{TaskGraph, TemplateSet};
+use std::collections::VecDeque;
 use std::fmt;
+use std::mem;
 use std::sync::Arc;
 
 /// Simulation failure modes.
@@ -88,33 +92,87 @@ pub struct SimulationOutcome {
 /// and draining the queue reproduces the paper's fixed-sequence
 /// semantics event for event — [`simulate`] is exactly that wrapper,
 /// and the golden Fig. 2/3/7 numbers are regression-tested through it.
+///
+/// **Pooled lifecycle:** an engine is reusable. [`Engine::reset`] (or
+/// [`Engine::reset_with_config`]) returns it to the power-on state
+/// while keeping every workload-sized allocation — the event heap, the
+/// per-job scratch vectors, the reuse-index occurrence lists, the
+/// trace buffer — and [`Engine::outcome`] finalises a run without
+/// consuming the engine. Design-time artifacts come from a
+/// [`TemplateSet`] that can be shared across engines and threads
+/// ([`Engine::with_templates`]); per-template ideal makespans are
+/// memoised per RU count. A pooled run is bit-exact with a fresh-engine
+/// run — pooling is invisible, determinism is the contract.
 pub struct Engine {
     m: ManagerState,
     jobs: Vec<JobSpec>,
-    /// Design-time artifact cache, keyed by template identity.
-    by_template: HashMap<*const TaskGraph, TemplateInfo>,
+    /// Shared design-time artifact table, keyed by template identity.
+    templates: Arc<TemplateSet>,
+    /// Pending arrivals `(time, job idx)` kept out of the event heap:
+    /// arrivals are known at submission, so they live in this sorted
+    /// lane and merge with the heap under the queue's total order. This
+    /// keeps the heap depth at the count of *in-flight* events (a
+    /// handful) instead of the whole submitted backlog (thousands in a
+    /// batch run).
+    arrival_lane: Vec<(SimTime, usize)>,
+    /// First unconsumed `arrival_lane` entry.
+    lane_cursor: usize,
+    /// An out-of-order submission happened since the last sort.
+    lane_dirty: bool,
+    /// Per-template ideal (zero-latency) makespans for the current RU
+    /// count; entries pin their graph so pointer keys stay unambiguous.
+    ideal_cache: FxHashMap<usize, (Arc<TaskGraph>, SimDuration)>,
+    /// Whole-sequence ideal makespan of the *currently submitted*
+    /// batch: replications replay identical jobs, so `outcome` computes
+    /// it once per batch, not once per run.
+    ideal_sequence_cache: Option<SimDuration>,
+    /// Set once [`Engine::outcome`] has moved the run's output buffers
+    /// out. Further `submit`/`run` calls are rejected until a reset:
+    /// they would produce stats whose per-graph instants cover only
+    /// the jobs after the finalisation while the counters cover all —
+    /// silently inconsistent. (The pre-pooling `finish(self)` made
+    /// this impossible by consuming the engine.)
+    finalised: bool,
     /// Name of the policy last passed to [`Engine::run`] (for stats).
     policy_name: String,
 }
 
 impl Engine {
-    /// Creates an idle engine with no jobs.
+    /// Creates an idle engine with no jobs and a private template set.
     ///
     /// # Panics
     /// Panics if `cfg.rus == 0`.
     pub fn new(cfg: &ManagerConfig) -> Self {
+        Engine::with_templates(cfg, Arc::new(TemplateSet::new()))
+    }
+
+    /// Creates an idle engine drawing design-time artifacts from a
+    /// shared [`TemplateSet`] — pass the same set to every engine of a
+    /// sweep so each distinct template is analysed once per process.
+    ///
+    /// # Panics
+    /// Panics if `cfg.rus == 0`.
+    pub fn with_templates(cfg: &ManagerConfig, templates: Arc<TemplateSet>) -> Self {
         assert!(cfg.rus > 0, "need at least one RU");
         Engine {
             m: ManagerState {
                 pool: RuPool::new(cfg.rus),
                 controller: ReconfigController::new(cfg.device.reconfig_latency),
                 energy: EnergyModel::new(cfg.device.clone()),
-                queue: EventQueue::new(),
+                // The queue only ever holds in-flight events (arrivals
+                // live in the lane), so pre-sizing to the RU count plus
+                // slack makes it allocation-free for the engine's whole
+                // lifetime.
+                queue: EventQueue::with_capacity(cfg.rus + 4),
                 job_templates: Vec::new(),
                 current: None,
+                scratch: JobScratch::default(),
+                exec_ready: Vec::new(),
+                candidates: Vec::new(),
                 arrived: VecDeque::new(),
                 reuse_index: ReuseIndex::new(),
-                activation_pending: false,
+                pending_activation: None,
+                pending_reconfig: None,
                 completed_jobs: 0,
                 trace: Trace::default(),
                 executed: 0,
@@ -128,9 +186,20 @@ impl Engine {
                 cfg: cfg.clone(),
             },
             jobs: Vec::new(),
-            by_template: HashMap::new(),
+            templates,
+            arrival_lane: Vec::new(),
+            lane_cursor: 0,
+            lane_dirty: false,
+            ideal_cache: FxHashMap::default(),
+            ideal_sequence_cache: None,
+            finalised: false,
             policy_name: String::new(),
         }
+    }
+
+    /// The engine's shared design-time artifact table.
+    pub fn template_set(&self) -> &Arc<TemplateSet> {
+        &self.templates
     }
 
     /// Submits a job; its arrival event fires at `job.arrival`. Returns
@@ -138,42 +207,42 @@ impl Engine {
     /// arrival order).
     ///
     /// The design-time phase (reconfiguration sequence, configuration
-    /// projection) runs here, once per distinct graph template.
+    /// projection, predecessor counts) runs here via the shared
+    /// template set, once per distinct graph template per process.
     ///
     /// # Panics
     /// Panics if the arrival lies in the simulated past (before the
     /// time of the last processed event).
     pub fn submit(&mut self, job: JobSpec) -> usize {
         assert!(
+            !self.finalised,
+            "engine outcome already taken: reset before submitting more jobs"
+        );
+        assert!(
             job.arrival >= self.m.queue.now(),
             "job arrival {} is in the simulated past (now = {})",
             job.arrival,
             self.m.queue.now()
         );
-        let tpl = self
-            .by_template
-            .entry(Arc::as_ptr(&job.graph))
-            .or_insert_with(|| {
-                let rec_seq = reconfiguration_sequence(&job.graph);
-                let cfg_seq = rec_seq.iter().map(|&n| job.graph.config_of(n)).collect();
-                TemplateInfo {
-                    rec_seq: Arc::new(rec_seq),
-                    cfg_seq: Arc::new(cfg_seq),
-                }
-            })
-            .clone();
+        let tpl = self.templates.get_or_compute(&job.graph);
         let idx = self.jobs.len();
         self.m.job_templates.push(tpl);
-        self.m
-            .queue
-            .push(job.arrival, PRIO_JOB_ARRIVAL, Event::JobArrival { idx });
+        if self
+            .arrival_lane
+            .last()
+            .is_some_and(|&(last, _)| job.arrival < last)
+        {
+            self.lane_dirty = true;
+        }
+        self.arrival_lane.push((job.arrival, idx));
+        self.ideal_sequence_cache = None;
         self.jobs.push(job);
         idx
     }
 
-    /// Processes events until the queue drains: every submitted job has
-    /// arrived and either completed or stalled. More jobs may be
-    /// submitted afterwards and `run` called again.
+    /// Processes events until both the heap and the arrival lane drain:
+    /// every submitted job has arrived and either completed or stalled.
+    /// More jobs may be submitted afterwards and `run` called again.
     ///
     /// The policy is passed per call (not stored) so the same engine
     /// can be driven by external schedulers; pass the same policy on
@@ -181,10 +250,108 @@ impl Engine {
     /// *not* invoked — callers owning the full run (like [`simulate`])
     /// reset the policy themselves.
     pub fn run(&mut self, policy: &mut dyn ReplacementPolicy) {
-        self.policy_name = policy.name();
-        while let Some(ev) = self.m.queue.pop() {
-            self.m.makespan_end = ev.time;
-            self.m.handle(ev.payload, ev.time, &self.jobs, policy);
+        self.run_with(policy);
+    }
+
+    /// [`Engine::run`] with a statically known policy type: the whole
+    /// event loop — dispatch, callbacks, victim selection — is
+    /// monomorphised for `P`, letting small policy bodies (an LRU touch
+    /// is one array store) inline into the loop instead of paying a
+    /// vtable call each. Decisions are identical to the dyn path.
+    pub fn run_with<P: ReplacementPolicy + ?Sized>(&mut self, policy: &mut P) {
+        assert!(
+            !self.finalised,
+            "engine outcome already taken: reset before running again"
+        );
+        self.policy_name.clear();
+        self.policy_name.push_str(policy.name());
+        if self.lane_dirty {
+            // Stable sort by time keeps submission order among ties —
+            // the same total order the heap's sequence numbers gave.
+            self.arrival_lane[self.lane_cursor..].sort_by_key(|&(t, _)| t);
+            self.lane_dirty = false;
+        }
+        // Batch fast path: on a fresh engine, the leading run of
+        // same-instant arrivals is processed back to back — nothing can
+        // be scheduled between them (the queue and both slots are
+        // empty, and an arrival with an idle manager only records,
+        // indexes and arms the activation slot). Handling the burst
+        // inline skips the per-event merge and dispatch, which in the
+        // paper's batch setting is the entire submitted sequence.
+        if self.lane_cursor == 0
+            && !self.arrival_lane.is_empty()
+            && self.m.queue.is_empty()
+            && self.m.pending_reconfig.is_none()
+            && self.m.pending_activation.is_none()
+            && self.m.current.is_none()
+            && self.m.completed_jobs == 0
+        {
+            let t0 = self.arrival_lane[0].0;
+            while let Some(&(at, idx)) = self.arrival_lane.get(self.lane_cursor) {
+                if at != t0 {
+                    break;
+                }
+                self.m.admit_arrival(idx, at);
+                self.lane_cursor += 1;
+            }
+            self.m.queue.advance_to(t0);
+            self.m.makespan_end = t0;
+            self.m.pending_activation = Some(t0);
+        }
+        loop {
+            // Merge the four event sources under the simulation's total
+            // order `(time, priority class)`: the queue (EndOfExecution
+            // only), the single reconfiguration slot, the sorted
+            // arrival lane, and the single activation slot. Priority
+            // classes are disjoint per source, so the pair is a total
+            // order; ties within a class exist only among executions
+            // (ordered by the queue's sequence numbers) and arrivals
+            // (ordered by the lane's stable sort).
+            let mut pick: Option<(SimTime, u8)> = None;
+            if let Some((qt, qp, _)) = self.m.queue.peek_key() {
+                debug_assert_eq!(qp, PRIO_END_OF_EXECUTION, "queue holds only executions");
+                pick = Some((qt, qp));
+            }
+            if let Some((rt, _, _)) = self.m.pending_reconfig {
+                let key = (rt, PRIO_END_OF_RECONFIGURATION);
+                if pick.is_none_or(|best| key < best) {
+                    pick = Some(key);
+                }
+            }
+            if let Some(&(at, _)) = self.arrival_lane.get(self.lane_cursor) {
+                let key = (at, PRIO_JOB_ARRIVAL);
+                if pick.is_none_or(|best| key < best) {
+                    pick = Some(key);
+                }
+            }
+            if let Some(nt) = self.m.pending_activation {
+                let key = (nt, PRIO_NEW_TASK_GRAPH);
+                if pick.is_none_or(|best| key < best) {
+                    pick = Some(key);
+                }
+            }
+            let Some((now, prio)) = pick else { break };
+            let ev = match prio {
+                PRIO_END_OF_EXECUTION => self.m.queue.pop().expect("peeked non-empty").payload,
+                PRIO_END_OF_RECONFIGURATION => {
+                    let (_, ru, node) = self.m.pending_reconfig.take().expect("picked");
+                    self.m.queue.advance_to(now);
+                    Event::EndOfReconfiguration { ru, node }
+                }
+                PRIO_JOB_ARRIVAL => {
+                    let (_, idx) = self.arrival_lane[self.lane_cursor];
+                    self.lane_cursor += 1;
+                    self.m.queue.advance_to(now);
+                    Event::JobArrival { idx }
+                }
+                _ => {
+                    self.m.pending_activation = None;
+                    self.m.queue.advance_to(now);
+                    Event::NewTaskGraph
+                }
+            };
+            self.m.makespan_end = now;
+            self.m.handle(ev, now, &self.jobs, policy);
         }
     }
 
@@ -206,7 +373,11 @@ impl Engine {
     /// True when no graph is active and no events (arrivals included)
     /// are pending.
     pub fn is_idle(&self) -> bool {
-        self.m.current.is_none() && self.m.queue.is_empty()
+        self.m.current.is_none()
+            && self.m.queue.is_empty()
+            && self.m.pending_reconfig.is_none()
+            && self.m.pending_activation.is_none()
+            && self.lane_cursor == self.arrival_lane.len()
     }
 
     /// The engine's shared next-occurrence index over `[current job] +
@@ -216,20 +387,115 @@ impl Engine {
         &self.m.reuse_index
     }
 
-    /// Finalises the run into stats + trace.
+    /// Returns the engine to the power-on state with a fresh job batch,
+    /// keeping every pooled allocation and the shared template set.
+    /// Equivalent to building a new engine with the same configuration
+    /// and submitting `jobs` — bit-exactly, see the pooled-equivalence
+    /// property test — but with no per-run allocation beyond the
+    /// outputs.
+    pub fn reset(&mut self, jobs: &[JobSpec]) {
+        let cfg = self.m.cfg.clone();
+        self.reset_with_config(&cfg, jobs);
+    }
+
+    /// Re-arms the engine to replay the *currently submitted* job batch
+    /// from scratch: run state is cleared (pooled allocations kept, as
+    /// in [`Engine::reset`]) but the jobs, their arrival lane and their
+    /// template bindings are retained, so a replication loop pays no
+    /// per-job submission cost at all. Bit-exact with re-submitting the
+    /// same jobs.
+    pub fn reset_replay(&mut self) {
+        let cfg = self.m.cfg.clone();
+        self.clear_run_state(&cfg, self.jobs.len());
+        // Jobs, template bindings and the sorted lane stay; rewinding
+        // the cursor re-arms every submitted arrival.
+        self.lane_cursor = 0;
+    }
+
+    /// [`Engine::reset`], additionally retargeting the system
+    /// configuration — lets one pooled engine serve a whole grid of
+    /// (policy × RU × device) cells.
+    ///
+    /// # Panics
+    /// Panics if `cfg.rus == 0`.
+    pub fn reset_with_config(&mut self, cfg: &ManagerConfig, jobs: &[JobSpec]) {
+        self.clear_run_state(cfg, jobs.len());
+        self.m.job_templates.clear();
+        self.jobs.clear();
+        self.arrival_lane.clear();
+        self.lane_cursor = 0;
+        self.lane_dirty = false;
+        // The sequence memo belongs to the outgoing batch; `submit`
+        // invalidates it per job, but an empty `jobs` never calls
+        // `submit` and would otherwise leak the previous batch's ideal.
+        self.ideal_sequence_cache = None;
+        for job in jobs {
+            self.submit(job.clone());
+        }
+    }
+
+    /// Clears every piece of per-run state (counters, queue, index,
+    /// trace, hardware) while keeping pooled allocations and the
+    /// submitted-jobs bookkeeping callers may want to retain.
+    fn clear_run_state(&mut self, cfg: &ManagerConfig, expected_jobs: usize) {
+        assert!(cfg.rus > 0, "need at least one RU");
+        // A stalled previous run can leave a job active: reclaim its
+        // scratch vectors before starting over.
+        if let Some(job) = self.m.current.take() {
+            self.m.scratch.reclaim(job);
+        }
+        if cfg.rus != self.m.cfg.rus {
+            // Ideal makespans are memoised per RU count.
+            self.ideal_cache.clear();
+            self.ideal_sequence_cache = None;
+        }
+        self.m.pool.reset_to(cfg.rus);
+        self.m.controller.reset(cfg.device.reconfig_latency);
+        self.m.energy.reset(cfg.device.clone());
+        self.m.cfg = cfg.clone();
+        self.m.queue.clear();
+        self.m.arrived.clear();
+        self.m.reuse_index.clear();
+        self.m.pending_activation = None;
+        self.m.pending_reconfig = None;
+        self.m.completed_jobs = 0;
+        self.m.trace.clear();
+        self.m.executed = 0;
+        self.m.reuses = 0;
+        self.m.loads = 0;
+        self.m.skips = 0;
+        self.m.stalls = 0;
+        self.m.graph_arrivals.clear();
+        self.m.graph_completions.clear();
+        self.m.graph_arrivals.reserve(expected_jobs);
+        self.m.graph_completions.reserve(expected_jobs);
+        self.m.makespan_end = SimTime::ZERO;
+        self.finalised = false;
+        self.policy_name.clear();
+    }
+
+    /// Finalises the current run into stats + trace without consuming
+    /// the engine: the output buffers (trace, per-graph instants) are
+    /// moved out, everything pooled stays. A successful `outcome`
+    /// finalises the engine — call [`Engine::reset`] (or a sibling)
+    /// before submitting or running again; doing so without a reset
+    /// panics, because the already-taken per-graph instants would make
+    /// any further stats internally inconsistent.
     ///
     /// Returns [`SimError::StalledAwaitingEvent`] when some submitted
     /// job did not complete (a delayed reconfiguration waited for an
     /// event that never came).
-    pub fn finish(self) -> Result<SimulationOutcome, SimError> {
+    pub fn outcome(&mut self) -> Result<SimulationOutcome, SimError> {
         if self.m.completed_jobs != self.jobs.len() {
             return Err(SimError::StalledAwaitingEvent {
                 completed_jobs: self.m.completed_jobs,
                 at: self.m.makespan_end,
             });
         }
+        let ideal_makespan = self.ideal_makespan_cached();
+        self.finalised = true;
         let stats = RunStats {
-            policy: self.policy_name,
+            policy: self.policy_name.clone(),
             makespan: self.m.makespan_end.since(SimTime::ZERO),
             executed: self.m.executed,
             reuses: self.m.reuses,
@@ -237,15 +503,56 @@ impl Engine {
             skips: self.m.skips,
             stalls: self.m.stalls,
             traffic: self.m.energy.stats(),
-            graph_arrivals: self.m.graph_arrivals,
-            graph_completions: self.m.graph_completions,
-            ideal_makespan: ideal_sequence_makespan(&self.jobs, self.m.cfg.rus),
+            graph_arrivals: mem::take(&mut self.m.graph_arrivals),
+            graph_completions: mem::take(&mut self.m.graph_completions),
+            ideal_makespan,
             reconfig_latency: self.m.cfg.device.reconfig_latency,
         };
         Ok(SimulationOutcome {
             stats,
-            trace: self.m.trace,
+            trace: mem::take(&mut self.m.trace),
         })
+    }
+
+    /// Finalises the run, consuming the engine (the one-shot form of
+    /// [`Engine::outcome`]).
+    pub fn finish(mut self) -> Result<SimulationOutcome, SimError> {
+        self.outcome()
+    }
+
+    /// [`ideal_sequence_makespan`](crate::ideal::ideal_sequence_makespan)
+    /// over the submitted jobs, with the per-graph ideal memoised per
+    /// template — the pre-pooling implementation re-derived the
+    /// reconfiguration sequence and re-ran list scheduling for every
+    /// *job instance*, which dominated run finalisation on long streams.
+    fn ideal_makespan_cached(&mut self) -> SimDuration {
+        if let Some(d) = self.ideal_sequence_cache {
+            return d;
+        }
+        // The arrival lane is exactly the required order — (arrival,
+        // submission index), stably sorted — and `outcome` only runs
+        // once every submitted arrival has been consumed, so it is
+        // fully sorted here; no per-run order buffer needed.
+        debug_assert_eq!(self.arrival_lane.len(), self.jobs.len());
+        let rus = self.m.cfg.rus;
+        let ideal_cache = &mut self.ideal_cache;
+        let d = crate::ideal::ideal_sequence_makespan_with(
+            &self.jobs,
+            self.arrival_lane.iter().map(|&(_, i)| i),
+            |g| {
+                let key = Arc::as_ptr(g) as usize;
+                match ideal_cache.get(&key) {
+                    Some(&(_, d)) => d,
+                    None => {
+                        let d = ideal_graph_makespan(g, rus);
+                        ideal_cache.insert(key, (Arc::clone(g), d));
+                        d
+                    }
+                }
+            },
+        );
+        self.ideal_sequence_cache = Some(d);
+        d
     }
 }
 
@@ -549,6 +856,102 @@ mod tests {
             })
             .collect();
         assert_eq!(arrivals, vec![(0, SimTime::from_ms(7))]);
+    }
+
+    #[test]
+    fn pooled_reset_reproduces_fresh_runs() {
+        // One engine, three different batches, each bit-exact with a
+        // fresh simulate (stats + trace).
+        let jpeg = Arc::new(benchmarks::jpeg());
+        let mpeg = Arc::new(benchmarks::mpeg1());
+        let batches: Vec<Vec<JobSpec>> = vec![
+            vec![JobSpec::new(Arc::clone(&jpeg)); 3],
+            vec![JobSpec::new(Arc::clone(&mpeg)), JobSpec::new(jpeg)],
+            vec![JobSpec::new(mpeg)],
+        ];
+        let cfg = ManagerConfig::paper_default();
+        let mut engine = Engine::new(&cfg);
+        for jobs in &batches {
+            engine.reset(jobs);
+            engine.run(&mut FirstCandidatePolicy);
+            let pooled = engine.outcome().expect("batch completes");
+            let fresh = simulate(&cfg, jobs, &mut FirstCandidatePolicy).unwrap();
+            assert_eq!(pooled.stats, fresh.stats);
+            assert_eq!(pooled.trace, fresh.trace);
+        }
+    }
+
+    #[test]
+    fn reset_with_config_retargets_system() {
+        let jobs = vec![JobSpec::new(Arc::new(benchmarks::mpeg1()))];
+        let mut engine = Engine::new(&ManagerConfig::paper_default());
+        // 1 RU: fully serial (see single_ru_serialises_with_replacement).
+        let one_ru = ManagerConfig::paper_default().with_rus(1);
+        engine.reset_with_config(&one_ru, &jobs);
+        engine.run(&mut FirstCandidatePolicy);
+        let serial = engine.outcome().unwrap();
+        assert_eq!(
+            serial.stats.makespan,
+            ms(5 * 4) + benchmarks::mpeg1().total_exec_time()
+        );
+        // Back to 4 RUs on the same engine.
+        engine.reset_with_config(&ManagerConfig::paper_default(), &jobs);
+        engine.run(&mut FirstCandidatePolicy);
+        let wide = engine.outcome().unwrap();
+        let fresh = simulate(
+            &ManagerConfig::paper_default(),
+            &jobs,
+            &mut FirstCandidatePolicy,
+        )
+        .unwrap();
+        assert_eq!(wide.stats, fresh.stats);
+    }
+
+    #[test]
+    fn reset_replay_rearms_the_same_batch() {
+        let g = Arc::new(benchmarks::jpeg());
+        let jobs = vec![JobSpec::new(Arc::clone(&g)), JobSpec::new(g)];
+        let cfg = ManagerConfig::paper_default();
+        let mut engine = Engine::new(&cfg);
+        engine.reset(&jobs);
+        engine.run(&mut FirstCandidatePolicy);
+        let first = engine.outcome().unwrap();
+        // Replay without re-submitting: identical outcome, jobs intact.
+        for _ in 0..3 {
+            engine.reset_replay();
+            engine.run(&mut FirstCandidatePolicy);
+            let again = engine.outcome().unwrap();
+            assert_eq!(again.stats, first.stats);
+            assert_eq!(again.trace, first.trace);
+        }
+        assert_eq!(engine.submitted_jobs(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outcome already taken")]
+    fn running_after_outcome_without_reset_panics() {
+        // Pre-pooling, `finish(self)` consumed the engine, so a
+        // finalised engine could never run again; the pooled form keeps
+        // that protocol explicit.
+        let mut engine = Engine::new(&ManagerConfig::paper_default());
+        engine.submit(JobSpec::new(Arc::new(benchmarks::jpeg())));
+        engine.run(&mut FirstCandidatePolicy);
+        let _ = engine.outcome().unwrap();
+        engine.run(&mut FirstCandidatePolicy);
+    }
+
+    #[test]
+    fn shared_template_set_interns_across_engines() {
+        let set = Arc::new(rtr_taskgraph::TemplateSet::new());
+        let g = Arc::new(benchmarks::jpeg());
+        let cfg = ManagerConfig::paper_default();
+        for _ in 0..3 {
+            let mut engine = Engine::with_templates(&cfg, Arc::clone(&set));
+            engine.submit(JobSpec::new(Arc::clone(&g)));
+            engine.run(&mut FirstCandidatePolicy);
+            assert_eq!(engine.completed_jobs(), 1);
+        }
+        assert_eq!(set.len(), 1, "one template analysed once, shared");
     }
 
     #[test]

@@ -174,14 +174,27 @@ impl<'a> DecisionContext<'a> {
     /// joint pass over the stream, O(stream × candidates) worst case —
     /// the legacy cost this refactor removes from the hot path.
     pub fn candidate_distances(&self) -> Vec<Option<usize>> {
+        let mut dist = Vec::new();
+        self.candidate_distances_into(&mut dist);
+        dist
+    }
+
+    /// [`candidate_distances`](Self::candidate_distances) into a
+    /// caller-owned buffer — the allocation-free form for policies that
+    /// decide once per load: keep the buffer as policy state and reuse
+    /// it across decisions.
+    pub fn candidate_distances_into(&self, dist: &mut Vec<Option<usize>>) {
+        dist.clear();
         match self.future {
-            FutureSource::Indexed { index, window } => self
-                .candidates
-                .iter()
-                .map(|cand| index.distance_of(cand.config, window))
-                .collect(),
+            FutureSource::Indexed { index, window } => {
+                dist.extend(
+                    self.candidates
+                        .iter()
+                        .map(|cand| index.distance_of(cand.config, window)),
+                );
+            }
             FutureSource::View(view) => {
-                let mut dist: Vec<Option<usize>> = vec![None; self.candidates.len()];
+                dist.resize(self.candidates.len(), None);
                 let mut unresolved = self.candidates.len();
                 for (pos, config) in view.iter().enumerate() {
                     for (i, cand) in self.candidates.iter().enumerate() {
@@ -194,7 +207,6 @@ impl<'a> DecisionContext<'a> {
                         break;
                     }
                 }
-                dist
             }
         }
     }
@@ -240,7 +252,12 @@ impl<'a> DecisionContext<'a> {
 /// all have empty default bodies.
 pub trait ReplacementPolicy {
     /// Short display name, e.g. `"LRU"` or `"Local LFD (2)"`.
-    fn name(&self) -> String;
+    ///
+    /// Returns a borrow (typically `&'static str`, or a field for
+    /// parameterised policies like Local LFD) so hot-path callers —
+    /// the engine brands every run with the policy name, and error
+    /// paths quote it — never allocate.
+    fn name(&self) -> &str;
 
     /// Chooses the victim RU among `ctx.candidates`.
     fn select_victim(&mut self, ctx: &DecisionContext<'_>) -> RuId;
@@ -276,8 +293,8 @@ pub trait ReplacementPolicy {
 pub struct FirstCandidatePolicy;
 
 impl ReplacementPolicy for FirstCandidatePolicy {
-    fn name(&self) -> String {
-        "FirstCandidate".to_string()
+    fn name(&self) -> &str {
+        "FirstCandidate"
     }
 
     fn select_victim(&mut self, ctx: &DecisionContext<'_>) -> RuId {

@@ -29,9 +29,97 @@
 //! Retired jobs are pruned front-first ([`ReuseIndex::retire_front`]),
 //! so memory tracks the live backlog, not the whole run history.
 
+use rtr_sim::DenseIdMap;
 use rtr_taskgraph::ConfigId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// One config's sorted position list: a contiguous `Vec` with a lazy
+/// head cursor instead of a ring buffer, so the binary-search hot path
+/// (`partition_point` per replacement decision) runs on a plain slice —
+/// no ring-wrap masking per probe. Front pops advance the cursor; the
+/// dead prefix is compacted away once it outgrows the live tail, so
+/// memory stays proportional to the live backlog (amortised O(1) per
+/// pop).
+#[derive(Debug, Clone, Default)]
+struct OccurrenceList {
+    buf: Vec<u64>,
+    head: usize,
+    /// Query cursor: index of the first entry not yet known to lie
+    /// below the last queried lower bound. The engine's decision
+    /// windows have monotonically non-decreasing lower bounds (the
+    /// stream is consumed front to back), so advancing this cursor
+    /// instead of binary-searching makes a next-use query amortised
+    /// O(1) — each position is stepped over at most once per run.
+    /// Purely an accelerator: a lower bound that *does* move backwards
+    /// (ad-hoc windows in tests) falls back to an exact binary search
+    /// over the skipped prefix.
+    search: std::cell::Cell<usize>,
+}
+
+impl OccurrenceList {
+    fn push_back(&mut self, v: u64) {
+        self.buf.push(v);
+    }
+
+    fn pop_front(&mut self) -> Option<u64> {
+        let v = self.buf.get(self.head).copied()?;
+        self.head += 1;
+        if self.head >= 64 && self.head * 2 >= self.buf.len() {
+            self.buf.drain(..self.head);
+            self.search.set(self.search.get().saturating_sub(self.head));
+            self.head = 0;
+        }
+        Some(v)
+    }
+
+    /// The first live position `>= lo`, advancing the query cursor.
+    fn first_at_or_after(&self, lo: u64) -> Option<u64> {
+        let mut i = self.search.get().clamp(self.head, self.buf.len());
+        if i > self.head && self.buf[i - 1] >= lo {
+            // The bound moved backwards relative to the cached cursor:
+            // exact binary search over the prefix the cursor skipped.
+            i = self.head + self.buf[self.head..i].partition_point(|&p| p < lo);
+        } else {
+            while i < self.buf.len() && self.buf[i] < lo {
+                i += 1;
+            }
+        }
+        self.search.set(i);
+        self.buf.get(i).copied()
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.search.set(0);
+    }
+}
+
+/// Per-config occurrence lists over a dense-by-id table
+/// ([`DenseIdMap`]): one array index per query on the hot path.
+/// Emptied lists keep their allocation.
+#[derive(Debug, Clone, Default)]
+struct OccurrenceTable {
+    lists: DenseIdMap<OccurrenceList>,
+}
+
+impl OccurrenceTable {
+    /// The list for `config`, creating an empty one if absent.
+    fn entry(&mut self, config: ConfigId) -> &mut OccurrenceList {
+        self.lists.entry(config.0)
+    }
+
+    /// The list for `config`, if any occurrence was ever recorded.
+    fn get(&self, config: ConfigId) -> Option<&OccurrenceList> {
+        self.lists.get(config.0)
+    }
+
+    /// Empties every list, keeping all allocations.
+    fn clear(&mut self) {
+        self.lists.clear_values(OccurrenceList::clear);
+    }
+}
 
 /// One job's contiguous slice of the global position space.
 #[derive(Debug, Clone)]
@@ -89,9 +177,12 @@ impl ReuseWindow {
 pub struct ReuseIndex {
     /// Sorted global positions per configuration. Push order is
     /// monotone (positions only grow), pops are front-first (retired
-    /// jobs hold the smallest positions), so the deque stays sorted
-    /// without ever sorting.
-    occurrences: HashMap<ConfigId, VecDeque<u64>>,
+    /// jobs hold the smallest positions), so each deque stays sorted
+    /// without ever sorting. Emptied lists are kept (not removed), so
+    /// a pooled engine's steady state reuses their allocations instead
+    /// of churning the table — the config universe is bounded by the
+    /// template set.
+    occurrences: OccurrenceTable,
     /// `[current job] + arrived backlog`, in activation order.
     segments: VecDeque<IndexSegment>,
     /// Next global position to assign.
@@ -110,10 +201,7 @@ impl ReuseIndex {
     pub fn push_job(&mut self, cfgs: Arc<Vec<ConfigId>>) {
         let base = self.next_pos;
         for (k, &c) in cfgs.iter().enumerate() {
-            self.occurrences
-                .entry(c)
-                .or_default()
-                .push_back(base + k as u64);
+            self.occurrences.entry(c).push_back(base + k as u64);
         }
         self.next_pos = base + cfgs.len() as u64;
         self.segments.push_back(IndexSegment { base, cfgs });
@@ -132,17 +220,20 @@ impl ReuseIndex {
             .segments
             .pop_front()
             .expect("retire_front needs a live job");
-        for (k, c) in seg.cfgs.iter().enumerate() {
-            let list = self
-                .occurrences
-                .get_mut(c)
-                .expect("occurrence list exists while its job is live");
-            let popped = list.pop_front();
+        for (k, &c) in seg.cfgs.iter().enumerate() {
+            let popped = self.occurrences.entry(c).pop_front();
             debug_assert_eq!(popped, Some(seg.base + k as u64));
-            if list.is_empty() {
-                self.occurrences.remove(c);
-            }
         }
+    }
+
+    /// Empties the index while keeping every allocation (segment deque,
+    /// per-config occurrence lists, map table) — the pooled engine's
+    /// reset hook. A cleared index answers queries exactly like a fresh
+    /// one: the position space restarts at 0.
+    pub fn clear(&mut self) {
+        self.occurrences.clear();
+        self.segments.clear();
+        self.next_pos = 0;
     }
 
     /// Number of live jobs (current + backlog) in the index.
@@ -181,12 +272,8 @@ impl ReuseIndex {
     /// `None` if it is not requested there. One `partition_point` on
     /// the config's sorted occurrence list: O(log n).
     pub fn next_use(&self, config: ConfigId, window: ReuseWindow) -> Option<u64> {
-        let list = self.occurrences.get(&config)?;
-        let i = list.partition_point(|&p| p < window.lo);
-        match list.get(i) {
-            Some(&p) if p < window.hi => Some(p),
-            _ => None,
-        }
+        let p = self.occurrences.get(config)?.first_at_or_after(window.lo)?;
+        (p < window.hi).then_some(p)
     }
 
     /// Forward distance of `config` in `window`: the 1-based position
@@ -325,6 +412,29 @@ mod tests {
         assert_eq!(w.len(), 0);
         assert_eq!(idx.next_use(c(1), w), None);
         assert!(idx.iter_window(w).next().is_none());
+    }
+
+    #[test]
+    fn clear_resets_position_space_like_fresh() {
+        let mut idx = ReuseIndex::new();
+        idx.push_job(seq(&[1, 2, 3]));
+        idx.push_job(seq(&[2, 4]));
+        idx.retire_front();
+        idx.clear();
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+        // Rebuild after clear: behaves exactly like a fresh index
+        // (positions restart at 0).
+        let mut fresh = ReuseIndex::new();
+        for target in [&mut idx, &mut fresh] {
+            target.push_job(seq(&[5, 6]));
+            target.push_job(seq(&[6, 7]));
+        }
+        let w = idx.window(1, 1);
+        assert_eq!(w, fresh.window(1, 1));
+        for c_id in [5u32, 6, 7, 99] {
+            assert_eq!(idx.next_use(c(c_id), w), fresh.next_use(c(c_id), w));
+        }
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! A fast, deterministic hasher for simulation-internal maps.
+//!
+//! The engine's hot path is dominated by small-key hash lookups:
+//! per-configuration occurrence lists in the reuse index, per-config
+//! touch history in the policies, template interning. `std`'s default
+//! SipHash is DoS-resistant but costs tens of nanoseconds per 4-byte
+//! key — an order of magnitude more than the multiply-xor scheme below
+//! (the well-known FxHash used by rustc). None of these maps are keyed
+//! by attacker-controlled data, so the collision-resistance trade-off
+//! is free.
+//!
+//! The hasher is fully deterministic (no per-process random state),
+//! which also removes a source of run-to-run iteration-order
+//! divergence; note the simulator never iterates these maps in a way
+//! that affects results, so this is a debugging nicety, not a
+//! correctness requirement.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from FxHash (a truncation of the golden
+/// ratio), chosen to spread consecutive small integers across the
+/// table.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc-style multiply-xor hasher.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fold 8-byte chunks, then the tail; good enough for the short
+        // keys the simulator uses (ids and small tuples).
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, `Default`-constructible).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the deterministic fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the deterministic fast hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_works_with_u32_keys() {
+        let mut m: FxHashMap<u32, u64> = FxHashMap::default();
+        for i in 0..1_000u32 {
+            m.insert(i, u64::from(i) * 3);
+        }
+        assert_eq!(m.len(), 1_000);
+        for i in 0..1_000u32 {
+            assert_eq!(m.get(&i), Some(&(u64::from(i) * 3)));
+        }
+    }
+
+    #[test]
+    fn hashing_is_deterministic_across_instances() {
+        use std::hash::BuildHasher;
+        let a = FxBuildHasher::default();
+        let b = FxBuildHasher::default();
+        for key in [0u64, 1, 42, u64::MAX, 0xdead_beef] {
+            assert_eq!(a.hash_one(key), b.hash_one(key));
+        }
+    }
+
+    #[test]
+    fn distinct_small_keys_spread() {
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        let mut seen = std::collections::HashSet::new();
+        for key in 0u32..512 {
+            seen.insert(b.hash_one(key));
+        }
+        assert_eq!(seen.len(), 512, "no collisions on consecutive ids");
+    }
+
+    #[test]
+    fn byte_slices_hash_tail_correctly() {
+        use std::hash::Hasher;
+        let mut a = FxHasher::default();
+        a.write(b"hello world, 13");
+        let mut b = FxHasher::default();
+        b.write(b"hello world, 14");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

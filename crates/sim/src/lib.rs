@@ -13,10 +13,17 @@
 //!   insertion sequence number, so simulations are exactly reproducible.
 //! * [`gantt`] — a small ASCII Gantt-chart renderer used by the example
 //!   binaries to draw schedules the way the paper's figures do.
+//! * [`hash`] — a deterministic fast hasher ([`FxHashMap`]) for the
+//!   simulator's small-key hot-path maps, where SipHash's DoS
+//!   resistance buys nothing and costs an order of magnitude.
 
+pub mod dense;
 pub mod gantt;
+pub mod hash;
 pub mod queue;
 pub mod time;
 
+pub use dense::DenseIdMap;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use queue::{EventQueue, QueuedEvent};
 pub use time::{SimDuration, SimTime};

@@ -10,7 +10,6 @@
 //! orders events by `(time, priority class, insertion sequence)`.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
@@ -40,6 +39,21 @@ impl<T> QueuedEvent<T> {
     fn key(&self) -> (SimTime, u8, u64) {
         (self.time, self.priority, self.seq)
     }
+
+    /// The key packed into one `u128` — `time` in the high 64 bits,
+    /// priority above a 56-bit sequence number in the low word — so the
+    /// sort-order comparisons of the hot push path are a single integer
+    /// compare. 2⁵⁶ insertions per queue lifetime is far beyond any
+    /// simulation here (a debug assertion in `push` guards it).
+    #[inline]
+    fn packed_key(&self) -> u128 {
+        pack_key(self.time, self.priority, self.seq)
+    }
+}
+
+#[inline]
+fn pack_key(time: SimTime, priority: u8, seq: u64) -> u128 {
+    ((time.as_us() as u128) << 64) | ((priority as u128) << 56) | (seq as u128)
 }
 
 impl<T> PartialOrd for QueuedEvent<T> {
@@ -49,10 +63,10 @@ impl<T> PartialOrd for QueuedEvent<T> {
 }
 
 impl<T> Ord for QueuedEvent<T> {
-    /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest*
-    /// event first.
+    /// Reversed (earliest key = greatest) so min-priority pops come
+    /// from the cheap end of the backing store.
     fn cmp(&self, other: &Self) -> Ordering {
-        other.key().cmp(&self.key())
+        other.packed_key().cmp(&self.packed_key())
     }
 }
 
@@ -62,9 +76,22 @@ impl<T> Ord for QueuedEvent<T> {
 /// enforces the monotonicity invariant of discrete-event simulation: it is
 /// a logic error (checked in debug builds) to schedule an event earlier
 /// than the last popped time.
+///
+/// **Representation.** The backing store is a `Vec` kept sorted by key
+/// descending, so `pop` is an O(1) `Vec::pop` and `push` is a binary
+/// search plus an insertion shift. The execution manager keeps this
+/// queue *shallow* — pending arrivals live in the engine's sorted lane,
+/// so only in-flight events (bounded by the RU count) are ever queued —
+/// and at those depths the sorted Vec beats a binary heap: no sift
+/// branching on pop, and insertion shifts of a handful of small structs
+/// are a single `memmove`. Deep queues (thousands of simultaneous
+/// pending events) would pay O(n) per insertion and should use a heap
+/// instead.
 #[derive(Debug)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<QueuedEvent<T>>,
+    /// Pending events, sorted by key descending (next event last), each
+    /// carrying its packed key so ordering probes are one integer load.
+    events: Vec<(u128, QueuedEvent<T>)>,
     next_seq: u64,
     last_popped: SimTime,
     popped_any: bool,
@@ -80,11 +107,60 @@ impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            events: Vec::new(),
             next_seq: 0,
             last_popped: SimTime::ZERO,
             popped_any: false,
         }
+    }
+
+    /// Creates an empty queue whose heap can hold `capacity` events
+    /// before reallocating — pre-size for the expected backlog of a
+    /// batch run.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            events: Vec::with_capacity(capacity),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+            popped_any: false,
+        }
+    }
+
+    /// Number of events the store can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.events.capacity()
+    }
+
+    /// Empties the queue *and* re-arms its ordering invariants, keeping
+    /// the heap allocation: after `clear` the queue is observationally
+    /// identical to a fresh [`EventQueue::new`] — the insertion-sequence
+    /// counter restarts at 0 (so same-time/same-priority ties replay in
+    /// the same order as a fresh run) and the monotonicity clock resets
+    /// to [`SimTime::ZERO`] (so events at any time may be scheduled
+    /// again). This is what makes pooled engine runs bit-exact with
+    /// fresh-engine runs.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.next_seq = 0;
+        self.last_popped = SimTime::ZERO;
+        self.popped_any = false;
+    }
+
+    /// Advances the monotonicity clock to `time` without popping — used
+    /// when the owner processes a same-stream event that is not stored
+    /// in this queue (e.g. the engine's sorted arrival lane), so later
+    /// `push`es are still checked against true simulation time.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `time` precedes the current clock.
+    pub fn advance_to(&mut self, time: SimTime) {
+        debug_assert!(
+            !self.popped_any || time >= self.last_popped,
+            "EventQueue: advance_to({time}) before current time {}",
+            self.last_popped
+        );
+        self.last_popped = time;
+        self.popped_any = true;
     }
 
     /// Schedules `payload` at `time` with priority class `priority`
@@ -97,37 +173,49 @@ impl<T> EventQueue<T> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(QueuedEvent {
+        debug_assert!(seq < 1 << 56, "sequence space exhausted");
+        let ev = QueuedEvent {
             time,
             priority,
             seq,
             payload,
-        });
+        };
+        // Keep the store sorted by key descending: everything with a
+        // *smaller* (earlier) key goes after the new event. Keys are
+        // unique (the seq), so the position is unambiguous.
+        let key = ev.packed_key();
+        let at = self.events.partition_point(|&(k, _)| k > key);
+        self.events.insert(at, (key, ev));
     }
 
     /// Removes and returns the next event in deterministic order.
     pub fn pop(&mut self) -> Option<QueuedEvent<T>> {
-        let ev = self.heap.pop();
-        if let Some(ref e) = ev {
-            self.last_popped = e.time;
-            self.popped_any = true;
-        }
-        ev
+        let (_, ev) = self.events.pop()?;
+        self.last_popped = ev.time;
+        self.popped_any = true;
+        Some(ev)
     }
 
     /// The timestamp of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.events.last().map(|(_, e)| e.time)
+    }
+
+    /// The full ordering key `(time, priority, seq)` of the next event
+    /// without removing it — lets an owner merge this queue with an
+    /// external sorted lane under the queue's own total order.
+    pub fn peek_key(&self) -> Option<(SimTime, u8, u64)> {
+        self.events.last().map(|(_, e)| e.key())
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.events.len()
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.events.is_empty()
     }
 
     /// The time of the most recently popped event (simulation "now").
@@ -210,5 +298,75 @@ mod tests {
         q.push(SimTime::from_ms(5), 0, ());
         q.pop();
         q.push(SimTime::from_ms(1), 0, ());
+    }
+
+    #[test]
+    fn with_capacity_presizes_heap() {
+        let q: EventQueue<u32> = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_rearms_invariants_and_keeps_capacity() {
+        let mut q = EventQueue::new();
+        for i in 0..32u64 {
+            q.push(SimTime::from_ms(10 + i), 0, i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.now(), SimTime::from_ms(41));
+        let cap = q.capacity();
+        q.clear();
+        assert!(cap > 0 && q.capacity() == cap, "store allocation survives");
+        assert_eq!(q.now(), SimTime::ZERO, "monotonicity clock re-armed");
+        // Scheduling before the old clock is legal again, and the seq
+        // counter restarted: same-key ties replay in insertion order
+        // exactly as on a fresh queue.
+        let t = SimTime::from_ms(1);
+        q.push(t, 0, 100u64);
+        q.push(t, 0, 200u64);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![100, 200]);
+    }
+
+    #[test]
+    fn cleared_queue_reassigns_seq_from_zero() {
+        let mut a = EventQueue::new();
+        a.push(SimTime::ZERO, 0, 'x');
+        a.clear();
+        a.push(SimTime::ZERO, 0, 'y');
+        let fresh_seq = {
+            let mut b = EventQueue::new();
+            b.push(SimTime::ZERO, 0, 'y');
+            b.pop().unwrap().seq
+        };
+        assert_eq!(a.pop().unwrap().seq, fresh_seq);
+    }
+
+    #[test]
+    fn peek_key_exposes_total_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(4), 1, 'x');
+        q.push(SimTime::from_ms(4), 0, 'y');
+        assert_eq!(q.peek_key(), Some((SimTime::from_ms(4), 0, 1)));
+    }
+
+    #[test]
+    fn advance_to_moves_now_without_pop() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.advance_to(SimTime::from_ms(9));
+        assert_eq!(q.now(), SimTime::from_ms(9));
+        q.push(SimTime::from_ms(9), 0, 1);
+        assert_eq!(q.pop().unwrap().time, SimTime::from_ms(9));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn advance_into_past_panics_in_debug() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.push(SimTime::from_ms(5), 0, 1);
+        q.pop();
+        q.advance_to(SimTime::from_ms(2));
     }
 }

@@ -16,6 +16,8 @@
 //! * [`generate`] — seeded random DAG generators (layered, chain,
 //!   fork-join, series-parallel) for stress tests and ablations.
 //! * [`serialize`] — JSON import/export and Graphviz DOT rendering.
+//! * [`template`] — interned templates with their design-time artifacts
+//!   ([`TemplateSet`]), shared across engines, threads and grid cells.
 
 pub mod analysis;
 pub mod benchmarks;
@@ -23,7 +25,9 @@ pub mod generate;
 pub mod graph;
 pub mod recseq;
 pub mod serialize;
+pub mod template;
 pub mod topo;
 
 pub use graph::{ConfigId, GraphError, NodeId, TaskGraph, TaskGraphBuilder, TaskNode};
 pub use recseq::reconfiguration_sequence;
+pub use template::{TemplateArtifacts, TemplateSet};

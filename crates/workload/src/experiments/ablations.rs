@@ -6,11 +6,12 @@
 //! * Sequence-model sweep: burstier workloads give all policies more
 //!   reuse, but the LFD-family advantage persists.
 
-use crate::parallel::parallel_map;
+use crate::parallel::parallel_map_with;
 use crate::policies::PolicyKind;
-use crate::runner::{run_cell, CellConfig};
+use crate::runner::{pooled_workers, CellConfig};
 use crate::sequence::SequenceModel;
 use crate::table::{fmt_f, Table};
+use rtr_core::TemplateRegistry;
 use rtr_hw::DeviceSpec;
 use rtr_sim::SimDuration;
 use rtr_taskgraph::TaskGraph;
@@ -27,21 +28,27 @@ fn templates() -> Vec<Arc<TaskGraph>> {
 /// remaining overhead % on a fixed system).
 pub fn dl_window_sweep(apps: usize, seed: u64, rus: usize, windows: &[usize]) -> Table {
     let seq = SequenceModel::UniformRandom.generate(&templates(), apps, seed);
-    let results = parallel_map(windows.to_vec(), crate::parallel::default_workers(), |w| {
-        let cell = CellConfig::new(
-            PolicyKind::LocalLfd {
-                window: w,
-                skip: false,
-            },
-            rus,
-        );
-        let out = run_cell(&seq, &cell).expect("sweep cell simulates");
-        (
-            w,
-            out.stats.reuse_rate_pct(),
-            out.stats.remaining_overhead_pct(),
-        )
-    });
+    let registry = Arc::new(TemplateRegistry::new());
+    let results = parallel_map_with(
+        windows.to_vec(),
+        crate::parallel::default_workers(),
+        pooled_workers(&registry),
+        |runner, w| {
+            let cell = CellConfig::new(
+                PolicyKind::LocalLfd {
+                    window: w,
+                    skip: false,
+                },
+                rus,
+            );
+            let out = runner.run(&seq, &cell).expect("sweep cell simulates");
+            (
+                w,
+                out.stats.reuse_rate_pct(),
+                out.stats.remaining_overhead_pct(),
+            )
+        },
+    );
     let mut t = Table::new(
         format!("Ablation — DL window sweep ({rus} RUs, {apps} apps)"),
         &["DL window", "Reuse (%)", "Remaining overhead (%)"],
@@ -71,12 +78,18 @@ pub fn latency_sweep(apps: usize, seed: u64, rus: usize, latencies_ms: &[u64]) -
             ]
         })
         .collect();
-    let results = parallel_map(grid, crate::parallel::default_workers(), |(l, policy)| {
-        let mut cell = CellConfig::new(policy, rus);
-        cell.device = DeviceSpec::paper_default().with_latency(SimDuration::from_ms(l));
-        let out = run_cell(&seq, &cell).expect("sweep cell simulates");
-        (l, policy, out.stats.total_overhead().as_ms_f64())
-    });
+    let registry = Arc::new(TemplateRegistry::new());
+    let results = parallel_map_with(
+        grid,
+        crate::parallel::default_workers(),
+        pooled_workers(&registry),
+        |runner, (l, policy)| {
+            let mut cell = CellConfig::new(policy, rus);
+            cell.device = DeviceSpec::paper_default().with_latency(SimDuration::from_ms(l));
+            let out = runner.run(&seq, &cell).expect("sweep cell simulates");
+            (l, policy, out.stats.total_overhead().as_ms_f64())
+        },
+    );
     let mut t = Table::new(
         format!("Ablation — reconfiguration latency sweep ({rus} RUs, overhead in ms)"),
         &["Latency (ms)", "LRU", "Local LFD (1)", "LFD"],
@@ -109,7 +122,7 @@ pub fn latency_sweep(apps: usize, seed: u64, rus: usize, latencies_ms: &[u64]) -
 /// tie-break among equally-distant victims, across DL windows.
 pub fn tie_break_sweep(apps: usize, seed: u64, rus: usize) -> Table {
     use rtr_core::{LfdPolicy, TieBreak};
-    use rtr_manager::{simulate, JobSpec, Lookahead, ManagerConfig};
+    use rtr_manager::{Engine, JobSpec, Lookahead, ManagerConfig};
 
     let seq = SequenceModel::UniformRandom.generate(&templates(), apps, seed);
     let jobs: Vec<JobSpec> = seq.iter().map(|g| JobSpec::new(Arc::clone(g))).collect();
@@ -117,15 +130,26 @@ pub fn tie_break_sweep(apps: usize, seed: u64, rus: usize) -> Table {
         format!("Ablation — Local LFD tie-break ({rus} RUs, reuse % / overhead ms)"),
         &["DL window", "First candidate (paper)", "LRU tie-break"],
     );
+    // One pooled engine serves all six runs; each `reset_with_config`
+    // is bit-exact with a fresh `simulate` (the sweep's window axis is
+    // a config change, not an engine rebuild).
+    let base_cfg = ManagerConfig::paper_default()
+        .with_rus(rus)
+        .with_trace(false);
+    let mut engine = Engine::new(&base_cfg);
+    let run = |engine: &mut Engine, cfg: &ManagerConfig, policy: &mut LfdPolicy| {
+        use rtr_manager::ReplacementPolicy;
+        policy.reset();
+        engine.reset_with_config(cfg, &jobs);
+        engine.run(policy);
+        engine.outcome().expect("tie-break cell simulates")
+    };
     for window in [1usize, 2, 4] {
-        let cfg = ManagerConfig::paper_default()
-            .with_rus(rus)
-            .with_lookahead(Lookahead::Graphs(window))
-            .with_trace(false);
+        let cfg = base_cfg.clone().with_lookahead(Lookahead::Graphs(window));
         let mut first = LfdPolicy::local(window);
-        let a = simulate(&cfg, &jobs, &mut first).expect("tie-break cell simulates");
+        let a = run(&mut engine, &cfg, &mut first);
         let mut lru = LfdPolicy::local(window).with_tie_break(TieBreak::LeastRecentlyUsed);
-        let b = simulate(&cfg, &jobs, &mut lru).expect("tie-break cell simulates");
+        let b = run(&mut engine, &cfg, &mut lru);
         t.push_row(vec![
             window.to_string(),
             format!(
@@ -171,11 +195,19 @@ pub fn sequence_model_sweep(apps: usize, seed: u64, rus: usize) -> Table {
         .iter()
         .map(|(_, m)| m.generate(&tpls, apps, seed))
         .collect();
-    let results = parallel_map(grid, crate::parallel::default_workers(), |(mi, policy)| {
-        let cell = CellConfig::new(policy, rus);
-        let out = run_cell(&sequences[mi], &cell).expect("sweep cell simulates");
-        (mi, policy, out.stats.reuse_rate_pct())
-    });
+    let registry = Arc::new(TemplateRegistry::new());
+    let results = parallel_map_with(
+        grid,
+        crate::parallel::default_workers(),
+        pooled_workers(&registry),
+        |runner, (mi, policy)| {
+            let cell = CellConfig::new(policy, rus);
+            let out = runner
+                .run(&sequences[mi], &cell)
+                .expect("sweep cell simulates");
+            (mi, policy, out.stats.reuse_rate_pct())
+        },
+    );
     let mut t = Table::new(
         format!("Ablation — workload model sweep ({rus} RUs, reuse %)"),
         &["Model", "LRU", "Local LFD (1)", "LFD"],

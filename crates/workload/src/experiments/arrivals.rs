@@ -12,11 +12,12 @@
 //! bit-reproducible.
 
 use crate::arrivals::ArrivalProcess;
-use crate::parallel::parallel_map;
+use crate::parallel::parallel_map_with;
 use crate::policies::PolicyKind;
-use crate::runner::{run_cell_with_arrivals, CellConfig};
+use crate::runner::{pooled_workers, CellConfig};
 use crate::sequence::SequenceModel;
 use crate::table::{fmt_f, Table};
+use rtr_core::TemplateRegistry;
 use rtr_taskgraph::TaskGraph;
 use std::sync::Arc;
 
@@ -131,21 +132,28 @@ pub fn fig_arrivals(params: &ArrivalsParams) -> Table {
         }
     }
 
-    let rows = parallel_map(grid, params.workers, |(proc_idx, rus, policy)| {
-        let cell = CellConfig::new(policy, rus);
-        let out = run_cell_with_arrivals(&sequence, Some(&arrival_streams[proc_idx]), &cell)
-            .expect("streaming cell simulates to completion");
-        vec![
-            params.processes[proc_idx].label(),
-            rus.to_string(),
-            policy.label(),
-            fmt_f(out.stats.reuse_rate_pct(), 2),
-            fmt_f(out.stats.mean_sojourn_ms(), 1),
-            fmt_f(out.stats.max_sojourn().as_ms_f64(), 1),
-            fmt_f(out.stats.makespan.as_ms_f64(), 1),
-            out.stats.loads.to_string(),
-        ]
-    });
+    let registry = Arc::new(TemplateRegistry::new());
+    let rows = parallel_map_with(
+        grid,
+        params.workers,
+        pooled_workers(&registry),
+        |runner, (proc_idx, rus, policy)| {
+            let cell = CellConfig::new(policy, rus);
+            let out = runner
+                .run_with_arrivals(&sequence, Some(&arrival_streams[proc_idx]), &cell)
+                .expect("streaming cell simulates to completion");
+            vec![
+                params.processes[proc_idx].label(),
+                rus.to_string(),
+                policy.label(),
+                fmt_f(out.stats.reuse_rate_pct(), 2),
+                fmt_f(out.stats.mean_sojourn_ms(), 1),
+                fmt_f(out.stats.max_sojourn().as_ms_f64(), 1),
+                fmt_f(out.stats.makespan.as_ms_f64(), 1),
+                out.stats.loads.to_string(),
+            ]
+        },
+    );
 
     let mut t = Table::new(
         format!(

@@ -14,11 +14,12 @@
 //! averages across seeds; the paper's single 500-app run corresponds to
 //! one seed.
 
-use crate::parallel::parallel_map;
+use crate::parallel::parallel_map_with;
 use crate::policies::PolicyKind;
-use crate::runner::{run_cell, CellConfig};
+use crate::runner::{pooled_workers, CellConfig};
 use crate::sequence::SequenceModel;
 use crate::table::{fmt_f, Table};
+use rtr_core::TemplateRegistry;
 use rtr_taskgraph::TaskGraph;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -101,20 +102,29 @@ pub fn run_matrix(params: &Fig9Params, policies: &[PolicyKind]) -> Vec<Fig9Cell>
         }
     }
 
-    let results = parallel_map(grid, params.workers, |(rus, policy, seed_idx)| {
-        let cell = CellConfig::new(policy, rus);
-        let out = run_cell(&sequences[seed_idx], &cell)
-            .expect("benchmark workloads simulate to completion");
-        (
-            rus,
-            policy,
-            out.stats.reuse_rate_pct(),
-            out.stats.remaining_overhead_pct(),
-            out.stats.total_overhead().as_ms_f64(),
-            out.stats.loads as f64,
-            out.stats.traffic.energy_uj as f64 / 1_000.0,
-        )
-    });
+    // One design-time registry for the whole grid; each worker owns a
+    // pooled engine (via its CellRunner) reused across its cells.
+    let registry = Arc::new(TemplateRegistry::new());
+    let results = parallel_map_with(
+        grid,
+        params.workers,
+        pooled_workers(&registry),
+        |runner, (rus, policy, seed_idx)| {
+            let cell = CellConfig::new(policy, rus);
+            let out = runner
+                .run(&sequences[seed_idx], &cell)
+                .expect("benchmark workloads simulate to completion");
+            (
+                rus,
+                policy,
+                out.stats.reuse_rate_pct(),
+                out.stats.remaining_overhead_pct(),
+                out.stats.total_overhead().as_ms_f64(),
+                out.stats.loads as f64,
+                out.stats.traffic.energy_uj as f64 / 1_000.0,
+            )
+        },
+    );
 
     // Average over seeds, keyed by (rus, policy position).
     // Running sums of the five per-cell metrics plus the sample count.

@@ -51,17 +51,43 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_map_with(items, workers, || (), |(), item| f(item))
+}
+
+/// [`parallel_map`] with per-worker mutable state: `init` runs once on
+/// each worker thread and the resulting state is threaded through every
+/// item that worker processes.
+///
+/// This is what lets a sweep reuse expensive carriers across cells — a
+/// pooled simulation engine, scratch buffers, a connection — without
+/// any locking: each worker owns its state exclusively. Results are
+/// still returned in input order, and per-cell determinism is
+/// unaffected as long as the state does not leak information between
+/// cells (a pooled engine is reset per cell; the pooled-equivalence
+/// property test pins that resets are invisible).
+///
+/// # Panics
+/// Propagates item panics exactly like [`parallel_map`] (lowest failing
+/// index wins, tagged with the cell index).
+pub fn parallel_map_with<T, R, S, I, F>(items: Vec<T>, workers: usize, init: I, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
     let workers = workers.clamp(1, n);
     if workers == 1 {
+        let mut state = init();
         return items
             .into_iter()
             .enumerate()
             .map(|(idx, item)| {
-                catch_unwind(AssertUnwindSafe(|| f(item)))
+                catch_unwind(AssertUnwindSafe(|| f(&mut state, item)))
                     .unwrap_or_else(|payload| resume_cell_panic(idx, payload))
             })
             .collect();
@@ -86,15 +112,17 @@ where
             let work_rx = work_rx.clone();
             let res_tx = res_tx.clone();
             let f = &f;
+            let init = &init;
             let aborted = &aborted;
             scope.spawn(move |_| {
+                let mut state = init();
                 while let Ok((idx, item)) = work_rx.recv() {
                     if aborted.load(std::sync::atomic::Ordering::Relaxed) {
                         continue; // drain the queue without computing
                     }
                     // Catch per-cell panics so one bad cell neither
                     // poisons the scope join nor loses its origin.
-                    let out = catch_unwind(AssertUnwindSafe(|| f(item)));
+                    let out = catch_unwind(AssertUnwindSafe(|| f(&mut state, item)));
                     if out.is_err() {
                         aborted.store(true, std::sync::atomic::Ordering::Relaxed);
                     }
@@ -194,6 +222,59 @@ mod tests {
     #[test]
     fn default_workers_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn with_state_preserves_order_and_reuses_state() {
+        // Each worker counts how many items it has processed; the
+        // per-item result proves the state persisted (counter > 0 after
+        // the first item) while output order stays input order.
+        let out = parallel_map_with(
+            (0..64u64).collect::<Vec<_>>(),
+            4,
+            || 0u64,
+            |seen, x| {
+                *seen += 1;
+                (x, *seen)
+            },
+        );
+        assert_eq!(out.len(), 64);
+        for (i, &(x, seen)) in out.iter().enumerate() {
+            assert_eq!(x, i as u64);
+            assert!(seen >= 1);
+        }
+        // Across 4 workers and 64 items, at least one worker processed
+        // more than one item — the state really is reused.
+        assert!(out.iter().any(|&(_, seen)| seen > 1));
+    }
+
+    #[test]
+    fn with_state_sequential_path_uses_one_state() {
+        let out = parallel_map_with(vec![10u32, 20, 30], 1, Vec::new, |log: &mut Vec<u32>, x| {
+            log.push(x);
+            log.len()
+        });
+        assert_eq!(out, vec![1, 2, 3], "one state threads through all items");
+    }
+
+    #[test]
+    fn with_state_propagates_cell_index_on_panic() {
+        let err = quiet_panics(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                parallel_map_with(
+                    (0..12u32).collect::<Vec<_>>(),
+                    3,
+                    || (),
+                    |(), x| {
+                        assert!(x != 5, "stateful boom");
+                        x
+                    },
+                )
+            }))
+            .expect_err("a cell panicked")
+        });
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("cell 5"), "missing index: {msg}");
     }
 
     /// Runs `op` with the default panic hook silenced, so expected-panic

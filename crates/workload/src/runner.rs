@@ -9,10 +9,10 @@
 //! Tables I/II distinction).
 
 use crate::policies::PolicyKind;
-use rtr_core::TemplateCache;
+use rtr_core::TemplateRegistry;
 use rtr_hw::{DeviceSpec, RuId};
 use rtr_manager::{
-    simulate, DecisionContext, JobSpec, ManagerConfig, ReplacementPolicy, RunStats, SimError, Trace,
+    DecisionContext, Engine, JobSpec, ManagerConfig, ReplacementPolicy, RunStats, SimError, Trace,
 };
 use rtr_sim::SimTime;
 use rtr_taskgraph::{ConfigId, TaskGraph};
@@ -103,7 +103,7 @@ impl<'a> TimingPolicy<'a> {
 }
 
 impl ReplacementPolicy for TimingPolicy<'_> {
-    fn name(&self) -> String {
+    fn name(&self) -> &str {
         self.inner.name()
     }
     fn select_victim(&mut self, ctx: &DecisionContext<'_>) -> RuId {
@@ -136,6 +136,51 @@ impl ReplacementPolicy for TimingPolicy<'_> {
     }
 }
 
+/// Builds a cell's job sequence into `out` through the given
+/// design-time registry — the single job-construction path shared by
+/// the one-shot [`prepare_jobs`] helpers and the pooled [`CellRunner`],
+/// so arrival stamping and mobility gating can never diverge between
+/// them. Returns the wall-clock design time of *this call* (≈ 0 when
+/// the registry already holds the cell's artifacts; always zero when
+/// the policy needs no mobility).
+///
+/// # Panics
+/// Panics if `arrivals` is provided with a length different from
+/// `sequence`.
+fn build_jobs_into(
+    registry: &TemplateRegistry,
+    out: &mut Vec<JobSpec>,
+    sequence: &[Arc<TaskGraph>],
+    arrivals: Option<&[SimTime]>,
+    cell: &CellConfig,
+) -> Duration {
+    if let Some(arrivals) = arrivals {
+        assert_eq!(
+            arrivals.len(),
+            sequence.len(),
+            "one arrival instant per application required"
+        );
+    }
+    let arrival_of = |i: usize| arrivals.map_or(SimTime::ZERO, |a| a[i]);
+    let cfg = cell.manager_config();
+    let needs_mobility = cell.policy.needs_mobility();
+    let t0 = Instant::now();
+    out.clear();
+    out.reserve(sequence.len());
+    for (i, g) in sequence.iter().enumerate() {
+        let job = registry
+            .instantiate(g, &cfg, needs_mobility)
+            .expect("benchmark graphs have feasible reference schedules")
+            .with_arrival(arrival_of(i));
+        out.push(job);
+    }
+    if needs_mobility {
+        t0.elapsed()
+    } else {
+        Duration::ZERO
+    }
+}
+
 /// Builds the job sequence for a cell, preparing mobility annotations
 /// (design time) when the policy requires them. Returns the jobs and
 /// the wall-clock design time.
@@ -148,6 +193,8 @@ pub fn prepare_jobs(
 
 /// Like [`prepare_jobs`], additionally stamping per-job arrival
 /// instants for streaming runs (`None` = the batch setting, all t = 0).
+/// One-shot form: design time runs against a private registry, so it is
+/// fully attributed to this call.
 ///
 /// # Panics
 /// Panics if `arrivals` is provided with a length different from
@@ -157,67 +204,136 @@ pub fn prepare_jobs_with_arrivals(
     arrivals: Option<&[SimTime]>,
     cell: &CellConfig,
 ) -> Result<(Vec<JobSpec>, Duration), SimError> {
-    if let Some(arrivals) = arrivals {
-        assert_eq!(
-            arrivals.len(),
-            sequence.len(),
-            "one arrival instant per application required"
-        );
-    }
-    let arrival_of = |i: usize| arrivals.map_or(SimTime::ZERO, |a| a[i]);
-    if !cell.policy.needs_mobility() {
-        let jobs = sequence
-            .iter()
-            .enumerate()
-            .map(|(i, g)| JobSpec::new(Arc::clone(g)).with_arrival(arrival_of(i)))
-            .collect();
-        return Ok((jobs, Duration::ZERO));
-    }
-    let cfg = cell.manager_config();
-    let mut cache = TemplateCache::new();
-    let t0 = Instant::now();
-    let jobs: Vec<JobSpec> = sequence
-        .iter()
-        .enumerate()
-        .map(|(i, g)| {
-            cache
-                .get_or_prepare(g, &cfg)
-                .expect("benchmark graphs have feasible reference schedules")
-                .instantiate()
-                .with_arrival(arrival_of(i))
-        })
-        .collect();
-    Ok((jobs, t0.elapsed()))
+    let mut jobs = Vec::new();
+    let design_time = build_jobs_into(
+        &TemplateRegistry::new(),
+        &mut jobs,
+        sequence,
+        arrivals,
+        cell,
+    );
+    Ok((jobs, design_time))
 }
 
 /// Runs one cell over an application sequence (batch: all arrivals at
 /// t = 0).
+///
+/// One-shot form: builds a private [`CellRunner`] (fresh engine, fresh
+/// registry), so design-time cost is attributed to this cell alone.
+/// Sweeps should hold a `CellRunner` instead and amortise both.
 pub fn run_cell(sequence: &[Arc<TaskGraph>], cell: &CellConfig) -> Result<CellResult, SimError> {
     run_cell_with_arrivals(sequence, None, cell)
 }
 
 /// Runs one cell over a streaming application sequence whose jobs enter
-/// the manager's online queue at the given instants.
+/// the manager's online queue at the given instants (one-shot form, see
+/// [`run_cell`]).
 pub fn run_cell_with_arrivals(
     sequence: &[Arc<TaskGraph>],
     arrivals: Option<&[SimTime]>,
     cell: &CellConfig,
 ) -> Result<CellResult, SimError> {
-    let (jobs, design_time) = prepare_jobs_with_arrivals(sequence, arrivals, cell)?;
-    let cfg = cell.manager_config();
-    let mut policy = cell.policy.build();
-    let mut timed = TimingPolicy::new(policy.as_mut());
-    let t0 = Instant::now();
-    let out = simulate(&cfg, &jobs, &mut timed)?;
-    let total_time = t0.elapsed();
-    Ok(CellResult {
-        stats: out.stats,
-        trace: out.trace,
-        replacement_time: timed.spent(),
-        replacement_calls: timed.calls(),
-        total_time,
-        design_time,
-    })
+    CellRunner::new().run_with_arrivals(sequence, arrivals, cell)
+}
+
+/// A reusable cell executor: one pooled [`Engine`] plus a (typically
+/// shared) design-time [`TemplateRegistry`].
+///
+/// Sweeps create one `CellRunner` per worker thread, all pointing at
+/// one registry — every distinct template is analysed once per
+/// process, and the engine's event heap, scratch vectors, reuse-index
+/// lists and job buffer are reused across every cell and replication
+/// the worker executes. Results are bit-exact with the one-shot
+/// [`run_cell`] path (pinned by the pooled-equivalence property test);
+/// only the wall-clock attribution differs — `design_time` reports
+/// this *call's* cost, which is ≈ 0 whenever the registry already
+/// holds the cell's artifacts.
+pub struct CellRunner {
+    registry: Arc<TemplateRegistry>,
+    engine: Option<Engine>,
+    jobs: Vec<JobSpec>,
+}
+
+/// Per-worker pooled [`CellRunner`] factory sharing one design-time
+/// `registry` — the worker-init closure the sweep experiments pass to
+/// [`parallel_map_with`](crate::parallel::parallel_map_with).
+pub fn pooled_workers(registry: &Arc<TemplateRegistry>) -> impl Fn() -> CellRunner + Sync + '_ {
+    move || CellRunner::with_registry(Arc::clone(registry))
+}
+
+impl CellRunner {
+    /// A runner with a private registry (the one-shot configuration).
+    pub fn new() -> Self {
+        CellRunner::with_registry(Arc::new(TemplateRegistry::new()))
+    }
+
+    /// A runner drawing design-time artifacts from a shared registry.
+    pub fn with_registry(registry: Arc<TemplateRegistry>) -> Self {
+        CellRunner {
+            registry,
+            engine: None,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// The runner's registry (share it with further runners).
+    pub fn registry(&self) -> &Arc<TemplateRegistry> {
+        &self.registry
+    }
+
+    /// Runs one batch cell (all arrivals at t = 0).
+    pub fn run(
+        &mut self,
+        sequence: &[Arc<TaskGraph>],
+        cell: &CellConfig,
+    ) -> Result<CellResult, SimError> {
+        self.run_with_arrivals(sequence, None, cell)
+    }
+
+    /// Runs one cell, streaming jobs in at the given instants (`None` =
+    /// batch).
+    ///
+    /// # Panics
+    /// Panics if `arrivals` is provided with a length different from
+    /// `sequence`.
+    pub fn run_with_arrivals(
+        &mut self,
+        sequence: &[Arc<TaskGraph>],
+        arrivals: Option<&[SimTime]>,
+        cell: &CellConfig,
+    ) -> Result<CellResult, SimError> {
+        // Design-time phase: memoised in the registry, so only the
+        // first cell touching a (template, system) pair pays it.
+        let design_time = build_jobs_into(&self.registry, &mut self.jobs, sequence, arrivals, cell);
+        let cfg = cell.manager_config();
+
+        if self.engine.is_none() {
+            self.engine = Some(Engine::with_templates(&cfg, self.registry.template_set()));
+        }
+        let engine = self.engine.as_mut().expect("just ensured");
+        engine.reset_with_config(&cfg, &self.jobs);
+        let mut policy = cell.policy.build();
+        policy.reset();
+        let mut timed = TimingPolicy::new(policy.as_mut());
+        let t0 = Instant::now();
+        engine.run(&mut timed);
+        let out = engine.outcome()?;
+        let total_time = t0.elapsed();
+        Ok(CellResult {
+            stats: out.stats,
+            trace: out.trace,
+            replacement_time: timed.spent(),
+            replacement_calls: timed.calls(),
+            total_time,
+            design_time,
+        })
+    }
+}
+
+impl Default for CellRunner {
+    fn default() -> Self {
+        CellRunner::new()
+    }
 }
 
 #[cfg(test)]
@@ -318,6 +434,63 @@ mod tests {
         let arrivals = vec![SimTime::ZERO; seq.len() - 1];
         let _ =
             prepare_jobs_with_arrivals(&seq, Some(&arrivals), &CellConfig::new(PolicyKind::Lru, 4));
+    }
+
+    #[test]
+    fn pooled_runner_matches_one_shot_cells() {
+        // One CellRunner across heterogeneous cells (policy, RU count,
+        // mobility needs) must reproduce the one-shot path bit-exactly:
+        // stats and trace.
+        let seq = small_sequence(8);
+        let mut runner = CellRunner::with_registry(Arc::new(TemplateRegistry::new()));
+        let mut cells = vec![
+            CellConfig::new(PolicyKind::Lru, 4),
+            CellConfig::new(
+                PolicyKind::LocalLfd {
+                    window: 2,
+                    skip: true,
+                },
+                5,
+            ),
+            CellConfig::new(PolicyKind::Lfd, 3),
+        ];
+        for cell in &mut cells {
+            cell.record_trace = true;
+        }
+        for cell in &cells {
+            let pooled = runner.run(&seq, cell).unwrap();
+            let fresh = run_cell(&seq, cell).unwrap();
+            assert_eq!(pooled.stats, fresh.stats);
+            assert_eq!(pooled.trace, fresh.trace);
+        }
+        assert_eq!(runner.registry().templates(), 3);
+    }
+
+    #[test]
+    fn shared_registry_amortises_design_time() {
+        let seq = small_sequence(9);
+        let cell = CellConfig::new(
+            PolicyKind::LocalLfd {
+                window: 1,
+                skip: true,
+            },
+            4,
+        );
+        let mut runner = CellRunner::new();
+        let first = runner.run(&seq, &cell).unwrap();
+        let templates = runner.registry().templates();
+        let mobility_entries = runner.registry().mobility_entries();
+        assert!(templates > 0);
+        assert!(mobility_entries > 0);
+        let second = runner.run(&seq, &cell).unwrap();
+        assert!(first.design_time > Duration::ZERO);
+        // The second run hits the registry memo; it must not recompute
+        // the (expensive) mobility probes. Assert the structural
+        // property — no new registry entries — rather than comparing
+        // noisy wall-clock durations.
+        assert_eq!(runner.registry().templates(), templates);
+        assert_eq!(runner.registry().mobility_entries(), mobility_entries);
+        assert_eq!(first.stats, second.stats, "replications are bit-exact");
     }
 
     #[test]

@@ -6,11 +6,12 @@
 //! be versioned next to their results.
 
 use crate::arrivals::ArrivalProcess;
-use crate::parallel::parallel_map;
+use crate::parallel::parallel_map_with;
 use crate::policies::PolicyKind;
-use crate::runner::{run_cell_with_arrivals, CellConfig};
+use crate::runner::{pooled_workers, CellConfig};
 use crate::sequence::SequenceModel;
 use crate::table::{fmt_f, Table};
+use rtr_core::TemplateRegistry;
 use rtr_hw::DeviceSpec;
 use rtr_taskgraph::serialize::GraphSpec;
 use rtr_taskgraph::TaskGraph;
@@ -129,20 +130,27 @@ impl Scenario {
                 "Loads",
             ],
         );
-        let rows = parallel_map(self.policies.clone(), workers, |policy| {
-            let mut cell = CellConfig::new(policy, self.rus);
-            cell.device = self.device.clone();
-            let out = run_cell_with_arrivals(&sequence, Some(&arrivals), &cell)
-                .expect("scenario cell simulates");
-            vec![
-                policy.label(),
-                fmt_f(out.stats.reuse_rate_pct(), 2),
-                fmt_f(out.stats.total_overhead().as_ms_f64(), 1),
-                fmt_f(out.stats.remaining_overhead_pct(), 2),
-                fmt_f(out.stats.mean_sojourn_ms(), 1),
-                out.stats.loads.to_string(),
-            ]
-        });
+        let registry = Arc::new(TemplateRegistry::new());
+        let rows = parallel_map_with(
+            self.policies.clone(),
+            workers,
+            pooled_workers(&registry),
+            |runner, policy| {
+                let mut cell = CellConfig::new(policy, self.rus);
+                cell.device = self.device.clone();
+                let out = runner
+                    .run_with_arrivals(&sequence, Some(&arrivals), &cell)
+                    .expect("scenario cell simulates");
+                vec![
+                    policy.label(),
+                    fmt_f(out.stats.reuse_rate_pct(), 2),
+                    fmt_f(out.stats.total_overhead().as_ms_f64(), 1),
+                    fmt_f(out.stats.remaining_overhead_pct(), 2),
+                    fmt_f(out.stats.mean_sojourn_ms(), 1),
+                    out.stats.loads.to_string(),
+                ]
+            },
+        );
         for row in rows {
             t.push_row(row);
         }

@@ -33,8 +33,8 @@ impl LfdLruHybrid {
 }
 
 impl ReplacementPolicy for LfdLruHybrid {
-    fn name(&self) -> String {
-        "LFD+LRU-tiebreak".to_string()
+    fn name(&self) -> &str {
+        "LFD+LRU-tiebreak"
     }
 
     fn select_victim(&mut self, ctx: &DecisionContext<'_>) -> RuId {

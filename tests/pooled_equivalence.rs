@@ -1,0 +1,236 @@
+//! Pooled-engine determinism: a reused engine must be bit-exact with a
+//! fresh one.
+//!
+//! The sweep-throughput overhaul reuses one [`Engine`] across cells and
+//! replications (`reset_with_config` / `reset_replay`), pooling every
+//! workload-sized allocation. Pooling must be *invisible*: for any
+//! scenario — random template families, all policies, every arrival
+//! process — the pooled run's [`RunStats`] and full [`Trace`] must equal
+//! the fresh [`simulate`] run's, event for event. This property test
+//! drives one engine through two different scenarios back to back and a
+//! replay of the first, comparing each leg against a fresh engine.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reconfig_reuse::taskgraph::generate::{self, GenConfig};
+use rtr_core::{
+    compute_mobility, FifoPolicy, LfdPolicy, LfuPolicy, LruPolicy, MruPolicy, RandomPolicy,
+};
+use rtr_manager::{
+    simulate, Engine, FirstCandidatePolicy, JobSpec, Lookahead, ManagerConfig, ReplacementPolicy,
+    SimulationOutcome,
+};
+use rtr_taskgraph::TaskGraph;
+use rtr_workload::ArrivalProcess;
+use std::sync::Arc;
+
+/// One randomly drawn scenario: jobs (graphs + arrivals + annotations)
+/// and the manager configuration implied by its policy.
+#[derive(Debug, Clone)]
+struct Scenario {
+    jobs: Vec<JobSpec>,
+    cfg: ManagerConfig,
+    policy_id: u8,
+    policy_seed: u64,
+}
+
+fn arrival_process(kind: u8) -> ArrivalProcess {
+    match kind % 4 {
+        0 => ArrivalProcess::Batch,
+        1 => ArrivalProcess::Poisson {
+            mean_gap_us: 40_000,
+        },
+        2 => ArrivalProcess::Periodic { period_us: 35_000 },
+        _ => ArrivalProcess::Bursty {
+            size: 3,
+            mean_gap_us: 150_000,
+        },
+    }
+}
+
+/// Builds the policy for `id` (fresh state every call).
+fn build_policy(id: u8, seed: u64) -> Box<dyn ReplacementPolicy> {
+    match id % 8 {
+        0 => Box::new(FirstCandidatePolicy),
+        1 => Box::new(LruPolicy::new()),
+        2 => Box::new(FifoPolicy::new()),
+        3 => Box::new(MruPolicy::new()),
+        4 => Box::new(LfuPolicy::new()),
+        5 => Box::new(RandomPolicy::new(seed)),
+        6 => Box::new(LfdPolicy::local(1 + (seed % 3) as usize)),
+        _ => Box::new(LfdPolicy::oracle()),
+    }
+}
+
+fn lookahead_for(id: u8, seed: u64) -> Lookahead {
+    match id % 8 {
+        6 => Lookahead::Graphs(1 + (seed % 3) as usize),
+        7 => Lookahead::All,
+        _ => Lookahead::None,
+    }
+}
+
+fn build_scenario(
+    seed: u64,
+    templates: usize,
+    apps: usize,
+    rus: usize,
+    arrivals_kind: u8,
+    policy_id: u8,
+    with_mobility: bool,
+) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gen_cfg = GenConfig {
+        exec_us: (1_000, 25_000),
+        config_base: 50,
+        config_pool: Some(10),
+    };
+    let family: Vec<Arc<TaskGraph>> = generate::template_family(&mut rng, templates, &gen_cfg)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    let cfg = ManagerConfig::paper_default()
+        .with_rus(rus)
+        .with_lookahead(lookahead_for(policy_id, seed))
+        .with_skip_events(with_mobility)
+        .with_trace(true);
+    let arrivals = arrival_process(arrivals_kind).generate(apps, seed ^ 0x5EED);
+    let jobs: Vec<JobSpec> = (0..apps)
+        .map(|i| {
+            let graph = Arc::clone(&family[i % family.len()]);
+            let mut job = JobSpec::new(Arc::clone(&graph)).with_arrival(arrivals[i]);
+            if with_mobility {
+                let mobility = Arc::new(compute_mobility(&graph, &cfg).expect("mobility computes"));
+                job = job.with_mobility(mobility);
+            }
+            job
+        })
+        .collect();
+    Scenario {
+        jobs,
+        cfg,
+        policy_id,
+        policy_seed: seed,
+    }
+}
+
+fn run_fresh(s: &Scenario) -> SimulationOutcome {
+    let mut policy = build_policy(s.policy_id, s.policy_seed);
+    simulate(&s.cfg, &s.jobs, policy.as_mut()).expect("scenario completes")
+}
+
+fn run_pooled(engine: &mut Engine, s: &Scenario) -> SimulationOutcome {
+    let mut policy = build_policy(s.policy_id, s.policy_seed);
+    policy.reset();
+    engine.reset_with_config(&s.cfg, &s.jobs);
+    engine.run(policy.as_mut());
+    engine.outcome().expect("scenario completes")
+}
+
+fn assert_same(pooled: &SimulationOutcome, fresh: &SimulationOutcome, leg: &str) {
+    assert_eq!(pooled.stats, fresh.stats, "{leg}: RunStats diverged");
+    assert_eq!(
+        pooled.trace.events, fresh.trace.events,
+        "{leg}: trace diverged"
+    );
+}
+
+/// Resetting a pooled engine to an *empty* batch must not leak the
+/// previous batch's memoised ideal makespan (regression: `submit`
+/// invalidated the memo per job, so zero jobs skipped invalidation).
+#[test]
+fn reset_to_empty_batch_matches_fresh_empty_run() {
+    let s = build_scenario(7, 2, 5, 4, 0, 1, false);
+    let fresh_empty = run_fresh(&Scenario {
+        jobs: Vec::new(),
+        ..s.clone()
+    });
+    let mut engine = Engine::new(&s.cfg);
+    let _ = run_pooled(&mut engine, &s);
+    let pooled_empty = run_pooled(
+        &mut engine,
+        &Scenario {
+            jobs: Vec::new(),
+            ..s
+        },
+    );
+    assert_same(&pooled_empty, &fresh_empty, "empty batch after a full one");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One engine, two different scenarios back to back, then a replay
+    /// of the first: every leg bit-exact with a fresh engine.
+    #[test]
+    fn pooled_engine_is_bit_exact_with_fresh(
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        apps_a in 1usize..20,
+        apps_b in 1usize..20,
+        rus_a in 1usize..7,
+        rus_b in 1usize..7,
+        arrivals_a in 0u8..4,
+        arrivals_b in 0u8..4,
+        policy_a in 0u8..8,
+        policy_b in 0u8..8,
+    ) {
+        let templates = 1 + (seed_a % 3) as usize;
+        let a = build_scenario(seed_a, templates, apps_a, rus_a, arrivals_a, policy_a, false);
+        let b = build_scenario(seed_b, templates, apps_b, rus_b, arrivals_b, policy_b, false);
+        let fresh_a = run_fresh(&a);
+        let fresh_b = run_fresh(&b);
+
+        let mut engine = Engine::new(&a.cfg);
+        let pooled_a = run_pooled(&mut engine, &a);
+        assert_same(&pooled_a, &fresh_a, "scenario A on a fresh pool");
+        // Different config, jobs, policy — the pool must not leak.
+        let pooled_b = run_pooled(&mut engine, &b);
+        assert_same(&pooled_b, &fresh_b, "scenario B after A");
+        // Replay: same jobs re-armed without re-submission.
+        let mut policy = build_policy(b.policy_id, b.policy_seed);
+        policy.reset();
+        engine.reset_replay();
+        engine.run(policy.as_mut());
+        let replay_b = engine.outcome().expect("replay completes");
+        assert_same(&replay_b, &fresh_b, "scenario B replayed");
+        // And back to A, exercising a config retarget after a replay.
+        let pooled_a2 = run_pooled(&mut engine, &a);
+        assert_same(&pooled_a2, &fresh_a, "scenario A after replay of B");
+    }
+
+    /// Skip Events (mobility-annotated jobs, the paper's Fig. 8 steps
+    /// 4–5) through the pooled engine: bit-exact with fresh, including
+    /// the skip counters in the trace.
+    #[test]
+    fn pooled_engine_matches_fresh_with_skip_events(
+        seed in any::<u64>(),
+        apps in 1usize..12,
+        rus in 2usize..6,
+        arrivals in 0u8..4,
+        window in 1usize..4,
+    ) {
+        let mut s = build_scenario(seed, 2, apps, rus, arrivals, 6, true);
+        s.cfg = s.cfg.with_lookahead(Lookahead::Graphs(window));
+        let fresh = {
+            let mut p = LfdPolicy::local_with_skip(window);
+            simulate(&s.cfg, &s.jobs, &mut p).expect("scenario completes")
+        };
+        let mut engine = Engine::new(&s.cfg);
+        // Two consecutive pooled runs: first exercises a cold pool,
+        // second a warm replay.
+        for leg in ["cold pooled run", "warm replay"] {
+            let mut p = LfdPolicy::local_with_skip(window);
+            p.reset();
+            if leg == "cold pooled run" {
+                engine.reset_with_config(&s.cfg, &s.jobs);
+            } else {
+                engine.reset_replay();
+            }
+            engine.run_with(&mut p);
+            let pooled = engine.outcome().expect("scenario completes");
+            assert_same(&pooled, &fresh, leg);
+        }
+    }
+}

@@ -79,7 +79,7 @@ proptest! {
         for mut policy in policies() {
             let cfg = ManagerConfig::paper_default()
                 .with_rus(w.rus)
-                .with_lookahead(lookahead_for(&policy.name()));
+                .with_lookahead(lookahead_for(policy.name()));
             let out = manager::simulate(&cfg, &w.jobs, policy.as_mut())
                 .expect("workloads complete");
             let violations = validate_trace(
