@@ -1,0 +1,78 @@
+//! Prefetch-subsystem hot-path benchmark.
+//!
+//! `prefetch/depth_<d>` — 500 applications streamed through the engine
+//! under a near-saturation Poisson feed with the planner at depth `d`
+//! (0 = off). Depth 0 pins the cost of the always-taken `enabled()`
+//! check on the pre-prefetch path; the enabled depths measure the
+//! planner (window derivation + next-k scan + guarded victim choice)
+//! riding on every idle-port event. The run also reports the prefetch
+//! counters once per depth so the bench doubles as a quick sanity probe
+//! of hit rates on a realistic feed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtr_core::LfdPolicy;
+use rtr_manager::{Engine, JobSpec, Lookahead, ManagerConfig, PrefetchConfig};
+use rtr_sim::SimTime;
+use rtr_workload::arrivals::ArrivalProcess;
+use rtr_workload::sequence::paper_workload;
+use std::hint::black_box;
+
+fn jobs_with(arrivals: &[SimTime]) -> Vec<JobSpec> {
+    paper_workload(42)
+        .into_iter()
+        .zip(arrivals)
+        .map(|(g, &at)| JobSpec::new(g).with_arrival(at))
+        .collect()
+}
+
+fn run_stream(cfg: &ManagerConfig, jobs: &[JobSpec]) -> u64 {
+    let mut policy = LfdPolicy::local(1);
+    let mut engine = Engine::new(cfg);
+    for job in jobs {
+        engine.submit(job.clone());
+    }
+    engine.run_with(&mut policy);
+    engine
+        .finish()
+        .expect("streaming run completes")
+        .stats
+        .reuses
+}
+
+fn bench_prefetch_depths(c: &mut Criterion) {
+    let jobs = jobs_with(
+        &ArrivalProcess::Poisson {
+            mean_gap_us: 70_000,
+        }
+        .generate(500, 7),
+    );
+    let mut group = c.benchmark_group("prefetch_500_apps_4rus_poisson70ms");
+    group.sample_size(10);
+    for depth in [0usize, 1, 2, 4] {
+        let cfg = ManagerConfig::paper_default()
+            .with_lookahead(Lookahead::Graphs(1))
+            .with_trace(false)
+            .with_prefetch(PrefetchConfig::with_depth(depth));
+        // One non-measured run to print the counters this depth earns.
+        {
+            let mut policy = LfdPolicy::local(1);
+            let mut engine = Engine::new(&cfg);
+            for job in &jobs {
+                engine.submit(job.clone());
+            }
+            engine.run_with(&mut policy);
+            let stats = engine.finish().expect("completes").stats;
+            println!(
+                "depth {depth}: reuses {} loads {} prefetch {:?}",
+                stats.reuses, stats.loads, stats.prefetch
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("depth", depth), &jobs, |b, jobs| {
+            b.iter(|| black_box(run_stream(&cfg, jobs)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefetch_depths);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Reuse-aware configuration prefetching: prefetch depth × policy ×
+//! arrival intensity on the multimedia workload.
+//!
+//! ```text
+//! cargo run --release -p rtr-bench --bin fig_prefetch            # full grid
+//! cargo run --release -p rtr-bench --bin fig_prefetch -- smoke   # CI-sized
+//! cargo run --release -p rtr-bench --bin fig_prefetch -- 500 11  # apps seed
+//! ```
+//!
+//! The table is printed as Markdown and written as CSV under
+//! `results/fig_prefetch.csv`. Depth 0 rows are the prefetch-off
+//! baseline; before the sweep, the binary asserts they are
+//! byte-identical (stats and trace) to the plain streaming path — a
+//! prefetch regression that leaks into the disabled path exits
+//! non-zero instead of silently drifting a golden number.
+
+use rtr_workload::experiments::prefetch::{
+    assert_prefetch_off_matches_baseline, fig_prefetch, PrefetchParams,
+};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut params = match args.first().map(String::as_str) {
+        Some("smoke") => PrefetchParams::smoke(),
+        _ => PrefetchParams::default(),
+    };
+    if let Some(apps) = args.first().filter(|a| a.as_str() != "smoke") {
+        params.apps = apps.parse().expect("apps must be a number");
+    }
+    if let Some(seed) = args.get(1) {
+        params.seed = seed.parse().expect("seed must be a number");
+    }
+
+    println!(
+        "fig_prefetch — {} apps from {{JPEG, MPEG-1, Hough}}, seed {}, RUs {:?}, depths {:?}",
+        params.apps, params.seed, params.rus, params.depths
+    );
+    println!(
+        "arrival processes: {}",
+        params
+            .processes
+            .iter()
+            .map(|p| p.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // Golden guard: the prefetch-off rows must be byte-identical to the
+    // pre-prefetch streaming path (panics → non-zero exit on drift).
+    let guard_params = PrefetchParams::smoke();
+    assert_prefetch_off_matches_baseline(&guard_params);
+    println!("prefetch-off golden guard: OK (byte-identical to the baseline path)\n");
+
+    let t = fig_prefetch(&params);
+    println!("{}", t.to_markdown());
+    let csv = Path::new("results").join("fig_prefetch.csv");
+    t.write_csv(&csv).expect("write csv");
+    println!("CSV written to {}", csv.display());
+}

@@ -65,10 +65,16 @@ pub fn compute_mobility_capped(
     cfg: &ManagerConfig,
     max_mobility: u32,
 ) -> Result<Vec<u32>, MobilityError> {
+    // Mobility is a property of the *demand* schedule: probes force the
+    // speculative prefetcher off (besides skip events and tracing), so
+    // a prefetch-enabled caller gets the same budgets as a plain one —
+    // which is also what keeps the registry's mobility memo key
+    // (template, RUs, latency, reuse) complete.
     let probe_cfg = ManagerConfig {
         skip_events: false,
         record_trace: false,
         reuse_enabled: cfg.reuse_enabled,
+        prefetch: rtr_manager::PrefetchConfig::off(),
         ..cfg.clone()
     };
     let reference = probe_makespan(graph, &probe_cfg, None)

@@ -6,10 +6,31 @@
 //! exclusivity; the manager polls [`ReconfigController::is_idle`] at
 //! every event, exactly like the `reconfiguration_circuitry_idle()`
 //! checks in the paper's Fig. 4 pseudo-code.
+//!
+//! The port carries two *lanes* sharing the one physical interface:
+//!
+//! * [`LoadLane::Demand`] — a load the current graph's reconfiguration
+//!   sequence requires now. Demand loads always run to completion.
+//! * [`LoadLane::Speculative`] — a prefetch issued while the port was
+//!   otherwise idle. A speculative load is *cancellable*: when the
+//!   demand path needs the port mid-write, [`cancel`] aborts the write
+//!   (the partially written target RU is discarded) so demand is never
+//!   delayed by speculation.
+//!
+//! [`cancel`]: ReconfigController::cancel
 
 use crate::ru::RuId;
 use rtr_sim::{SimDuration, SimTime};
 use rtr_taskgraph::ConfigId;
+
+/// Which lane an in-flight reconfiguration belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadLane {
+    /// A load the current graph demands now; runs to completion.
+    Demand,
+    /// A speculative prefetch; cancellable when demand needs the port.
+    Speculative,
+}
 
 /// An in-flight reconfiguration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +43,8 @@ pub struct InFlight {
     pub started: SimTime,
     /// When the write completes.
     pub completes: SimTime,
+    /// Demand load or speculative prefetch.
+    pub lane: LoadLane,
 }
 
 /// The reconfiguration circuitry: at most one load at a time, each
@@ -70,13 +93,32 @@ impl ReconfigController {
         self.in_flight
     }
 
-    /// Starts writing `config` into `ru` at time `now`; returns the
-    /// completion time.
+    /// Starts a demand load of `config` into `ru` at time `now`;
+    /// returns the completion time.
     ///
     /// # Panics
     /// Panics if the controller is busy — callers must check
-    /// [`Self::is_idle`] first (the manager does, mirroring Fig. 4).
+    /// [`Self::is_idle`] first (the manager does, mirroring Fig. 4),
+    /// cancelling any speculative occupant before claiming the port.
     pub fn start(&mut self, ru: RuId, config: ConfigId, now: SimTime) -> SimTime {
+        self.start_in_lane(ru, config, now, LoadLane::Demand)
+    }
+
+    /// Starts a speculative (prefetch) load of `config` into `ru`;
+    /// returns the completion time. Same exclusivity rules as
+    /// [`Self::start`], but the operation may later be aborted through
+    /// [`Self::cancel`].
+    pub fn start_speculative(&mut self, ru: RuId, config: ConfigId, now: SimTime) -> SimTime {
+        self.start_in_lane(ru, config, now, LoadLane::Speculative)
+    }
+
+    fn start_in_lane(
+        &mut self,
+        ru: RuId,
+        config: ConfigId,
+        now: SimTime,
+        lane: LoadLane,
+    ) -> SimTime {
         assert!(
             self.in_flight.is_none(),
             "reconfiguration controller is single-ported: start() while busy"
@@ -87,6 +129,7 @@ impl ReconfigController {
             config,
             started: now,
             completes,
+            lane,
         });
         completes
     }
@@ -102,18 +145,51 @@ impl ReconfigController {
             op.completes, now,
             "reconfiguration completion fired at the wrong time"
         );
-        self.completed_loads += 1;
+        if op.lane == LoadLane::Demand {
+            self.completed_loads += 1;
+        }
         self.busy_time += op.completes.since(op.started);
         op
     }
 
-    /// Number of completed loads (reuses do not count: they perform no
-    /// reconfiguration).
+    /// Aborts the in-flight *speculative* load at time `now` (demand
+    /// needs the port). The port time actually spent writing is still
+    /// accounted as busy; the caller discards the partially written RU.
+    ///
+    /// # Panics
+    /// Panics if nothing is in flight, if the in-flight operation is a
+    /// demand load (demand loads always complete), or if `now` lies
+    /// outside the operation's write interval.
+    pub fn cancel(&mut self, now: SimTime) -> InFlight {
+        let op = self
+            .in_flight
+            .take()
+            .expect("cancel() called with no reconfiguration in flight");
+        assert_eq!(
+            op.lane,
+            LoadLane::Speculative,
+            "only speculative loads are cancellable"
+        );
+        assert!(
+            op.started <= now && now <= op.completes,
+            "cancellation at {now} outside the write interval [{}, {}]",
+            op.started,
+            op.completes
+        );
+        self.busy_time += now.since(op.started);
+        op
+    }
+
+    /// Number of completed demand loads (reuses do not count: they
+    /// perform no reconfiguration, and speculative loads are tracked by
+    /// the engine's prefetch counters — the port itself only tallies
+    /// demand completions and its total busy time).
     pub fn completed_loads(&self) -> u64 {
         self.completed_loads
     }
 
-    /// Total time the port spent writing bitstreams.
+    /// Total time the port spent writing bitstreams (demand loads,
+    /// completed prefetches, and the written part of cancelled ones).
     pub fn busy_time(&self) -> SimDuration {
         self.busy_time
     }
@@ -153,6 +229,7 @@ mod tests {
         assert_eq!(done, SimTime::from_ms(14));
         assert!(!c.is_idle());
         assert_eq!(c.in_flight().unwrap().config, ConfigId(1));
+        assert_eq!(c.in_flight().unwrap().lane, LoadLane::Demand);
     }
 
     #[test]
@@ -171,6 +248,14 @@ mod tests {
     fn concurrent_loads_rejected() {
         let mut c = ctl();
         c.start(RuId(0), ConfigId(1), SimTime::ZERO);
+        c.start(RuId(1), ConfigId(2), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-ported")]
+    fn speculative_respects_exclusivity() {
+        let mut c = ctl();
+        c.start_speculative(RuId(0), ConfigId(1), SimTime::ZERO);
         c.start(RuId(1), ConfigId(2), SimTime::ZERO);
     }
 
@@ -197,5 +282,54 @@ mod tests {
         c.complete(SimTime::from_ms(14));
         assert_eq!(c.busy_time(), SimDuration::from_ms(8));
         assert_eq!(c.completed_loads(), 2);
+    }
+
+    #[test]
+    fn speculative_completion_counts_in_its_lane() {
+        let mut c = ctl();
+        c.start_speculative(RuId(0), ConfigId(9), SimTime::ZERO);
+        let op = c.complete(SimTime::from_ms(4));
+        assert_eq!(op.lane, LoadLane::Speculative);
+        assert_eq!(
+            c.completed_loads(),
+            0,
+            "speculative completions are the engine's tally"
+        );
+        assert_eq!(c.busy_time(), SimDuration::from_ms(4));
+    }
+
+    #[test]
+    fn cancel_frees_the_port_and_charges_partial_time() {
+        let mut c = ctl();
+        c.start_speculative(RuId(2), ConfigId(7), SimTime::from_ms(10));
+        let op = c.cancel(SimTime::from_ms(13));
+        assert_eq!(op.ru, RuId(2));
+        assert!(c.is_idle());
+        assert_eq!(c.completed_loads(), 0);
+        assert_eq!(c.busy_time(), SimDuration::from_ms(3));
+        // The port is immediately available for a demand load.
+        let done = c.start(RuId(0), ConfigId(1), SimTime::from_ms(13));
+        assert_eq!(done, SimTime::from_ms(17));
+    }
+
+    #[test]
+    #[should_panic(expected = "only speculative")]
+    fn demand_loads_are_not_cancellable() {
+        let mut c = ctl();
+        c.start(RuId(0), ConfigId(1), SimTime::ZERO);
+        c.cancel(SimTime::from_ms(1));
+    }
+
+    #[test]
+    fn reset_zeroes_every_counter() {
+        let mut c = ctl();
+        c.start(RuId(0), ConfigId(1), SimTime::ZERO);
+        c.complete(SimTime::from_ms(4));
+        c.start_speculative(RuId(1), ConfigId(2), SimTime::from_ms(4));
+        c.cancel(SimTime::from_ms(6));
+        c.reset(SimDuration::from_ms(4));
+        assert!(c.is_idle());
+        assert_eq!(c.completed_loads(), 0);
+        assert_eq!(c.busy_time(), SimDuration::ZERO);
     }
 }

@@ -28,7 +28,7 @@ pub mod device;
 pub mod energy;
 pub mod ru;
 
-pub use controller::ReconfigController;
+pub use controller::{InFlight, LoadLane, ReconfigController};
 pub use device::DeviceSpec;
 pub use energy::{EnergyModel, TrafficStats};
 pub use ru::{RuId, RuPool, RuState};

@@ -146,7 +146,7 @@ pub struct RuPool {
     states: Vec<RuState>,
     /// Number of RUs currently in [`RuState::Empty`] — lets the hot
     /// "is there a free RU?" check short-circuit once the pool fills
-    /// (it never empties again within a run).
+    /// (only a cancelled speculative load can re-empty an RU).
     empties: usize,
     /// Unclaimed-resident masks per configuration (see
     /// [`ReusableTable`]); maintained only when `mask_tracking`.
@@ -331,6 +331,48 @@ impl RuPool {
                 ru,
                 found,
                 attempted: "finish_load",
+            }),
+        }
+    }
+
+    /// Completes the in-flight load *unclaimed* — the landing state of a
+    /// speculative prefetch: no task owns the configuration yet, so it
+    /// is immediately a reuse and eviction candidate.
+    pub fn finish_load_unclaimed(&mut self, ru: RuId) -> Result<ConfigId, TransitionError> {
+        match self.states[ru.idx()] {
+            RuState::Loading { config } => {
+                if self.mask_tracking {
+                    self.reusable.mark(config, ru.idx());
+                }
+                self.states[ru.idx()] = RuState::Loaded {
+                    config,
+                    claimed: false,
+                };
+                Ok(config)
+            }
+            found => Err(TransitionError {
+                ru,
+                found,
+                attempted: "finish_load_unclaimed",
+            }),
+        }
+    }
+
+    /// Aborts an in-flight load: the partially written bitstream is
+    /// discarded and the RU returns to [`RuState::Empty`] (whatever was
+    /// resident before was already evicted at load start). Used when a
+    /// demand load cancels a speculative prefetch mid-write.
+    pub fn cancel_load(&mut self, ru: RuId) -> Result<ConfigId, TransitionError> {
+        match self.states[ru.idx()] {
+            RuState::Loading { config } => {
+                self.states[ru.idx()] = RuState::Empty;
+                self.empties += 1;
+                Ok(config)
+            }
+            found => Err(TransitionError {
+                ru,
+                found,
+                attempted: "cancel_load",
             }),
         }
     }
@@ -522,6 +564,33 @@ mod tests {
             pool.finish_execution(ru).unwrap();
         }
         assert_eq!(pool.eviction_candidates(), vec![RuId(0), RuId(1), RuId(2)]);
+    }
+
+    #[test]
+    fn speculative_load_lands_unclaimed_and_reusable() {
+        let mut pool = RuPool::new(2);
+        let ru = RuId(1);
+        pool.begin_load(ru, C1).unwrap();
+        assert_eq!(pool.finish_load_unclaimed(ru).unwrap(), C1);
+        assert!(pool.state(ru).is_eviction_candidate());
+        assert_eq!(pool.find_reusable(C1), Some(ru));
+        // A reuse claim consumes it exactly like a post-execution one.
+        assert_eq!(pool.try_claim_reuse(C1), Some(ru));
+        assert_eq!(pool.find_reusable(C1), None);
+    }
+
+    #[test]
+    fn cancelled_load_returns_the_ru_to_empty() {
+        let mut pool = RuPool::new(1);
+        let ru = RuId(0);
+        pool.begin_load(ru, C1).unwrap();
+        assert_eq!(pool.first_empty(), None);
+        assert_eq!(pool.cancel_load(ru).unwrap(), C1);
+        assert_eq!(pool.state(ru), RuState::Empty);
+        assert_eq!(pool.first_empty(), Some(ru));
+        assert!(!pool.is_resident(C1));
+        // Cancelling with nothing loading is rejected.
+        assert!(pool.cancel_load(ru).is_err());
     }
 
     #[test]

@@ -31,6 +31,53 @@ impl Lookahead {
     }
 }
 
+/// Configuration-prefetching knobs.
+///
+/// When the single reconfiguration port is idle and the demand path has
+/// nothing to load, the engine's prefetch planner
+/// (`crates/manager/src/engine/prefetch.rs`) may speculatively load
+/// upcoming configurations (the nearest next uses in the visible
+/// window, current graph tail + arrived backlog) into RUs whose
+/// residents have *farther* next uses — never evicting a configuration
+/// with a strictly nearer next use than the one being fetched (the
+/// Fig. 3 hazard), and always yielding the port to demand (an in-flight
+/// speculative load is cancelled the moment a demand load needs it).
+///
+/// `depth == 0` (the default) disables prefetching entirely: the engine
+/// takes the exact pre-prefetch code path and reproduces the golden
+/// figures bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetchConfig {
+    /// Maximum number of distinct upcoming configurations the planner
+    /// considers per idle-port planning round (nearest next use first).
+    /// `0` disables prefetching.
+    pub depth: usize,
+}
+
+impl PrefetchConfig {
+    /// Prefetching disabled (the default; bit-exact with the
+    /// pre-prefetch engine).
+    pub fn off() -> Self {
+        PrefetchConfig { depth: 0 }
+    }
+
+    /// Prefetching enabled with the given planning depth.
+    pub fn with_depth(depth: usize) -> Self {
+        PrefetchConfig { depth }
+    }
+
+    /// True when the planner may issue speculative loads.
+    pub fn enabled(&self) -> bool {
+        self.depth > 0
+    }
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        PrefetchConfig::off()
+    }
+}
+
 /// Full configuration of a simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ManagerConfig {
@@ -50,6 +97,9 @@ pub struct ManagerConfig {
     pub reuse_enabled: bool,
     /// Record a full schedule trace (disable for large parameter sweeps).
     pub record_trace: bool,
+    /// Speculative configuration prefetching (off by default — the
+    /// paper's manager only loads on demand).
+    pub prefetch: PrefetchConfig,
 }
 
 impl ManagerConfig {
@@ -63,6 +113,7 @@ impl ManagerConfig {
             skip_events: false,
             reuse_enabled: true,
             record_trace: true,
+            prefetch: PrefetchConfig::off(),
         }
     }
 
@@ -95,6 +146,12 @@ impl ManagerConfig {
         self.record_trace = on;
         self
     }
+
+    /// Builder-style prefetch override.
+    pub fn with_prefetch(mut self, prefetch: PrefetchConfig) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
 }
 
 impl Default for ManagerConfig {
@@ -122,11 +179,22 @@ mod tests {
             .with_lookahead(Lookahead::All)
             .with_skip_events(true)
             .with_reuse(false)
-            .with_trace(false);
+            .with_trace(false)
+            .with_prefetch(PrefetchConfig::with_depth(3));
         assert_eq!(c.rus, 6);
         assert_eq!(c.lookahead, Lookahead::All);
         assert!(c.skip_events);
         assert!(!c.reuse_enabled);
         assert!(!c.record_trace);
+        assert_eq!(c.prefetch.depth, 3);
+        assert!(c.prefetch.enabled());
+    }
+
+    #[test]
+    fn prefetch_defaults_off() {
+        assert!(!ManagerConfig::paper_default().prefetch.enabled());
+        assert_eq!(PrefetchConfig::default(), PrefetchConfig::off());
+        assert!(!PrefetchConfig::off().enabled());
+        assert!(PrefetchConfig::with_depth(1).enabled());
     }
 }

@@ -44,17 +44,29 @@ impl ManagerState {
         self.reuse_index.window(job.seq_pos + 1, visible)
     }
 
-    /// The replacement module (Fig. 8): processes the head of the
-    /// reconfiguration sequence while the circuitry is idle. Reuse
-    /// claims cascade (they occupy no circuitry); at most one load can
-    /// start (it occupies the circuitry).
+    /// The replacement module (Fig. 8) plus the speculative lane:
+    /// processes the head of the reconfiguration sequence while the
+    /// circuitry is available to demand, then — if the demand path left
+    /// the port idle and prefetching is enabled — runs one prefetch
+    /// planning round ([`ManagerState::try_prefetch`]).
     pub(crate) fn try_advance<P: ReplacementPolicy + ?Sized>(
         &mut self,
         now: SimTime,
         policy: &mut P,
     ) {
+        self.advance_demand(now, policy);
+        if self.cfg.prefetch.enabled() && self.controller.is_idle() {
+            self.try_prefetch(now);
+        }
+    }
+
+    /// The demand path: reuse claims cascade (they occupy no
+    /// circuitry); at most one load can start (it occupies the
+    /// circuitry, cancelling an in-flight speculative load if one holds
+    /// the port).
+    fn advance_demand<P: ReplacementPolicy + ?Sized>(&mut self, now: SimTime, policy: &mut P) {
         loop {
-            if !self.controller.is_idle() {
+            if !self.demand_port_free() {
                 return;
             }
             let (node, config, job_idx, forced_delay_pending) = {
@@ -91,6 +103,18 @@ impl ManagerState {
             // since it was already loaded in a previous execution".
             if self.claim_reuse(node, config, job_idx, now, policy) {
                 continue;
+            }
+
+            // The head needs the single port. If a speculative load
+            // holds it, either coalesce (the prefetch is writing
+            // exactly the configuration the head wants — waiting for
+            // the partial write beats aborting and restarting it) or
+            // cancel it (demand never queues behind speculation).
+            if let Some(op) = self.controller.in_flight() {
+                if op.config == config {
+                    return; // coalesce: claimed via reuse on completion
+                }
+                self.cancel_prefetch(now);
             }
 
             // Pick the destination RU: a free one if it exists,

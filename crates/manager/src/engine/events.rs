@@ -5,9 +5,9 @@ use super::{ActiveJob, ManagerState};
 use crate::job::JobSpec;
 use crate::policy::ReplacementPolicy;
 use crate::trace::TraceEvent;
-use rtr_hw::RuId;
+use rtr_hw::{LoadLane, RuId};
 use rtr_sim::SimTime;
-use rtr_taskgraph::NodeId;
+use rtr_taskgraph::{ConfigId, NodeId};
 
 /// Same-time event ordering (lower fires first): task completions are
 /// observed before reconfiguration completions, then arrivals enter the
@@ -25,8 +25,12 @@ pub(crate) enum Event {
     JobArrival { idx: usize },
     /// The longest-waiting arrived job becomes current.
     NewTaskGraph,
-    /// The in-flight reconfiguration finished.
+    /// The in-flight demand reconfiguration finished.
     EndOfReconfiguration { ru: RuId, node: NodeId },
+    /// The in-flight speculative reconfiguration finished (shares the
+    /// reconfiguration priority class — the port is single, so the two
+    /// can never be simultaneous).
+    EndOfPrefetch { ru: RuId, config: ConfigId },
     /// A task finished executing.
     EndOfExecution { ru: RuId, node: NodeId },
 }
@@ -64,8 +68,11 @@ impl ManagerState {
             Event::NewTaskGraph => {
                 debug_assert!(self.current.is_none(), "graphs execute sequentially");
                 debug_assert!(
-                    self.controller.is_idle(),
-                    "no cross-graph reconfigurations can be in flight"
+                    self.controller
+                        .in_flight()
+                        .is_none_or(|op| op.lane == LoadLane::Speculative),
+                    "no cross-graph demand reconfigurations can be in flight \
+                     (a speculative prefetch may span the boundary)"
                 );
                 let idx = self
                     .arrived
@@ -117,6 +124,13 @@ impl ManagerState {
                 // Fig. 4 line 9: invoke the replacement module again.
                 self.try_advance(now, policy);
             }
+            Event::EndOfPrefetch { ru, config } => {
+                self.finish_prefetch(ru, config, now);
+                // The speculative resident may satisfy the head (a
+                // coalesced demand claims it via reuse here), and the
+                // now-idle port may plan the next prefetch.
+                self.try_advance(now, policy);
+            }
             Event::EndOfExecution { ru, node } => {
                 let config = self
                     .pool
@@ -140,8 +154,10 @@ impl ManagerState {
                 });
                 policy.on_exec_end(config, now);
                 // Fig. 4 lines 11–13: replacement module first, if the
-                // reconfiguration circuitry is idle.
-                if self.controller.is_idle() {
+                // reconfiguration circuitry is available to demand (an
+                // in-flight speculative load does not block it — the
+                // demand path cancels or coalesces as needed).
+                if self.demand_port_free() {
                     self.try_advance(now, policy);
                 }
                 // Fig. 4 line 14: update task dependencies. The ready

@@ -31,14 +31,15 @@ use crate::job::JobSpec;
 use crate::policy::VictimCandidate;
 use crate::reuse_index::ReuseIndex;
 use crate::trace::{Trace, TraceEvent};
-use rtr_hw::{EnergyModel, ReconfigController, RuId, RuPool};
+use rtr_hw::{EnergyModel, LoadLane, ReconfigController, RuId, RuPool};
 use rtr_sim::{EventQueue, SimTime};
-use rtr_taskgraph::{NodeId, TaskGraph, TemplateArtifacts};
+use rtr_taskgraph::{ConfigId, NodeId, TaskGraph, TemplateArtifacts};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 pub(crate) mod decision;
 pub(crate) mod events;
+pub(crate) mod prefetch;
 pub(crate) mod residency;
 
 pub(crate) use events::{
@@ -147,6 +148,17 @@ impl JobScratch {
     }
 }
 
+/// What the single in-flight reconfiguration is for: a demand load
+/// placing a specific task, or a speculative prefetch of a bare
+/// configuration (no task owns it yet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReconfigKind {
+    /// Demand load for the current graph's `node`.
+    Demand(NodeId),
+    /// Speculative prefetch of `config` (cancellable).
+    Speculative(ConfigId),
+}
+
 /// The mutable heart of the engine, shared by the submodules.
 pub(crate) struct ManagerState {
     pub(crate) cfg: ManagerConfig,
@@ -179,11 +191,12 @@ pub(crate) struct ManagerState {
     /// queue traffic once per job; the slot also prevents
     /// double-activation when several jobs arrive at the same instant.
     pub(crate) pending_activation: Option<SimTime>,
-    /// The in-flight reconfiguration's completion `(time, ru, node)`.
-    /// The port is single (at most one load in flight), so this too is
-    /// a slot, merged at `PRIO_END_OF_RECONFIGURATION` — the queue
-    /// proper only ever holds `EndOfExecution` events (≤ RU count).
-    pub(crate) pending_reconfig: Option<(SimTime, RuId, NodeId)>,
+    /// The in-flight reconfiguration's completion `(time, ru, kind)`.
+    /// The port is single (at most one load in flight — demand or
+    /// speculative), so this too is a slot, merged at
+    /// `PRIO_END_OF_RECONFIGURATION` — the queue proper only ever holds
+    /// `EndOfExecution` events (≤ RU count).
+    pub(crate) pending_reconfig: Option<(SimTime, RuId, ReconfigKind)>,
     pub(crate) completed_jobs: usize,
     pub(crate) trace: Trace,
     pub(crate) executed: u64,
@@ -191,6 +204,20 @@ pub(crate) struct ManagerState {
     pub(crate) loads: u64,
     pub(crate) skips: u64,
     pub(crate) stalls: u64,
+    /// Speculative loads started / completed / cancelled, and the fate
+    /// of completed ones (claimed before eviction = hit, evicted before
+    /// any claim = wasted). All stay zero with prefetch disabled.
+    pub(crate) prefetch_issued: u64,
+    pub(crate) prefetch_completed: u64,
+    pub(crate) prefetch_cancelled: u64,
+    pub(crate) prefetch_hits: u64,
+    pub(crate) prefetch_wasted: u64,
+    /// Per-RU flag: the resident configuration arrived via a completed
+    /// prefetch and has not been claimed since — consulted to attribute
+    /// hits and waste.
+    pub(crate) prefetched: Vec<bool>,
+    /// Pooled scratch for the planner's next-k-configs query.
+    pub(crate) prefetch_scratch: Vec<ConfigId>,
     /// Arrival instant of each graph, in activation order.
     pub(crate) graph_arrivals: Vec<SimTime>,
     pub(crate) graph_completions: Vec<SimTime>,
@@ -205,5 +232,15 @@ impl ManagerState {
         if self.cfg.record_trace {
             self.trace.push(ev());
         }
+    }
+
+    /// True when the demand path may use (or take over) the port: it is
+    /// idle, or the in-flight operation is a cancellable speculative
+    /// load. With prefetch disabled this is exactly
+    /// [`ReconfigController::is_idle`].
+    pub(crate) fn demand_port_free(&self) -> bool {
+        self.controller
+            .in_flight()
+            .is_none_or(|op| op.lane == LoadLane::Speculative)
     }
 }

@@ -57,6 +57,7 @@ impl ManagerState {
         let Some(ru) = self.pool.try_claim_reuse(config) else {
             return false;
         };
+        self.note_claim(ru);
         {
             let job = self.current.as_mut().expect("reuse needs a current job");
             job.loaded[node.idx()] = true;
@@ -104,6 +105,7 @@ impl ManagerState {
         job_idx: u32,
         now: SimTime,
     ) {
+        self.note_eviction(target);
         self.pool
             .begin_load(target, config)
             .expect("target RU is empty or an unclaimed candidate");
@@ -124,7 +126,7 @@ impl ManagerState {
         // Single-port invariant: the completion lives in the engine's
         // reconfiguration slot, not the queue (see `ManagerState`).
         debug_assert!(self.pending_reconfig.is_none());
-        self.pending_reconfig = Some((completes, target, node));
+        self.pending_reconfig = Some((completes, target, super::ReconfigKind::Demand(node)));
     }
 
     /// Starts executing `node` on its claimed RU (Fig. 4 lines 6–8 and

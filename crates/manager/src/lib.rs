@@ -43,12 +43,12 @@ pub mod stats;
 pub mod trace;
 pub mod validate;
 
-pub use config::{Lookahead, ManagerConfig};
+pub use config::{Lookahead, ManagerConfig, PrefetchConfig};
 pub use job::JobSpec;
 pub use manager::{simulate, Engine, SimError, SimulationOutcome};
 pub use policy::{
     DecisionContext, FirstCandidatePolicy, FutureView, ReplacementPolicy, VictimCandidate,
 };
 pub use reuse_index::{ReuseIndex, ReuseWindow};
-pub use stats::RunStats;
+pub use stats::{PrefetchStats, RunStats};
 pub use trace::{Trace, TraceEvent};

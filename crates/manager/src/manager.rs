@@ -20,7 +20,7 @@
 //! activation.
 
 use crate::config::ManagerConfig;
-use crate::engine::{Event, JobScratch, ManagerState};
+use crate::engine::{Event, JobScratch, ManagerState, ReconfigKind};
 use crate::engine::{
     PRIO_END_OF_EXECUTION, PRIO_END_OF_RECONFIGURATION, PRIO_JOB_ARRIVAL, PRIO_NEW_TASK_GRAPH,
 };
@@ -180,6 +180,13 @@ impl Engine {
                 loads: 0,
                 skips: 0,
                 stalls: 0,
+                prefetch_issued: 0,
+                prefetch_completed: 0,
+                prefetch_cancelled: 0,
+                prefetch_hits: 0,
+                prefetch_wasted: 0,
+                prefetched: vec![false; cfg.rus],
+                prefetch_scratch: Vec::new(),
                 graph_arrivals: Vec::new(),
                 graph_completions: Vec::new(),
                 makespan_end: SimTime::ZERO,
@@ -334,9 +341,12 @@ impl Engine {
             let ev = match prio {
                 PRIO_END_OF_EXECUTION => self.m.queue.pop().expect("peeked non-empty").payload,
                 PRIO_END_OF_RECONFIGURATION => {
-                    let (_, ru, node) = self.m.pending_reconfig.take().expect("picked");
+                    let (_, ru, kind) = self.m.pending_reconfig.take().expect("picked");
                     self.m.queue.advance_to(now);
-                    Event::EndOfReconfiguration { ru, node }
+                    match kind {
+                        ReconfigKind::Demand(node) => Event::EndOfReconfiguration { ru, node },
+                        ReconfigKind::Speculative(config) => Event::EndOfPrefetch { ru, config },
+                    }
                 }
                 PRIO_JOB_ARRIVAL => {
                     let (_, idx) = self.arrival_lane[self.lane_cursor];
@@ -465,6 +475,14 @@ impl Engine {
         self.m.loads = 0;
         self.m.skips = 0;
         self.m.stalls = 0;
+        self.m.prefetch_issued = 0;
+        self.m.prefetch_completed = 0;
+        self.m.prefetch_cancelled = 0;
+        self.m.prefetch_hits = 0;
+        self.m.prefetch_wasted = 0;
+        self.m.prefetched.clear();
+        self.m.prefetched.resize(cfg.rus, false);
+        self.m.prefetch_scratch.clear();
         self.m.graph_arrivals.clear();
         self.m.graph_completions.clear();
         self.m.graph_arrivals.reserve(expected_jobs);
@@ -503,6 +521,14 @@ impl Engine {
             skips: self.m.skips,
             stalls: self.m.stalls,
             traffic: self.m.energy.stats(),
+            prefetch: crate::stats::PrefetchStats {
+                issued: self.m.prefetch_issued,
+                completed: self.m.prefetch_completed,
+                cancelled: self.m.prefetch_cancelled,
+                hits: self.m.prefetch_hits,
+                wasted: self.m.prefetch_wasted,
+            },
+            port_busy_time: self.m.controller.busy_time(),
             graph_arrivals: mem::take(&mut self.m.graph_arrivals),
             graph_completions: mem::take(&mut self.m.graph_completions),
             ideal_makespan,

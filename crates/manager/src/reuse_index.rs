@@ -160,6 +160,16 @@ impl ReuseWindow {
     pub fn is_empty(&self) -> bool {
         self.hi == self.lo
     }
+
+    /// The same window truncated to at most `max_len` requests — a
+    /// bounded planning horizon (used by the prefetch planner so a huge
+    /// backlog never turns one planning round into a full-stream scan).
+    pub fn clamp_len(self, max_len: usize) -> ReuseWindow {
+        ReuseWindow {
+            lo: self.lo,
+            hi: self.hi.min(self.lo + max_len as u64),
+        }
+    }
 }
 
 /// Per-config next-occurrence index over the future request stream.
@@ -292,6 +302,32 @@ impl ReuseIndex {
         self.next_use(config, window).is_some()
     }
 
+    /// Fills `out` with the first (at most) `k` *distinct*
+    /// configurations requested inside `window`, in stream order —
+    /// nearest next use first. This is the prefetch planner's query:
+    /// "which configurations does the visible future want soonest?"
+    ///
+    /// The scan walks the window front to back and stops as soon as `k`
+    /// distinct configurations are found; pass a
+    /// [`clamp_len`](ReuseWindow::clamp_len)-bounded window to cap the
+    /// worst case (a long window with fewer than `k` distinct configs).
+    /// Dedup is a linear probe of `out` — `k` is a small planning depth,
+    /// not a stream length.
+    pub fn next_k_configs(&self, window: ReuseWindow, k: usize, out: &mut Vec<ConfigId>) {
+        out.clear();
+        if k == 0 {
+            return;
+        }
+        for cfg in self.iter_window(window) {
+            if !out.contains(&cfg) {
+                out.push(cfg);
+                if out.len() == k {
+                    break;
+                }
+            }
+        }
+    }
+
     /// Iterates the window's requests in stream order — the legacy
     /// iterator view, reconstructed from the segment deque without
     /// copying (each item is a slice walk).
@@ -401,6 +437,37 @@ mod tests {
         for (i, cfg) in idx.iter_window(w).enumerate() {
             assert_eq!(idx.distance_of(cfg, w), Some(i + 1));
         }
+    }
+
+    #[test]
+    fn next_k_configs_dedups_in_stream_order() {
+        let mut idx = ReuseIndex::new();
+        idx.push_job(seq(&[1, 2, 1, 3, 2, 4]));
+        let w = idx.window(0, 0);
+        let mut out = Vec::new();
+        idx.next_k_configs(w, 3, &mut out);
+        assert_eq!(out, vec![c(1), c(2), c(3)]);
+        // Fewer distinct configs than k: all of them, once each.
+        idx.next_k_configs(w, 99, &mut out);
+        assert_eq!(out, vec![c(1), c(2), c(3), c(4)]);
+        // k = 0 and empty windows yield nothing.
+        idx.next_k_configs(w, 0, &mut out);
+        assert!(out.is_empty());
+        idx.next_k_configs(idx.window(6, 0), 4, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn clamp_len_bounds_the_scan_horizon() {
+        let mut idx = ReuseIndex::new();
+        idx.push_job(seq(&[1, 1, 1, 2, 3]));
+        let w = idx.window(0, 0).clamp_len(3);
+        assert_eq!(w.len(), 3);
+        let mut out = Vec::new();
+        idx.next_k_configs(w, 4, &mut out);
+        assert_eq!(out, vec![c(1)], "configs beyond the horizon are unseen");
+        // Clamping beyond the window length is a no-op.
+        assert_eq!(idx.window(0, 0).clamp_len(99), idx.window(0, 0));
     }
 
     #[test]

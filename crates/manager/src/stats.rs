@@ -4,6 +4,36 @@ use rtr_hw::TrafficStats;
 use rtr_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
+/// Counters of the speculative-prefetch subsystem (all zero when
+/// prefetching is disabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PrefetchStats {
+    /// Speculative loads started on the idle port.
+    pub issued: u64,
+    /// Speculative loads that ran to completion (resident afterwards).
+    pub completed: u64,
+    /// Speculative loads aborted because a demand load needed the port.
+    pub cancelled: u64,
+    /// Prefetched configurations later claimed by the demand path
+    /// before being evicted — each hit hid one full load latency.
+    pub hits: u64,
+    /// Prefetched configurations evicted before any use — the bus
+    /// traffic they moved was wasted.
+    pub wasted: u64,
+}
+
+impl PrefetchStats {
+    /// Fraction of completed prefetches that were later used, in
+    /// `[0, 1]` (0 when none completed).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.completed as f64
+        }
+    }
+}
+
 /// Aggregate outcome of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunStats {
@@ -24,6 +54,14 @@ pub struct RunStats {
     pub stalls: u64,
     /// Energy / bus-traffic counters.
     pub traffic: TrafficStats,
+    /// Speculative-prefetch counters (all zero with prefetch off).
+    pub prefetch: PrefetchStats,
+    /// Total time the single reconfiguration port spent writing
+    /// bitstreams (demand loads, completed prefetches and the written
+    /// part of cancelled ones) — the port-utilisation counter of the
+    /// `ReconfigController`, surfaced so pooled-vs-fresh equality pins
+    /// it.
+    pub port_busy_time: SimDuration,
     /// Arrival instant of each task graph, in activation order
     /// (all-zero in the paper's batch setting).
     pub graph_arrivals: Vec<SimTime>,
@@ -41,11 +79,32 @@ pub struct RunStats {
 impl RunStats {
     /// Reuse rate as the paper defines it: "the number of reused tasks
     /// divided by the total number of executed tasks", in percent.
+    ///
+    /// Counts every zero-*latency* placement — genuine demand reuse
+    /// *and* claims of speculatively prefetched configurations. A
+    /// prefetch hit hides the port latency but did move a bitstream on
+    /// the speculative lane; use [`Self::demand_reuse_rate_pct`] for
+    /// the traffic-free share, and `traffic.prefetch_loads` /
+    /// `traffic.bytes_moved` for what speculation actually cost.
     pub fn reuse_rate_pct(&self) -> f64 {
         if self.executed == 0 {
             0.0
         } else {
             self.reuses as f64 / self.executed as f64 * 100.0
+        }
+    }
+
+    /// The traffic-free reuse rate: placements that required *no*
+    /// bitstream movement at all (reuse claims minus prefetch hits),
+    /// over executed tasks, in percent. With prefetch off this equals
+    /// [`Self::reuse_rate_pct`]; with prefetch on, the two bracket the
+    /// trade the planner makes — latency hidden versus bus traffic
+    /// spent.
+    pub fn demand_reuse_rate_pct(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.reuses.saturating_sub(self.prefetch.hits) as f64 / self.executed as f64 * 100.0
         }
     }
 
@@ -112,6 +171,8 @@ mod tests {
             skips: 1,
             stalls: 2,
             traffic: TrafficStats::default(),
+            prefetch: PrefetchStats::default(),
+            port_busy_time: SimDuration::from_ms(24),
             graph_arrivals: vec![SimTime::ZERO, SimTime::from_ms(40)],
             graph_completions: vec![SimTime::from_ms(50), SimTime::from_ms(120)],
             ideal_makespan: SimDuration::from_ms(100),
@@ -138,6 +199,31 @@ mod tests {
         s.executed = 0;
         assert_eq!(s.reuse_rate_pct(), 0.0);
         assert_eq!(s.remaining_overhead_pct(), 0.0);
+    }
+
+    #[test]
+    fn prefetch_hit_ratio_is_finite() {
+        let mut p = PrefetchStats::default();
+        assert_eq!(p.hit_ratio(), 0.0);
+        p.completed = 4;
+        p.hits = 3;
+        assert!((p.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_reuse_excludes_prefetch_hits() {
+        let mut s = stats();
+        // 4 reuses over 10 executed = 40%; 3 of them were prefetch
+        // hits, so only 1 placement was truly traffic-free.
+        s.prefetch.hits = 3;
+        assert!((s.reuse_rate_pct() - 40.0).abs() < 1e-12);
+        assert!((s.demand_reuse_rate_pct() - 10.0).abs() < 1e-12);
+        // Without prefetching the two metrics coincide.
+        s.prefetch.hits = 0;
+        assert_eq!(s.demand_reuse_rate_pct(), s.reuse_rate_pct());
+        // Never negative, even on inconsistent inputs.
+        s.prefetch.hits = 99;
+        assert_eq!(s.demand_reuse_rate_pct(), 0.0);
     }
 
     #[test]
@@ -172,6 +258,8 @@ mod tests {
             skips: 0,
             stalls: 0,
             traffic: TrafficStats::default(),
+            prefetch: PrefetchStats::default(),
+            port_busy_time: SimDuration::ZERO,
             graph_arrivals: Vec::new(),
             graph_completions: Vec::new(),
             ideal_makespan: SimDuration::ZERO,

@@ -126,6 +126,38 @@ pub enum TraceEvent {
         /// Event time.
         at: SimTime,
     },
+    /// A speculative (prefetch) reconfiguration started on the idle
+    /// port. Speculative loads belong to a *configuration*, not a
+    /// placed task — the demand path later claims the resident
+    /// configuration through the ordinary reuse path.
+    PrefetchStart {
+        /// Configuration being written ahead of demand.
+        config: ConfigId,
+        /// Destination RU.
+        ru: RuId,
+        /// Event time.
+        at: SimTime,
+    },
+    /// A speculative reconfiguration completed; the configuration is
+    /// resident and unclaimed (a reuse / eviction candidate).
+    PrefetchEnd {
+        /// Configuration written.
+        config: ConfigId,
+        /// Destination RU.
+        ru: RuId,
+        /// Event time.
+        at: SimTime,
+    },
+    /// An in-flight speculative reconfiguration was aborted because a
+    /// demand load needed the port; the target RU is empty again.
+    PrefetchCancel {
+        /// Configuration whose write was aborted.
+        config: ConfigId,
+        /// The RU whose partial write was discarded.
+        ru: RuId,
+        /// Event time.
+        at: SimTime,
+    },
 }
 
 impl TraceEvent {
@@ -141,7 +173,10 @@ impl TraceEvent {
             | TraceEvent::ExecStart { at, .. }
             | TraceEvent::ExecEnd { at, .. }
             | TraceEvent::Skip { at, .. }
-            | TraceEvent::Stall { at, .. } => at,
+            | TraceEvent::Stall { at, .. }
+            | TraceEvent::PrefetchStart { at, .. }
+            | TraceEvent::PrefetchEnd { at, .. }
+            | TraceEvent::PrefetchCancel { at, .. } => at,
         }
     }
 }
@@ -193,8 +228,10 @@ impl Trace {
     }
 
     /// Renders the per-RU schedule as an ASCII Gantt chart:
-    /// `%` = reconfiguration, `#` = execution (labelled with the node
-    /// name's last char in future extensions), `.` = idle.
+    /// `%` = demand reconfiguration, `s` = speculative reconfiguration
+    /// (prefetch; cancelled writes paint up to the abort), `#` =
+    /// execution (labelled with the node name's last char in future
+    /// extensions), `.` = idle.
     pub fn to_gantt(&self, rus: usize) -> GanttChart {
         let mut chart = GanttChart::per_ms();
         for i in 0..rus {
@@ -206,10 +243,18 @@ impl Trace {
         let mut exec_cfg: Vec<u32> = vec![0; rus];
         for ev in &self.events {
             match *ev {
-                TraceEvent::LoadStart { ru, at, .. } => load_start[ru.idx()] = Some(at),
+                TraceEvent::LoadStart { ru, at, .. } | TraceEvent::PrefetchStart { ru, at, .. } => {
+                    load_start[ru.idx()] = Some(at)
+                }
                 TraceEvent::LoadEnd { ru, at, .. } => {
                     if let Some(s) = load_start[ru.idx()].take() {
                         chart.paint(ru.idx(), s, at, '%');
+                    }
+                }
+                TraceEvent::PrefetchEnd { ru, at, .. }
+                | TraceEvent::PrefetchCancel { ru, at, .. } => {
+                    if let Some(s) = load_start[ru.idx()].take() {
+                        chart.paint(ru.idx(), s, at, 's');
                     }
                 }
                 TraceEvent::ExecStart { ru, at, config, .. } => {

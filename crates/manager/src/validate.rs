@@ -4,9 +4,13 @@
 //!
 //! Checked invariants:
 //!
-//! 1. Reconfigurations are serialised on the single port and take
-//!    exactly the device latency.
-//! 2. Per RU, load and execution intervals never overlap.
+//! 1. Reconfigurations — demand *and* speculative — are serialised on
+//!    the single port; demand loads and completed prefetches take
+//!    exactly the device latency, and a cancelled prefetch is aborted
+//!    inside its write interval.
+//! 2. Per RU, load and execution intervals never overlap, and a
+//!    speculative load never targets an RU whose resident is claimed
+//!    (placed but not yet finished) or executing.
 //! 3. A task executes exactly once, after its configuration was loaded
 //!    into or reused on its RU.
 //! 4. A task starts only after all its predecessors finished.
@@ -14,14 +18,23 @@
 //!    the online queue; plain submission order in the batch setting),
 //!    and never start before the job's arrival.
 //! 6. A reuse claim only happens when the same configuration was left
-//!    on that RU by a previous load with no intervening overwrite.
-//! 7. Stats counters match the trace.
+//!    on that RU by a previous load (demand or completed speculative)
+//!    with no intervening overwrite.
+//! 7. **The prefetch guard**: a speculative load never evicts a
+//!    resident configuration whose next request comes strictly before
+//!    the fetched configuration's — checked against the *entire*
+//!    remaining request stream (a superset of any lookahead window the
+//!    engine could have used, so an engine guard violation can never
+//!    hide behind limited visibility).
+//! 8. Stats counters match the trace: load/reuse/skip/stall/exec
+//!    counts, the prefetch issue/complete/cancel/hit/waste counters,
+//!    traffic totals, the port busy time and the makespan.
 
 use crate::job::JobSpec;
 use crate::stats::RunStats;
 use crate::trace::{Trace, TraceEvent};
 use rtr_sim::{SimDuration, SimTime};
-use rtr_taskgraph::ConfigId;
+use rtr_taskgraph::{reconfiguration_sequence, ConfigId};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -55,8 +68,35 @@ pub fn validate_trace(
 
     // --- Invariant 1: serialised reconfiguration port. ---
     let mut port_busy_until: Option<(SimTime, u32)> = None;
+    // The single in-flight speculative load `(config, started, ru)`.
+    let mut pending_prefetch: Option<(ConfigId, SimTime, u16)> = None;
+    // Port write time actually spent (invariant 8 vs `port_busy_time`).
+    let mut port_busy_total = SimDuration::ZERO;
     // --- Per-RU interval tracking (invariant 2). ---
     let mut ru_busy_until: HashMap<u16, SimTime> = HashMap::new();
+    // Placed-but-not-finished tasks per RU (claimed residents — never
+    // legal speculative-eviction targets).
+    let mut ru_claims: HashMap<u16, u32> = HashMap::new();
+    // RUs whose resident arrived via a completed prefetch and was not
+    // claimed since (attributes hits and waste, invariant 8).
+    let mut speculative_resident: HashMap<u16, bool> = HashMap::new();
+    // Per-job count of placements (loads + reuses) — placements follow
+    // the design-time reconfiguration sequence, so this is the cursor
+    // into the job's configuration sequence (invariant 7).
+    let mut placements: HashMap<u32, usize> = HashMap::new();
+    // Per-job configuration sequences, derived lazily: only traces with
+    // speculative loads pay for the design-time recomputation.
+    let mut cfg_seqs: Option<Vec<Vec<ConfigId>>> = None;
+    let seqs_of = |jobs: &[JobSpec]| -> Vec<Vec<ConfigId>> {
+        jobs.iter()
+            .map(|j| {
+                reconfiguration_sequence(&j.graph)
+                    .into_iter()
+                    .map(|n| j.graph.config_of(n))
+                    .collect()
+            })
+            .collect()
+    };
     // --- Per (job, node) lifecycle (invariants 3, 4). ---
     #[derive(Default, Clone)]
     struct NodeLife {
@@ -76,8 +116,10 @@ pub fn validate_trace(
     let mut graph_started: Vec<u32> = Vec::new();
     let mut graph_ended: Vec<(u32, SimTime)> = Vec::new();
     let mut current_graph: Option<u32> = None;
-    // --- Counters (invariant 7). ---
+    // --- Counters (invariant 8). ---
     let (mut loads, mut reuses, mut execs, mut skips, mut stalls) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    let (mut pf_issued, mut pf_completed, mut pf_cancelled, mut pf_hits, mut pf_wasted) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
 
     let mut pending_load: HashMap<u16, (ConfigId, SimTime, u32, u32)> = HashMap::new();
 
@@ -150,6 +192,13 @@ pub fn validate_trace(
                          (busy until {busy_until})"
                     );
                 }
+                check!(
+                    v,
+                    pending_prefetch.is_none(),
+                    "demand load at {at} started while a speculative load of \
+                     {:?} was still in flight (it must be cancelled first)",
+                    pending_prefetch
+                );
                 port_busy_until = Some((at + latency, job));
                 if let Some(&busy) = ru_busy_until.get(&ru.0) {
                     check!(
@@ -160,8 +209,12 @@ pub fn validate_trace(
                 }
                 ru_busy_until.insert(ru.0, at + latency);
                 pending_load.insert(ru.0, (config, at, job, node.0));
-                // Eviction: the previous resident is gone.
+                // Eviction: the previous resident is gone; a wasted
+                // prefetch (never claimed) is accounted here.
                 resident.remove(&ru.0);
+                if speculative_resident.remove(&ru.0) == Some(true) {
+                    pf_wasted += 1;
+                }
             }
             TraceEvent::LoadEnd {
                 job,
@@ -188,9 +241,12 @@ pub fn validate_trace(
                         "load end at {at} on {ru} without a start"
                     ))),
                 }
+                port_busy_total += latency;
                 resident.insert(ru.0, config);
                 life.entry((job, node.0)).or_default().placed_at = Some(at);
                 life.entry((job, node.0)).or_default().ru = Some(ru.0);
+                *ru_claims.entry(ru.0).or_default() += 1;
+                *placements.entry(job).or_default() += 1;
             }
             TraceEvent::Reuse {
                 job,
@@ -213,6 +269,12 @@ pub fn validate_trace(
                 );
                 life.entry((job, node.0)).or_default().placed_at = Some(at);
                 life.entry((job, node.0)).or_default().ru = Some(ru.0);
+                *ru_claims.entry(ru.0).or_default() += 1;
+                *placements.entry(job).or_default() += 1;
+                // A claim on a still-speculative resident is a hit.
+                if speculative_resident.remove(&ru.0) == Some(true) {
+                    pf_hits += 1;
+                }
             }
             TraceEvent::ExecStart {
                 job,
@@ -301,6 +363,160 @@ pub fn validate_trace(
                 );
                 entry.exec_end = Some(at);
                 ru_busy_until.insert(ru.0, at);
+                if let Some(c) = ru_claims.get_mut(&ru.0) {
+                    *c = c.saturating_sub(1);
+                }
+            }
+            TraceEvent::PrefetchStart { config, ru, at } => {
+                pf_issued += 1;
+                check!(
+                    v,
+                    current_graph.is_some(),
+                    "speculative load at {at} outside any active graph (the \
+                     planner only runs while a graph is current)"
+                );
+                // Port exclusivity with both lanes.
+                if let Some((busy_until, j)) = port_busy_until {
+                    check!(
+                        v,
+                        at >= busy_until,
+                        "speculative load at {at} overlaps job {j}'s demand \
+                         reconfiguration (busy until {busy_until})"
+                    );
+                }
+                check!(
+                    v,
+                    pending_prefetch.is_none(),
+                    "speculative load at {at} while another one is in flight"
+                );
+                if let Some(&busy) = ru_busy_until.get(&ru.0) {
+                    check!(
+                        v,
+                        at >= busy,
+                        "{ru} speculatively reloaded at {at} while busy until {busy}"
+                    );
+                }
+                check!(
+                    v,
+                    ru_claims.get(&ru.0).copied().unwrap_or(0) == 0,
+                    "speculative load at {at} targets {ru}, whose resident is \
+                     claimed by a placed-but-unfinished task"
+                );
+                ru_busy_until.insert(ru.0, at + latency);
+                pending_prefetch = Some((config, at, ru.0));
+                let evicted = resident.remove(&ru.0);
+                if speculative_resident.remove(&ru.0) == Some(true) {
+                    pf_wasted += 1;
+                }
+                // Invariant 7 — the reuse-distance guard. The remaining
+                // request stream (current graph's unplaced tail, then
+                // every not-yet-started job in activation order) is a
+                // superset of any engine-side lookahead window starting
+                // at the same point, so "the victim's next request is
+                // strictly after the fetched configuration's" here is
+                // implied by the engine's windowed guard — and any
+                // engine regression surfaces as a violation.
+                let seqs = cfg_seqs.get_or_insert_with(|| seqs_of(jobs));
+                // Walk the stream segment by segment (current tail,
+                // then each not-yet-started job) without materialising
+                // it, early-exiting once both queried configurations
+                // are located — on real traces the nearest requests sit
+                // in the first segment or two, so this is O(1)-ish per
+                // speculative load instead of O(stream).
+                let mut fetched_next: Option<usize> = None;
+                let mut victim_next: Option<usize> = None;
+                let cur_tail = current_graph.map(|cur| {
+                    let seq = &seqs[cur as usize];
+                    let done = placements.get(&cur).copied().unwrap_or(0);
+                    seq[done.min(seq.len())..].as_ref()
+                });
+                let rest = expected_order
+                    .iter()
+                    .skip(graph_started.len())
+                    .map(|&j| seqs[j as usize].as_slice());
+                let mut base = 0usize;
+                for seg in cur_tail.into_iter().chain(rest) {
+                    for (k, &c) in seg.iter().enumerate() {
+                        if fetched_next.is_none() && c == config {
+                            fetched_next = Some(base + k);
+                        }
+                        if victim_next.is_none() && evicted == Some(c) {
+                            victim_next = Some(base + k);
+                        }
+                    }
+                    base += seg.len();
+                    if fetched_next.is_some() && (evicted.is_none() || victim_next.is_some()) {
+                        break;
+                    }
+                }
+                check!(
+                    v,
+                    fetched_next.is_some(),
+                    "speculative load of {config} at {at}: the configuration is \
+                     never requested again"
+                );
+                if let (Some(victim), Some(fetched_next)) = (evicted, fetched_next) {
+                    check!(
+                        v,
+                        victim_next.is_none_or(|vn| vn > fetched_next),
+                        "prefetch guard violated at {at}: speculative load of \
+                         {config} (next request at stream offset {fetched_next}) \
+                         evicted {victim} whose next request comes at offset \
+                         {victim_next:?} — strictly nearer"
+                    );
+                }
+            }
+            TraceEvent::PrefetchEnd { config, ru, at } => {
+                pf_completed += 1;
+                match pending_prefetch.take() {
+                    Some((c, started, r)) => {
+                        check!(
+                            v,
+                            c == config && r == ru.0,
+                            "speculative load end at {at} on {ru} does not match \
+                             its start"
+                        );
+                        check!(
+                            v,
+                            at.since(started) == latency,
+                            "speculative load of {config} on {ru} took {} \
+                             (expected {latency})",
+                            at.since(started)
+                        );
+                        port_busy_total += at.since(started);
+                    }
+                    None => v.push(Violation(format!(
+                        "speculative load end at {at} on {ru} without a start"
+                    ))),
+                }
+                resident.insert(ru.0, config);
+                speculative_resident.insert(ru.0, true);
+            }
+            TraceEvent::PrefetchCancel { config, ru, at } => {
+                pf_cancelled += 1;
+                match pending_prefetch.take() {
+                    Some((c, started, r)) => {
+                        check!(
+                            v,
+                            c == config && r == ru.0,
+                            "speculative cancel at {at} on {ru} does not match \
+                             the in-flight load"
+                        );
+                        check!(
+                            v,
+                            at >= started && at.since(started) <= latency,
+                            "speculative load of {config} cancelled at {at}, \
+                             outside its write interval (started {started})"
+                        );
+                        port_busy_total += at.since(started);
+                    }
+                    None => v.push(Violation(format!(
+                        "speculative cancel at {at} on {ru} with nothing in flight"
+                    ))),
+                }
+                // The partially written RU holds nothing and is free.
+                resident.remove(&ru.0);
+                ru_busy_until.insert(ru.0, at);
             }
             TraceEvent::Skip { at, .. } => {
                 skips += 1;
@@ -348,6 +564,13 @@ pub fn validate_trace(
         "trace has {execs} executions, workload requires {expected_execs}"
     );
 
+    // A started speculative load must end or be cancelled.
+    check!(
+        v,
+        pending_prefetch.is_none(),
+        "speculative load {pending_prefetch:?} neither completed nor cancelled"
+    );
+
     if let Some(s) = stats {
         check!(
             v,
@@ -379,6 +602,45 @@ pub fn validate_trace(
             "stats.stalls {} != trace {stalls}",
             s.stalls
         );
+        let pf = s.prefetch;
+        check!(
+            v,
+            (pf.issued, pf.completed, pf.cancelled) == (pf_issued, pf_completed, pf_cancelled),
+            "stats.prefetch issued/completed/cancelled {:?} != trace {:?}",
+            (pf.issued, pf.completed, pf.cancelled),
+            (pf_issued, pf_completed, pf_cancelled)
+        );
+        check!(
+            v,
+            (pf.hits, pf.wasted) == (pf_hits, pf_wasted),
+            "stats.prefetch hits/wasted {:?} != trace {:?}",
+            (pf.hits, pf.wasted),
+            (pf_hits, pf_wasted)
+        );
+        check!(
+            v,
+            s.traffic.loads == loads
+                && s.traffic.reuses == reuses
+                && s.traffic.prefetch_loads == pf_completed,
+            "stats.traffic load/reuse/prefetch counters {:?} != trace {:?}",
+            (s.traffic.loads, s.traffic.reuses, s.traffic.prefetch_loads),
+            (loads, reuses, pf_completed)
+        );
+        check!(
+            v,
+            s.port_busy_time == port_busy_total,
+            "stats.port_busy_time {} != trace total {port_busy_total}",
+            s.port_busy_time
+        );
+        if let Some(&(_, last_end)) = graph_ended.last() {
+            check!(
+                v,
+                s.makespan == last_end.since(SimTime::ZERO),
+                "stats.makespan {} != last graph completion {last_end} (no \
+                 trailing event may extend the makespan)",
+                s.makespan
+            );
+        }
     }
     v
 }

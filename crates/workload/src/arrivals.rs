@@ -22,6 +22,51 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtr_sim::SimTime;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A degenerate arrival-process parameterisation.
+///
+/// These values are constructible through serde (scenario JSON) and
+/// plain struct literals; validating at scenario load / sweep entry
+/// turns what used to be an `assert!` deep inside a worker thread —
+/// or a silent collapse to the batch setting — into a typed,
+/// main-thread error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalError {
+    /// `Bursty { size: 0 }`: a burst must contain at least one job.
+    ZeroBurstSize,
+    /// A zero mean gap (`Poisson` / `Bursty`): every draw would be 0,
+    /// silently collapsing the process to `Batch`.
+    ZeroMeanGap {
+        /// Which variant carried the zero mean.
+        variant: &'static str,
+    },
+    /// `Periodic { period_us: 0 }`: the fixed grid degenerates to a
+    /// single instant, silently collapsing to `Batch`.
+    ZeroPeriod,
+}
+
+impl fmt::Display for ArrivalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrivalError::ZeroBurstSize => {
+                write!(f, "bursty arrivals need at least one job per burst")
+            }
+            ArrivalError::ZeroMeanGap { variant } => write!(
+                f,
+                "{variant} arrivals with a zero mean gap degenerate to the \
+                 batch setting; use ArrivalProcess::Batch explicitly"
+            ),
+            ArrivalError::ZeroPeriod => write!(
+                f,
+                "periodic arrivals with a zero period degenerate to the \
+                 batch setting; use ArrivalProcess::Batch explicitly"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArrivalError {}
 
 /// How job arrival instants are drawn.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -58,11 +103,46 @@ fn exp_gap_us(rng: &mut StdRng, mean_us: u64) -> u64 {
 }
 
 impl ArrivalProcess {
-    /// Draws `count` non-decreasing arrival instants, fully determined
-    /// by `seed`.
-    pub fn generate(&self, count: usize, seed: u64) -> Vec<SimTime> {
-        let mut rng = StdRng::seed_from_u64(seed);
+    /// Checks the parameterisation for degenerate values. Call at
+    /// scenario load or sweep entry so misconfigurations surface as
+    /// typed errors on the driving thread, not as panics inside a
+    /// parallel worker mid-sweep.
+    pub fn validate(&self) -> Result<(), ArrivalError> {
         match *self {
+            ArrivalProcess::Batch => Ok(()),
+            ArrivalProcess::Poisson { mean_gap_us } => {
+                if mean_gap_us == 0 {
+                    Err(ArrivalError::ZeroMeanGap { variant: "poisson" })
+                } else {
+                    Ok(())
+                }
+            }
+            ArrivalProcess::Periodic { period_us } => {
+                if period_us == 0 {
+                    Err(ArrivalError::ZeroPeriod)
+                } else {
+                    Ok(())
+                }
+            }
+            ArrivalProcess::Bursty { size, mean_gap_us } => {
+                if size == 0 {
+                    Err(ArrivalError::ZeroBurstSize)
+                } else if mean_gap_us == 0 {
+                    Err(ArrivalError::ZeroMeanGap { variant: "bursty" })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Draws `count` non-decreasing arrival instants, fully determined
+    /// by `seed`, rejecting degenerate parameterisations with a typed
+    /// error. `count == 0` yields an empty vector for every variant.
+    pub fn try_generate(&self, count: usize, seed: u64) -> Result<Vec<SimTime>, ArrivalError> {
+        self.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        Ok(match *self {
             ArrivalProcess::Batch => vec![SimTime::ZERO; count],
             ArrivalProcess::Poisson { mean_gap_us } => {
                 let mut t = 0u64;
@@ -77,7 +157,6 @@ impl ArrivalProcess {
                 .map(|i| SimTime::from_us(i * period_us))
                 .collect(),
             ArrivalProcess::Bursty { size, mean_gap_us } => {
-                assert!(size >= 1, "bursts need at least one job");
                 let mut t = 0u64;
                 (0..count)
                     .map(|i| {
@@ -88,7 +167,16 @@ impl ArrivalProcess {
                     })
                     .collect()
             }
-        }
+        })
+    }
+
+    /// [`Self::try_generate`], panicking (with the typed error's
+    /// message) on a degenerate parameterisation — for call sites that
+    /// already validated, or that prefer to crash at the call site
+    /// instead of threading a `Result`.
+    pub fn generate(&self, count: usize, seed: u64) -> Vec<SimTime> {
+        self.try_generate(count, seed)
+            .unwrap_or_else(|e| panic!("invalid arrival process {self:?}: {e}"))
     }
 
     /// Short display label for tables.
@@ -199,12 +287,57 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one job")]
-    fn zero_burst_size_panics() {
+    #[should_panic(expected = "at least one job per burst")]
+    fn zero_burst_size_panics_with_a_typed_message() {
         ArrivalProcess::Bursty {
             size: 0,
             mean_gap_us: 1,
         }
         .generate(1, 0);
+    }
+
+    #[test]
+    fn degenerate_parameters_are_typed_errors() {
+        assert_eq!(
+            ArrivalProcess::Bursty {
+                size: 0,
+                mean_gap_us: 5,
+            }
+            .validate(),
+            Err(ArrivalError::ZeroBurstSize)
+        );
+        assert_eq!(
+            ArrivalProcess::Poisson { mean_gap_us: 0 }.validate(),
+            Err(ArrivalError::ZeroMeanGap { variant: "poisson" })
+        );
+        assert_eq!(
+            ArrivalProcess::Bursty {
+                size: 2,
+                mean_gap_us: 0,
+            }
+            .validate(),
+            Err(ArrivalError::ZeroMeanGap { variant: "bursty" })
+        );
+        assert_eq!(
+            ArrivalProcess::Periodic { period_us: 0 }.validate(),
+            Err(ArrivalError::ZeroPeriod)
+        );
+        // try_generate refuses instead of panicking or collapsing.
+        assert!(ArrivalProcess::Poisson { mean_gap_us: 0 }
+            .try_generate(10, 1)
+            .is_err());
+        // Valid processes pass through untouched.
+        for p in [
+            ArrivalProcess::Batch,
+            ArrivalProcess::Poisson { mean_gap_us: 1 },
+            ArrivalProcess::Periodic { period_us: 1 },
+            ArrivalProcess::Bursty {
+                size: 1,
+                mean_gap_us: 1,
+            },
+        ] {
+            assert_eq!(p.validate(), Ok(()));
+            assert_eq!(p.try_generate(3, 9).unwrap(), p.generate(3, 9));
+        }
     }
 }

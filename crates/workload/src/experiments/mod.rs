@@ -7,5 +7,6 @@
 pub mod ablations;
 pub mod arrivals;
 pub mod fig9;
+pub mod prefetch;
 pub mod table1;
 pub mod table2;

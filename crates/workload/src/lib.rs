@@ -29,7 +29,7 @@ pub mod scenario;
 pub mod sequence;
 pub mod table;
 
-pub use arrivals::ArrivalProcess;
+pub use arrivals::{ArrivalError, ArrivalProcess};
 pub use policies::PolicyKind;
 pub use runner::{run_cell, run_cell_with_arrivals, CellConfig};
 pub use scenario::Scenario;

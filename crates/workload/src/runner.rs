@@ -12,7 +12,8 @@ use crate::policies::PolicyKind;
 use rtr_core::TemplateRegistry;
 use rtr_hw::{DeviceSpec, RuId};
 use rtr_manager::{
-    DecisionContext, Engine, JobSpec, ManagerConfig, ReplacementPolicy, RunStats, SimError, Trace,
+    DecisionContext, Engine, JobSpec, ManagerConfig, PrefetchConfig, ReplacementPolicy, RunStats,
+    SimError, Trace,
 };
 use rtr_sim::SimTime;
 use rtr_taskgraph::{ConfigId, TaskGraph};
@@ -30,6 +31,9 @@ pub struct CellConfig {
     pub device: DeviceSpec,
     /// Record the full schedule trace.
     pub record_trace: bool,
+    /// Speculative configuration prefetching (off by default, which is
+    /// bit-exact with the pre-prefetch cells).
+    pub prefetch: PrefetchConfig,
 }
 
 impl CellConfig {
@@ -40,7 +44,14 @@ impl CellConfig {
             rus,
             device: DeviceSpec::paper_default(),
             record_trace: false,
+            prefetch: PrefetchConfig::off(),
         }
+    }
+
+    /// Builder-style prefetch-depth override.
+    pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
+        self.prefetch = PrefetchConfig::with_depth(depth);
+        self
     }
 
     /// The manager configuration this cell implies.
@@ -52,6 +63,7 @@ impl CellConfig {
             skip_events: self.policy.skip_events(),
             reuse_enabled: true,
             record_trace: self.record_trace,
+            prefetch: self.prefetch,
         }
     }
 }

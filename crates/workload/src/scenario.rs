@@ -87,6 +87,9 @@ impl Scenario {
         for spec in &scenario.templates {
             TaskGraph::try_from(spec.clone()).map_err(|e| e.to_string())?;
         }
+        // Reject degenerate arrival processes here, on the loading
+        // thread, instead of panicking inside a sweep worker later.
+        scenario.arrivals.validate().map_err(|e| e.to_string())?;
         Ok(scenario)
     }
 
@@ -168,6 +171,20 @@ mod tests {
         let json = s.to_json();
         let back = Scenario::from_json(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn rejects_degenerate_arrivals_at_load() {
+        let mut s = Scenario::paper_fig9(4, 10, 1);
+        s.arrivals = ArrivalProcess::Bursty {
+            size: 0,
+            mean_gap_us: 1,
+        };
+        let err = Scenario::from_json(&s.to_json()).unwrap_err();
+        assert!(err.contains("at least one job per burst"), "{err}");
+        s.arrivals = ArrivalProcess::Poisson { mean_gap_us: 0 };
+        let err = Scenario::from_json(&s.to_json()).unwrap_err();
+        assert!(err.contains("batch setting"), "{err}");
     }
 
     #[test]

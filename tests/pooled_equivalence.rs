@@ -18,8 +18,8 @@ use rtr_core::{
     compute_mobility, FifoPolicy, LfdPolicy, LfuPolicy, LruPolicy, MruPolicy, RandomPolicy,
 };
 use rtr_manager::{
-    simulate, Engine, FirstCandidatePolicy, JobSpec, Lookahead, ManagerConfig, ReplacementPolicy,
-    SimulationOutcome,
+    simulate, Engine, FirstCandidatePolicy, JobSpec, Lookahead, ManagerConfig, PrefetchConfig,
+    ReplacementPolicy, SimulationOutcome,
 };
 use rtr_taskgraph::TaskGraph;
 use rtr_workload::ArrivalProcess;
@@ -71,6 +71,7 @@ fn lookahead_for(id: u8, seed: u64) -> Lookahead {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_scenario(
     seed: u64,
     templates: usize,
@@ -79,6 +80,7 @@ fn build_scenario(
     arrivals_kind: u8,
     policy_id: u8,
     with_mobility: bool,
+    prefetch_depth: usize,
 ) -> Scenario {
     let mut rng = StdRng::seed_from_u64(seed);
     let gen_cfg = GenConfig {
@@ -94,6 +96,7 @@ fn build_scenario(
         .with_rus(rus)
         .with_lookahead(lookahead_for(policy_id, seed))
         .with_skip_events(with_mobility)
+        .with_prefetch(PrefetchConfig::with_depth(prefetch_depth))
         .with_trace(true);
     let arrivals = arrival_process(arrivals_kind).generate(apps, seed ^ 0x5EED);
     let jobs: Vec<JobSpec> = (0..apps)
@@ -129,6 +132,23 @@ fn run_pooled(engine: &mut Engine, s: &Scenario) -> SimulationOutcome {
 }
 
 fn assert_same(pooled: &SimulationOutcome, fresh: &SimulationOutcome, leg: &str) {
+    // Field-level pins first, so a pooled-reset leak in any hardware
+    // counter names the counter instead of dumping two RunStats. These
+    // are exactly the counters a `reset`/`reset_with_config`/
+    // `reset_replay` must re-zero: the energy/traffic model, the
+    // reconfiguration controller's utilisation, and the prefetch lane.
+    assert_eq!(
+        pooled.stats.traffic, fresh.stats.traffic,
+        "{leg}: traffic/energy counters leaked across a pooled reset"
+    );
+    assert_eq!(
+        pooled.stats.port_busy_time, fresh.stats.port_busy_time,
+        "{leg}: controller busy-time leaked across a pooled reset"
+    );
+    assert_eq!(
+        pooled.stats.prefetch, fresh.stats.prefetch,
+        "{leg}: prefetch counters leaked across a pooled reset"
+    );
     assert_eq!(pooled.stats, fresh.stats, "{leg}: RunStats diverged");
     assert_eq!(
         pooled.trace.events, fresh.trace.events,
@@ -141,7 +161,7 @@ fn assert_same(pooled: &SimulationOutcome, fresh: &SimulationOutcome, leg: &str)
 /// invalidated the memo per job, so zero jobs skipped invalidation).
 #[test]
 fn reset_to_empty_batch_matches_fresh_empty_run() {
-    let s = build_scenario(7, 2, 5, 4, 0, 1, false);
+    let s = build_scenario(7, 2, 5, 4, 0, 1, false, 0);
     let fresh_empty = run_fresh(&Scenario {
         jobs: Vec::new(),
         ..s.clone()
@@ -162,7 +182,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// One engine, two different scenarios back to back, then a replay
-    /// of the first: every leg bit-exact with a fresh engine.
+    /// of the first: every leg bit-exact with a fresh engine. Scenario
+    /// B may enable the prefetcher, so its per-RU flags, counters and
+    /// the speculative slot are exercised across resets/retargets too.
     #[test]
     fn pooled_engine_is_bit_exact_with_fresh(
         seed_a in any::<u64>(),
@@ -175,10 +197,11 @@ proptest! {
         arrivals_b in 0u8..4,
         policy_a in 0u8..8,
         policy_b in 0u8..8,
+        depth_b in 0usize..4,
     ) {
         let templates = 1 + (seed_a % 3) as usize;
-        let a = build_scenario(seed_a, templates, apps_a, rus_a, arrivals_a, policy_a, false);
-        let b = build_scenario(seed_b, templates, apps_b, rus_b, arrivals_b, policy_b, false);
+        let a = build_scenario(seed_a, templates, apps_a, rus_a, arrivals_a, policy_a, false, 0);
+        let b = build_scenario(seed_b, templates, apps_b, rus_b, arrivals_b, policy_b, false, depth_b);
         let fresh_a = run_fresh(&a);
         let fresh_b = run_fresh(&b);
 
@@ -210,8 +233,9 @@ proptest! {
         rus in 2usize..6,
         arrivals in 0u8..4,
         window in 1usize..4,
+        depth in 0usize..3,
     ) {
-        let mut s = build_scenario(seed, 2, apps, rus, arrivals, 6, true);
+        let mut s = build_scenario(seed, 2, apps, rus, arrivals, 6, true, depth);
         s.cfg = s.cfg.with_lookahead(Lookahead::Graphs(window));
         let fresh = {
             let mut p = LfdPolicy::local_with_skip(window);
