@@ -1,0 +1,249 @@
+//! The VOPR: a deterministic fuzz harness driving seeded scenario ×
+//! policy × arrival × prefetch × engine-lifecycle campaigns through
+//! the named invariant-checker registry.
+//!
+//! ```text
+//! cargo run --release -p rtr-bench --bin vopr -- smoke
+//! cargo run --release -p rtr-bench --bin vopr -- --seed 7 --cases 5000
+//! cargo run --release -p rtr-bench --bin vopr -- --list
+//! cargo run --release -p rtr-bench --bin vopr -- --disable pooled-identity --cases 200
+//! cargo run --release -p rtr-bench --bin vopr -- --replay vopr-000000000005eedc-17
+//! ```
+//!
+//! Every failing case prints a fingerprint
+//! (`vopr-<master_seed>-<case_index>`) that `--replay` re-runs to the
+//! byte-identical violation report (greedy-minimised reproduction
+//! included unless `--no-minimize`). `smoke` is the CI entry point: a
+//! fixed master seed, 1000 cases, all checkers enabled; it writes the
+//! per-checker coverage summary to `results/vopr_coverage.csv`, fails
+//! on any violation, and fails if any registered checker never fired
+//! or any lifecycle/required depth went unexercised.
+
+use rtr_manager::CheckerRegistry;
+use rtr_workload::vopr::{
+    case_report, run_campaign, CampaignConfig, CampaignSummary, Fingerprint, Lifecycle, DEPTHS,
+};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: vopr [smoke] [options]
+  smoke              CI campaign: fixed seed, 1000 cases, all checkers,
+                     coverage gate, results/vopr_coverage.csv
+options:
+  --seed N           master seed (decimal or 0x hex; default 0x5EEDC)
+  --cases N          number of cases (default 1000)
+  --enable a,b,...   enable only these checkers (disables the rest)
+  --disable a,b,...  disable these checkers
+  --replay FP        replay one fingerprint (vopr-<seed>-<case>[-f<fault>])
+  --no-minimize      skip the greedy minimiser on failing cases
+  --list             list registered checkers and exit
+";
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+    cases: u64,
+    enable: Vec<String>,
+    disable: Vec<String>,
+    replay: Option<String>,
+    minimize: bool,
+    list: bool,
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|e| format!("bad number '{s}': {e}"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        seed: CampaignConfig::default().master_seed,
+        cases: 1000,
+        enable: Vec::new(),
+        disable: Vec::new(),
+        replay: None,
+        minimize: true,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "smoke" => args.smoke = true,
+            "--seed" => args.seed = parse_u64(&value("--seed")?)?,
+            "--cases" => args.cases = parse_u64(&value("--cases")?)?,
+            "--enable" => args
+                .enable
+                .extend(value("--enable")?.split(',').map(str::to_string)),
+            "--disable" => args
+                .disable
+                .extend(value("--disable")?.split(',').map(str::to_string)),
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--no-minimize" => args.minimize = false,
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_registry(args: &Args) -> Result<CheckerRegistry, String> {
+    let mut registry = CheckerRegistry::standard();
+    if !args.enable.is_empty() {
+        for name in registry.names() {
+            registry.set_enabled(name, false).expect("registered name");
+        }
+        for name in &args.enable {
+            registry
+                .set_enabled(name, true)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    for name in &args.disable {
+        registry
+            .set_enabled(name, false)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(registry)
+}
+
+fn print_summary(summary: &CampaignSummary) {
+    println!(
+        "\n{} cases: {} violating, {} stalled, {} stall-mismatched",
+        summary.cases, summary.violating_cases, summary.stalled, summary.stall_mismatches
+    );
+    print!("lifecycles:");
+    for (l, n) in Lifecycle::ALL.iter().zip(summary.lifecycle_cases) {
+        print!(" {}={n}", l.name());
+    }
+    print!("\ndepths (checked cases):");
+    for (d, n) in DEPTHS.iter().zip(summary.depth_cases) {
+        print!(" {d}={n}");
+    }
+    println!("\n\nchecker coverage (fired / violations):");
+    for c in &summary.coverage {
+        println!("  {:<22} {:>10} / {}", c.name, c.fired, c.violations);
+    }
+    for failure in &summary.failures {
+        println!("\n--- failing case {} ---", failure.fingerprint);
+        print!("{}", failure.rendered);
+    }
+    if summary.violating_cases as usize > summary.failures.len() {
+        println!(
+            "({} further failing cases not shown)",
+            summary.violating_cases as usize - summary.failures.len()
+        );
+    }
+}
+
+/// The coverage gate: every registered checker fired, every lifecycle
+/// ran, and the depths the acceptance envelope names (0 and 4) were
+/// both exercised by checked cases.
+fn coverage_gate(summary: &CampaignSummary) -> Result<(), String> {
+    let unfired = summary.unfired();
+    if !unfired.is_empty() {
+        return Err(format!("checkers never fired: {unfired:?}"));
+    }
+    for (l, n) in Lifecycle::ALL.iter().zip(summary.lifecycle_cases) {
+        if n == 0 {
+            return Err(format!("lifecycle '{}' never ran", l.name()));
+        }
+    }
+    for (d, n) in DEPTHS.iter().zip(summary.depth_cases) {
+        if (*d == 0 || *d == 4) && n == 0 {
+            return Err(format!("prefetch depth {d} had no checked case"));
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let registry = build_registry(&args)?;
+
+    if args.list {
+        println!("registered checkers:");
+        for (name, description, enabled) in registry.rows() {
+            let mark = if enabled { "on " } else { "off" };
+            println!("  [{mark}] {name:<22} {description}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if let Some(fp_str) = &args.replay {
+        let fp: Fingerprint = fp_str.parse()?;
+        let report = case_report(&fp, &registry, args.minimize);
+        print!("{}", report.rendered);
+        return Ok(if report.outcome.violation_count() == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
+
+    let config = if args.smoke {
+        // The CI campaign is pinned: same seed, same cases, all
+        // checkers — its pass/fail must not drift run to run.
+        CampaignConfig {
+            minimize: args.minimize,
+            ..CampaignConfig::default()
+        }
+    } else {
+        CampaignConfig {
+            master_seed: args.seed,
+            cases: args.cases,
+            minimize: args.minimize,
+            ..CampaignConfig::default()
+        }
+    };
+
+    println!(
+        "vopr campaign: master_seed={:#018x} cases={} checkers={}",
+        config.master_seed,
+        config.cases,
+        registry
+            .rows()
+            .iter()
+            .filter(|(_, _, enabled)| *enabled)
+            .count()
+    );
+    let summary = run_campaign(&config, &registry);
+    print_summary(&summary);
+
+    if args.smoke {
+        let results = Path::new("results");
+        std::fs::create_dir_all(results).map_err(|e| format!("create results/: {e}"))?;
+        let csv_path = results.join("vopr_coverage.csv");
+        std::fs::write(&csv_path, summary.coverage_csv())
+            .map_err(|e| format!("write {}: {e}", csv_path.display()))?;
+        println!("\ncoverage summary written to {}", csv_path.display());
+        coverage_gate(&summary)?;
+        println!("coverage gate: all checkers fired, all lifecycles and required depths ran");
+    }
+
+    Ok(if summary.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("vopr: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

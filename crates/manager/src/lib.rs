@@ -51,4 +51,7 @@ pub use policy::{
 };
 pub use reuse_index::{ReuseIndex, ReuseWindow};
 pub use stats::{PrefetchStats, RunStats};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Trace, TraceCounts, TraceEvent};
+pub use validate::{
+    CheckContext, CheckOutput, Checker, CheckerOutcome, CheckerRegistry, RegistryReport, Violation,
+};

@@ -23,6 +23,15 @@ pub struct PrefetchStats {
 }
 
 impl PrefetchStats {
+    /// The closed-ledger identities every run must satisfy: each
+    /// issued speculative load either completed or was cancelled, and
+    /// hit/waste attribution never exceeds the completions. The
+    /// `prefetch-accounting` checker asserts this on every validated
+    /// run.
+    pub fn balanced(&self) -> bool {
+        self.issued == self.completed + self.cancelled && self.hits + self.wasted <= self.completed
+    }
+
     /// Fraction of completed prefetches that were later used, in
     /// `[0, 1]` (0 when none completed).
     pub fn hit_ratio(&self) -> f64 {
@@ -199,6 +208,23 @@ mod tests {
         s.executed = 0;
         assert_eq!(s.reuse_rate_pct(), 0.0);
         assert_eq!(s.remaining_overhead_pct(), 0.0);
+    }
+
+    #[test]
+    fn prefetch_balance_identities() {
+        let mut p = PrefetchStats::default();
+        assert!(p.balanced());
+        p.issued = 5;
+        p.completed = 3;
+        p.cancelled = 2;
+        p.hits = 2;
+        p.wasted = 1;
+        assert!(p.balanced());
+        p.wasted = 2; // hits + wasted > completed
+        assert!(!p.balanced());
+        p.wasted = 1;
+        p.cancelled = 1; // issued != completed + cancelled
+        assert!(!p.balanced());
     }
 
     #[test]

@@ -161,6 +161,26 @@ pub enum TraceEvent {
 }
 
 impl TraceEvent {
+    /// The event kind as a stable label (checker reports, fault
+    /// descriptions).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TraceEvent::JobArrival { .. } => "JobArrival",
+            TraceEvent::GraphStart { .. } => "GraphStart",
+            TraceEvent::GraphEnd { .. } => "GraphEnd",
+            TraceEvent::LoadStart { .. } => "LoadStart",
+            TraceEvent::LoadEnd { .. } => "LoadEnd",
+            TraceEvent::Reuse { .. } => "Reuse",
+            TraceEvent::ExecStart { .. } => "ExecStart",
+            TraceEvent::ExecEnd { .. } => "ExecEnd",
+            TraceEvent::Skip { .. } => "Skip",
+            TraceEvent::Stall { .. } => "Stall",
+            TraceEvent::PrefetchStart { .. } => "PrefetchStart",
+            TraceEvent::PrefetchEnd { .. } => "PrefetchEnd",
+            TraceEvent::PrefetchCancel { .. } => "PrefetchCancel",
+        }
+    }
+
     /// Event timestamp.
     pub fn at(&self) -> SimTime {
         match *self {
@@ -179,6 +199,38 @@ impl TraceEvent {
             | TraceEvent::PrefetchCancel { at, .. } => at,
         }
     }
+}
+
+/// Event-kind totals of one trace, including the hit/waste attribution
+/// of speculative loads (a completed prefetch later claimed by the
+/// demand path is a *hit*; one overwritten before any claim is
+/// *wasted*). The single source of truth the `counter-equality` and
+/// `prefetch-accounting` checkers compare [`RunStats`] counters
+/// against.
+///
+/// [`RunStats`]: crate::stats::RunStats
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCounts {
+    /// Demand reconfigurations started.
+    pub loads: u64,
+    /// Resident configurations claimed without reconfiguration.
+    pub reuses: u64,
+    /// Task executions completed.
+    pub executed: u64,
+    /// Reconfigurations delayed by Skip Events (forced or run-time).
+    pub skips: u64,
+    /// Load attempts that found no eviction candidate and retried.
+    pub stalls: u64,
+    /// Speculative loads started on the idle port.
+    pub prefetch_issued: u64,
+    /// Speculative loads that ran to completion.
+    pub prefetch_completed: u64,
+    /// Speculative loads aborted by a demand load.
+    pub prefetch_cancelled: u64,
+    /// Prefetched configurations later claimed by the demand path.
+    pub prefetch_hits: u64,
+    /// Prefetched configurations evicted before any use.
+    pub prefetch_wasted: u64,
 }
 
 /// An ordered schedule trace.
@@ -217,6 +269,47 @@ impl Trace {
     /// Events of one kind, via a filter-map on the event slice.
     pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
         self.events.iter()
+    }
+
+    /// Tallies event kinds in one walk, attributing prefetch hits and
+    /// waste: a resident written by [`TraceEvent::PrefetchEnd`] stays
+    /// "speculative" until it is claimed by a [`TraceEvent::Reuse`]
+    /// (hit) or overwritten by any later load on the same RU (wasted).
+    pub fn counts(&self) -> TraceCounts {
+        let mut c = TraceCounts::default();
+        let mut speculative: std::collections::HashSet<u16> = std::collections::HashSet::new();
+        for ev in &self.events {
+            match *ev {
+                TraceEvent::LoadStart { ru, .. } => {
+                    c.loads += 1;
+                    if speculative.remove(&ru.0) {
+                        c.prefetch_wasted += 1;
+                    }
+                }
+                TraceEvent::Reuse { ru, .. } => {
+                    c.reuses += 1;
+                    if speculative.remove(&ru.0) {
+                        c.prefetch_hits += 1;
+                    }
+                }
+                TraceEvent::ExecEnd { .. } => c.executed += 1,
+                TraceEvent::Skip { .. } => c.skips += 1,
+                TraceEvent::Stall { .. } => c.stalls += 1,
+                TraceEvent::PrefetchStart { ru, .. } => {
+                    c.prefetch_issued += 1;
+                    if speculative.remove(&ru.0) {
+                        c.prefetch_wasted += 1;
+                    }
+                }
+                TraceEvent::PrefetchEnd { ru, .. } => {
+                    c.prefetch_completed += 1;
+                    speculative.insert(ru.0);
+                }
+                TraceEvent::PrefetchCancel { .. } => c.prefetch_cancelled += 1,
+                _ => {}
+            }
+        }
+        c
     }
 
     /// Count of reuse events.
@@ -341,6 +434,56 @@ mod tests {
         });
         let s = tr.to_gantt(1).render();
         assert!(s.contains("%%%%11111"), "{s}");
+    }
+
+    #[test]
+    fn counts_attribute_prefetch_hits_and_waste() {
+        let ru = RuId(0);
+        let mut tr = Trace::default();
+        // A completed prefetch claimed by the demand path: a hit.
+        tr.push(TraceEvent::PrefetchStart {
+            config: ConfigId(1),
+            ru,
+            at: t(0),
+        });
+        tr.push(TraceEvent::PrefetchEnd {
+            config: ConfigId(1),
+            ru,
+            at: t(4),
+        });
+        tr.push(TraceEvent::Reuse {
+            job: 0,
+            node: NodeId(0),
+            config: ConfigId(1),
+            ru,
+            at: t(4),
+        });
+        // A completed prefetch overwritten before any claim: wasted.
+        tr.push(TraceEvent::PrefetchStart {
+            config: ConfigId(2),
+            ru,
+            at: t(10),
+        });
+        tr.push(TraceEvent::PrefetchEnd {
+            config: ConfigId(2),
+            ru,
+            at: t(14),
+        });
+        tr.push(TraceEvent::LoadStart {
+            job: 0,
+            node: NodeId(1),
+            config: ConfigId(3),
+            ru,
+            at: t(14),
+        });
+        let c = tr.counts();
+        assert_eq!(c.prefetch_issued, 2);
+        assert_eq!(c.prefetch_completed, 2);
+        assert_eq!(c.prefetch_hits, 1);
+        assert_eq!(c.prefetch_wasted, 1);
+        assert_eq!(c.loads, 1);
+        assert_eq!(c.reuses, 1);
+        assert_eq!(tr.events[0].kind_name(), "PrefetchStart");
     }
 
     #[test]

@@ -1,0 +1,988 @@
+//! The standard invariant checkers.
+//!
+//! Each checker walks the trace with its own small local state so it
+//! can be enabled, disabled and counted independently; the shared
+//! bookkeeping (resident map, current-graph cursor) is cheap enough
+//! that a handful of checkers carrying private copies beats one
+//! monolithic pass with entangled assertions. The assertion *logic* is
+//! single-sited: every invariant lives in exactly one checker, and the
+//! test suites and the `vopr` fuzz campaigns all call the same
+//! registry.
+
+use super::{CheckContext, CheckOutput, Checker};
+use crate::job::JobSpec;
+use crate::trace::TraceEvent;
+use rtr_sim::SimTime;
+use rtr_taskgraph::{reconfiguration_sequence, ConfigId, NodeId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Every checker this crate defines, in canonical order.
+pub fn standard_checkers() -> Vec<Box<dyn Checker>> {
+    vec![
+        Box::new(ArrivalOrder),
+        Box::new(PortLanes),
+        Box::new(RuIntervals),
+        Box::new(TaskLifecycle),
+        Box::new(Precedence),
+        Box::new(ReuseResidency),
+        Box::new(PrefetchGuard),
+        Box::new(CounterEquality),
+        Box::new(TrafficEquality),
+        Box::new(PrefetchAccounting),
+        Box::new(PrefetchOffInvisible),
+        Box::new(PooledIdentity),
+    ]
+}
+
+/// Activation order: arrival time, ties broken by submission index
+/// (the engine's online queue is FIFO per instant).
+fn activation_order(jobs: &[JobSpec]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..jobs.len() as u32).collect();
+    order.sort_by_key(|&i| (jobs[i as usize].arrival, i));
+    order
+}
+
+/// Per-job design-time configuration sequences (the order placements
+/// follow).
+fn config_sequences(jobs: &[JobSpec]) -> Vec<Vec<ConfigId>> {
+    jobs.iter()
+        .map(|j| {
+            reconfiguration_sequence(&j.graph)
+                .into_iter()
+                .map(|n| j.graph.config_of(n))
+                .collect()
+        })
+        .collect()
+}
+
+/// Graph executions are sequential, in arrival order, never before the
+/// job's arrival, and every started graph ends.
+struct ArrivalOrder;
+
+impl Checker for ArrivalOrder {
+    fn name(&self) -> &'static str {
+        "arrival-order"
+    }
+    fn description(&self) -> &'static str {
+        "graphs activate sequentially in arrival order and all complete"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let jobs = cx.jobs;
+        let expected_order = activation_order(jobs);
+        let mut graph_started: Vec<u32> = Vec::new();
+        let mut last_ended: Option<(u32, SimTime)> = None;
+        let mut ended = 0usize;
+        let mut current_graph: Option<u32> = None;
+        for ev in cx.trace.iter() {
+            match *ev {
+                TraceEvent::JobArrival { job, at } => {
+                    out.probe(
+                        jobs.get(job as usize).map(|j| j.arrival) == Some(at),
+                        || {
+                            format!(
+                                "job {job} arrived at {at}, but its spec says {:?}",
+                                jobs.get(job as usize).map(|j| j.arrival)
+                            )
+                        },
+                    );
+                }
+                TraceEvent::GraphStart { job, at } => {
+                    out.probe(current_graph.is_none(), || {
+                        format!(
+                            "graph {job} started at {at} while graph {current_graph:?} is active"
+                        )
+                    });
+                    if let Some((prev, prev_end)) = last_ended {
+                        out.probe(at >= prev_end, || {
+                            format!(
+                                "graph {job} started at {at} before graph {prev} ended at {prev_end}"
+                            )
+                        });
+                    }
+                    out.probe(
+                        jobs.get(job as usize).is_none_or(|j| at >= j.arrival),
+                        || {
+                            format!(
+                                "graph {job} started at {at} before its arrival at {:?}",
+                                jobs.get(job as usize).map(|j| j.arrival)
+                            )
+                        },
+                    );
+                    out.probe(
+                        expected_order.get(graph_started.len()) == Some(&job),
+                        || {
+                            format!(
+                                "graphs must start in arrival order {expected_order:?}; \
+                             got {job} after {graph_started:?}"
+                            )
+                        },
+                    );
+                    graph_started.push(job);
+                    current_graph = Some(job);
+                }
+                TraceEvent::GraphEnd { job, at } => {
+                    out.probe(current_graph == Some(job), || {
+                        format!("graph {job} ended at {at} but is not current")
+                    });
+                    current_graph = None;
+                    last_ended = Some((job, at));
+                    ended += 1;
+                }
+                _ => {}
+            }
+        }
+        out.probe(ended == graph_started.len(), || {
+            format!("{} graphs started but {ended} ended", graph_started.len())
+        });
+    }
+}
+
+/// Demand and speculative reconfigurations are serialised on the
+/// single port: loads and completed prefetches take exactly the
+/// device latency, a cancelled prefetch aborts inside its write
+/// interval, and a demand load never starts while a speculative one
+/// is still in flight.
+struct PortLanes;
+
+impl Checker for PortLanes {
+    fn name(&self) -> &'static str {
+        "port-lanes"
+    }
+    fn description(&self) -> &'static str {
+        "single reconfiguration port serialised across demand and speculative lanes"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let latency = cx.latency;
+        let mut port_busy_until: Option<(SimTime, u32)> = None;
+        // The single in-flight speculative load `(config, started, ru)`.
+        let mut pending_prefetch: Option<(ConfigId, SimTime, u16)> = None;
+        let mut pending_load: HashMap<u16, (ConfigId, SimTime, u32, u32)> = HashMap::new();
+        for ev in cx.trace.iter() {
+            match *ev {
+                TraceEvent::LoadStart {
+                    job,
+                    node,
+                    config,
+                    ru,
+                    at,
+                } => {
+                    if let Some((busy_until, j)) = port_busy_until {
+                        out.probe(at >= busy_until, || {
+                            format!(
+                                "load at {at} overlaps in-flight reconfiguration of job {j} \
+                                 (busy until {busy_until})"
+                            )
+                        });
+                    }
+                    out.probe(pending_prefetch.is_none(), || {
+                        format!(
+                            "demand load at {at} started while a speculative load of \
+                             {pending_prefetch:?} was still in flight (it must be cancelled first)"
+                        )
+                    });
+                    port_busy_until = Some((at + latency, job));
+                    pending_load.insert(ru.0, (config, at, job, node.0));
+                }
+                TraceEvent::LoadEnd {
+                    job,
+                    node,
+                    config,
+                    ru,
+                    at,
+                } => match pending_load.remove(&ru.0) {
+                    Some((c, started, j, n)) => {
+                        out.probe(c == config && j == job && n == node.0, || {
+                            format!("load end at {at} on {ru} does not match its start")
+                        });
+                        out.probe(at.since(started) == latency, || {
+                            format!(
+                                "load of {config} on {ru} took {} (expected {latency})",
+                                at.since(started)
+                            )
+                        });
+                    }
+                    None => out.fail(format!("load end at {at} on {ru} without a start")),
+                },
+                TraceEvent::PrefetchStart { config, ru, at } => {
+                    if let Some((busy_until, j)) = port_busy_until {
+                        out.probe(at >= busy_until, || {
+                            format!(
+                                "speculative load at {at} overlaps job {j}'s demand \
+                                 reconfiguration (busy until {busy_until})"
+                            )
+                        });
+                    }
+                    out.probe(pending_prefetch.is_none(), || {
+                        format!("speculative load at {at} while another one is in flight")
+                    });
+                    pending_prefetch = Some((config, at, ru.0));
+                }
+                TraceEvent::PrefetchEnd { config, ru, at } => match pending_prefetch.take() {
+                    Some((c, started, r)) => {
+                        out.probe(c == config && r == ru.0, || {
+                            format!("speculative load end at {at} on {ru} does not match its start")
+                        });
+                        out.probe(at.since(started) == latency, || {
+                            format!(
+                                "speculative load of {config} on {ru} took {} \
+                                 (expected {latency})",
+                                at.since(started)
+                            )
+                        });
+                    }
+                    None => out.fail(format!(
+                        "speculative load end at {at} on {ru} without a start"
+                    )),
+                },
+                TraceEvent::PrefetchCancel { config, ru, at } => match pending_prefetch.take() {
+                    Some((c, started, r)) => {
+                        out.probe(c == config && r == ru.0, || {
+                            format!(
+                                "speculative cancel at {at} on {ru} does not match \
+                                 the in-flight load"
+                            )
+                        });
+                        out.probe(at >= started && at.since(started) <= latency, || {
+                            format!(
+                                "speculative load of {config} cancelled at {at}, \
+                                 outside its write interval (started {started})"
+                            )
+                        });
+                    }
+                    None => out.fail(format!(
+                        "speculative cancel at {at} on {ru} with nothing in flight"
+                    )),
+                },
+                _ => {}
+            }
+        }
+        // A started speculative load must end or be cancelled.
+        out.probe(pending_prefetch.is_none(), || {
+            format!("speculative load {pending_prefetch:?} neither completed nor cancelled")
+        });
+    }
+}
+
+/// Per RU, load and execution intervals never overlap, and a
+/// speculative load never targets an RU whose resident is claimed
+/// (placed but not yet finished) or executing.
+struct RuIntervals;
+
+impl Checker for RuIntervals {
+    fn name(&self) -> &'static str {
+        "ru-intervals"
+    }
+    fn description(&self) -> &'static str {
+        "per-RU load/exec intervals disjoint; prefetch never targets claimed RUs"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let latency = cx.latency;
+        let mut ru_busy_until: HashMap<u16, SimTime> = HashMap::new();
+        // Placed-but-not-finished tasks per RU (claimed residents —
+        // never legal speculative-eviction targets).
+        let mut ru_claims: HashMap<u16, u32> = HashMap::new();
+        for ev in cx.trace.iter() {
+            match *ev {
+                TraceEvent::LoadStart { ru, at, .. } => {
+                    if let Some(&busy) = ru_busy_until.get(&ru.0) {
+                        out.probe(at >= busy, || {
+                            format!("{ru} reloaded at {at} while busy until {busy}")
+                        });
+                    }
+                    ru_busy_until.insert(ru.0, at + latency);
+                }
+                TraceEvent::LoadEnd { ru, .. } | TraceEvent::Reuse { ru, .. } => {
+                    *ru_claims.entry(ru.0).or_default() += 1;
+                }
+                TraceEvent::ExecEnd { ru, at, .. } => {
+                    ru_busy_until.insert(ru.0, at);
+                    if let Some(c) = ru_claims.get_mut(&ru.0) {
+                        *c = c.saturating_sub(1);
+                    }
+                }
+                TraceEvent::PrefetchStart { ru, at, .. } => {
+                    if let Some(&busy) = ru_busy_until.get(&ru.0) {
+                        out.probe(at >= busy, || {
+                            format!("{ru} speculatively reloaded at {at} while busy until {busy}")
+                        });
+                    }
+                    out.probe(ru_claims.get(&ru.0).copied().unwrap_or(0) == 0, || {
+                        format!(
+                            "speculative load at {at} targets {ru}, whose resident is \
+                             claimed by a placed-but-unfinished task"
+                        )
+                    });
+                    ru_busy_until.insert(ru.0, at + latency);
+                }
+                TraceEvent::PrefetchCancel { ru, at, .. } => {
+                    // The partially written RU holds nothing and is free.
+                    ru_busy_until.insert(ru.0, at);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// A task executes exactly once, after its configuration was loaded
+/// into or reused on its RU, for exactly its design-time execution
+/// time — and every placed task completes by end of trace.
+struct TaskLifecycle;
+
+#[derive(Default, Clone)]
+struct NodeLife {
+    placed_at: Option<SimTime>, // load end or reuse
+    exec_start: Option<SimTime>,
+    exec_end: Option<SimTime>,
+    ru: Option<u16>,
+}
+
+impl Checker for TaskLifecycle {
+    fn name(&self) -> &'static str {
+        "task-lifecycle"
+    }
+    fn description(&self) -> &'static str {
+        "every task placed once, executed once, for its design-time duration"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let jobs = cx.jobs;
+        // BTreeMap so the end-of-trace completeness sweep reports in a
+        // deterministic order (fingerprint replays must be byte-equal).
+        let mut life: BTreeMap<(u32, u32), NodeLife> = BTreeMap::new();
+        let mut graph_started: Vec<u32> = Vec::new();
+        let mut execs = 0u64;
+        for ev in cx.trace.iter() {
+            match *ev {
+                TraceEvent::GraphStart { job, .. } => graph_started.push(job),
+                TraceEvent::LoadEnd {
+                    job, node, ru, at, ..
+                }
+                | TraceEvent::Reuse {
+                    job, node, ru, at, ..
+                } => {
+                    let entry = life.entry((job, node.0)).or_default();
+                    entry.placed_at = Some(at);
+                    entry.ru = Some(ru.0);
+                }
+                TraceEvent::ExecStart {
+                    job, node, ru, at, ..
+                } => {
+                    let entry = life.entry((job, node.0)).or_default();
+                    out.probe(entry.exec_start.is_none(), || {
+                        format!("node {node} of job {job} executed twice")
+                    });
+                    match entry.placed_at {
+                        Some(p) => out.probe(at >= p, || {
+                            format!(
+                                "node {node} of job {job} started at {at} before its \
+                                 configuration arrived at {p}"
+                            )
+                        }),
+                        None => out.fail(format!(
+                            "node {node} of job {job} started without load or reuse"
+                        )),
+                    }
+                    out.probe(entry.ru == Some(ru.0), || {
+                        format!(
+                            "node {node} of job {job} executes on {ru} but was placed on RU{:?}",
+                            entry.ru.map(|r| r + 1)
+                        )
+                    });
+                    entry.exec_start = Some(at);
+                }
+                TraceEvent::ExecEnd { job, node, at, .. } => {
+                    execs += 1;
+                    let entry = life.entry((job, node.0)).or_default();
+                    match entry.exec_start {
+                        Some(s) => match jobs.get(job as usize) {
+                            Some(spec) => {
+                                let expected = spec.graph.exec_time(NodeId(node.0));
+                                out.probe(at.since(s) == expected, || {
+                                    format!(
+                                        "node {node} of job {job} ran {} (expected {expected})",
+                                        at.since(s)
+                                    )
+                                });
+                            }
+                            None => {
+                                out.fail(format!("exec end for node {node} of unknown job {job}"))
+                            }
+                        },
+                        None => out.fail(format!(
+                            "exec end without start for node {node} of job {job}"
+                        )),
+                    }
+                    out.probe(entry.exec_end.is_none(), || {
+                        format!("node {node} of job {job} finished twice")
+                    });
+                    entry.exec_end = Some(at);
+                }
+                _ => {}
+            }
+        }
+        // Every placed/executed node ran exactly once with a placement.
+        for ((job, node), l) in &life {
+            out.probe(l.exec_start.is_some() && l.exec_end.is_some(), || {
+                format!("node {node} of job {job} never completed execution")
+            });
+        }
+        // Executed count matches the workload.
+        let expected_execs: u64 = graph_started
+            .iter()
+            .filter_map(|&j| jobs.get(j as usize).map(|s| s.graph.len() as u64))
+            .sum();
+        out.probe(execs == expected_execs, || {
+            format!("trace has {execs} executions, workload requires {expected_execs}")
+        });
+    }
+}
+
+/// A task starts only after all its predecessors finished.
+struct Precedence;
+
+impl Checker for Precedence {
+    fn name(&self) -> &'static str {
+        "precedence"
+    }
+    fn description(&self) -> &'static str {
+        "no task starts before all its graph predecessors finished"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let jobs = cx.jobs;
+        let mut exec_end: HashMap<(u32, u32), SimTime> = HashMap::new();
+        for ev in cx.trace.iter() {
+            match *ev {
+                TraceEvent::ExecStart { job, node, at, .. } => {
+                    let Some(spec) = jobs.get(job as usize) else {
+                        out.fail(format!("exec start for node {node} of unknown job {job}"));
+                        continue;
+                    };
+                    for &p in spec.graph.preds(NodeId(node.0)) {
+                        match exec_end.get(&(job, p.0)) {
+                            Some(&e) => out.probe(at >= e, || {
+                                format!(
+                                    "node {node} of job {job} started at {at} before \
+                                     predecessor {p} finished at {e}"
+                                )
+                            }),
+                            None => out.fail(format!(
+                                "node {node} of job {job} started before predecessor {p} ran"
+                            )),
+                        }
+                    }
+                }
+                TraceEvent::ExecEnd { job, node, at, .. } => {
+                    exec_end.insert((job, node.0), at);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// A reuse claim only happens when the same configuration was left on
+/// that RU by a previous load (demand or completed speculative) with
+/// no intervening overwrite — and every placement, skip and stall
+/// belongs to the current graph.
+struct ReuseResidency;
+
+impl Checker for ReuseResidency {
+    fn name(&self) -> &'static str {
+        "reuse-residency"
+    }
+    fn description(&self) -> &'static str {
+        "reuse claims match residents; placements belong to the current graph"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let mut resident: HashMap<u16, ConfigId> = HashMap::new();
+        let mut current_graph: Option<u32> = None;
+        for ev in cx.trace.iter() {
+            match *ev {
+                TraceEvent::GraphStart { job, .. } => current_graph = Some(job),
+                TraceEvent::GraphEnd { .. } => current_graph = None,
+                TraceEvent::LoadStart {
+                    job, node, ru, at, ..
+                } => {
+                    out.probe(current_graph == Some(job), || {
+                        format!(
+                            "load for job {job} node {node} at {at}: job is not current \
+                             (no cross-graph prefetch)"
+                        )
+                    });
+                    // Eviction: the previous resident is gone.
+                    resident.remove(&ru.0);
+                }
+                TraceEvent::LoadEnd { config, ru, .. } => {
+                    resident.insert(ru.0, config);
+                }
+                TraceEvent::Reuse {
+                    job,
+                    config,
+                    ru,
+                    at,
+                    ..
+                } => {
+                    out.probe(current_graph == Some(job), || {
+                        format!("reuse for job {job} at {at}: job is not current")
+                    });
+                    out.probe(resident.get(&ru.0) == Some(&config), || {
+                        format!(
+                            "reuse of {config} on {ru} at {at} but resident is {:?}",
+                            resident.get(&ru.0)
+                        )
+                    });
+                }
+                TraceEvent::ExecStart {
+                    job,
+                    config,
+                    ru,
+                    at,
+                    ..
+                } => {
+                    out.probe(current_graph == Some(job), || {
+                        format!("exec start for job {job} at {at}: job is not current")
+                    });
+                    out.probe(resident.get(&ru.0) == Some(&config), || {
+                        format!(
+                            "exec of {config} on {ru} at {at} but resident is {:?}",
+                            resident.get(&ru.0)
+                        )
+                    });
+                }
+                TraceEvent::Skip { at, .. } => {
+                    out.probe(current_graph.is_some(), || {
+                        format!("skip at {at} outside any active graph")
+                    });
+                }
+                TraceEvent::Stall { at, .. } => {
+                    out.probe(current_graph.is_some(), || {
+                        format!("stall at {at} outside any active graph")
+                    });
+                }
+                TraceEvent::PrefetchStart { at, ru, .. } => {
+                    out.probe(current_graph.is_some(), || {
+                        format!(
+                            "speculative load at {at} outside any active graph (the \
+                             planner only runs while a graph is current)"
+                        )
+                    });
+                    resident.remove(&ru.0);
+                }
+                TraceEvent::PrefetchEnd { config, ru, .. } => {
+                    resident.insert(ru.0, config);
+                }
+                TraceEvent::PrefetchCancel { ru, .. } => {
+                    resident.remove(&ru.0);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The reuse-distance guard (the Fig. 3 hazard): a speculative load
+/// never evicts a resident configuration whose next request comes
+/// strictly before the fetched configuration's — checked against the
+/// *entire* remaining request stream (a superset of any lookahead
+/// window the engine could have used, so an engine guard violation can
+/// never hide behind limited visibility).
+struct PrefetchGuard;
+
+impl Checker for PrefetchGuard {
+    fn name(&self) -> &'static str {
+        "prefetch-guard"
+    }
+    fn description(&self) -> &'static str {
+        "speculative loads never evict a resident with a strictly nearer next use"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let jobs = cx.jobs;
+        let expected_order = activation_order(jobs);
+        let mut resident: HashMap<u16, ConfigId> = HashMap::new();
+        // Per-job count of placements (loads + reuses) — placements
+        // follow the design-time reconfiguration sequence, so this is
+        // the cursor into the job's configuration sequence.
+        let mut placements: HashMap<u32, usize> = HashMap::new();
+        // Configuration sequences, derived lazily: only traces with
+        // speculative loads pay for the design-time recomputation.
+        let mut cfg_seqs: Option<Vec<Vec<ConfigId>>> = None;
+        let mut started = 0usize;
+        let mut current_graph: Option<u32> = None;
+        for ev in cx.trace.iter() {
+            match *ev {
+                TraceEvent::GraphStart { job, .. } => {
+                    started += 1;
+                    current_graph = Some(job);
+                }
+                TraceEvent::GraphEnd { .. } => current_graph = None,
+                TraceEvent::LoadStart { ru, .. } => {
+                    resident.remove(&ru.0);
+                }
+                TraceEvent::LoadEnd {
+                    job, config, ru, ..
+                } => {
+                    resident.insert(ru.0, config);
+                    *placements.entry(job).or_default() += 1;
+                }
+                TraceEvent::Reuse { job, .. } => {
+                    *placements.entry(job).or_default() += 1;
+                }
+                TraceEvent::PrefetchStart { config, ru, at } => {
+                    let evicted = resident.remove(&ru.0);
+                    let seqs = cfg_seqs.get_or_insert_with(|| config_sequences(jobs));
+                    // Walk the remaining request stream (current
+                    // graph's unplaced tail, then every not-yet-started
+                    // job in activation order) segment by segment
+                    // without materialising it, early-exiting once both
+                    // queried configurations are located — on real
+                    // traces the nearest requests sit in the first
+                    // segment or two, so this is O(1)-ish per
+                    // speculative load instead of O(stream).
+                    let mut fetched_next: Option<usize> = None;
+                    let mut victim_next: Option<usize> = None;
+                    let cur_tail = current_graph.and_then(|cur| {
+                        let seq = seqs.get(cur as usize)?;
+                        let done = placements.get(&cur).copied().unwrap_or(0);
+                        Some(&seq[done.min(seq.len())..])
+                    });
+                    let rest = expected_order
+                        .iter()
+                        .skip(started)
+                        .map(|&j| seqs[j as usize].as_slice());
+                    let mut base = 0usize;
+                    for seg in cur_tail.into_iter().chain(rest) {
+                        for (k, &c) in seg.iter().enumerate() {
+                            if fetched_next.is_none() && c == config {
+                                fetched_next = Some(base + k);
+                            }
+                            if victim_next.is_none() && evicted == Some(c) {
+                                victim_next = Some(base + k);
+                            }
+                        }
+                        base += seg.len();
+                        if fetched_next.is_some() && (evicted.is_none() || victim_next.is_some()) {
+                            break;
+                        }
+                    }
+                    out.probe(fetched_next.is_some(), || {
+                        format!(
+                            "speculative load of {config} at {at}: the configuration is \
+                             never requested again"
+                        )
+                    });
+                    if let (Some(victim), Some(fetched_next)) = (evicted, fetched_next) {
+                        out.probe(victim_next.is_none_or(|vn| vn > fetched_next), || {
+                            format!(
+                                "prefetch guard violated at {at}: speculative load of \
+                                 {config} (next request at stream offset {fetched_next}) \
+                                 evicted {victim} whose next request comes at offset \
+                                 {victim_next:?} — strictly nearer"
+                            )
+                        });
+                    }
+                }
+                TraceEvent::PrefetchEnd { config, ru, .. } => {
+                    resident.insert(ru.0, config);
+                }
+                TraceEvent::PrefetchCancel { ru, .. } => {
+                    resident.remove(&ru.0);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Event counters in [`RunStats`](crate::stats::RunStats) match the
+/// trace: loads, reuses, execs, skips, stalls and the prefetch
+/// issue/complete/cancel/hit/waste ledger.
+struct CounterEquality;
+
+impl Checker for CounterEquality {
+    fn name(&self) -> &'static str {
+        "counter-equality"
+    }
+    fn description(&self) -> &'static str {
+        "RunStats event counters equal the trace tallies"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let Some(s) = cx.stats else { return };
+        let c = cx.trace.counts();
+        out.probe(s.loads == c.loads, || {
+            format!("stats.loads {} != trace {}", s.loads, c.loads)
+        });
+        out.probe(s.reuses == c.reuses, || {
+            format!("stats.reuses {} != trace {}", s.reuses, c.reuses)
+        });
+        out.probe(s.executed == c.executed, || {
+            format!("stats.executed {} != trace {}", s.executed, c.executed)
+        });
+        out.probe(s.skips == c.skips, || {
+            format!("stats.skips {} != trace {}", s.skips, c.skips)
+        });
+        out.probe(s.stalls == c.stalls, || {
+            format!("stats.stalls {} != trace {}", s.stalls, c.stalls)
+        });
+        let pf = s.prefetch;
+        out.probe(
+            (pf.issued, pf.completed, pf.cancelled)
+                == (
+                    c.prefetch_issued,
+                    c.prefetch_completed,
+                    c.prefetch_cancelled,
+                ),
+            || {
+                format!(
+                    "stats.prefetch issued/completed/cancelled {:?} != trace {:?}",
+                    (pf.issued, pf.completed, pf.cancelled),
+                    (
+                        c.prefetch_issued,
+                        c.prefetch_completed,
+                        c.prefetch_cancelled
+                    )
+                )
+            },
+        );
+        out.probe(
+            (pf.hits, pf.wasted) == (c.prefetch_hits, c.prefetch_wasted),
+            || {
+                format!(
+                    "stats.prefetch hits/wasted {:?} != trace {:?}",
+                    (pf.hits, pf.wasted),
+                    (c.prefetch_hits, c.prefetch_wasted)
+                )
+            },
+        );
+    }
+}
+
+/// Traffic totals, port busy time and makespan in
+/// [`RunStats`](crate::stats::RunStats) match the trace.
+struct TrafficEquality;
+
+impl Checker for TrafficEquality {
+    fn name(&self) -> &'static str {
+        "traffic-equality"
+    }
+    fn description(&self) -> &'static str {
+        "RunStats traffic, port busy time and makespan equal the trace"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let Some(s) = cx.stats else { return };
+        let latency = cx.latency;
+        // Port write time actually spent (vs `port_busy_time`).
+        let mut port_busy_total = rtr_sim::SimDuration::ZERO;
+        let mut prefetch_started: Option<SimTime> = None;
+        let mut last_graph_end: Option<SimTime> = None;
+        for ev in cx.trace.iter() {
+            match *ev {
+                TraceEvent::LoadEnd { .. } => port_busy_total += latency,
+                TraceEvent::PrefetchStart { at, .. } => prefetch_started = Some(at),
+                TraceEvent::PrefetchEnd { at, .. } | TraceEvent::PrefetchCancel { at, .. } => {
+                    if let Some(started) = prefetch_started.take() {
+                        port_busy_total += at.since(started);
+                    }
+                }
+                TraceEvent::GraphEnd { at, .. } => last_graph_end = Some(at),
+                _ => {}
+            }
+        }
+        let c = cx.trace.counts();
+        out.probe(
+            s.traffic.loads == c.loads
+                && s.traffic.reuses == c.reuses
+                && s.traffic.prefetch_loads == c.prefetch_completed,
+            || {
+                format!(
+                    "stats.traffic load/reuse/prefetch counters {:?} != trace {:?}",
+                    (s.traffic.loads, s.traffic.reuses, s.traffic.prefetch_loads),
+                    (c.loads, c.reuses, c.prefetch_completed)
+                )
+            },
+        );
+        out.probe(s.port_busy_time == port_busy_total, || {
+            format!(
+                "stats.port_busy_time {} != trace total {port_busy_total}",
+                s.port_busy_time
+            )
+        });
+        if let Some(last_end) = last_graph_end {
+            out.probe(s.makespan == last_end.since(SimTime::ZERO), || {
+                format!(
+                    "stats.makespan {} != last graph completion {last_end} (no \
+                     trailing event may extend the makespan)",
+                    s.makespan
+                )
+            });
+        }
+    }
+}
+
+/// The closed prefetch ledger: every issued speculative load completes
+/// or is cancelled, attribution never exceeds completions, and only
+/// completed speculative loads move bitstreams.
+struct PrefetchAccounting;
+
+impl Checker for PrefetchAccounting {
+    fn name(&self) -> &'static str {
+        "prefetch-accounting"
+    }
+    fn description(&self) -> &'static str {
+        "issued = completed + cancelled; hits + wasted never exceed completions"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let c = cx.trace.counts();
+        out.probe(
+            c.prefetch_issued == c.prefetch_completed + c.prefetch_cancelled,
+            || {
+                format!(
+                    "trace prefetch ledger is open: issued {} != completed {} + cancelled {}",
+                    c.prefetch_issued, c.prefetch_completed, c.prefetch_cancelled
+                )
+            },
+        );
+        out.probe(
+            c.prefetch_hits + c.prefetch_wasted <= c.prefetch_completed,
+            || {
+                format!(
+                    "trace prefetch attribution exceeds completions: hits {} + wasted {} > \
+                     completed {}",
+                    c.prefetch_hits, c.prefetch_wasted, c.prefetch_completed
+                )
+            },
+        );
+        if let Some(s) = cx.stats {
+            out.probe(s.prefetch.balanced(), || {
+                format!("stats prefetch ledger is open: {:?}", s.prefetch)
+            });
+            out.probe(s.traffic.prefetch_loads == s.prefetch.completed, || {
+                format!(
+                    "only completed speculative loads move bitstreams: \
+                     traffic.prefetch_loads {} != prefetch.completed {}",
+                    s.traffic.prefetch_loads, s.prefetch.completed
+                )
+            });
+        }
+    }
+}
+
+/// With prefetch depth 0, speculation must be invisible: no
+/// speculative trace events and zeroed prefetch counters (the golden
+/// figure tests pin the actual numbers bit for bit).
+struct PrefetchOffInvisible;
+
+impl Checker for PrefetchOffInvisible {
+    fn name(&self) -> &'static str {
+        "prefetch-off-invisible"
+    }
+    fn description(&self) -> &'static str {
+        "depth 0 records no speculative events and zeroed prefetch counters"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        if cx.prefetch_depth != Some(0) {
+            return;
+        }
+        let speculative = cx
+            .trace
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::PrefetchStart { .. }
+                        | TraceEvent::PrefetchEnd { .. }
+                        | TraceEvent::PrefetchCancel { .. }
+                )
+            })
+            .count();
+        out.probe(speculative == 0, || {
+            format!("prefetch is off but the trace records {speculative} speculative events")
+        });
+        if let Some(s) = cx.stats {
+            out.probe(s.prefetch == Default::default(), || {
+                format!("prefetch is off but stats.prefetch is {:?}", s.prefetch)
+            });
+            out.probe(s.traffic.prefetch_loads == 0, || {
+                format!(
+                    "prefetch is off but stats.traffic.prefetch_loads is {}",
+                    s.traffic.prefetch_loads
+                )
+            });
+        }
+    }
+}
+
+/// The pooled-engine / determinism contract: the run is bit-exact with
+/// the reference outcome — field-level pins first so a divergence
+/// names the leaked counter, then full stats and the event-for-event
+/// trace.
+struct PooledIdentity;
+
+impl Checker for PooledIdentity {
+    fn name(&self) -> &'static str {
+        "pooled-identity"
+    }
+    fn description(&self) -> &'static str {
+        "run is bit-exact with the reference outcome (stats and trace)"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let Some(reference) = cx.reference else {
+            return;
+        };
+        if let Some(s) = cx.stats {
+            let r = &reference.stats;
+            out.probe(s.traffic == r.traffic, || {
+                format!(
+                    "traffic/energy counters diverged from the reference run: \
+                     {:?} != {:?}",
+                    s.traffic, r.traffic
+                )
+            });
+            out.probe(s.port_busy_time == r.port_busy_time, || {
+                format!(
+                    "controller busy-time diverged from the reference run: {} != {}",
+                    s.port_busy_time, r.port_busy_time
+                )
+            });
+            out.probe(s.prefetch == r.prefetch, || {
+                format!(
+                    "prefetch counters diverged from the reference run: {:?} != {:?}",
+                    s.prefetch, r.prefetch
+                )
+            });
+            out.probe(s == r, || {
+                format!(
+                    "RunStats diverged from the reference run: \
+                     makespan {} vs {}, executed {} vs {}, reuses {} vs {}, \
+                     loads {} vs {}, skips {} vs {}, stalls {} vs {}",
+                    s.makespan,
+                    r.makespan,
+                    s.executed,
+                    r.executed,
+                    s.reuses,
+                    r.reuses,
+                    s.loads,
+                    r.loads,
+                    s.skips,
+                    r.skips,
+                    s.stalls,
+                    r.stalls
+                )
+            });
+        }
+        let a = &cx.trace.events;
+        let b = &reference.trace.events;
+        out.probe(a == b, || {
+            match a.iter().zip(b.iter()).position(|(x, y)| x != y) {
+                Some(i) => format!(
+                    "trace diverged from the reference run at event {i}: {:?} != {:?}",
+                    a[i], b[i]
+                ),
+                None => format!(
+                    "trace diverged from the reference run: {} events vs {}",
+                    a.len(),
+                    b.len()
+                ),
+            }
+        });
+    }
+}

@@ -19,6 +19,9 @@
 //!   for parameter sweeps.
 //! * [`table`] — Markdown/CSV result tables.
 //! * [`experiments`] — the per-figure/table drivers.
+//! * [`vopr`] — the deterministic fuzz campaign behind the `vopr`
+//!   binary: seeded case derivation, four engine lifecycles, replayable
+//!   failure fingerprints and a greedy scenario minimiser.
 
 pub mod arrivals;
 pub mod experiments;
@@ -28,6 +31,7 @@ pub mod runner;
 pub mod scenario;
 pub mod sequence;
 pub mod table;
+pub mod vopr;
 
 pub use arrivals::{ArrivalError, ArrivalProcess};
 pub use policies::PolicyKind;

@@ -1,0 +1,931 @@
+//! The VOPR-style deterministic fuzz campaign behind the `vopr`
+//! binary.
+//!
+//! A campaign is a pure function of one `master_seed`: case `i`
+//! derives its knobs (scenario seed, template count, apps, RUs,
+//! arrival process, policy, prefetch depth, engine lifecycle,
+//! head-blocking annotation) with a SplitMix64 stream, materialises
+//! the scenario, drives the engine through one of four lifecycles
+//! (fresh / reset / retarget / replay), and validates the run through
+//! the shared [`CheckerRegistry`] — including bit-exactness against a
+//! fresh reference run (`pooled-identity`).
+//!
+//! Every failing case is summarised by a [`Fingerprint`]
+//! (`vopr-<master_seed>-<case_index>[-f<fault>]`) that
+//! [`case_report`] replays deterministically to the byte-identical
+//! violation report, after a greedy minimisation pass shrank the
+//! scenario. Faults ([`Fault`]) deliberately corrupt the subject
+//! outcome after the run — the harness's own self-check that the
+//! checkers, fingerprints and the replay path all have teeth.
+
+use crate::arrivals::ArrivalProcess;
+use rtr_core::{
+    compute_mobility, FifoPolicy, LfdPolicy, LfuPolicy, LruPolicy, MruPolicy, RandomPolicy,
+};
+use rtr_manager::{
+    simulate, CheckContext, CheckerRegistry, Engine, FirstCandidatePolicy, JobSpec, Lookahead,
+    ManagerConfig, PrefetchConfig, ReplacementPolicy, SimError, SimulationOutcome, TraceEvent,
+};
+use rtr_taskgraph::generate::{self, GenConfig};
+use rtr_taskgraph::TaskGraph;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// The prefetch depths a campaign cycles through (the acceptance
+/// envelope requires 0 and 4 to be covered).
+pub const DEPTHS: [usize; 4] = [0, 1, 2, 4];
+
+/// Upper bound on candidate evaluations the minimiser may spend.
+const MINIMIZE_BUDGET: usize = 200;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How the engine is driven through a case. All four shapes must
+/// produce the bit-identical outcome of a fresh [`simulate`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lifecycle {
+    /// A fresh engine per run (the [`simulate`] wrapper).
+    Fresh,
+    /// Warm the engine on the same batch, then `reset` and rerun.
+    Reset,
+    /// Warm the engine under a *different* RU count, then
+    /// `reset_with_config` onto the case's configuration.
+    Retarget,
+    /// Warm the engine on the batch, then `reset_replay` and rerun
+    /// without re-submission.
+    Replay,
+}
+
+impl Lifecycle {
+    /// All lifecycles, in the order the campaign cycles through them.
+    pub const ALL: [Lifecycle; 4] = [
+        Lifecycle::Fresh,
+        Lifecycle::Reset,
+        Lifecycle::Retarget,
+        Lifecycle::Replay,
+    ];
+
+    /// Stable label (knob summaries, coverage reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Lifecycle::Fresh => "fresh",
+            Lifecycle::Reset => "reset",
+            Lifecycle::Retarget => "retarget",
+            Lifecycle::Replay => "replay",
+        }
+    }
+}
+
+/// A deliberate post-run corruption of the subject outcome — the
+/// harness's self-check that a violation actually trips a checker and
+/// that its fingerprint replays to the identical report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Remove the first `ExecEnd` event from the trace (trips the
+    /// lifecycle/counter checkers).
+    DropExecEnd,
+    /// Increment `stats.reuses` by one (trips `counter-equality`).
+    BumpReuses,
+}
+
+impl Fault {
+    /// Stable label used inside fingerprints.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::DropExecEnd => "drop-exec-end",
+            Fault::BumpReuses => "bump-reuses",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Fault> {
+        match s {
+            "drop-exec-end" => Some(Fault::DropExecEnd),
+            "bump-reuses" => Some(Fault::BumpReuses),
+            _ => None,
+        }
+    }
+
+    /// Applies the corruption to a completed outcome.
+    pub fn apply(&self, out: &mut SimulationOutcome) {
+        match self {
+            Fault::DropExecEnd => {
+                if let Some(i) = out
+                    .trace
+                    .events
+                    .iter()
+                    .position(|e| matches!(e, TraceEvent::ExecEnd { .. }))
+                {
+                    out.trace.events.remove(i);
+                }
+            }
+            Fault::BumpReuses => out.stats.reuses += 1,
+        }
+    }
+}
+
+/// The compact, replayable identity of one campaign case:
+/// `vopr-<master_seed:016x>-<case_index>[-f<fault>]`. Everything else
+/// (knobs, jobs, configuration) derives deterministically from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// The campaign's master seed.
+    pub master_seed: u64,
+    /// Index of the case within the campaign.
+    pub case_index: u64,
+    /// Deliberate post-run corruption, if any (self-check replays).
+    pub fault: Option<Fault>,
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vopr-{:016x}-{}", self.master_seed, self.case_index)?;
+        if let Some(fault) = self.fault {
+            write!(f, "-f{}", fault.name())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Fingerprint {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rest = s
+            .strip_prefix("vopr-")
+            .ok_or_else(|| format!("fingerprint '{s}' does not start with 'vopr-'"))?;
+        let (seed_hex, rest) = rest
+            .split_once('-')
+            .ok_or_else(|| format!("fingerprint '{s}' is missing the case index"))?;
+        let master_seed = u64::from_str_radix(seed_hex, 16)
+            .map_err(|e| format!("fingerprint '{s}': bad master seed: {e}"))?;
+        let (index_str, fault) = match rest.split_once("-f") {
+            Some((idx, fault_name)) => {
+                let fault = Fault::from_name(fault_name)
+                    .ok_or_else(|| format!("fingerprint '{s}': unknown fault '{fault_name}'"))?;
+                (idx, Some(fault))
+            }
+            None => (rest, None),
+        };
+        let case_index = index_str
+            .parse::<u64>()
+            .map_err(|e| format!("fingerprint '{s}': bad case index: {e}"))?;
+        Ok(Fingerprint {
+            master_seed,
+            case_index,
+            fault,
+        })
+    }
+}
+
+/// The derived knobs of one case. `lifecycle` and `depth` cycle
+/// deterministically with the case index so every campaign of ≥ 16
+/// cases covers all four lifecycles at every depth; the rest streams
+/// from SplitMix64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaseKnobs {
+    /// Seed for the template family / arrival / annotation draws.
+    pub scenario_seed: u64,
+    /// Template-family size (1–3).
+    pub templates: usize,
+    /// Number of application instances (1–12).
+    pub apps: usize,
+    /// RU count (1–6).
+    pub rus: usize,
+    /// Arrival-process selector (0–3: batch/poisson/periodic/bursty).
+    pub arrival_kind: u8,
+    /// Policy selector (0–7, the full replacement-policy set).
+    pub policy: u8,
+    /// Prefetch depth (cycled through [`DEPTHS`]).
+    pub depth: usize,
+    /// Engine lifecycle (cycled through [`Lifecycle::ALL`]).
+    pub lifecycle: Lifecycle,
+    /// Head-blocking annotation: 0 = none, 1 = mobility + Skip
+    /// Events, 2 = a forced one-event delay on one node per job.
+    pub annotate: u8,
+}
+
+impl CaseKnobs {
+    /// Derives the knobs of case `case_index` under `master_seed`.
+    pub fn derive(master_seed: u64, case_index: u64) -> CaseKnobs {
+        let mut state = master_seed ^ case_index.wrapping_mul(0xA076_1D64_78BD_642F);
+        let scenario_seed = splitmix64(&mut state);
+        let r = splitmix64(&mut state);
+        CaseKnobs {
+            scenario_seed,
+            templates: 1 + (r % 3) as usize,
+            apps: 1 + ((r >> 8) % 12) as usize,
+            rus: 1 + ((r >> 16) % 6) as usize,
+            arrival_kind: ((r >> 24) % 4) as u8,
+            policy: ((r >> 32) % 8) as u8,
+            depth: DEPTHS[(case_index as usize / 4) % DEPTHS.len()],
+            lifecycle: Lifecycle::ALL[case_index as usize % Lifecycle::ALL.len()],
+            annotate: ((r >> 40) % 3) as u8,
+        }
+    }
+
+    /// Lookahead implied by the policy selector (LFD variants need a
+    /// future view; the rest draw one from the scenario seed, like the
+    /// guard property test).
+    pub fn lookahead(&self) -> Lookahead {
+        match self.policy % 8 {
+            6 => Lookahead::Graphs(1 + (self.scenario_seed % 3) as usize),
+            7 => Lookahead::All,
+            _ => match self.scenario_seed % 3 {
+                0 => Lookahead::None,
+                1 => Lookahead::Graphs(1 + (self.scenario_seed % 4) as usize),
+                _ => Lookahead::All,
+            },
+        }
+    }
+
+    /// One stable line naming every knob (case reports).
+    pub fn summary(&self) -> String {
+        format!(
+            "lifecycle={} depth={} templates={} apps={} rus={} arrival={} \
+             policy={} annotate={} lookahead={:?} scenario_seed={:#018x}",
+            self.lifecycle.name(),
+            self.depth,
+            self.templates,
+            self.apps,
+            self.rus,
+            arrival_process(self.arrival_kind).label(),
+            policy_label(self.policy, self.scenario_seed),
+            match self.annotate % 3 {
+                0 => "none",
+                1 => "mobility+skip",
+                _ => "forced-delay",
+            },
+            self.lookahead(),
+            self.scenario_seed,
+        )
+    }
+}
+
+fn arrival_process(kind: u8) -> ArrivalProcess {
+    match kind % 4 {
+        0 => ArrivalProcess::Batch,
+        1 => ArrivalProcess::Poisson {
+            mean_gap_us: 40_000,
+        },
+        2 => ArrivalProcess::Periodic { period_us: 35_000 },
+        _ => ArrivalProcess::Bursty {
+            size: 3,
+            mean_gap_us: 150_000,
+        },
+    }
+}
+
+/// Builds the policy for selector `id` (fresh state every call).
+fn build_policy(id: u8, seed: u64) -> Box<dyn ReplacementPolicy> {
+    match id % 8 {
+        0 => Box::new(FirstCandidatePolicy),
+        1 => Box::new(LruPolicy::new()),
+        2 => Box::new(FifoPolicy::new()),
+        3 => Box::new(MruPolicy::new()),
+        4 => Box::new(LfuPolicy::new()),
+        5 => Box::new(RandomPolicy::new(seed)),
+        6 => Box::new(LfdPolicy::local(1 + (seed % 3) as usize)),
+        _ => Box::new(LfdPolicy::oracle()),
+    }
+}
+
+fn policy_label(id: u8, seed: u64) -> String {
+    build_policy(id, seed).name().to_string()
+}
+
+/// One fully materialised case: the jobs, the manager configuration
+/// and the knobs they came from.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// The derived knobs.
+    pub knobs: CaseKnobs,
+    /// Job specs (graphs, arrivals, annotations).
+    pub jobs: Vec<JobSpec>,
+    /// Manager configuration (RUs, lookahead, skip events, prefetch).
+    pub cfg: ManagerConfig,
+}
+
+/// Materialises the case `fingerprint` identifies (fault excluded —
+/// faults apply to the outcome, not the scenario).
+pub fn build_case(fp: &Fingerprint) -> Case {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let knobs = CaseKnobs::derive(fp.master_seed, fp.case_index);
+    let seed = knobs.scenario_seed;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gen_cfg = GenConfig {
+        exec_us: (1_000, 25_000),
+        config_base: 50,
+        config_pool: Some(8),
+    };
+    let family: Vec<Arc<TaskGraph>> =
+        generate::template_family(&mut rng, knobs.templates, &gen_cfg)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+    let cfg = ManagerConfig::paper_default()
+        .with_rus(knobs.rus)
+        .with_lookahead(knobs.lookahead())
+        .with_skip_events(knobs.annotate % 3 == 1)
+        .with_prefetch(PrefetchConfig::with_depth(knobs.depth))
+        .with_trace(true);
+    let arrivals = arrival_process(knobs.arrival_kind).generate(knobs.apps, seed ^ 0x5EED);
+    let jobs: Vec<JobSpec> = (0..knobs.apps)
+        .map(|i| {
+            let graph = Arc::clone(&family[i % family.len()]);
+            let mut job = JobSpec::new(Arc::clone(&graph)).with_arrival(arrivals[i]);
+            match knobs.annotate % 3 {
+                1 => {
+                    let mobility =
+                        Arc::new(compute_mobility(&graph, &cfg).expect("mobility computes"));
+                    job = job.with_mobility(mobility);
+                }
+                2 => {
+                    let mut delays = vec![0u32; graph.len()];
+                    delays[(seed as usize + i) % graph.len()] = 1;
+                    job = job.with_forced_delays(Arc::new(delays));
+                }
+                _ => {}
+            }
+            job
+        })
+        .collect();
+    Case { knobs, jobs, cfg }
+}
+
+/// Drives the engine through the case's lifecycle and returns the
+/// subject outcome. Warm legs run the same batch (retarget warms under
+/// a different RU count) and their results are discarded — the pooled
+/// contract says no warm state may leak into the measured leg.
+fn execute_subject(case: &Case) -> Result<SimulationOutcome, SimError> {
+    let knobs = &case.knobs;
+    let seed = knobs.scenario_seed;
+    match knobs.lifecycle {
+        Lifecycle::Fresh => {
+            let mut policy = build_policy(knobs.policy, seed);
+            simulate(&case.cfg, &case.jobs, policy.as_mut())
+        }
+        Lifecycle::Reset => {
+            let mut engine = Engine::new(&case.cfg);
+            warm(&mut engine, case);
+            let mut policy = build_policy(knobs.policy, seed);
+            policy.reset();
+            engine.reset(&case.jobs);
+            engine.run(policy.as_mut());
+            engine.outcome()
+        }
+        Lifecycle::Retarget => {
+            // Warm under a different RU count, then retarget onto the
+            // case's configuration.
+            let warm_rus = if knobs.rus == 6 { 1 } else { knobs.rus + 1 };
+            let warm_cfg = case.cfg.clone().with_rus(warm_rus);
+            let mut engine = Engine::new(&warm_cfg);
+            warm(&mut engine, case);
+            let mut policy = build_policy(knobs.policy, seed);
+            policy.reset();
+            engine.reset_with_config(&case.cfg, &case.jobs);
+            engine.run(policy.as_mut());
+            engine.outcome()
+        }
+        Lifecycle::Replay => {
+            let mut engine = Engine::new(&case.cfg);
+            warm(&mut engine, case);
+            let mut policy = build_policy(knobs.policy, seed);
+            policy.reset();
+            engine.reset_replay();
+            engine.run(policy.as_mut());
+            engine.outcome()
+        }
+    }
+}
+
+/// One discarded warm leg on the case's own batch (under whatever
+/// configuration the engine currently carries).
+fn warm(engine: &mut Engine, case: &Case) {
+    let mut policy = build_policy(case.knobs.policy, case.knobs.scenario_seed);
+    policy.reset();
+    engine.reset(&case.jobs);
+    engine.run(policy.as_mut());
+    let _ = engine.outcome();
+}
+
+/// How a case concluded.
+#[derive(Debug)]
+pub enum CaseStatus {
+    /// Both runs completed; the registry validated the subject.
+    Checked(rtr_manager::RegistryReport),
+    /// Subject and reference stalled identically (a legitimate
+    /// infeasible forced delay) — checkers skipped.
+    Stalled,
+    /// Subject and reference disagreed about completing — a
+    /// determinism violation in its own right.
+    StallMismatch(String),
+}
+
+/// One case's full result: its fingerprint, knobs and verdict.
+#[derive(Debug)]
+pub struct CaseOutcome {
+    /// The case's replayable identity.
+    pub fingerprint: Fingerprint,
+    /// Its derived knobs.
+    pub knobs: CaseKnobs,
+    /// The verdict.
+    pub status: CaseStatus,
+}
+
+/// The pseudo-checker name attributed to stall mismatches in failure
+/// bookkeeping (it is not a registry checker).
+pub const STALL_MISMATCH: &str = "stall-mismatch";
+
+impl CaseOutcome {
+    /// Total violations (a stall mismatch counts as one).
+    pub fn violation_count(&self) -> usize {
+        match &self.status {
+            CaseStatus::Checked(report) => report.violation_count(),
+            CaseStatus::Stalled => 0,
+            CaseStatus::StallMismatch(_) => 1,
+        }
+    }
+
+    /// Names of the checkers that failed ([`STALL_MISMATCH`] for a
+    /// stall mismatch).
+    pub fn failing(&self) -> Vec<&'static str> {
+        match &self.status {
+            CaseStatus::Checked(report) => report.failing(),
+            CaseStatus::Stalled => Vec::new(),
+            CaseStatus::StallMismatch(_) => vec![STALL_MISMATCH],
+        }
+    }
+
+    /// Renders the stable, replay-stable report for this case.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "case {}\nknobs: {}\n",
+            self.fingerprint,
+            self.knobs.summary()
+        );
+        match &self.status {
+            CaseStatus::Checked(report) => {
+                s.push_str(&format!(
+                    "verdict: {}\n",
+                    if report.is_clean() {
+                        "clean".to_string()
+                    } else {
+                        format!("{} violation(s)", report.violation_count())
+                    }
+                ));
+                s.push_str(&report.render());
+            }
+            CaseStatus::Stalled => {
+                s.push_str("verdict: stalled (subject and reference agree)\n");
+            }
+            CaseStatus::StallMismatch(msg) => {
+                s.push_str(&format!("verdict: stall mismatch\n  - {msg}\n"));
+            }
+        }
+        s
+    }
+}
+
+/// Runs one materialised case through its lifecycle, applies `fault`
+/// to the subject outcome, and validates through `registry`.
+pub fn run_case(fp: &Fingerprint, case: &Case, registry: &CheckerRegistry) -> CaseOutcome {
+    let subject = execute_subject(case);
+    let mut reference_policy = build_policy(case.knobs.policy, case.knobs.scenario_seed);
+    let reference = simulate(&case.cfg, &case.jobs, reference_policy.as_mut());
+    let status = match (subject, reference) {
+        (Ok(mut subject), Ok(reference)) => {
+            if let Some(fault) = fp.fault {
+                fault.apply(&mut subject);
+            }
+            let cx = CheckContext::new(
+                &subject.trace,
+                &case.jobs,
+                case.cfg.device.reconfig_latency,
+                Some(&subject.stats),
+            )
+            .with_reference(&reference)
+            .with_prefetch_depth(case.knobs.depth);
+            CaseStatus::Checked(registry.run(&cx))
+        }
+        (Err(a), Err(b)) if a == b => CaseStatus::Stalled,
+        (Err(a), Err(b)) => CaseStatus::StallMismatch(format!(
+            "subject stalled with {a:?} but the reference run stalled with {b:?}"
+        )),
+        (Ok(_), Err(b)) => CaseStatus::StallMismatch(format!(
+            "subject completed but the reference run stalled with {b:?}"
+        )),
+        (Err(a), Ok(_)) => CaseStatus::StallMismatch(format!(
+            "subject stalled with {a:?} but the reference run completed"
+        )),
+    };
+    CaseOutcome {
+        fingerprint: *fp,
+        knobs: case.knobs,
+        status,
+    }
+}
+
+/// Re-runs a (possibly minimised) case and reports whether any of the
+/// originally failing checkers still fails.
+fn fails_like(
+    fp: &Fingerprint,
+    case: &Case,
+    registry: &CheckerRegistry,
+    failing: &BTreeSet<&'static str>,
+) -> bool {
+    run_case(fp, case, registry)
+        .failing()
+        .iter()
+        .any(|name| failing.contains(name))
+}
+
+/// The summary of one greedy minimisation pass.
+#[derive(Debug, Default)]
+pub struct MinimizeSummary {
+    /// Human-readable shrink steps that were kept.
+    pub steps: Vec<String>,
+    /// Candidate evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Greedy scenario minimiser: drop job chunks (ddmin-style), then
+/// simplify knobs (prefetch off, annotations stripped, fresh
+/// lifecycle, fewer RUs) — keeping a candidate only while at least one
+/// of the originally failing checkers still fails. Deterministic, and
+/// bounded to 200 candidate evaluations.
+pub fn minimize_case(
+    fp: &Fingerprint,
+    case: &Case,
+    registry: &CheckerRegistry,
+) -> (Case, MinimizeSummary) {
+    let failing: BTreeSet<&'static str> =
+        run_case(fp, case, registry).failing().into_iter().collect();
+    let mut summary = MinimizeSummary::default();
+    if failing.is_empty() {
+        return (case.clone(), summary);
+    }
+    let mut best = case.clone();
+    let mut evals = 0usize;
+    let try_candidate = |candidate: &Case, evals: &mut usize| -> bool {
+        if *evals >= MINIMIZE_BUDGET {
+            return false;
+        }
+        *evals += 1;
+        fails_like(fp, candidate, registry, &failing)
+    };
+
+    // 1. Drop job chunks, halving the chunk size down to single jobs.
+    let mut chunk = best.jobs.len().div_ceil(2);
+    while chunk >= 1 {
+        let mut i = 0;
+        while i < best.jobs.len() {
+            let mut candidate = best.clone();
+            let upper = (i + chunk).min(candidate.jobs.len());
+            candidate.jobs.drain(i..upper);
+            if try_candidate(&candidate, &mut evals) {
+                summary.steps.push(format!(
+                    "dropped jobs [{i}..{upper}) ({} left)",
+                    candidate.jobs.len()
+                ));
+                best = candidate;
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // 2. Prefetch off.
+    if best.knobs.depth != 0 {
+        let mut candidate = best.clone();
+        candidate.knobs.depth = 0;
+        candidate.cfg = candidate.cfg.with_prefetch(PrefetchConfig::off());
+        if try_candidate(&candidate, &mut evals) {
+            summary.steps.push("prefetch depth -> 0".into());
+            best = candidate;
+        }
+    }
+
+    // 3. Strip head-blocking annotations.
+    if !best.knobs.annotate.is_multiple_of(3) {
+        let mut candidate = best.clone();
+        candidate.knobs.annotate = 0;
+        candidate.cfg = candidate.cfg.with_skip_events(false);
+        for job in &mut candidate.jobs {
+            job.mobility = None;
+            job.forced_delays = None;
+        }
+        if try_candidate(&candidate, &mut evals) {
+            summary.steps.push("annotations stripped".into());
+            best = candidate;
+        }
+    }
+
+    // 4. Fresh lifecycle.
+    if best.knobs.lifecycle != Lifecycle::Fresh {
+        let mut candidate = best.clone();
+        candidate.knobs.lifecycle = Lifecycle::Fresh;
+        if try_candidate(&candidate, &mut evals) {
+            summary.steps.push("lifecycle -> fresh".into());
+            best = candidate;
+        }
+    }
+
+    // 5. Fewest RUs that still fail.
+    for rus in 1..best.knobs.rus {
+        let mut candidate = best.clone();
+        candidate.knobs.rus = rus;
+        candidate.cfg = candidate.cfg.with_rus(rus);
+        if try_candidate(&candidate, &mut evals) {
+            summary.steps.push(format!("rus -> {rus}"));
+            best = candidate;
+            break;
+        }
+    }
+
+    summary.evaluations = evals;
+    (best, summary)
+}
+
+/// A case report: the outcome plus its stable rendering (with the
+/// minimised reproduction appended when minimisation ran). Replaying
+/// the same fingerprint yields the byte-identical `rendered` string.
+#[derive(Debug)]
+pub struct CaseReport {
+    /// The (unminimised) case outcome.
+    pub outcome: CaseOutcome,
+    /// The stable violation report.
+    pub rendered: String,
+}
+
+/// The public replay API: materialises the fingerprint's case, runs
+/// it, and (for failing cases, when `minimize` is set) appends the
+/// greedy minimiser's reproduction. Pure function of
+/// `(fingerprint, registry configuration, minimize)`.
+pub fn case_report(fp: &Fingerprint, registry: &CheckerRegistry, minimize: bool) -> CaseReport {
+    let case = build_case(fp);
+    let outcome = run_case(fp, &case, registry);
+    let mut rendered = outcome.render();
+    if minimize && outcome.violation_count() > 0 {
+        let (min_case, summary) = minimize_case(fp, &case, registry);
+        if summary.steps.is_empty() {
+            rendered.push_str("minimized: no shrink kept\n");
+        } else {
+            rendered.push_str(&format!(
+                "minimized ({} evaluations): {}\n",
+                summary.evaluations,
+                summary.steps.join(", ")
+            ));
+            let min_outcome = run_case(fp, &min_case, registry);
+            rendered.push_str("minimized reproduction:\n");
+            rendered.push_str(&format!("knobs: {}\n", min_outcome.knobs.summary()));
+            rendered.push_str(&format!("jobs: {}\n", min_case.jobs.len()));
+            rendered.push_str(&min_outcome.render_status_only());
+        }
+    }
+    CaseReport { outcome, rendered }
+}
+
+impl CaseOutcome {
+    fn render_status_only(&self) -> String {
+        match &self.status {
+            CaseStatus::Checked(report) => report.render(),
+            CaseStatus::Stalled => "stalled (subject and reference agree)\n".into(),
+            CaseStatus::StallMismatch(msg) => format!("stall mismatch: {msg}\n"),
+        }
+    }
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed every case derives from.
+    pub master_seed: u64,
+    /// Number of cases to run.
+    pub cases: u64,
+    /// Whether failing cases are minimised before reporting.
+    pub minimize: bool,
+    /// At most this many failing cases carry full reports (all are
+    /// counted either way).
+    pub max_reported: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            master_seed: 0x0005_EEDC,
+            cases: 1000,
+            minimize: true,
+            max_reported: 10,
+        }
+    }
+}
+
+/// Per-checker campaign totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckerCoverage {
+    /// The checker's registered name.
+    pub name: &'static str,
+    /// Assertions it evaluated across the whole campaign.
+    pub fired: u64,
+    /// Violations it found across the whole campaign.
+    pub violations: u64,
+}
+
+/// One failing case, fingerprint plus rendered report.
+#[derive(Debug)]
+pub struct FailureReport {
+    /// The replayable fingerprint.
+    pub fingerprint: Fingerprint,
+    /// The rendered (minimised) report.
+    pub rendered: String,
+}
+
+/// The aggregate result of one campaign.
+#[derive(Debug)]
+pub struct CampaignSummary {
+    /// Cases executed.
+    pub cases: u64,
+    /// Cases where subject and reference stalled identically.
+    pub stalled: u64,
+    /// Cases with at least one violation.
+    pub violating_cases: u64,
+    /// Cases per lifecycle, indexed like [`Lifecycle::ALL`].
+    pub lifecycle_cases: [u64; 4],
+    /// Completed (checked) cases per depth, indexed like [`DEPTHS`].
+    pub depth_cases: [u64; 4],
+    /// Per-checker fired/violation totals, in registry order.
+    pub coverage: Vec<CheckerCoverage>,
+    /// Stall-mismatch failures (not attributable to one checker).
+    pub stall_mismatches: u64,
+    /// Full reports for the first failing cases.
+    pub failures: Vec<FailureReport>,
+}
+
+impl CampaignSummary {
+    /// True when no case produced a violation.
+    pub fn is_clean(&self) -> bool {
+        self.violating_cases == 0
+    }
+
+    /// Names of registered checkers that never fired — silent holes
+    /// the coverage gate fails on.
+    pub fn unfired(&self) -> Vec<&'static str> {
+        self.coverage
+            .iter()
+            .filter(|c| c.fired == 0)
+            .map(|c| c.name)
+            .collect()
+    }
+
+    /// The per-checker coverage summary as CSV.
+    pub fn coverage_csv(&self) -> String {
+        let mut s = String::from("checker,fired,violations\n");
+        for c in &self.coverage {
+            s.push_str(&format!("{},{},{}\n", c.name, c.fired, c.violations));
+        }
+        s
+    }
+}
+
+/// Runs `config.cases` seeded cases through `registry`, aggregating
+/// per-checker coverage and collecting failure reports.
+pub fn run_campaign(config: &CampaignConfig, registry: &CheckerRegistry) -> CampaignSummary {
+    let mut summary = CampaignSummary {
+        cases: 0,
+        stalled: 0,
+        violating_cases: 0,
+        lifecycle_cases: [0; 4],
+        depth_cases: [0; 4],
+        // Coverage rows for the *enabled* checkers only: a deliberately
+        // disabled checker must not read as a silent coverage hole.
+        coverage: registry
+            .rows()
+            .into_iter()
+            .filter(|(_, _, enabled)| *enabled)
+            .map(|(name, _, _)| CheckerCoverage {
+                name,
+                fired: 0,
+                violations: 0,
+            })
+            .collect(),
+        stall_mismatches: 0,
+        failures: Vec::new(),
+    };
+    for case_index in 0..config.cases {
+        let fp = Fingerprint {
+            master_seed: config.master_seed,
+            case_index,
+            fault: None,
+        };
+        let case = build_case(&fp);
+        let outcome = run_case(&fp, &case, registry);
+        summary.cases += 1;
+        let lifecycle_idx = Lifecycle::ALL
+            .iter()
+            .position(|l| *l == outcome.knobs.lifecycle)
+            .expect("derived lifecycle is canonical");
+        summary.lifecycle_cases[lifecycle_idx] += 1;
+        match &outcome.status {
+            CaseStatus::Checked(report) => {
+                if let Some(depth_idx) = DEPTHS.iter().position(|&d| d == outcome.knobs.depth) {
+                    summary.depth_cases[depth_idx] += 1;
+                }
+                for o in &report.outcomes {
+                    if let Some(c) = summary.coverage.iter_mut().find(|c| c.name == o.name) {
+                        c.fired += o.fired;
+                        c.violations += o.violations.len() as u64;
+                    }
+                }
+            }
+            CaseStatus::Stalled => summary.stalled += 1,
+            CaseStatus::StallMismatch(_) => summary.stall_mismatches += 1,
+        }
+        if outcome.violation_count() > 0 {
+            summary.violating_cases += 1;
+            if summary.failures.len() < config.max_reported {
+                let report = case_report(&fp, registry, config.minimize);
+                summary.failures.push(FailureReport {
+                    fingerprint: fp,
+                    rendered: report.rendered,
+                });
+            }
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_display_parse_round_trip() {
+        for fp in [
+            Fingerprint {
+                master_seed: 0xDEAD_BEEF,
+                case_index: 42,
+                fault: None,
+            },
+            Fingerprint {
+                master_seed: u64::MAX,
+                case_index: 0,
+                fault: Some(Fault::DropExecEnd),
+            },
+            Fingerprint {
+                master_seed: 7,
+                case_index: 999,
+                fault: Some(Fault::BumpReuses),
+            },
+        ] {
+            let s = fp.to_string();
+            assert_eq!(s.parse::<Fingerprint>().unwrap(), fp, "{s}");
+        }
+        assert!("vopr-xyz".parse::<Fingerprint>().is_err());
+        assert!("vopr-10-3-fnope".parse::<Fingerprint>().is_err());
+        assert!("nope-10-3".parse::<Fingerprint>().is_err());
+    }
+
+    #[test]
+    fn knob_derivation_is_deterministic_and_covering() {
+        let mut lifecycles = [0u64; 4];
+        let mut depths = [0u64; 4];
+        for i in 0..16 {
+            let a = CaseKnobs::derive(99, i);
+            let b = CaseKnobs::derive(99, i);
+            assert_eq!(a, b);
+            lifecycles[Lifecycle::ALL
+                .iter()
+                .position(|l| *l == a.lifecycle)
+                .unwrap()] += 1;
+            depths[DEPTHS.iter().position(|&d| d == a.depth).unwrap()] += 1;
+        }
+        assert!(lifecycles.iter().all(|&c| c > 0), "{lifecycles:?}");
+        assert!(depths.iter().all(|&c| c > 0), "{depths:?}");
+    }
+
+    #[test]
+    fn clean_case_replays_clean() {
+        let registry = CheckerRegistry::standard();
+        let fp = Fingerprint {
+            master_seed: 0x0005_EEDC,
+            case_index: 0,
+            fault: None,
+        };
+        let a = case_report(&fp, &registry, true);
+        let b = case_report(&fp, &registry, true);
+        assert_eq!(a.rendered, b.rendered);
+    }
+}

@@ -1,0 +1,177 @@
+//! Anti-vacuity for the invariant-checker registry: a curated golden
+//! scenario suite must make **every** registered checker actually
+//! evaluate something (`fired > 0`). A checker that never fires is a
+//! silent hole — the campaign-level twin of this gate is the `vopr`
+//! smoke run's coverage gate.
+
+use rtr_core::LfdPolicy;
+use rtr_manager::{
+    simulate, CheckContext, CheckerRegistry, JobSpec, Lookahead, ManagerConfig, PrefetchConfig,
+    ReplacementPolicy, SimulationOutcome,
+};
+use rtr_sim::SimDuration;
+use rtr_taskgraph::{benchmarks, TaskGraph};
+use rtr_workload::{ArrivalProcess, SequenceModel};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One golden scenario: a completed run plus the context the registry
+/// needs (reference outcome for `pooled-identity`, prefetch depth for
+/// `prefetch-off-invisible`).
+struct Golden {
+    name: &'static str,
+    outcome: SimulationOutcome,
+    reference: SimulationOutcome,
+    jobs: Vec<JobSpec>,
+    latency: SimDuration,
+    depth: usize,
+}
+
+fn multimedia_jobs(count: usize, seed: u64, arrivals: &ArrivalProcess) -> Vec<JobSpec> {
+    let templates: Vec<Arc<TaskGraph>> = benchmarks::multimedia_suite()
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    let seq = SequenceModel::UniformRandom.generate(&templates, count, seed);
+    let instants = arrivals.generate(count, seed ^ 0xA11);
+    seq.iter()
+        .zip(&instants)
+        .map(|(g, &a)| JobSpec::new(Arc::clone(g)).with_arrival(a))
+        .collect()
+}
+
+fn golden(
+    name: &'static str,
+    cfg: &ManagerConfig,
+    jobs: Vec<JobSpec>,
+    mut policy: Box<dyn ReplacementPolicy>,
+) -> Golden {
+    let outcome = simulate(cfg, &jobs, policy.as_mut()).expect("golden scenario completes");
+    let reference = simulate(cfg, &jobs, policy.as_mut()).expect("golden scenario completes");
+    Golden {
+        name,
+        outcome,
+        reference,
+        jobs,
+        latency: cfg.device.reconfig_latency,
+        depth: cfg.prefetch.depth,
+    }
+}
+
+/// The curated suite, chosen so the union covers every checker:
+/// a batch depth-0 run (`prefetch-off-invisible`), a streaming
+/// prefetch-on run (`prefetch-guard` probes at every speculative
+/// load), and a Skip-Events run (skip/stall paths of
+/// `reuse-residency`). Every scenario carries a reference, so
+/// `pooled-identity` fires throughout.
+fn golden_suite() -> Vec<Golden> {
+    let base = ManagerConfig::paper_default().with_lookahead(Lookahead::Graphs(1));
+    let mut suite = vec![golden(
+        "batch-depth0",
+        &base,
+        multimedia_jobs(40, 11, &ArrivalProcess::Batch),
+        Box::new(LfdPolicy::local(1)),
+    )];
+    let prefetch_cfg = base.clone().with_prefetch(PrefetchConfig::with_depth(4));
+    suite.push(golden(
+        "streaming-prefetch4",
+        &prefetch_cfg,
+        multimedia_jobs(
+            60,
+            42,
+            &ArrivalProcess::Poisson {
+                mean_gap_us: 100_000,
+            },
+        ),
+        Box::new(LfdPolicy::local(1)),
+    ));
+    let skip_cfg = base
+        .clone()
+        .with_lookahead(Lookahead::Graphs(2))
+        .with_skip_events(true);
+    let skip_jobs: Vec<JobSpec> = multimedia_jobs(30, 7, &ArrivalProcess::Batch)
+        .into_iter()
+        .map(|job| {
+            let mobility = Arc::new(
+                rtr_core::compute_mobility(&job.graph, &skip_cfg).expect("mobility computes"),
+            );
+            job.with_mobility(mobility)
+        })
+        .collect();
+    suite.push(golden(
+        "skip-events",
+        &skip_cfg,
+        skip_jobs,
+        Box::new(LfdPolicy::local_with_skip(2)),
+    ));
+    suite
+}
+
+#[test]
+fn every_registered_checker_fires_on_the_golden_suite() {
+    let registry = CheckerRegistry::standard();
+    let mut fired: BTreeMap<&'static str, u64> =
+        registry.names().into_iter().map(|n| (n, 0)).collect();
+    for g in golden_suite() {
+        let cx = CheckContext::new(&g.outcome.trace, &g.jobs, g.latency, Some(&g.outcome.stats))
+            .with_reference(&g.reference)
+            .with_prefetch_depth(g.depth);
+        let report = registry.run(&cx);
+        assert!(
+            report.is_clean(),
+            "golden scenario '{}' must validate:\n{}",
+            g.name,
+            report.render()
+        );
+        for o in &report.outcomes {
+            *fired.get_mut(o.name).expect("registered name") += o.fired;
+        }
+    }
+    let silent: Vec<&&str> = fired
+        .iter()
+        .filter_map(|(name, &n)| (n == 0).then_some(name))
+        .collect();
+    assert!(
+        silent.is_empty(),
+        "checkers never fired on the golden suite (vacuous): {silent:?}\ntotals: {fired:?}"
+    );
+}
+
+#[test]
+fn registry_reports_are_deterministic_and_ordered() {
+    let registry = CheckerRegistry::standard();
+    let suite = golden_suite();
+    let g = &suite[1];
+    let cx = CheckContext::new(&g.outcome.trace, &g.jobs, g.latency, Some(&g.outcome.stats))
+        .with_reference(&g.reference)
+        .with_prefetch_depth(g.depth);
+    let a = registry.run(&cx);
+    let b = registry.run(&cx);
+    assert_eq!(a.render(), b.render(), "reports must be byte-stable");
+    let names: Vec<&'static str> = a.outcomes.iter().map(|o| o.name).collect();
+    assert_eq!(
+        names,
+        registry.names(),
+        "report order must follow registration order"
+    );
+}
+
+#[test]
+fn disabling_a_checker_silences_only_that_checker() {
+    let mut registry = CheckerRegistry::standard();
+    registry
+        .set_enabled("prefetch-guard", false)
+        .expect("registered name");
+    let suite = golden_suite();
+    let g = &suite[1]; // the prefetch-on scenario
+    let cx = CheckContext::new(&g.outcome.trace, &g.jobs, g.latency, Some(&g.outcome.stats))
+        .with_reference(&g.reference)
+        .with_prefetch_depth(g.depth);
+    let report = registry.run(&cx);
+    assert!(report.outcome("prefetch-guard").is_none());
+    assert_eq!(
+        report.outcomes.len(),
+        CheckerRegistry::standard().names().len() - 1
+    );
+    assert!(report.is_clean());
+}

@@ -18,8 +18,8 @@ use rtr_core::{
     compute_mobility, FifoPolicy, LfdPolicy, LfuPolicy, LruPolicy, MruPolicy, RandomPolicy,
 };
 use rtr_manager::{
-    simulate, Engine, FirstCandidatePolicy, JobSpec, Lookahead, ManagerConfig, PrefetchConfig,
-    ReplacementPolicy, SimulationOutcome,
+    simulate, CheckContext, CheckerRegistry, Engine, FirstCandidatePolicy, JobSpec, Lookahead,
+    ManagerConfig, PrefetchConfig, ReplacementPolicy, SimulationOutcome,
 };
 use rtr_taskgraph::TaskGraph;
 use rtr_workload::ArrivalProcess;
@@ -131,28 +131,25 @@ fn run_pooled(engine: &mut Engine, s: &Scenario) -> SimulationOutcome {
     engine.outcome().expect("scenario completes")
 }
 
-fn assert_same(pooled: &SimulationOutcome, fresh: &SimulationOutcome, leg: &str) {
-    // Field-level pins first, so a pooled-reset leak in any hardware
-    // counter names the counter instead of dumping two RunStats. These
-    // are exactly the counters a `reset`/`reset_with_config`/
-    // `reset_replay` must re-zero: the energy/traffic model, the
-    // reconfiguration controller's utilisation, and the prefetch lane.
-    assert_eq!(
-        pooled.stats.traffic, fresh.stats.traffic,
-        "{leg}: traffic/energy counters leaked across a pooled reset"
-    );
-    assert_eq!(
-        pooled.stats.port_busy_time, fresh.stats.port_busy_time,
-        "{leg}: controller busy-time leaked across a pooled reset"
-    );
-    assert_eq!(
-        pooled.stats.prefetch, fresh.stats.prefetch,
-        "{leg}: prefetch counters leaked across a pooled reset"
-    );
-    assert_eq!(pooled.stats, fresh.stats, "{leg}: RunStats diverged");
-    assert_eq!(
-        pooled.trace.events, fresh.trace.events,
-        "{leg}: trace diverged"
+/// The bit-exactness claim is the registry's `pooled-identity` checker
+/// (field-level counter pins first — naming the leaked counter — then
+/// full stats, then the first diverging trace event), run here with the
+/// fresh outcome as the reference. The same implementation backs the
+/// vopr fuzz harness's reset/retarget/replay lifecycles.
+fn assert_same(pooled: &SimulationOutcome, fresh: &SimulationOutcome, s: &Scenario, leg: &str) {
+    let cx = CheckContext::new(
+        &pooled.trace,
+        &s.jobs,
+        s.cfg.device.reconfig_latency,
+        Some(&pooled.stats),
+    )
+    .with_reference(fresh)
+    .with_prefetch_depth(s.cfg.prefetch.depth);
+    let report = CheckerRegistry::standard().run(&cx);
+    assert!(
+        report.is_clean(),
+        "{leg}: pooled run diverged from fresh:\n{}",
+        report.render()
     );
 }
 
@@ -162,20 +159,20 @@ fn assert_same(pooled: &SimulationOutcome, fresh: &SimulationOutcome, leg: &str)
 #[test]
 fn reset_to_empty_batch_matches_fresh_empty_run() {
     let s = build_scenario(7, 2, 5, 4, 0, 1, false, 0);
-    let fresh_empty = run_fresh(&Scenario {
+    let empty = Scenario {
         jobs: Vec::new(),
         ..s.clone()
-    });
+    };
+    let fresh_empty = run_fresh(&empty);
     let mut engine = Engine::new(&s.cfg);
     let _ = run_pooled(&mut engine, &s);
-    let pooled_empty = run_pooled(
-        &mut engine,
-        &Scenario {
-            jobs: Vec::new(),
-            ..s
-        },
+    let pooled_empty = run_pooled(&mut engine, &empty);
+    assert_same(
+        &pooled_empty,
+        &fresh_empty,
+        &empty,
+        "empty batch after a full one",
     );
-    assert_same(&pooled_empty, &fresh_empty, "empty batch after a full one");
 }
 
 proptest! {
@@ -207,20 +204,20 @@ proptest! {
 
         let mut engine = Engine::new(&a.cfg);
         let pooled_a = run_pooled(&mut engine, &a);
-        assert_same(&pooled_a, &fresh_a, "scenario A on a fresh pool");
+        assert_same(&pooled_a, &fresh_a, &a, "scenario A on a fresh pool");
         // Different config, jobs, policy — the pool must not leak.
         let pooled_b = run_pooled(&mut engine, &b);
-        assert_same(&pooled_b, &fresh_b, "scenario B after A");
+        assert_same(&pooled_b, &fresh_b, &b, "scenario B after A");
         // Replay: same jobs re-armed without re-submission.
         let mut policy = build_policy(b.policy_id, b.policy_seed);
         policy.reset();
         engine.reset_replay();
         engine.run(policy.as_mut());
         let replay_b = engine.outcome().expect("replay completes");
-        assert_same(&replay_b, &fresh_b, "scenario B replayed");
+        assert_same(&replay_b, &fresh_b, &b, "scenario B replayed");
         // And back to A, exercising a config retarget after a replay.
         let pooled_a2 = run_pooled(&mut engine, &a);
-        assert_same(&pooled_a2, &fresh_a, "scenario A after replay of B");
+        assert_same(&pooled_a2, &fresh_a, &a, "scenario A after replay of B");
     }
 
     /// Skip Events (mobility-annotated jobs, the paper's Fig. 8 steps
@@ -254,7 +251,7 @@ proptest! {
             }
             engine.run_with(&mut p);
             let pooled = engine.outcome().expect("scenario completes");
-            assert_same(&pooled, &fresh, leg);
+            assert_same(&pooled, &fresh, &s, leg);
         }
     }
 }

@@ -1,9 +1,11 @@
-//! Prefetch-subsystem invariants.
+//! Prefetch-subsystem invariants, validated through the shared
+//! checker registry (`rtr_manager::validate`) — the same named
+//! checkers the `vopr` fuzz harness drives.
 //!
 //! * The **guard**: no speculative load ever evicts a configuration
-//!   with a strictly nearer next use — enforced by the trace validator
-//!   over random scenarios × policies × arrival processes, and shown to
-//!   have teeth against a fabricated violating trace.
+//!   with a strictly nearer next use — enforced by the `prefetch-guard`
+//!   checker over random scenarios × policies × arrival processes, and
+//!   shown to have teeth against a fabricated violating trace.
 //! * **Demand priority**: a speculative load is cancelled the moment a
 //!   demand load needs the port, and coalesced when it is writing
 //!   exactly the configuration demand wants.
@@ -22,10 +24,9 @@ use reconfig_reuse::taskgraph::generate::{self, GenConfig};
 use rtr_core::{
     compute_mobility, FifoPolicy, LfdPolicy, LfuPolicy, LruPolicy, MruPolicy, RandomPolicy,
 };
-use rtr_manager::validate::{assert_valid, validate_trace};
 use rtr_manager::{
-    simulate, FirstCandidatePolicy, JobSpec, Lookahead, ManagerConfig, PrefetchConfig,
-    ReplacementPolicy, SimulationOutcome, TraceEvent,
+    simulate, CheckContext, CheckerRegistry, FirstCandidatePolicy, JobSpec, Lookahead,
+    ManagerConfig, PrefetchConfig, ReplacementPolicy, SimulationOutcome, TraceEvent,
 };
 use rtr_sim::SimDuration;
 use rtr_taskgraph::{benchmarks, ConfigId, TaskGraph, TaskGraphBuilder};
@@ -36,17 +37,27 @@ fn ms(x: u64) -> SimDuration {
     SimDuration::from_ms(x)
 }
 
+/// Runs the scenario and validates it through the full checker
+/// registry, prefetch-depth context included (so `prefetch-off-
+/// invisible` engages on depth-0 runs).
 fn run(
     cfg: &ManagerConfig,
     jobs: &[JobSpec],
     policy: &mut dyn ReplacementPolicy,
 ) -> SimulationOutcome {
     let out = simulate(cfg, jobs, policy).expect("scenario completes");
-    assert_valid(
+    let cx = CheckContext::new(
         &out.trace,
         jobs,
         cfg.device.reconfig_latency,
         Some(&out.stats),
+    )
+    .with_prefetch_depth(cfg.prefetch.depth);
+    let report = CheckerRegistry::standard().run(&cx);
+    assert!(
+        report.is_clean(),
+        "checker registry found violations:\n{}",
+        report.render()
     );
     out
 }
@@ -94,11 +105,8 @@ fn streaming_prefetch_hides_loads_and_raises_reuse() {
             on.stats.prefetch.hits > 0,
             "prefetches must convert to hits"
         );
-        assert_eq!(
-            on.stats.prefetch.issued,
-            on.stats.prefetch.completed + on.stats.prefetch.cancelled,
-            "every speculative load completes or is cancelled"
-        );
+        // (issued = completed + cancelled is asserted on every `run`
+        // by the registry's `prefetch-accounting` checker.)
         // Prefetch hits surface as reuse claims.
         assert!(on.stats.reuses >= off.stats.reuses);
     }
@@ -282,17 +290,26 @@ fn prefetch_off_is_invisible() {
     let jobs: Vec<JobSpec> = seq.iter().map(|g| JobSpec::new(Arc::clone(g))).collect();
     let default_cfg = ManagerConfig::paper_default();
     let explicit_off = default_cfg.clone().with_prefetch(PrefetchConfig::off());
+    // `run` already applies `prefetch-off-invisible` to both runs (no
+    // speculative events, zeroed counters); the bit-exactness claim is
+    // the registry's `pooled-identity` checker with the explicit-off
+    // run as the reference.
     let a = run(&default_cfg, &jobs, &mut LfdPolicy::local(1));
     let b = run(&explicit_off, &jobs, &mut LfdPolicy::local(1));
-    assert_eq!(a.stats, b.stats);
-    assert_eq!(a.trace, b.trace);
-    assert_eq!(a.stats.prefetch, Default::default());
-    assert!(!a.trace.iter().any(|e| matches!(
-        e,
-        TraceEvent::PrefetchStart { .. }
-            | TraceEvent::PrefetchEnd { .. }
-            | TraceEvent::PrefetchCancel { .. }
-    )));
+    let cx = CheckContext::new(
+        &a.trace,
+        &jobs,
+        default_cfg.device.reconfig_latency,
+        Some(&a.stats),
+    )
+    .with_reference(&b)
+    .with_prefetch_depth(0);
+    let report = CheckerRegistry::standard().run(&cx);
+    assert!(
+        report.is_clean(),
+        "default config must be bit-identical with explicit prefetch-off:\n{}",
+        report.render()
+    );
 }
 
 /// The validator's guard rule has teeth: a fabricated trace whose
@@ -360,12 +377,22 @@ fn validator_rejects_guard_violations() {
     ] {
         trace.push(ev);
     }
-    let violations = validate_trace(&trace, &jobs, ms(4), None);
+    let cx = CheckContext::new(&trace, &jobs, ms(4), None);
+    let report = CheckerRegistry::standard().run(&cx);
+    let guard = report
+        .outcome("prefetch-guard")
+        .expect("prefetch-guard is registered");
     assert!(
-        violations
+        guard
+            .violations
             .iter()
             .any(|v| v.0.contains("prefetch guard violated")),
-        "expected a guard violation, got: {violations:?}"
+        "expected the prefetch-guard checker to flag the eviction, got:\n{}",
+        report.render()
+    );
+    assert!(
+        report.failing().contains(&"prefetch-guard"),
+        "the violation must be attributed to prefetch-guard by name"
     );
 }
 
@@ -474,7 +501,15 @@ proptest! {
         // error, not a guard property; only completed runs validate.
         match simulate(&cfg, &jobs, policy.as_mut()) {
             Ok(out) => {
-                assert_valid(&out.trace, &jobs, cfg.device.reconfig_latency, Some(&out.stats));
+                let cx = CheckContext::new(
+                    &out.trace,
+                    &jobs,
+                    cfg.device.reconfig_latency,
+                    Some(&out.stats),
+                )
+                .with_prefetch_depth(cfg.prefetch.depth);
+                let report = CheckerRegistry::standard().run(&cx);
+                prop_assert!(report.is_clean(), "violations:\n{}", report.render());
             }
             Err(e) => prop_assert!(annotate % 3 == 2, "unexpected stall: {e}"),
         }
