@@ -17,11 +17,13 @@
 //! fixed master seed, 1000 cases, all checkers enabled; it writes the
 //! per-checker coverage summary to `results/vopr_coverage.csv`, fails
 //! on any violation, and fails if any registered checker never fired
-//! or any lifecycle/required depth went unexercised.
+//! or any lifecycle, required depth, preemption mode or QoS class mix
+//! went unexercised.
 
-use rtr_manager::CheckerRegistry;
+use rtr_manager::{CheckerRegistry, PreemptionMode};
 use rtr_workload::vopr::{
-    case_report, run_campaign, CampaignConfig, CampaignSummary, Fingerprint, Lifecycle, DEPTHS,
+    case_report, qos_mix_label, run_campaign, CampaignConfig, CampaignSummary, Fingerprint,
+    Lifecycle, DEPTHS,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -130,6 +132,14 @@ fn print_summary(summary: &CampaignSummary) {
     for (d, n) in DEPTHS.iter().zip(summary.depth_cases) {
         print!(" {d}={n}");
     }
+    print!("\npreemption modes:");
+    for (m, n) in PreemptionMode::ALL.iter().zip(summary.preemption_cases) {
+        print!(" {}={n}", m.label());
+    }
+    print!("\nqos mixes:");
+    for (mix, n) in summary.qos_mix_cases.iter().enumerate() {
+        print!(" {}={n}", qos_mix_label(mix as u8));
+    }
     println!("\n\nchecker coverage (fired / violations):");
     for c in &summary.coverage {
         println!("  {:<22} {:>10} / {}", c.name, c.fired, c.violations);
@@ -147,8 +157,9 @@ fn print_summary(summary: &CampaignSummary) {
 }
 
 /// The coverage gate: every registered checker fired, every lifecycle
-/// ran, and the depths the acceptance envelope names (0 and 4) were
-/// both exercised by checked cases.
+/// ran, the depths the acceptance envelope names (0 and 4) were both
+/// exercised by checked cases, and every preemption mode and QoS
+/// class mix was exercised at least once.
 fn coverage_gate(summary: &CampaignSummary) -> Result<(), String> {
     let unfired = summary.unfired();
     if !unfired.is_empty() {
@@ -162,6 +173,19 @@ fn coverage_gate(summary: &CampaignSummary) -> Result<(), String> {
     for (d, n) in DEPTHS.iter().zip(summary.depth_cases) {
         if (*d == 0 || *d == 4) && n == 0 {
             return Err(format!("prefetch depth {d} had no checked case"));
+        }
+    }
+    for (m, n) in PreemptionMode::ALL.iter().zip(summary.preemption_cases) {
+        if n == 0 {
+            return Err(format!("preemption mode '{}' never ran", m.label()));
+        }
+    }
+    for (mix, n) in summary.qos_mix_cases.iter().enumerate() {
+        if *n == 0 {
+            return Err(format!(
+                "qos class mix '{}' never ran",
+                qos_mix_label(mix as u8)
+            ));
         }
     }
     Ok(())
@@ -228,7 +252,10 @@ fn run() -> Result<ExitCode, String> {
             .map_err(|e| format!("write {}: {e}", csv_path.display()))?;
         println!("\ncoverage summary written to {}", csv_path.display());
         coverage_gate(&summary)?;
-        println!("coverage gate: all checkers fired, all lifecycles and required depths ran");
+        println!(
+            "coverage gate: all checkers fired; all lifecycles, required depths, \
+             preemption modes and qos mixes ran"
+        );
     }
 
     Ok(if summary.is_clean() {

@@ -18,6 +18,9 @@
 //!   sequences the hybrid way (precomputed once per template) or the
 //!   purely run-time way (recomputed at every arrival), backing the
 //!   paper's 10× claim.
+//! * [`slack_lfd`] — the deadline-aware **Slack-Aware LFD**: victims
+//!   ordered by their owner's remaining slack, LFD order as tie-break
+//!   (identical to LFD on deadline-free runs).
 //! * [`registry`] — the process-wide design-time memo
 //!   ([`TemplateRegistry`]): structural artifacts plus mobility
 //!   vectors, shared across grid cells, worker threads and pooled
@@ -29,6 +32,7 @@ pub mod lfd;
 pub mod mobility;
 pub mod pipeline;
 pub mod registry;
+pub mod slack_lfd;
 mod stamp;
 
 pub use annotate::{AnnotatedTemplate, TemplateCache};
@@ -36,6 +40,7 @@ pub use history::{FifoPolicy, LfuPolicy, LruPolicy, MruPolicy, RandomPolicy};
 pub use lfd::{LfdPolicy, TieBreak};
 pub use mobility::{compute_mobility, MobilityError};
 pub use registry::TemplateRegistry;
+pub use slack_lfd::SlackAwareLfdPolicy;
 // The incremental next-occurrence index lives in `rtr-manager` (the
 // engine maintains it), but it is the paper's decision-layer machinery,
 // so the canonical path re-exports here.

@@ -419,6 +419,60 @@ impl RuPool {
         }
     }
 
+    /// Revokes an in-flight execution — the preemption path. The task
+    /// stops immediately; its configuration stays resident and becomes
+    /// **unclaimed** (a reuse and eviction candidate), so a preemptor
+    /// can always find a victim RU. Whether the interrupted work is
+    /// replayed from scratch (kill) or resumed from a checkpoint is the
+    /// manager's accounting, not the pool's.
+    pub fn revoke_execution(&mut self, ru: RuId) -> Result<ConfigId, TransitionError> {
+        match self.states[ru.idx()] {
+            RuState::Executing { config } => {
+                if self.mask_tracking {
+                    self.reusable.mark(config, ru.idx());
+                }
+                self.states[ru.idx()] = RuState::Loaded {
+                    config,
+                    claimed: false,
+                };
+                Ok(config)
+            }
+            found => Err(TransitionError {
+                ru,
+                found,
+                attempted: "revoke_execution",
+            }),
+        }
+    }
+
+    /// Releases a claim without executing — the other preemption path:
+    /// a configuration placed for a task that has not started yet is
+    /// handed back to the pool (resident, unclaimed) when its graph is
+    /// suspended. The suspended job re-claims it on resume if it is
+    /// still there.
+    pub fn release_claim(&mut self, ru: RuId) -> Result<ConfigId, TransitionError> {
+        match self.states[ru.idx()] {
+            RuState::Loaded {
+                config,
+                claimed: true,
+            } => {
+                if self.mask_tracking {
+                    self.reusable.mark(config, ru.idx());
+                }
+                self.states[ru.idx()] = RuState::Loaded {
+                    config,
+                    claimed: false,
+                };
+                Ok(config)
+            }
+            found => Err(TransitionError {
+                ru,
+                found,
+                attempted: "release_claim",
+            }),
+        }
+    }
+
     /// Finishes execution; the configuration stays resident, unclaimed
     /// (it becomes a reuse and eviction candidate).
     pub fn finish_execution(&mut self, ru: RuId) -> Result<ConfigId, TransitionError> {
@@ -591,6 +645,52 @@ mod tests {
         assert!(!pool.is_resident(C1));
         // Cancelling with nothing loading is rejected.
         assert!(pool.cancel_load(ru).is_err());
+    }
+
+    #[test]
+    fn revoked_execution_leaves_config_unclaimed_and_reusable() {
+        let mut pool = RuPool::new(2);
+        let ru = RuId(0);
+        pool.begin_load(ru, C1).unwrap();
+        pool.finish_load(ru).unwrap();
+        pool.begin_execution(ru).unwrap();
+        // Preempt mid-execution: config stays, claim drops.
+        assert_eq!(pool.revoke_execution(ru).unwrap(), C1);
+        assert_eq!(
+            pool.state(ru),
+            RuState::Loaded {
+                config: C1,
+                claimed: false
+            }
+        );
+        assert!(pool.state(ru).is_eviction_candidate());
+        assert_eq!(pool.find_reusable(C1), Some(ru));
+        // The suspended owner (or anyone else) can re-claim and run.
+        pool.claim_for_reuse(ru, C1).unwrap();
+        pool.begin_execution(ru).unwrap();
+        pool.finish_execution(ru).unwrap();
+        // Revoking a non-executing RU is rejected.
+        assert!(pool.revoke_execution(ru).is_err());
+        assert!(pool.revoke_execution(RuId(1)).is_err());
+    }
+
+    #[test]
+    fn released_claim_becomes_candidate_and_reclaims() {
+        let mut pool = RuPool::new(1);
+        let ru = RuId(0);
+        pool.begin_load(ru, C1).unwrap();
+        pool.finish_load(ru).unwrap(); // claimed, not yet executing
+        assert_eq!(pool.release_claim(ru).unwrap(), C1);
+        assert!(pool.state(ru).is_eviction_candidate());
+        // Evictable by a preemptor's load...
+        assert_eq!(pool.find_reusable(C1), Some(ru));
+        // ...or re-claimable by the suspended owner on resume.
+        pool.claim_for_reuse(ru, C1).unwrap();
+        // Releasing an unclaimed or executing RU is rejected.
+        pool.begin_execution(ru).unwrap();
+        assert!(pool.release_claim(ru).is_err());
+        pool.finish_execution(ru).unwrap();
+        assert!(pool.release_claim(ru).is_err());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Manager configuration.
 
+use crate::qos::PreemptionMode;
 use rtr_hw::DeviceSpec;
 use serde::{Deserialize, Serialize};
 
@@ -100,6 +101,9 @@ pub struct ManagerConfig {
     /// Speculative configuration prefetching (off by default — the
     /// paper's manager only loads on demand).
     pub prefetch: PrefetchConfig,
+    /// Preemption policy for higher-priority arrivals (off by default —
+    /// the pre-QoS run-to-completion engine, bit-exact).
+    pub preemption: PreemptionMode,
 }
 
 impl ManagerConfig {
@@ -114,6 +118,7 @@ impl ManagerConfig {
             reuse_enabled: true,
             record_trace: true,
             prefetch: PrefetchConfig::off(),
+            preemption: PreemptionMode::Off,
         }
     }
 
@@ -152,6 +157,12 @@ impl ManagerConfig {
         self.prefetch = prefetch;
         self
     }
+
+    /// Builder-style preemption-mode override.
+    pub fn with_preemption(mut self, mode: PreemptionMode) -> Self {
+        self.preemption = mode;
+        self
+    }
 }
 
 impl Default for ManagerConfig {
@@ -180,14 +191,32 @@ mod tests {
             .with_skip_events(true)
             .with_reuse(false)
             .with_trace(false)
-            .with_prefetch(PrefetchConfig::with_depth(3));
+            .with_prefetch(PrefetchConfig::with_depth(3))
+            .with_preemption(PreemptionMode::Checkpoint);
         assert_eq!(c.rus, 6);
+        assert_eq!(c.preemption, PreemptionMode::Checkpoint);
         assert_eq!(c.lookahead, Lookahead::All);
         assert!(c.skip_events);
         assert!(!c.reuse_enabled);
         assert!(!c.record_trace);
         assert_eq!(c.prefetch.depth, 3);
         assert!(c.prefetch.enabled());
+    }
+
+    #[test]
+    fn preemption_defaults_off_and_legacy_json_loads() {
+        assert_eq!(
+            ManagerConfig::paper_default().preemption,
+            PreemptionMode::Off
+        );
+        // A pre-QoS serialized config (no `preemption` key) still
+        // deserializes, defaulting the mode to Off.
+        let mut v = Serialize::serialize(&ManagerConfig::paper_default());
+        if let serde::Value::Object(m) = &mut v {
+            m.remove("preemption");
+        }
+        let back = <ManagerConfig as Deserialize>::deserialize(&v).unwrap();
+        assert_eq!(back, ManagerConfig::paper_default());
     }
 
     #[test]

@@ -39,9 +39,12 @@ impl ManagerState {
     /// `Lookahead::All` is clairvoyant only about the enqueued backlog.
     /// In the batch setting every job arrives at t = 0 and this is
     /// exactly the paper's Dynamic List over the remaining sequence.
-    fn decision_window(&self, job: &ActiveJob) -> ReuseWindow {
+    fn decision_window(&self, job: &ActiveJob, is_recovery: bool) -> ReuseWindow {
+        // A recovery re-load places an already-issued node, so the
+        // sequence head itself is still part of the visible future.
+        let consumed = job.seq_pos + usize::from(!is_recovery);
         let visible = self.cfg.lookahead.visible_graphs(self.arrived.len());
-        self.reuse_index.window(job.seq_pos + 1, visible)
+        self.reuse_index.window(consumed, visible)
     }
 
     /// The replacement module (Fig. 8) plus the speculative lane:
@@ -63,25 +66,31 @@ impl ManagerState {
     /// The demand path: reuse claims cascade (they occupy no
     /// circuitry); at most one load can start (it occupies the
     /// circuitry, cancelling an in-flight speculative load if one holds
-    /// the port).
+    /// the port). A resumed graph's recovery queue is serviced before
+    /// the sequence cursor advances — those nodes were already issued
+    /// once and lost their placement at suspension.
     fn advance_demand<P: ReplacementPolicy + ?Sized>(&mut self, now: SimTime, policy: &mut P) {
         loop {
             if !self.demand_port_free() {
                 return;
             }
-            let (node, config, job_idx, forced_delay_pending) = {
+            let (node, config, job_idx, forced_delay_pending, is_recovery) = {
                 let Some(job) = self.current.as_ref() else {
                     return;
                 };
-                if job.seq_pos >= job.tpl.rec_seq.len() {
-                    return;
+                if let Some(&node) = job.replaced.first() {
+                    (node, job.graph().config_of(node), job.idx, false, true)
+                } else {
+                    if job.seq_pos >= job.tpl.rec_seq.len() {
+                        return;
+                    }
+                    let node = job.tpl.rec_seq[job.seq_pos];
+                    let forced = job
+                        .forced_delays
+                        .as_ref()
+                        .is_some_and(|req| job.forced_skips_done[node.idx()] < req[node.idx()]);
+                    (node, job.tpl.cfg_seq[job.seq_pos], job.idx, forced, false)
                 }
-                let node = job.tpl.rec_seq[job.seq_pos];
-                let forced = job
-                    .forced_delays
-                    .as_ref()
-                    .is_some_and(|req| job.forced_skips_done[node.idx()] < req[node.idx()]);
-                (node, job.tpl.cfg_seq[job.seq_pos], job.idx, forced)
             };
 
             // Forced delay probes (design-time mobility calculation,
@@ -101,7 +110,11 @@ impl ManagerState {
 
             // Reuse: "the RU has identified that a task can be reused
             // since it was already loaded in a previous execution".
-            if self.claim_reuse(node, config, job_idx, now, policy) {
+            if self.claim_reuse(node, config, job_idx, !is_recovery, now, policy) {
+                if is_recovery {
+                    let job = self.current.as_mut().expect("checked above");
+                    job.replaced.remove(0);
+                }
                 continue;
             }
 
@@ -126,19 +139,29 @@ impl ManagerState {
             } else {
                 let mut candidates = std::mem::take(&mut self.candidates);
                 self.fill_candidates(&mut candidates);
+                // Deadline-aware runs attach a per-segment slack table
+                // so the policy can weigh owners' urgency; the buffer
+                // is pooled and stays empty otherwise.
+                if self.qos_deadlines {
+                    self.fill_slack_scratch();
+                }
+                let slack_buf = std::mem::take(&mut self.slack_scratch);
                 let outcome = if candidates.is_empty() {
                     // Fig. 8 step 3: no victim — retry at the next event.
                     Decision::Stall
                 } else {
                     let job = self.current.as_ref().expect("checked above");
-                    let window = self.decision_window(job);
-                    let ctx = DecisionContext::indexed(
+                    let window = self.decision_window(job, is_recovery);
+                    let mut ctx = DecisionContext::indexed(
                         now,
                         config,
                         &candidates,
                         &self.reuse_index,
                         window,
                     );
+                    if !slack_buf.is_empty() {
+                        ctx = ctx.with_owner_slack(&slack_buf);
+                    }
                     let victim = policy.select_victim(&ctx);
                     let victim_cfg = candidates
                         .iter()
@@ -154,7 +177,8 @@ impl ManagerState {
                     // configuration will be requested within the visible
                     // window and the new task still has mobility budget,
                     // delay the reconfiguration to the next event.
-                    let do_skip = self.cfg.skip_events
+                    let do_skip = !is_recovery
+                        && self.cfg.skip_events
                         && job.mobility.as_ref().is_some_and(|mob| {
                             mob[node.idx()] > job.skipped_events
                                 && self.reuse_index.contains(victim_cfg, window)
@@ -166,6 +190,7 @@ impl ManagerState {
                     }
                 };
                 self.candidates = candidates;
+                self.slack_scratch = slack_buf;
                 match outcome {
                     Decision::Stall => {
                         self.stalls += 1;
@@ -192,7 +217,11 @@ impl ManagerState {
                 }
             };
 
-            self.begin_reconfiguration(target, node, config, job_idx, now);
+            self.begin_reconfiguration(target, node, config, job_idx, !is_recovery, now);
+            if is_recovery {
+                let job = self.current.as_mut().expect("checked above");
+                job.replaced.remove(0);
+            }
             // Controller now busy: the loop exits on the next check.
         }
     }

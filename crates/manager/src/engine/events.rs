@@ -31,8 +31,11 @@ pub(crate) enum Event {
     /// reconfiguration priority class — the port is single, so the two
     /// can never be simultaneous).
     EndOfPrefetch { ru: RuId, config: ConfigId },
-    /// A task finished executing.
-    EndOfExecution { ru: RuId, node: NodeId },
+    /// A task finished executing. `token` is the RU's execution
+    /// generation at start time: a preemption that revokes the
+    /// execution bumps the RU's counter, so this event arrives stale
+    /// and is dropped. Always zero with preemption off.
+    EndOfExecution { ru: RuId, node: NodeId, token: u64 },
 }
 
 impl ManagerState {
@@ -58,6 +61,20 @@ impl ManagerState {
                     if self.pending_activation.is_none() {
                         self.pending_activation = Some(now);
                     }
+                } else if self.cfg.preemption.enabled()
+                    && self
+                        .current
+                        .as_ref()
+                        .is_some_and(|j| jobs[idx].qos.priority > j.priority)
+                {
+                    // A strictly-higher-priority arrival suspends the
+                    // running graph (immediately, or once the in-flight
+                    // demand load lands); the activation slot then picks
+                    // the highest-priority waiter at this same instant.
+                    self.request_preemption(now, jobs);
+                    if self.current.is_some() {
+                        self.try_advance(now, policy);
+                    }
                 } else {
                     // The Dynamic List just grew: a stalled or skipped
                     // reconfiguration of the current graph may retry at
@@ -74,23 +91,41 @@ impl ManagerState {
                     "no cross-graph demand reconfigurations can be in flight \
                      (a speculative prefetch may span the boundary)"
                 );
-                let idx = self
-                    .arrived
-                    .pop_front()
-                    .expect("activation follows an arrival");
-                let job = ActiveJob::new(
-                    idx as u32,
-                    &jobs[idx],
-                    &self.job_templates[idx],
-                    &mut self.scratch,
-                );
-                self.record(|| TraceEvent::GraphStart {
-                    job: idx as u32,
-                    at: now,
-                });
-                self.graph_arrivals.push(jobs[idx].arrival);
-                self.current = Some(job);
-                policy.on_graph_start(idx as u32, now);
+                let best = self.best_arrived(jobs);
+                let resume = self
+                    .suspended
+                    .last()
+                    .is_some_and(|s| best.is_none_or(|(_, p)| s.priority >= p));
+                if resume {
+                    self.resume_suspended(now, policy);
+                    self.rebuild_reuse_index(jobs);
+                } else {
+                    let (pos, _) = best.expect("activation follows an arrival");
+                    let idx = if pos == 0 {
+                        self.arrived.pop_front().expect("best_arrived saw it")
+                    } else {
+                        self.arrived.remove(pos).expect("best_arrived saw it")
+                    };
+                    let job = ActiveJob::new(
+                        idx as u32,
+                        &jobs[idx],
+                        &self.job_templates[idx],
+                        &mut self.scratch,
+                    );
+                    self.record(|| TraceEvent::GraphStart {
+                        job: idx as u32,
+                        at: now,
+                    });
+                    self.current = Some(job);
+                    policy.on_graph_start(idx as u32, now);
+                    // Skipping the rebuild is only sound while the index
+                    // still mirrors plain arrival order and nothing is
+                    // suspended — i.e. on every uniform-priority run.
+                    if !(self.index_fifo && pos == 0 && self.suspended.is_empty()) {
+                        self.rebuild_reuse_index(jobs);
+                        self.index_fifo = false;
+                    }
+                }
                 self.try_advance(now, policy);
             }
             Event::EndOfReconfiguration { ru, node } => {
@@ -117,6 +152,16 @@ impl ManagerState {
                     at: now,
                 });
                 policy.on_load_complete(config, ru, now);
+                // A preemption deferred behind this demand load executes
+                // now, before the landed task can start (its claim is
+                // released and recovered on resume instead).
+                if self.pending_preempt {
+                    self.pending_preempt = false;
+                    self.execute_preemption(now, jobs);
+                    if self.current.is_none() {
+                        return;
+                    }
+                }
                 // Fig. 4 lines 6–8: start the task if it is ready.
                 if self.current.as_ref().is_some_and(|j| j.ready(node)) {
                     self.start_execution(node, now, policy);
@@ -131,7 +176,12 @@ impl ManagerState {
                 // now-idle port may plan the next prefetch.
                 self.try_advance(now, policy);
             }
-            Event::EndOfExecution { ru, node } => {
+            Event::EndOfExecution { ru, node, token } => {
+                if token != self.exec_token[ru.idx()] {
+                    // The execution this completion belonged to was
+                    // revoked by a preemption; the event is stale.
+                    return;
+                }
                 let config = self
                     .pool
                     .finish_execution(ru)
@@ -142,6 +192,7 @@ impl ManagerState {
                         .as_mut()
                         .expect("executions only happen for the current graph");
                     job.done_count += 1;
+                    job.done[node.idx()] = true;
                     (job.idx, job.done_count, job.graph().len())
                 };
                 self.executed += 1;
@@ -201,8 +252,26 @@ impl ManagerState {
                     self.scratch.reclaim(finished);
                     self.retire_front_job();
                     self.completed_jobs += 1;
+                    // QoS ledger: arrivals and completions are pushed
+                    // together so positional pairing survives
+                    // out-of-order activation; default-class jobs get a
+                    // zero-lateness record.
+                    let spec = &jobs[job_idx as usize];
+                    self.graph_arrivals.push(spec.arrival);
                     self.graph_completions.push(now);
-                    if !self.arrived.is_empty() {
+                    let sojourn = now.since(spec.arrival);
+                    let lateness = spec
+                        .qos
+                        .deadline
+                        .map_or(rtr_sim::SimDuration::ZERO, |d| now.saturating_since(d));
+                    if !lateness.is_zero() {
+                        self.qos_deadline_misses += 1;
+                        self.qos_tardiness += lateness;
+                    }
+                    self.qos_records
+                        .push((spec.qos.priority, sojourn, lateness));
+                    self.pending_preempt = false;
+                    if !self.arrived.is_empty() || !self.suspended.is_empty() {
                         debug_assert!(
                             self.pending_activation.is_none(),
                             "no activation can pend while a graph was current"

@@ -32,7 +32,7 @@ use crate::policy::VictimCandidate;
 use crate::reuse_index::ReuseIndex;
 use crate::trace::{Trace, TraceEvent};
 use rtr_hw::{EnergyModel, LoadLane, ReconfigController, RuId, RuPool};
-use rtr_sim::{EventQueue, SimTime};
+use rtr_sim::{EventQueue, SimDuration, SimTime};
 use rtr_taskgraph::{ConfigId, NodeId, TaskGraph, TemplateArtifacts};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -40,6 +40,7 @@ use std::sync::Arc;
 pub(crate) mod decision;
 pub(crate) mod events;
 pub(crate) mod prefetch;
+pub(crate) mod qos;
 pub(crate) mod residency;
 
 pub(crate) use events::{
@@ -53,6 +54,9 @@ pub(crate) use events::{
 #[derive(Debug)]
 pub(crate) struct ActiveJob {
     pub(crate) idx: u32,
+    /// Lane priority of the job's QoS class (cached from the spec: the
+    /// preemption trigger compares it on every arrival).
+    pub(crate) priority: u8,
     /// Shared design-time artifacts of the job's template (graph,
     /// reconfiguration sequence, configuration projection, predecessor
     /// counts).
@@ -63,6 +67,25 @@ pub(crate) struct ActiveJob {
     pub(crate) node_ru: Vec<Option<RuId>>,
     pub(crate) loaded: Vec<bool>,
     pub(crate) exec_started: Vec<bool>,
+    /// Per-node completion flags (`done_count` aggregates them): a
+    /// suspension must distinguish finished nodes from in-flight ones.
+    pub(crate) done: Vec<bool>,
+    /// Start instant of the node's in-flight execution (valid while
+    /// `exec_started` and not `done`) — a kill charges the elapsed part
+    /// to `lost_work_cycles`.
+    pub(crate) exec_start: Vec<SimTime>,
+    /// Scheduled completion instant of the in-flight execution — a
+    /// checkpoint preserves `exec_end − now` as the remainder.
+    pub(crate) exec_end: Vec<SimTime>,
+    /// Checkpointed remainder: when nonzero, the node's next execution
+    /// runs for `resume_left + reconfig latency` (the restore penalty)
+    /// instead of its full design-time time.
+    pub(crate) resume_left: Vec<SimDuration>,
+    /// Recovery queue of a resumed graph: nodes already past the
+    /// sequence cursor whose placements were released at suspension, in
+    /// reconfiguration-sequence order. Serviced by the demand path
+    /// before the cursor advances.
+    pub(crate) replaced: Vec<NodeId>,
     pub(crate) done_count: usize,
     /// Run-time Skip Events counter — "initialized externally to this
     /// function each time a new task graph starts its execution"
@@ -97,14 +120,34 @@ impl ActiveJob {
         let mut forced_skips_done = std::mem::take(&mut scratch.forced_skips_done);
         forced_skips_done.clear();
         forced_skips_done.resize(n, 0);
+        let mut done = std::mem::take(&mut scratch.done);
+        done.clear();
+        done.resize(n, false);
+        let mut exec_start = std::mem::take(&mut scratch.exec_start);
+        exec_start.clear();
+        exec_start.resize(n, SimTime::ZERO);
+        let mut exec_end = std::mem::take(&mut scratch.exec_end);
+        exec_end.clear();
+        exec_end.resize(n, SimTime::ZERO);
+        let mut resume_left = std::mem::take(&mut scratch.resume_left);
+        resume_left.clear();
+        resume_left.resize(n, SimDuration::ZERO);
+        let mut replaced = std::mem::take(&mut scratch.replaced);
+        replaced.clear();
         ActiveJob {
             idx,
+            priority: spec.qos.priority,
             tpl: Arc::clone(tpl),
             seq_pos: 0,
             pending_preds,
             node_ru,
             loaded,
             exec_started,
+            done,
+            exec_start,
+            exec_end,
+            resume_left,
+            replaced,
             done_count: 0,
             skipped_events: 0,
             forced_skips_done,
@@ -134,6 +177,11 @@ pub(crate) struct JobScratch {
     node_ru: Vec<Option<RuId>>,
     loaded: Vec<bool>,
     exec_started: Vec<bool>,
+    done: Vec<bool>,
+    exec_start: Vec<SimTime>,
+    exec_end: Vec<SimTime>,
+    resume_left: Vec<SimDuration>,
+    replaced: Vec<NodeId>,
     forced_skips_done: Vec<u32>,
 }
 
@@ -144,6 +192,11 @@ impl JobScratch {
         self.node_ru = job.node_ru;
         self.loaded = job.loaded;
         self.exec_started = job.exec_started;
+        self.done = job.done;
+        self.exec_start = job.exec_start;
+        self.exec_end = job.exec_end;
+        self.resume_left = job.resume_left;
+        self.replaced = job.replaced;
         self.forced_skips_done = job.forced_skips_done;
     }
 }
@@ -218,10 +271,57 @@ pub(crate) struct ManagerState {
     pub(crate) prefetched: Vec<bool>,
     /// Pooled scratch for the planner's next-k-configs query.
     pub(crate) prefetch_scratch: Vec<ConfigId>,
-    /// Arrival instant of each graph, in activation order.
+    /// Arrival instant of each graph, in completion order (paired
+    /// positionally with `graph_completions` — both are pushed together
+    /// at `GraphEnd`, so the pairing survives out-of-order activation
+    /// under QoS lanes and preemption).
     pub(crate) graph_arrivals: Vec<SimTime>,
     pub(crate) graph_completions: Vec<SimTime>,
     pub(crate) makespan_end: SimTime,
+    /// LIFO stack of preempted graphs (priority increases toward the
+    /// top). A suspended graph resumes when it out-prioritises every
+    /// waiting arrival at an activation instant.
+    pub(crate) suspended: Vec<ActiveJob>,
+    /// Per-RU generation counter for `EndOfExecution` events. Revoking
+    /// an in-flight execution bumps the RU's token, orphaning the
+    /// already-scheduled completion event (dropped on pop). All zero —
+    /// and never consulted — with preemption off.
+    pub(crate) exec_token: Vec<u64>,
+    /// A preemption was requested while a demand load was in flight;
+    /// executed (after re-checking the trigger) when that load lands.
+    pub(crate) pending_preempt: bool,
+    /// True while the reuse index still mirrors `[current] + arrived`
+    /// in plain arrival order (the legacy invariant). The first
+    /// out-of-order activation, resume, or preemption clears it; from
+    /// then on every activation rebuilds the index in planned order.
+    pub(crate) index_fifo: bool,
+    /// Job indices backing the reuse index's segments, in segment
+    /// order — maps a segment ordinal back to its owner for the slack
+    /// table. Maintained alongside every index mutation.
+    pub(crate) segment_jobs: VecDeque<u32>,
+    /// Static slack per submitted job, aligned with `jobs`:
+    /// `deadline − ideal makespan` in microseconds, or
+    /// [`NO_DEADLINE`](crate::policy::NO_DEADLINE). Time-invariant, so
+    /// it is computed once at submit; decisions subtract `now`.
+    pub(crate) job_slack: Vec<i64>,
+    /// Any submitted job carries a deadline (gates all slack plumbing).
+    pub(crate) qos_deadlines: bool,
+    /// Any submitted job carries a non-default priority (gates the
+    /// priority-lane activation scan; uniform runs keep the O(1) FIFO
+    /// pop).
+    pub(crate) qos_lanes: bool,
+    /// Pooled buffer for the per-segment slack table attached to
+    /// replacement decisions.
+    pub(crate) slack_scratch: Vec<i64>,
+    pub(crate) qos_preemptions: u64,
+    pub(crate) qos_checkpoints: u64,
+    pub(crate) qos_replayed: u64,
+    pub(crate) qos_lost_work: SimDuration,
+    pub(crate) qos_deadline_misses: u64,
+    pub(crate) qos_tardiness: SimDuration,
+    /// One `(priority, sojourn, lateness)` record per completed graph,
+    /// in completion order — folded into per-class stats at `outcome`.
+    pub(crate) qos_records: Vec<(u8, SimDuration, SimDuration)>,
 }
 
 impl ManagerState {

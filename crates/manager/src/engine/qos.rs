@@ -1,0 +1,232 @@
+//! Preemption and resume machinery for QoS-class scheduling.
+//!
+//! A strictly-higher-priority arrival may suspend the running graph
+//! (policy-gated by [`PreemptionMode`](crate::qos::PreemptionMode)):
+//!
+//! * **Checkpoint** — in-flight executions are revoked and their
+//!   remainders saved; on resume each checkpointed node re-runs for
+//!   `remainder + reconfig latency` (the restore penalty).
+//! * **Kill** — in-flight executions are revoked and discarded; the
+//!   elapsed part is charged to `lost_work_cycles` and the node replays
+//!   in full from its last completed predecessor frontier.
+//!
+//! In both modes, loaded-but-idle claims are released and every
+//! not-yet-done placement is forgotten; a resumed graph re-places them
+//! through its recovery queue ([`ActiveJob::replaced`]) before its
+//! sequence cursor advances, re-claiming residents where possible
+//! (counted as reuses) and re-loading otherwise.
+//!
+//! Suspended graphs stack LIFO; because only a strictly higher priority
+//! preempts, priority increases toward the top of the stack, and the
+//! top resumes as soon as it out-prioritises every waiting arrival at
+//! an activation instant.
+
+use super::{ManagerState, ReconfigKind};
+use crate::job::JobSpec;
+use crate::policy::ReplacementPolicy;
+use crate::qos::PreemptionMode;
+use crate::trace::TraceEvent;
+use rtr_sim::SimTime;
+use std::sync::Arc;
+
+impl ManagerState {
+    /// The waiting arrival with the highest lane priority: returns its
+    /// position in `arrived` and its priority. Ties keep the earliest
+    /// arrival, so uniform-priority runs always pick position 0 — the
+    /// legacy FIFO pop. The scan is gated on `qos_lanes` to keep the
+    /// default path O(1).
+    pub(crate) fn best_arrived(&self, jobs: &[JobSpec]) -> Option<(usize, u8)> {
+        let &front = self.arrived.front()?;
+        if !self.qos_lanes {
+            return Some((0, jobs[front].qos.priority));
+        }
+        let mut best = (0usize, jobs[front].qos.priority);
+        for (k, &i) in self.arrived.iter().enumerate().skip(1) {
+            let p = jobs[i].qos.priority;
+            if p > best.1 {
+                best = (k, p);
+            }
+        }
+        Some(best)
+    }
+
+    /// Requests a preemption of the current graph. If a demand load is
+    /// in flight the request is deferred until that load lands (the
+    /// single port cannot abandon a demand reconfiguration mid-frame);
+    /// otherwise it executes immediately.
+    pub(crate) fn request_preemption(&mut self, now: SimTime, jobs: &[JobSpec]) {
+        if matches!(self.pending_reconfig, Some((_, _, ReconfigKind::Demand(_)))) {
+            self.pending_preempt = true;
+            return;
+        }
+        self.execute_preemption(now, jobs);
+    }
+
+    /// Suspends the current graph if the trigger still holds (a waiting
+    /// arrival strictly out-prioritises it); re-checking makes deferred
+    /// requests self-healing. The preemptor is not activated here — the
+    /// standard activation slot fires at the same instant and picks the
+    /// highest-priority waiter, which also handles several same-instant
+    /// arrivals correctly.
+    pub(crate) fn execute_preemption(&mut self, now: SimTime, jobs: &[JobSpec]) {
+        debug_assert!(self.cfg.preemption.enabled());
+        debug_assert!(
+            !matches!(self.pending_reconfig, Some((_, _, ReconfigKind::Demand(_)))),
+            "preemption must not interrupt an in-flight demand load"
+        );
+        let Some(best) = self.best_arrived(jobs) else {
+            return;
+        };
+        let Some(job) = self.current.as_ref() else {
+            return;
+        };
+        if best.1 <= job.priority {
+            return;
+        }
+        let preemptor = self.arrived[best.0] as u32;
+        let mut job = self.current.take().expect("checked above");
+        self.qos_preemptions += 1;
+        let victim = job.idx;
+        self.record(|| TraceEvent::Preempt {
+            victim,
+            preemptor,
+            at: now,
+        });
+        let kill = matches!(self.cfg.preemption, PreemptionMode::Kill);
+        for pos in 0..job.tpl.rec_seq.len() {
+            let node = job.tpl.rec_seq[pos];
+            let n = node.idx();
+            if job.done[n] || !job.loaded[n] {
+                continue;
+            }
+            let ru = job.node_ru[n].expect("loaded nodes hold an RU");
+            if job.exec_started[n] {
+                self.pool
+                    .revoke_execution(ru)
+                    .expect("revoking an in-flight execution");
+                self.exec_token[ru.idx()] += 1;
+                job.exec_started[n] = false;
+                if kill {
+                    self.qos_replayed += 1;
+                    self.qos_lost_work += now.since(job.exec_start[n]);
+                    self.record(|| TraceEvent::NodeKilled {
+                        job: victim,
+                        node,
+                        ru,
+                        at: now,
+                    });
+                } else {
+                    debug_assert!(job.exec_end[n] > now, "completion would have fired first");
+                    job.resume_left[n] = job.exec_end[n].since(now);
+                    self.qos_checkpoints += 1;
+                    self.record(|| TraceEvent::NodeCheckpointed {
+                        job: victim,
+                        node,
+                        ru,
+                        at: now,
+                    });
+                }
+            } else {
+                self.pool
+                    .release_claim(ru)
+                    .expect("releasing a waiting claim");
+            }
+            // Forget the placement either way; the recovery queue
+            // re-places it on resume.
+            job.loaded[n] = false;
+            job.node_ru[n] = None;
+        }
+        self.suspended.push(job);
+        self.index_fifo = false;
+        if self.pending_activation.is_none() {
+            self.pending_activation = Some(now);
+        }
+    }
+
+    /// Pops the suspended stack's top, queues its recovery work and
+    /// makes it current again. Caller must have verified the resume
+    /// condition and must rebuild the reuse index afterwards.
+    pub(crate) fn resume_suspended<P: ReplacementPolicy + ?Sized>(
+        &mut self,
+        now: SimTime,
+        policy: &mut P,
+    ) -> u32 {
+        let mut job = self.suspended.pop().expect("resume with empty stack");
+        let idx = job.idx;
+        self.record(|| TraceEvent::GraphResume { job: idx, at: now });
+        // Nodes already past the sequence cursor lost their placements
+        // at suspension; queue them for re-claim/re-load in sequence
+        // order. Completed nodes stay done.
+        job.replaced.clear();
+        for pos in 0..job.seq_pos {
+            let node = job.tpl.rec_seq[pos];
+            if !job.done[node.idx()] {
+                job.replaced.push(node);
+            }
+        }
+        self.current = Some(job);
+        policy.on_graph_start(idx, now);
+        idx
+    }
+
+    /// Rebuilds the reuse index (and the segment-owner map) in planned
+    /// service order: current graph first, then the suspended stack top
+    /// to bottom, then waiting arrivals by priority lane (ties in
+    /// arrival order). Called at every activation once the FIFO
+    /// invariant is lost — uniform-priority runs never get here.
+    pub(crate) fn rebuild_reuse_index(&mut self, jobs: &[JobSpec]) {
+        self.reuse_index.clear();
+        self.segment_jobs.clear();
+        if let Some(job) = &self.current {
+            self.reuse_index.push_job(Arc::clone(&job.tpl.cfg_seq));
+            self.segment_jobs.push_back(job.idx);
+        }
+        for job in self.suspended.iter().rev() {
+            self.reuse_index.push_job(Arc::clone(&job.tpl.cfg_seq));
+            self.segment_jobs.push_back(job.idx);
+        }
+        // Rebuilds are rare (one per preemption/resume/out-of-order
+        // activation), so a local sort buffer is fine here.
+        let mut order: Vec<(u8, usize)> = self
+            .arrived
+            .iter()
+            .enumerate()
+            .map(|(k, &i)| (jobs[i].qos.priority, k))
+            .collect();
+        order.sort_by_key(|&(p, k)| (std::cmp::Reverse(p), k));
+        for &(_, k) in &order {
+            let i = self.arrived[k];
+            self.reuse_index
+                .push_job(Arc::clone(&self.job_templates[i].cfg_seq));
+            self.segment_jobs.push_back(i as u32);
+        }
+    }
+
+    /// Fills the pooled slack table for one replacement decision:
+    /// `slack_scratch[segment]` is the static slack of the segment's
+    /// owner. Only called when some job carries a deadline.
+    /// True when the job owning the reuse-index position `pos` has a
+    /// deadline and no slack left at `now` — the prefetch guard's
+    /// protected-resident test.
+    pub(crate) fn owner_out_of_slack(&self, pos: u64, now: SimTime) -> bool {
+        let Some(seg) = self.reuse_index.segment_of(pos) else {
+            return false;
+        };
+        let Some(&idx) = self.segment_jobs.get(seg) else {
+            return false;
+        };
+        let s = self.job_slack[idx as usize];
+        s != crate::policy::NO_DEADLINE && s - now.as_us() as i64 <= 0
+    }
+
+    pub(crate) fn fill_slack_scratch(&mut self) {
+        let ManagerState {
+            slack_scratch,
+            segment_jobs,
+            job_slack,
+            ..
+        } = self;
+        slack_scratch.clear();
+        slack_scratch.extend(segment_jobs.iter().map(|&i| job_slack[i as usize]));
+    }
+}

@@ -31,23 +31,28 @@ impl ManagerState {
         self.arrived.push_back(idx);
         self.reuse_index
             .push_job(Arc::clone(&self.job_templates[idx].cfg_seq));
+        self.segment_jobs.push_back(idx as u32);
     }
 
     /// The current graph completed: drop its (fully consumed) segment
     /// from the index so memory tracks the live backlog.
     pub(crate) fn retire_front_job(&mut self) {
         self.reuse_index.retire_front();
+        self.segment_jobs.pop_front();
     }
 
     /// Attempts the reuse claim of Fig. 8 step 1 for the sequence head:
     /// if `config` is resident and unclaimed, claim it (zero latency,
-    /// zero energy), advance the sequence and start the task when
-    /// ready. Returns `true` when the claim happened.
+    /// zero energy), advance the sequence (unless this is a recovery
+    /// re-claim of an already-issued node — `advance_seq` false) and
+    /// start the task when ready. Returns `true` when the claim
+    /// happened.
     pub(crate) fn claim_reuse<P: ReplacementPolicy + ?Sized>(
         &mut self,
         node: NodeId,
         config: ConfigId,
         job_idx: u32,
+        advance_seq: bool,
         now: SimTime,
         policy: &mut P,
     ) -> bool {
@@ -62,7 +67,9 @@ impl ManagerState {
             let job = self.current.as_mut().expect("reuse needs a current job");
             job.loaded[node.idx()] = true;
             job.node_ru[node.idx()] = Some(ru);
-            job.seq_pos += 1;
+            if advance_seq {
+                job.seq_pos += 1;
+            }
         }
         self.reuses += 1;
         self.energy.record_reuse();
@@ -103,6 +110,7 @@ impl ManagerState {
         node: NodeId,
         config: ConfigId,
         job_idx: u32,
+        advance_seq: bool,
         now: SimTime,
     ) {
         self.note_eviction(target);
@@ -110,7 +118,7 @@ impl ManagerState {
             .begin_load(target, config)
             .expect("target RU is empty or an unclaimed candidate");
         let completes = self.controller.start(target, config, now);
-        {
+        if advance_seq {
             let job = self.current.as_mut().expect("loads need a current job");
             job.seq_pos += 1;
         }
@@ -130,27 +138,41 @@ impl ManagerState {
     }
 
     /// Starts executing `node` on its claimed RU (Fig. 4 lines 6–8 and
-    /// 15–19).
+    /// 15–19). A checkpointed node runs for its saved remainder plus
+    /// one reconfiguration latency (the context-restore penalty)
+    /// instead of its full design-time execution time.
     pub(crate) fn start_execution<P: ReplacementPolicy + ?Sized>(
         &mut self,
         node: NodeId,
         now: SimTime,
         policy: &mut P,
     ) {
+        let restore_penalty = self.cfg.device.reconfig_latency;
         let (ru, idx, end) = {
             let job = self.current.as_mut().expect("start_execution needs a job");
-            let ru = job.node_ru[node.idx()].expect("ready tasks have an RU");
-            job.exec_started[node.idx()] = true;
-            (ru, job.idx, now + job.graph().exec_time(node))
+            let n = node.idx();
+            let ru = job.node_ru[n].expect("ready tasks have an RU");
+            job.exec_started[n] = true;
+            let dur = if job.resume_left[n].is_zero() {
+                job.graph().exec_time(node)
+            } else {
+                let d = job.resume_left[n] + restore_penalty;
+                job.resume_left[n] = rtr_sim::SimDuration::ZERO;
+                d
+            };
+            job.exec_start[n] = now;
+            job.exec_end[n] = now + dur;
+            (ru, job.idx, now + dur)
         };
         let config = self
             .pool
             .begin_execution(ru)
             .expect("ready tasks hold a claimed RU");
+        let token = self.exec_token[ru.idx()];
         self.queue.push(
             end,
             PRIO_END_OF_EXECUTION,
-            Event::EndOfExecution { ru, node },
+            Event::EndOfExecution { ru, node, token },
         );
         self.record(|| TraceEvent::ExecStart {
             job: idx,

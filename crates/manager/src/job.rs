@@ -1,5 +1,6 @@
 //! Jobs: task-graph instances submitted to the manager.
 
+use crate::qos::QosClass;
 use rtr_sim::SimTime;
 use rtr_taskgraph::TaskGraph;
 use std::sync::Arc;
@@ -30,6 +31,9 @@ pub struct JobSpec {
     /// the design-time mobility calculation (the paper's Fig. 6), which
     /// probes schedules with individual tasks delayed.
     pub forced_delays: Option<Arc<Vec<u32>>>,
+    /// Scheduling class: lane priority plus an optional deadline. The
+    /// default best-effort class reproduces the pre-QoS FIFO engine.
+    pub qos: QosClass,
 }
 
 impl JobSpec {
@@ -40,7 +44,14 @@ impl JobSpec {
             arrival: SimTime::ZERO,
             mobility: None,
             forced_delays: None,
+            qos: QosClass::default(),
         }
+    }
+
+    /// Sets the job's QoS class (builder style).
+    pub fn with_qos(mut self, qos: QosClass) -> Self {
+        self.qos = qos;
+        self
     }
 
     /// Sets the arrival instant (builder style).
@@ -91,6 +102,17 @@ mod tests {
             .with_forced_delays(Arc::new(vec![0, 0, 1, 0]));
         assert_eq!(job.mobility.as_ref().unwrap().len(), 4);
         assert_eq!(job.forced_delays.as_ref().unwrap()[2], 1);
+    }
+
+    #[test]
+    fn default_qos_is_best_effort_and_builder_attaches() {
+        let g = Arc::new(benchmarks::jpeg());
+        let job = JobSpec::new(Arc::clone(&g));
+        assert!(job.qos.is_default());
+        let urgent =
+            JobSpec::new(g).with_qos(QosClass::priority(4).with_deadline(SimTime::from_ms(80)));
+        assert_eq!(urgent.qos.priority, 4);
+        assert_eq!(urgent.qos.deadline, Some(SimTime::from_ms(80)));
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod ideal;
 pub mod job;
 pub mod manager;
 pub mod policy;
+pub mod qos;
 pub mod reuse_index;
 pub mod stats;
 pub mod trace;
@@ -48,9 +49,11 @@ pub use job::JobSpec;
 pub use manager::{simulate, Engine, SimError, SimulationOutcome};
 pub use policy::{
     DecisionContext, FirstCandidatePolicy, FutureView, ReplacementPolicy, VictimCandidate,
+    NO_DEADLINE,
 };
+pub use qos::{PreemptionMode, QosClass};
 pub use reuse_index::{ReuseIndex, ReuseWindow};
-pub use stats::{PrefetchStats, RunStats};
+pub use stats::{ClassSojournStats, PrefetchStats, QosStats, RunStats};
 pub use trace::{Trace, TraceCounts, TraceEvent};
 pub use validate::{
     CheckContext, CheckOutput, Checker, CheckerOutcome, CheckerRegistry, RegistryReport, Violation,

@@ -26,7 +26,7 @@ use crate::engine::{
 };
 use crate::ideal::ideal_graph_makespan;
 use crate::job::JobSpec;
-use crate::policy::ReplacementPolicy;
+use crate::policy::{ReplacementPolicy, NO_DEADLINE};
 use crate::reuse_index::ReuseIndex;
 use crate::stats::RunStats;
 use crate::trace::Trace;
@@ -190,6 +190,22 @@ impl Engine {
                 graph_arrivals: Vec::new(),
                 graph_completions: Vec::new(),
                 makespan_end: SimTime::ZERO,
+                suspended: Vec::new(),
+                exec_token: vec![0; cfg.rus],
+                pending_preempt: false,
+                index_fifo: true,
+                segment_jobs: VecDeque::new(),
+                job_slack: Vec::new(),
+                qos_deadlines: false,
+                qos_lanes: false,
+                slack_scratch: Vec::new(),
+                qos_preemptions: 0,
+                qos_checkpoints: 0,
+                qos_replayed: 0,
+                qos_lost_work: SimDuration::ZERO,
+                qos_deadline_misses: 0,
+                qos_tardiness: SimDuration::ZERO,
+                qos_records: Vec::new(),
                 cfg: cfg.clone(),
             },
             jobs: Vec::new(),
@@ -234,6 +250,27 @@ impl Engine {
         let tpl = self.templates.get_or_compute(&job.graph);
         let idx = self.jobs.len();
         self.m.job_templates.push(tpl);
+        // Static slack (deadline − ideal makespan, time-invariant) is
+        // precomputed here so decisions only subtract `now`. Deadline-
+        // free jobs carry the sentinel and cost nothing.
+        let slack = match job.qos.deadline {
+            None => NO_DEADLINE,
+            Some(d) => {
+                let key = Arc::as_ptr(&job.graph) as usize;
+                let ideal = match self.ideal_cache.get(&key) {
+                    Some(&(_, dur)) => dur,
+                    None => {
+                        let dur = ideal_graph_makespan(&job.graph, self.m.cfg.rus);
+                        self.ideal_cache.insert(key, (Arc::clone(&job.graph), dur));
+                        dur
+                    }
+                };
+                d.as_us() as i64 - ideal.as_us() as i64
+            }
+        };
+        self.m.job_slack.push(slack);
+        self.m.qos_deadlines |= job.qos.deadline.is_some();
+        self.m.qos_lanes |= job.qos.priority != 0;
         if self
             .arrival_lane
             .last()
@@ -384,6 +421,7 @@ impl Engine {
     /// are pending.
     pub fn is_idle(&self) -> bool {
         self.m.current.is_none()
+            && self.m.suspended.is_empty()
             && self.m.queue.is_empty()
             && self.m.pending_reconfig.is_none()
             && self.m.pending_activation.is_none()
@@ -431,6 +469,11 @@ impl Engine {
     pub fn reset_with_config(&mut self, cfg: &ManagerConfig, jobs: &[JobSpec]) {
         self.clear_run_state(cfg, jobs.len());
         self.m.job_templates.clear();
+        // Submission-scoped QoS state follows the job list (reset_replay
+        // keeps both; re-submission below rebuilds them).
+        self.m.job_slack.clear();
+        self.m.qos_deadlines = false;
+        self.m.qos_lanes = false;
         self.jobs.clear();
         self.arrival_lane.clear();
         self.lane_cursor = 0;
@@ -450,10 +493,13 @@ impl Engine {
     fn clear_run_state(&mut self, cfg: &ManagerConfig, expected_jobs: usize) {
         assert!(cfg.rus > 0, "need at least one RU");
         // A stalled previous run can leave a job active: reclaim its
-        // scratch vectors before starting over.
+        // scratch vectors before starting over. A preempted run may
+        // additionally hold suspended jobs (their vectors are simply
+        // dropped — suspension is off the pooled hot path).
         if let Some(job) = self.m.current.take() {
             self.m.scratch.reclaim(job);
         }
+        self.m.suspended.clear();
         if cfg.rus != self.m.cfg.rus {
             // Ideal makespans are memoised per RU count.
             self.ideal_cache.clear();
@@ -488,6 +534,19 @@ impl Engine {
         self.m.graph_arrivals.reserve(expected_jobs);
         self.m.graph_completions.reserve(expected_jobs);
         self.m.makespan_end = SimTime::ZERO;
+        self.m.exec_token.clear();
+        self.m.exec_token.resize(cfg.rus, 0);
+        self.m.pending_preempt = false;
+        self.m.index_fifo = true;
+        self.m.segment_jobs.clear();
+        self.m.slack_scratch.clear();
+        self.m.qos_preemptions = 0;
+        self.m.qos_checkpoints = 0;
+        self.m.qos_replayed = 0;
+        self.m.qos_lost_work = SimDuration::ZERO;
+        self.m.qos_deadline_misses = 0;
+        self.m.qos_tardiness = SimDuration::ZERO;
+        self.m.qos_records.clear();
         self.finalised = false;
         self.policy_name.clear();
     }
@@ -512,6 +571,7 @@ impl Engine {
         }
         let ideal_makespan = self.ideal_makespan_cached();
         self.finalised = true;
+        let qos = self.fold_qos_stats();
         let stats = RunStats {
             policy: self.policy_name.clone(),
             makespan: self.m.makespan_end.since(SimTime::ZERO),
@@ -533,6 +593,7 @@ impl Engine {
             graph_completions: mem::take(&mut self.m.graph_completions),
             ideal_makespan,
             reconfig_latency: self.m.cfg.device.reconfig_latency,
+            qos,
         };
         Ok(SimulationOutcome {
             stats,
@@ -544,6 +605,48 @@ impl Engine {
     /// [`Engine::outcome`]).
     pub fn finish(mut self) -> Result<SimulationOutcome, SimError> {
         self.outcome()
+    }
+
+    /// Folds the run's per-completion QoS records into [`QosStats`]:
+    /// counters copied, sojourn/miss/tardiness grouped per priority
+    /// class (ascending).
+    fn fold_qos_stats(&mut self) -> crate::stats::QosStats {
+        let records = mem::take(&mut self.m.qos_records);
+        let mut prios: Vec<u8> = records.iter().map(|r| r.0).collect();
+        prios.sort_unstable();
+        prios.dedup();
+        let mut samples: Vec<SimDuration> = Vec::new();
+        let mut class_sojourns = Vec::with_capacity(prios.len());
+        for p in prios {
+            samples.clear();
+            let mut misses = 0u64;
+            let mut tardiness = SimDuration::ZERO;
+            for &(rp, sojourn, lateness) in &records {
+                if rp != p {
+                    continue;
+                }
+                samples.push(sojourn);
+                if !lateness.is_zero() {
+                    misses += 1;
+                    tardiness += lateness;
+                }
+            }
+            class_sojourns.push(crate::stats::ClassSojournStats::from_samples(
+                p,
+                &mut samples,
+                misses,
+                tardiness,
+            ));
+        }
+        crate::stats::QosStats {
+            deadline_misses: self.m.qos_deadline_misses,
+            tardiness_total: self.m.qos_tardiness,
+            preemptions: self.m.qos_preemptions,
+            checkpoints: self.m.qos_checkpoints,
+            replayed_nodes: self.m.qos_replayed,
+            lost_work_cycles: self.m.qos_lost_work,
+            class_sojourns,
+        }
     }
 
     /// [`ideal_sequence_makespan`](crate::ideal::ideal_sequence_makespan)

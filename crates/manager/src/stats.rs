@@ -43,6 +43,141 @@ impl PrefetchStats {
     }
 }
 
+/// Sojourn / deadline breakdown for one QoS priority class.
+///
+/// Percentiles use the nearest-rank definition on the sorted per-graph
+/// sojourn times of the class. A class that completed zero jobs reports
+/// all-zero durations (integer arithmetic throughout — no `0/0` NaN is
+/// possible).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassSojournStats {
+    /// The lane priority this row aggregates.
+    pub priority: u8,
+    /// Task graphs of this class that completed.
+    pub jobs: u64,
+    /// Completed graphs of this class that finished after their
+    /// deadline.
+    pub deadline_misses: u64,
+    /// Summed lateness (`completion − deadline`) of the missing graphs.
+    pub tardiness_total: SimDuration,
+    /// Median sojourn time (nearest rank).
+    pub p50: SimDuration,
+    /// 95th-percentile sojourn time (nearest rank).
+    pub p95: SimDuration,
+    /// Worst-case sojourn time.
+    pub max: SimDuration,
+    /// Summed sojourn time (mean = `sojourn_total / jobs`).
+    pub sojourn_total: SimDuration,
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice; `ZERO` for
+/// an empty one.
+fn percentile(sorted: &[SimDuration], pct: u64) -> SimDuration {
+    if sorted.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let n = sorted.len() as u64;
+    let rank = (pct * n).div_ceil(100).max(1).min(n);
+    sorted[(rank - 1) as usize]
+}
+
+impl ClassSojournStats {
+    /// Aggregates one class from its per-graph samples. `samples` is
+    /// sorted in place; an empty class yields all-zero durations.
+    pub fn from_samples(
+        priority: u8,
+        samples: &mut [SimDuration],
+        deadline_misses: u64,
+        tardiness_total: SimDuration,
+    ) -> Self {
+        samples.sort_unstable();
+        ClassSojournStats {
+            priority,
+            jobs: samples.len() as u64,
+            deadline_misses,
+            tardiness_total,
+            p50: percentile(samples, 50),
+            p95: percentile(samples, 95),
+            max: samples.last().copied().unwrap_or(SimDuration::ZERO),
+            sojourn_total: samples.iter().copied().sum(),
+        }
+    }
+
+    /// Mean sojourn time in milliseconds (0 for an empty class — never
+    /// NaN).
+    pub fn mean_sojourn_ms(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.sojourn_total.as_ms_f64() / self.jobs as f64
+        }
+    }
+
+    /// Fraction of this class's completed graphs that missed their
+    /// deadline, in `[0, 1]` (0 for an empty class).
+    pub fn miss_rate(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.jobs as f64
+        }
+    }
+}
+
+/// QoS-scheduling counters of one run (all zero / empty when every job
+/// is best-effort and preemption is off — the pre-QoS engine).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QosStats {
+    /// Completed graphs that finished after their deadline.
+    pub deadline_misses: u64,
+    /// Summed lateness (`completion − deadline`) across missed
+    /// deadlines.
+    pub tardiness_total: SimDuration,
+    /// Running graphs suspended by a higher-priority arrival.
+    pub preemptions: u64,
+    /// In-flight tasks checkpointed at a preemption instant.
+    pub checkpoints: u64,
+    /// In-flight tasks killed at a preemption instant and replayed from
+    /// scratch later.
+    pub replayed_nodes: u64,
+    /// Execution time discarded by kills (work done before the
+    /// preemption instant that must be redone).
+    pub lost_work_cycles: SimDuration,
+    /// Per-priority sojourn / deadline breakdown, ascending priority.
+    /// Only classes that completed at least one graph appear.
+    pub class_sojourns: Vec<ClassSojournStats>,
+}
+
+impl Default for QosStats {
+    fn default() -> Self {
+        QosStats {
+            deadline_misses: 0,
+            tardiness_total: SimDuration::ZERO,
+            preemptions: 0,
+            checkpoints: 0,
+            replayed_nodes: 0,
+            lost_work_cycles: SimDuration::ZERO,
+            class_sojourns: Vec::new(),
+        }
+    }
+}
+
+impl QosStats {
+    /// The class row for a given priority, if any graph of that class
+    /// completed.
+    pub fn class(&self, priority: u8) -> Option<&ClassSojournStats> {
+        self.class_sojourns.iter().find(|c| c.priority == priority)
+    }
+
+    /// Ledger identity checked by the `qos-accounting` checker: the
+    /// per-class miss/tardiness rows must sum to the run totals.
+    pub fn balanced(&self) -> bool {
+        let misses: u64 = self.class_sojourns.iter().map(|c| c.deadline_misses).sum();
+        let tardiness: SimDuration = self.class_sojourns.iter().map(|c| c.tardiness_total).sum();
+        misses == self.deadline_misses && tardiness == self.tardiness_total
+    }
+}
+
 /// Aggregate outcome of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunStats {
@@ -83,6 +218,9 @@ pub struct RunStats {
     pub ideal_makespan: SimDuration,
     /// Per-load reconfiguration latency used in the run.
     pub reconfig_latency: SimDuration,
+    /// QoS counters: deadline misses, tardiness, preemption ledger and
+    /// per-class sojourn breakdowns (defaulted for pre-QoS runs).
+    pub qos: QosStats,
 }
 
 impl RunStats {
@@ -186,6 +324,7 @@ mod tests {
             graph_completions: vec![SimTime::from_ms(50), SimTime::from_ms(120)],
             ideal_makespan: SimDuration::from_ms(100),
             reconfig_latency: SimDuration::from_ms(4),
+            qos: QosStats::default(),
         }
     }
 
@@ -261,6 +400,72 @@ mod tests {
     }
 
     #[test]
+    fn class_sojourn_percentiles_nearest_rank() {
+        let mut samples: Vec<SimDuration> = [80, 10, 30, 20, 50, 40, 60, 70, 90, 100] // unsorted on purpose
+            .iter()
+            .map(|&ms| SimDuration::from_ms(ms))
+            .collect();
+        let c = ClassSojournStats::from_samples(2, &mut samples, 3, SimDuration::from_ms(12));
+        assert_eq!(c.priority, 2);
+        assert_eq!(c.jobs, 10);
+        // Nearest rank over 10 samples: p50 → rank 5 (50 ms), p95 →
+        // rank ceil(9.5) = 10 (100 ms).
+        assert_eq!(c.p50, SimDuration::from_ms(50));
+        assert_eq!(c.p95, SimDuration::from_ms(100));
+        assert_eq!(c.max, SimDuration::from_ms(100));
+        assert!((c.mean_sojourn_ms() - 55.0).abs() < 1e-12);
+        assert!((c.miss_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_class_reports_zero_not_nan() {
+        let c = ClassSojournStats::from_samples(7, &mut Vec::new(), 0, SimDuration::ZERO);
+        assert_eq!(c.jobs, 0);
+        assert_eq!(c.p50, SimDuration::ZERO);
+        assert_eq!(c.p95, SimDuration::ZERO);
+        assert_eq!(c.max, SimDuration::ZERO);
+        for v in [c.mean_sojourn_ms(), c.miss_rate()] {
+            assert!(v.is_finite());
+            assert_eq!(v, 0.0);
+        }
+    }
+
+    #[test]
+    fn single_sample_class_percentiles_collapse() {
+        let mut one = vec![SimDuration::from_ms(42)];
+        let c = ClassSojournStats::from_samples(1, &mut one, 1, SimDuration::from_ms(2));
+        assert_eq!(c.p50, SimDuration::from_ms(42));
+        assert_eq!(c.p95, SimDuration::from_ms(42));
+        assert_eq!(c.max, SimDuration::from_ms(42));
+        assert!((c.miss_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qos_ledger_balance() {
+        let mut q = QosStats::default();
+        assert!(q.balanced());
+        q.class_sojourns.push(ClassSojournStats::from_samples(
+            0,
+            &mut [SimDuration::from_ms(10)],
+            1,
+            SimDuration::from_ms(3),
+        ));
+        q.class_sojourns.push(ClassSojournStats::from_samples(
+            2,
+            &mut [SimDuration::from_ms(5)],
+            1,
+            SimDuration::from_ms(4),
+        ));
+        q.deadline_misses = 2;
+        q.tardiness_total = SimDuration::from_ms(7);
+        assert!(q.balanced());
+        assert_eq!(q.class(2).unwrap().jobs, 1);
+        assert!(q.class(1).is_none());
+        q.deadline_misses = 3;
+        assert!(!q.balanced());
+    }
+
+    #[test]
     fn empty_run_sojourn_is_zero() {
         let mut s = stats();
         s.graph_arrivals.clear();
@@ -290,6 +495,7 @@ mod tests {
             graph_completions: Vec::new(),
             ideal_makespan: SimDuration::ZERO,
             reconfig_latency: SimDuration::from_ms(4),
+            qos: QosStats::default(),
         };
         for v in [
             s.reuse_rate_pct(),

@@ -158,6 +158,51 @@ pub enum TraceEvent {
         /// Event time.
         at: SimTime,
     },
+    /// A strictly-higher-priority arrival suspended the running graph
+    /// (`PreemptionMode::{Kill, Checkpoint}`). Per-node consequences
+    /// follow as [`TraceEvent::NodeKilled`] /
+    /// [`TraceEvent::NodeCheckpointed`] events at the same instant.
+    Preempt {
+        /// The suspended (running) graph.
+        victim: u32,
+        /// The arriving graph that takes over.
+        preemptor: u32,
+        /// Event time.
+        at: SimTime,
+    },
+    /// An in-flight task was killed by a preemption: the work done so
+    /// far is lost and the node replays from scratch when its graph
+    /// resumes.
+    NodeKilled {
+        /// Application index of the suspended graph.
+        job: u32,
+        /// The killed node.
+        node: NodeId,
+        /// The RU it was executing on.
+        ru: RuId,
+        /// Event time.
+        at: SimTime,
+    },
+    /// An in-flight task was checkpointed by a preemption: its
+    /// remaining execution time is preserved and resumed later (plus a
+    /// restore penalty of one reconfiguration latency).
+    NodeCheckpointed {
+        /// Application index of the suspended graph.
+        job: u32,
+        /// The checkpointed node.
+        node: NodeId,
+        /// The RU it was executing on.
+        ru: RuId,
+        /// Event time.
+        at: SimTime,
+    },
+    /// A previously suspended graph became the current graph again.
+    GraphResume {
+        /// Application index.
+        job: u32,
+        /// Event time.
+        at: SimTime,
+    },
 }
 
 impl TraceEvent {
@@ -178,6 +223,10 @@ impl TraceEvent {
             TraceEvent::PrefetchStart { .. } => "PrefetchStart",
             TraceEvent::PrefetchEnd { .. } => "PrefetchEnd",
             TraceEvent::PrefetchCancel { .. } => "PrefetchCancel",
+            TraceEvent::Preempt { .. } => "Preempt",
+            TraceEvent::NodeKilled { .. } => "NodeKilled",
+            TraceEvent::NodeCheckpointed { .. } => "NodeCheckpointed",
+            TraceEvent::GraphResume { .. } => "GraphResume",
         }
     }
 
@@ -196,7 +245,11 @@ impl TraceEvent {
             | TraceEvent::Stall { at, .. }
             | TraceEvent::PrefetchStart { at, .. }
             | TraceEvent::PrefetchEnd { at, .. }
-            | TraceEvent::PrefetchCancel { at, .. } => at,
+            | TraceEvent::PrefetchCancel { at, .. }
+            | TraceEvent::Preempt { at, .. }
+            | TraceEvent::NodeKilled { at, .. }
+            | TraceEvent::NodeCheckpointed { at, .. }
+            | TraceEvent::GraphResume { at, .. } => at,
         }
     }
 }
@@ -231,6 +284,15 @@ pub struct TraceCounts {
     pub prefetch_hits: u64,
     /// Prefetched configurations evicted before any use.
     pub prefetch_wasted: u64,
+    /// Graph suspensions by a higher-priority arrival.
+    pub preemptions: u64,
+    /// In-flight tasks checkpointed at a preemption instant.
+    pub checkpoints: u64,
+    /// In-flight tasks killed at a preemption instant (each replays
+    /// from scratch when its graph resumes).
+    pub killed_nodes: u64,
+    /// Suspended graphs that became current again.
+    pub resumes: u64,
 }
 
 /// An ordered schedule trace.
@@ -306,6 +368,10 @@ impl Trace {
                     speculative.insert(ru.0);
                 }
                 TraceEvent::PrefetchCancel { .. } => c.prefetch_cancelled += 1,
+                TraceEvent::Preempt { .. } => c.preemptions += 1,
+                TraceEvent::NodeCheckpointed { .. } => c.checkpoints += 1,
+                TraceEvent::NodeKilled { .. } => c.killed_nodes += 1,
+                TraceEvent::GraphResume { .. } => c.resumes += 1,
                 _ => {}
             }
         }
@@ -355,6 +421,15 @@ impl Trace {
                     exec_cfg[ru.idx()] = config.0;
                 }
                 TraceEvent::ExecEnd { ru, at, .. } => {
+                    if let Some(s) = exec_start[ru.idx()].take() {
+                        let glyph = char::from_digit(exec_cfg[ru.idx()] % 36, 36).unwrap_or('#');
+                        chart.paint(ru.idx(), s, at, glyph);
+                    }
+                }
+                // Revoked executions paint the partial run up to the
+                // preemption instant.
+                TraceEvent::NodeKilled { ru, at, .. }
+                | TraceEvent::NodeCheckpointed { ru, at, .. } => {
                     if let Some(s) = exec_start[ru.idx()].take() {
                         let glyph = char::from_digit(exec_cfg[ru.idx()] % 36, 36).unwrap_or('#');
                         chart.paint(ru.idx(), s, at, glyph);

@@ -30,8 +30,19 @@ pub fn standard_checkers() -> Vec<Box<dyn Checker>> {
         Box::new(TrafficEquality),
         Box::new(PrefetchAccounting),
         Box::new(PrefetchOffInvisible),
+        Box::new(NoLostWork),
+        Box::new(PreemptionOrder),
+        Box::new(QosAccounting),
         Box::new(PooledIdentity),
     ]
+}
+
+/// True when the trace or the workload leaves the strict-FIFO regime:
+/// priority lanes reorder activations and preemptions interleave
+/// graphs, so the order-sensitive checkers relax (their QoS-aware
+/// counterparts take over the tightened assertions).
+fn qos_active(cx: &CheckContext<'_>) -> bool {
+    cx.jobs.iter().any(|j| j.qos.priority != 0) || cx.trace.counts().preemptions > 0
 }
 
 /// Activation order: arrival time, ties broken by submission index
@@ -55,8 +66,11 @@ fn config_sequences(jobs: &[JobSpec]) -> Vec<Vec<ConfigId>> {
         .collect()
 }
 
-/// Graph executions are sequential, in arrival order, never before the
-/// job's arrival, and every started graph ends.
+/// Graph executions are sequential, never before the job's arrival,
+/// and every started graph ends. On strict-FIFO runs (no priority
+/// lanes, no preemptions) activations additionally follow arrival
+/// order; under QoS the activation order is priority-driven and the
+/// `preemption-order` checker owns the ordering assertions instead.
 struct ArrivalOrder;
 
 impl Checker for ArrivalOrder {
@@ -68,6 +82,7 @@ impl Checker for ArrivalOrder {
     }
     fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
         let jobs = cx.jobs;
+        let fifo = !qos_active(cx);
         let expected_order = activation_order(jobs);
         let mut graph_started: Vec<u32> = Vec::new();
         let mut last_ended: Option<(u32, SimTime)> = None;
@@ -108,16 +123,35 @@ impl Checker for ArrivalOrder {
                             )
                         },
                     );
-                    out.probe(
-                        expected_order.get(graph_started.len()) == Some(&job),
-                        || {
-                            format!(
-                                "graphs must start in arrival order {expected_order:?}; \
+                    if fifo {
+                        out.probe(
+                            expected_order.get(graph_started.len()) == Some(&job),
+                            || {
+                                format!(
+                                    "graphs must start in arrival order {expected_order:?}; \
                              got {job} after {graph_started:?}"
-                            )
-                        },
-                    );
+                                )
+                            },
+                        );
+                    }
                     graph_started.push(job);
+                    current_graph = Some(job);
+                }
+                TraceEvent::Preempt { victim, at, .. } => {
+                    out.probe(current_graph == Some(victim), || {
+                        format!("graph {victim} preempted at {at} but is not current")
+                    });
+                    current_graph = None;
+                }
+                TraceEvent::GraphResume { job, at } => {
+                    out.probe(current_graph.is_none(), || {
+                        format!(
+                            "graph {job} resumed at {at} while graph {current_graph:?} is active"
+                        )
+                    });
+                    out.probe(graph_started.contains(&job), || {
+                        format!("graph {job} resumed at {at} but never started")
+                    });
                     current_graph = Some(job);
                 }
                 TraceEvent::GraphEnd { job, at } => {
@@ -279,8 +313,11 @@ impl Checker for RuIntervals {
         let latency = cx.latency;
         let mut ru_busy_until: HashMap<u16, SimTime> = HashMap::new();
         // Placed-but-not-finished tasks per RU (claimed residents —
-        // never legal speculative-eviction targets).
-        let mut ru_claims: HashMap<u16, u32> = HashMap::new();
+        // never legal speculative-eviction targets), attributed to the
+        // claiming job: a preemption revokes every claim its victim
+        // holds (the resumed graph re-places them, emitting fresh
+        // `Reuse`/`LoadEnd` events).
+        let mut ru_claims: HashMap<u16, Vec<u32>> = HashMap::new();
         for ev in cx.trace.iter() {
             match *ev {
                 TraceEvent::LoadStart { ru, at, .. } => {
@@ -291,13 +328,20 @@ impl Checker for RuIntervals {
                     }
                     ru_busy_until.insert(ru.0, at + latency);
                 }
-                TraceEvent::LoadEnd { ru, .. } | TraceEvent::Reuse { ru, .. } => {
-                    *ru_claims.entry(ru.0).or_default() += 1;
+                TraceEvent::LoadEnd { job, ru, .. } | TraceEvent::Reuse { job, ru, .. } => {
+                    ru_claims.entry(ru.0).or_default().push(job);
                 }
-                TraceEvent::ExecEnd { ru, at, .. } => {
+                TraceEvent::ExecEnd { job, ru, at, .. } => {
                     ru_busy_until.insert(ru.0, at);
-                    if let Some(c) = ru_claims.get_mut(&ru.0) {
-                        *c = c.saturating_sub(1);
+                    if let Some(claims) = ru_claims.get_mut(&ru.0) {
+                        if let Some(k) = claims.iter().position(|&j| j == job) {
+                            claims.swap_remove(k);
+                        }
+                    }
+                }
+                TraceEvent::Preempt { victim, .. } => {
+                    for claims in ru_claims.values_mut() {
+                        claims.retain(|&j| j != victim);
                     }
                 }
                 TraceEvent::PrefetchStart { ru, at, .. } => {
@@ -306,7 +350,7 @@ impl Checker for RuIntervals {
                             format!("{ru} speculatively reloaded at {at} while busy until {busy}")
                         });
                     }
-                    out.probe(ru_claims.get(&ru.0).copied().unwrap_or(0) == 0, || {
+                    out.probe(ru_claims.get(&ru.0).is_none_or(Vec::is_empty), || {
                         format!(
                             "speculative load at {at} targets {ru}, whose resident is \
                              claimed by a placed-but-unfinished task"
@@ -326,7 +370,10 @@ impl Checker for RuIntervals {
 
 /// A task executes exactly once, after its configuration was loaded
 /// into or reused on its RU, for exactly its design-time execution
-/// time — and every placed task completes by end of trace.
+/// time — and every placed task completes by end of trace. Preemption
+/// revocations reset a node's life: a killed node replays in full, a
+/// checkpointed node's resumed run must take exactly
+/// `remainder + restore penalty`.
 struct TaskLifecycle;
 
 #[derive(Default, Clone)]
@@ -335,6 +382,9 @@ struct NodeLife {
     exec_start: Option<SimTime>,
     exec_end: Option<SimTime>,
     ru: Option<u16>,
+    /// Expected duration of the *next* run, when a checkpoint changed
+    /// it (`remainder + restore penalty`); `None` = design time.
+    expected: Option<rtr_sim::SimDuration>,
 }
 
 impl Checker for TaskLifecycle {
@@ -396,7 +446,10 @@ impl Checker for TaskLifecycle {
                     match entry.exec_start {
                         Some(s) => match jobs.get(job as usize) {
                             Some(spec) => {
-                                let expected = spec.graph.exec_time(NodeId(node.0));
+                                let expected = entry
+                                    .expected
+                                    .take()
+                                    .unwrap_or_else(|| spec.graph.exec_time(NodeId(node.0)));
                                 out.probe(at.since(s) == expected, || {
                                     format!(
                                         "node {node} of job {job} ran {} (expected {expected})",
@@ -416,6 +469,41 @@ impl Checker for TaskLifecycle {
                         format!("node {node} of job {job} finished twice")
                     });
                     entry.exec_end = Some(at);
+                }
+                TraceEvent::NodeKilled { job, node, at, .. } => {
+                    let entry = life.entry((job, node.0)).or_default();
+                    out.probe(
+                        entry.exec_start.is_some() && entry.exec_end.is_none(),
+                        || format!("node {node} of job {job} killed at {at} but was not in flight"),
+                    );
+                    // The replay runs the full design time again from a
+                    // fresh placement.
+                    entry.exec_start = None;
+                    entry.placed_at = None;
+                    entry.ru = None;
+                    entry.expected = None;
+                }
+                TraceEvent::NodeCheckpointed { job, node, at, .. } => {
+                    let entry = life.entry((job, node.0)).or_default();
+                    match entry.exec_start {
+                        Some(s) => {
+                            // The resumed run covers the remainder plus
+                            // the restore penalty (one reconfiguration).
+                            let expected = entry.expected.unwrap_or_else(|| {
+                                jobs.get(job as usize)
+                                    .map_or(rtr_sim::SimDuration::ZERO, |spec| {
+                                        spec.graph.exec_time(NodeId(node.0))
+                                    })
+                            });
+                            entry.expected = Some((s + expected).since(at) + cx.latency);
+                        }
+                        None => out.fail(format!(
+                            "node {node} of job {job} checkpointed at {at} but was not in flight"
+                        )),
+                    }
+                    entry.exec_start = None;
+                    entry.placed_at = None;
+                    entry.ru = None;
                 }
                 _ => {}
             }
@@ -498,8 +586,10 @@ impl Checker for ReuseResidency {
         let mut current_graph: Option<u32> = None;
         for ev in cx.trace.iter() {
             match *ev {
-                TraceEvent::GraphStart { job, .. } => current_graph = Some(job),
-                TraceEvent::GraphEnd { .. } => current_graph = None,
+                TraceEvent::GraphStart { job, .. } | TraceEvent::GraphResume { job, .. } => {
+                    current_graph = Some(job)
+                }
+                TraceEvent::GraphEnd { .. } | TraceEvent::Preempt { .. } => current_graph = None,
                 TraceEvent::LoadStart {
                     job, node, ru, at, ..
                 } => {
@@ -597,6 +687,13 @@ impl Checker for PrefetchGuard {
     }
     fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
         let jobs = cx.jobs;
+        // Priority lanes and preemptions reorder the request stream
+        // dynamically; the linear arrival-order model below would
+        // produce false positives, so the guard only audits FIFO runs
+        // (the engine-side slack guard covers the QoS regime).
+        if qos_active(cx) {
+            return;
+        }
         let expected_order = activation_order(jobs);
         let mut resident: HashMap<u16, ConfigId> = HashMap::new();
         // Per-job count of placements (loads + reuses) — placements
@@ -908,6 +1005,218 @@ impl Checker for PrefetchOffInvisible {
                 )
             });
         }
+    }
+}
+
+/// Preemption never loses work permanently: by each graph's
+/// completion every one of its nodes has finished exactly once, and
+/// every revocation (kill or checkpoint) was paid for with exactly one
+/// extra execution start.
+struct NoLostWork;
+
+impl Checker for NoLostWork {
+    fn name(&self) -> &'static str {
+        "no-lost-work"
+    }
+    fn description(&self) -> &'static str {
+        "every node of a completed graph finished exactly once; revocations replayed"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let jobs = cx.jobs;
+        let mut starts: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut ends: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut revoked: HashMap<(u32, u32), u64> = HashMap::new();
+        for ev in cx.trace.iter() {
+            match *ev {
+                TraceEvent::ExecStart { job, node, .. } => {
+                    *starts.entry((job, node.0)).or_default() += 1;
+                }
+                TraceEvent::ExecEnd { job, node, .. } => {
+                    *ends.entry((job, node.0)).or_default() += 1;
+                }
+                TraceEvent::NodeKilled { job, node, .. }
+                | TraceEvent::NodeCheckpointed { job, node, .. } => {
+                    *revoked.entry((job, node.0)).or_default() += 1;
+                }
+                TraceEvent::GraphEnd { job, at } => {
+                    let Some(spec) = jobs.get(job as usize) else {
+                        out.fail(format!("graph end at {at} for unknown job {job}"));
+                        continue;
+                    };
+                    for n in 0..spec.graph.len() as u32 {
+                        let e = ends.get(&(job, n)).copied().unwrap_or(0);
+                        out.probe(e == 1, || {
+                            format!(
+                                "graph {job} completed at {at} but node {n} finished \
+                                 {e} times (expected exactly once)"
+                            )
+                        });
+                        let st = starts.get(&(job, n)).copied().unwrap_or(0);
+                        let rv = revoked.get(&(job, n)).copied().unwrap_or(0);
+                        out.probe(st == 1 + rv, || {
+                            format!(
+                                "graph {job} node {n}: {st} execution starts for {rv} \
+                                 revocations (expected {})",
+                                1 + rv
+                            )
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Preemptions respect the priority lattice: a preemptor's lane
+/// priority is strictly above its victim's, the suspended stack is
+/// LIFO with priorities increasing toward the top, and every
+/// suspension is resumed before the end of the trace.
+struct PreemptionOrder;
+
+impl Checker for PreemptionOrder {
+    fn name(&self) -> &'static str {
+        "preemption-order"
+    }
+    fn description(&self) -> &'static str {
+        "preemptor priority strictly above victim; LIFO suspend/resume, all resumed"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let jobs = cx.jobs;
+        let prio = |j: u32| -> Option<u8> { jobs.get(j as usize).map(|spec| spec.qos.priority) };
+        // The suspended stack as the trace implies it: victims pushed
+        // at Preempt, popped at GraphResume.
+        let mut stack: Vec<u32> = Vec::new();
+        for ev in cx.trace.iter() {
+            match *ev {
+                TraceEvent::Preempt {
+                    victim,
+                    preemptor,
+                    at,
+                } => {
+                    match (prio(victim), prio(preemptor)) {
+                        (Some(v), Some(p)) => out.probe(p > v, || {
+                            format!(
+                                "preemption at {at}: preemptor {preemptor} (priority {p}) \
+                                 does not strictly out-prioritise victim {victim} \
+                                 (priority {v})"
+                            )
+                        }),
+                        _ => out.fail(format!(
+                            "preemption at {at} names unknown jobs \
+                             ({victim} by {preemptor})"
+                        )),
+                    }
+                    if let (Some(&below), Some(v)) = (stack.last(), prio(victim)) {
+                        out.probe(prio(below).is_some_and(|b| v >= b), || {
+                            format!(
+                                "suspended stack priorities must increase toward the top: \
+                                 victim {victim} (priority {v}) pushed above job {below} \
+                                 (priority {:?})",
+                                prio(below)
+                            )
+                        });
+                    }
+                    stack.push(victim);
+                }
+                TraceEvent::GraphResume { job, at } => match stack.pop() {
+                    Some(top) => out.probe(top == job, || {
+                        format!(
+                            "resume at {at} is not LIFO: graph {job} resumed while \
+                             {top} is on top of the suspended stack"
+                        )
+                    }),
+                    None => out.fail(format!(
+                        "graph {job} resumed at {at} but nothing is suspended"
+                    )),
+                },
+                _ => {}
+            }
+        }
+        out.probe(stack.is_empty(), || {
+            format!("graphs {stack:?} were suspended but never resumed")
+        });
+    }
+}
+
+/// The QoS ledger closes: preemption/checkpoint/replay counters in
+/// [`RunStats`](crate::stats::RunStats) match the trace, deadline
+/// misses and tardiness re-derive from completions against the job
+/// specs, and the per-class rows sum to the run totals.
+struct QosAccounting;
+
+impl Checker for QosAccounting {
+    fn name(&self) -> &'static str {
+        "qos-accounting"
+    }
+    fn description(&self) -> &'static str {
+        "stats QoS counters equal the trace; per-class rows sum to totals"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let Some(s) = cx.stats else { return };
+        let q = &s.qos;
+        let c = cx.trace.counts();
+        out.probe(q.preemptions == c.preemptions, || {
+            format!(
+                "stats.qos.preemptions {} != trace {}",
+                q.preemptions, c.preemptions
+            )
+        });
+        out.probe(q.checkpoints == c.checkpoints, || {
+            format!(
+                "stats.qos.checkpoints {} != trace {}",
+                q.checkpoints, c.checkpoints
+            )
+        });
+        out.probe(q.replayed_nodes == c.killed_nodes, || {
+            format!(
+                "stats.qos.replayed_nodes {} != trace killed {}",
+                q.replayed_nodes, c.killed_nodes
+            )
+        });
+        out.probe(c.resumes == c.preemptions, || {
+            format!(
+                "trace has {} preemptions but {} resumes (every suspension must resume)",
+                c.preemptions, c.resumes
+            )
+        });
+        // Re-derive the deadline ledger from completions vs specs.
+        let mut misses = 0u64;
+        let mut tardiness = rtr_sim::SimDuration::ZERO;
+        let mut completed = 0u64;
+        for ev in cx.trace.iter() {
+            if let TraceEvent::GraphEnd { job, at } = *ev {
+                completed += 1;
+                if let Some(d) = cx.jobs.get(job as usize).and_then(|spec| spec.qos.deadline) {
+                    if at > d {
+                        misses += 1;
+                        tardiness += at.since(d);
+                    }
+                }
+            }
+        }
+        out.probe(q.deadline_misses == misses, || {
+            format!(
+                "stats.qos.deadline_misses {} != {misses} re-derived from the trace",
+                q.deadline_misses
+            )
+        });
+        out.probe(q.tardiness_total == tardiness, || {
+            format!(
+                "stats.qos.tardiness_total {} != {tardiness} re-derived from the trace",
+                q.tardiness_total
+            )
+        });
+        out.probe(q.balanced(), || {
+            format!("per-class miss/tardiness rows do not sum to the run totals: {q:?}")
+        });
+        let class_jobs: u64 = q.class_sojourns.iter().map(|r| r.jobs).sum();
+        out.probe(class_jobs == completed, || {
+            format!(
+                "per-class job counts sum to {class_jobs}, but the trace completed \
+                 {completed} graphs"
+            )
+        });
     }
 }
 

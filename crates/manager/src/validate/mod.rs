@@ -42,6 +42,15 @@
 //!   exceeds completions.
 //! * `prefetch-off-invisible` — with depth 0 the trace records no
 //!   speculative events and all prefetch counters are zero.
+//! * `no-lost-work` — by each graph's completion every node finished
+//!   exactly once, and every kill/checkpoint revocation was paid for
+//!   with exactly one extra execution start.
+//! * `preemption-order` — a preemptor's lane priority is strictly
+//!   above its victim's, the suspended stack is LIFO with priorities
+//!   increasing toward the top, and every suspension resumes.
+//! * `qos-accounting` — the QoS counters in [`RunStats`] match the
+//!   trace, deadline misses/tardiness re-derive from completions, and
+//!   the per-class rows sum to the run totals.
 //! * `pooled-identity` — the run is bit-exact with a reference
 //!   [`SimulationOutcome`] (stats and trace), the pooled-engine
 //!   contract.

@@ -8,5 +8,6 @@ pub mod ablations;
 pub mod arrivals;
 pub mod fig9;
 pub mod prefetch;
+pub mod qos;
 pub mod table1;
 pub mod table2;

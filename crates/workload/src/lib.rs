@@ -12,6 +12,9 @@
 //! * [`policies`] — a serialisable policy selector that couples each
 //!   policy with the manager configuration it needs (lookahead window,
 //!   Skip Events flag).
+//! * [`qos`] — declarative QoS class assignment (priority lanes and
+//!   ideal-makespan-derived deadlines) for scenarios and experiments;
+//!   the default spec reproduces the pre-QoS uniform workload.
 //! * [`runner`] — runs one (policy × system) cell, preparing mobility
 //!   annotations the hybrid way; includes a timing wrapper that
 //!   attributes wall-clock cost to the replacement module.
@@ -27,6 +30,7 @@ pub mod arrivals;
 pub mod experiments;
 pub mod parallel;
 pub mod policies;
+pub mod qos;
 pub mod runner;
 pub mod scenario;
 pub mod sequence;
@@ -35,6 +39,7 @@ pub mod vopr;
 
 pub use arrivals::{ArrivalError, ArrivalProcess};
 pub use policies::PolicyKind;
+pub use qos::QosSpec;
 pub use runner::{run_cell, run_cell_with_arrivals, CellConfig};
 pub use scenario::Scenario;
 pub use sequence::SequenceModel;

@@ -12,8 +12,8 @@ use crate::policies::PolicyKind;
 use rtr_core::TemplateRegistry;
 use rtr_hw::{DeviceSpec, RuId};
 use rtr_manager::{
-    DecisionContext, Engine, JobSpec, ManagerConfig, PrefetchConfig, ReplacementPolicy, RunStats,
-    SimError, Trace,
+    DecisionContext, Engine, JobSpec, ManagerConfig, PreemptionMode, PrefetchConfig, QosClass,
+    ReplacementPolicy, RunStats, SimError, Trace,
 };
 use rtr_sim::SimTime;
 use rtr_taskgraph::{ConfigId, TaskGraph};
@@ -34,6 +34,9 @@ pub struct CellConfig {
     /// Speculative configuration prefetching (off by default, which is
     /// bit-exact with the pre-prefetch cells).
     pub prefetch: PrefetchConfig,
+    /// Preemption policy for QoS-class scheduling (`Off` by default,
+    /// which is bit-exact with the pre-QoS cells).
+    pub preemption: PreemptionMode,
 }
 
 impl CellConfig {
@@ -45,7 +48,14 @@ impl CellConfig {
             device: DeviceSpec::paper_default(),
             record_trace: false,
             prefetch: PrefetchConfig::off(),
+            preemption: PreemptionMode::Off,
         }
+    }
+
+    /// Builder-style preemption-mode override.
+    pub fn with_preemption(mut self, mode: PreemptionMode) -> Self {
+        self.preemption = mode;
+        self
     }
 
     /// Builder-style prefetch-depth override.
@@ -64,6 +74,7 @@ impl CellConfig {
             reuse_enabled: true,
             record_trace: self.record_trace,
             prefetch: self.prefetch,
+            preemption: self.preemption,
         }
     }
 }
@@ -164,6 +175,7 @@ fn build_jobs_into(
     out: &mut Vec<JobSpec>,
     sequence: &[Arc<TaskGraph>],
     arrivals: Option<&[SimTime]>,
+    qos: Option<&[QosClass]>,
     cell: &CellConfig,
 ) -> Duration {
     if let Some(arrivals) = arrivals {
@@ -173,7 +185,15 @@ fn build_jobs_into(
             "one arrival instant per application required"
         );
     }
+    if let Some(qos) = qos {
+        assert_eq!(
+            qos.len(),
+            sequence.len(),
+            "one QoS class per application required"
+        );
+    }
     let arrival_of = |i: usize| arrivals.map_or(SimTime::ZERO, |a| a[i]);
+    let qos_of = |i: usize| qos.map_or_else(QosClass::default, |q| q[i]);
     let cfg = cell.manager_config();
     let needs_mobility = cell.policy.needs_mobility();
     let t0 = Instant::now();
@@ -183,7 +203,8 @@ fn build_jobs_into(
         let job = registry
             .instantiate(g, &cfg, needs_mobility)
             .expect("benchmark graphs have feasible reference schedules")
-            .with_arrival(arrival_of(i));
+            .with_arrival(arrival_of(i))
+            .with_qos(qos_of(i));
         out.push(job);
     }
     if needs_mobility {
@@ -222,6 +243,7 @@ pub fn prepare_jobs_with_arrivals(
         &mut jobs,
         sequence,
         arrivals,
+        None,
         cell,
     );
     Ok((jobs, design_time))
@@ -314,9 +336,33 @@ impl CellRunner {
         arrivals: Option<&[SimTime]>,
         cell: &CellConfig,
     ) -> Result<CellResult, SimError> {
+        self.run_with_arrivals_qos(sequence, arrivals, None, cell)
+    }
+
+    /// Runs one cell with per-job QoS classes (priority lanes and
+    /// deadlines). `None` = every job in the default class, which is
+    /// bit-exact with [`CellRunner::run_with_arrivals`].
+    ///
+    /// # Panics
+    /// Panics if `arrivals` or `qos` is provided with a length
+    /// different from `sequence`.
+    pub fn run_with_arrivals_qos(
+        &mut self,
+        sequence: &[Arc<TaskGraph>],
+        arrivals: Option<&[SimTime]>,
+        qos: Option<&[QosClass]>,
+        cell: &CellConfig,
+    ) -> Result<CellResult, SimError> {
         // Design-time phase: memoised in the registry, so only the
         // first cell touching a (template, system) pair pays it.
-        let design_time = build_jobs_into(&self.registry, &mut self.jobs, sequence, arrivals, cell);
+        let design_time = build_jobs_into(
+            &self.registry,
+            &mut self.jobs,
+            sequence,
+            arrivals,
+            qos,
+            cell,
+        );
         let cfg = cell.manager_config();
 
         if self.engine.is_none() {

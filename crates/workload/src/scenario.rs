@@ -8,11 +8,13 @@
 use crate::arrivals::ArrivalProcess;
 use crate::parallel::parallel_map_with;
 use crate::policies::PolicyKind;
+use crate::qos::QosSpec;
 use crate::runner::{pooled_workers, CellConfig};
 use crate::sequence::SequenceModel;
 use crate::table::{fmt_f, Table};
 use rtr_core::TemplateRegistry;
 use rtr_hw::DeviceSpec;
+use rtr_manager::PreemptionMode;
 use rtr_taskgraph::serialize::GraphSpec;
 use rtr_taskgraph::TaskGraph;
 use serde::{Deserialize, Serialize};
@@ -44,6 +46,12 @@ pub struct Scenario {
     pub device: DeviceSpec,
     /// Policies to compare.
     pub policies: Vec<PolicyKind>,
+    /// Preemption policy for every cell (`Off`, the pre-QoS engine,
+    /// when absent from the file).
+    pub preemption: PreemptionMode,
+    /// QoS class assignment over the generated sequence (uniform
+    /// best-effort when absent from the file).
+    pub qos: QosSpec,
 }
 
 impl Scenario {
@@ -62,6 +70,8 @@ impl Scenario {
             rus,
             device: DeviceSpec::paper_default(),
             policies: PolicyKind::fig9a_set(),
+            preemption: PreemptionMode::Off,
+            qos: QosSpec::UNIFORM,
         }
     }
 
@@ -134,6 +144,7 @@ impl Scenario {
             ],
         );
         let registry = Arc::new(TemplateRegistry::new());
+        let qos = self.qos.assign(&sequence, &arrivals, self.rus);
         let rows = parallel_map_with(
             self.policies.clone(),
             workers,
@@ -141,8 +152,9 @@ impl Scenario {
             |runner, policy| {
                 let mut cell = CellConfig::new(policy, self.rus);
                 cell.device = self.device.clone();
+                cell.preemption = self.preemption;
                 let out = runner
-                    .run_with_arrivals(&sequence, Some(&arrivals), &cell)
+                    .run_with_arrivals_qos(&sequence, Some(&arrivals), qos.as_deref(), &cell)
                     .expect("scenario cell simulates");
                 vec![
                     policy.label(),
@@ -171,6 +183,56 @@ mod tests {
         let json = s.to_json();
         let back = Scenario::from_json(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn qos_scenario_round_trips() {
+        let mut s = Scenario::paper_fig9(4, 40, 9);
+        s.preemption = PreemptionMode::Checkpoint;
+        s.qos = QosSpec::strided(4, 5, 150);
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.preemption, PreemptionMode::Checkpoint);
+        assert_eq!(back.qos, QosSpec::strided(4, 5, 150));
+    }
+
+    #[test]
+    fn pre_qos_files_load_with_default_class() {
+        // A file written before the QoS fields existed has neither
+        // `preemption` nor `qos` keys; it must load as the uniform
+        // best-effort, preemption-off scenario it always described.
+        let s = Scenario::paper_fig9(4, 25, 3);
+        let mut v: serde::Value = serde_json::from_str(&s.to_json()).unwrap();
+        if let serde::Value::Object(m) = &mut v {
+            assert!(m.remove("preemption").is_some());
+            assert!(m.remove("qos").is_some());
+        } else {
+            panic!("scenario serialises to an object");
+        }
+        let legacy = serde_json::to_string(&v).unwrap();
+        assert!(!legacy.contains("preemption"), "field really removed");
+        let back = Scenario::from_json(&legacy).expect("legacy file loads");
+        assert_eq!(back.preemption, PreemptionMode::Off);
+        assert_eq!(back.qos, QosSpec::UNIFORM);
+        assert_eq!(back, s, "defaults equal the freshly built scenario");
+        // And the loaded scenario still runs bit-identically.
+        assert_eq!(s.run().to_csv(), back.run().to_csv());
+    }
+
+    #[test]
+    fn qos_scenario_runs_to_a_table() {
+        let mut s = Scenario::streaming(
+            4,
+            24,
+            13,
+            ArrivalProcess::Poisson {
+                mean_gap_us: 30_000,
+            },
+        );
+        s.preemption = PreemptionMode::Checkpoint;
+        s.qos = QosSpec::strided(3, 5, 130);
+        let t = s.run();
+        assert_eq!(t.len(), s.policies.len());
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! A campaign is a pure function of one `master_seed`: case `i`
 //! derives its knobs (scenario seed, template count, apps, RUs,
 //! arrival process, policy, prefetch depth, engine lifecycle,
-//! head-blocking annotation) with a SplitMix64 stream, materialises
+//! head-blocking annotation, preemption mode, QoS class mix) with a
+//! SplitMix64 stream, materialises
 //! the scenario, drives the engine through one of four lifecycles
 //! (fresh / reset / retarget / replay), and validates the run through
 //! the shared [`CheckerRegistry`] — including bit-exactness against a
@@ -19,12 +20,14 @@
 //! checkers, fingerprints and the replay path all have teeth.
 
 use crate::arrivals::ArrivalProcess;
+use crate::qos::QosSpec;
 use rtr_core::{
     compute_mobility, FifoPolicy, LfdPolicy, LfuPolicy, LruPolicy, MruPolicy, RandomPolicy,
 };
 use rtr_manager::{
     simulate, CheckContext, CheckerRegistry, Engine, FirstCandidatePolicy, JobSpec, Lookahead,
-    ManagerConfig, PrefetchConfig, ReplacementPolicy, SimError, SimulationOutcome, TraceEvent,
+    ManagerConfig, PreemptionMode, PrefetchConfig, QosClass, ReplacementPolicy, SimError,
+    SimulationOutcome, TraceEvent,
 };
 use rtr_taskgraph::generate::{self, GenConfig};
 use rtr_taskgraph::TaskGraph;
@@ -210,6 +213,30 @@ pub struct CaseKnobs {
     /// Head-blocking annotation: 0 = none, 1 = mobility + Skip
     /// Events, 2 = a forced one-event delay on one node per job.
     pub annotate: u8,
+    /// Preemption mode (cycled through [`PreemptionMode::ALL`]).
+    pub preemption: PreemptionMode,
+    /// QoS class mix selector (see [`qos_mix_spec`] /
+    /// [`qos_mix_label`]): 0 = uniform best-effort, 1/2 = strided
+    /// high-priority mixes with deadlines.
+    pub qos_mix: u8,
+}
+
+/// The class mix a `qos_mix` selector decodes to.
+pub fn qos_mix_spec(mix: u8) -> QosSpec {
+    match mix % 3 {
+        0 => QosSpec::UNIFORM,
+        1 => QosSpec::strided(3, 5, 150),
+        _ => QosSpec::strided(2, 3, 120),
+    }
+}
+
+/// Stable label for a `qos_mix` selector (knob summaries, coverage).
+pub fn qos_mix_label(mix: u8) -> &'static str {
+    match mix % 3 {
+        0 => "uniform",
+        1 => "strided(3)@p5",
+        _ => "strided(2)@p3",
+    }
 }
 
 impl CaseKnobs {
@@ -228,6 +255,8 @@ impl CaseKnobs {
             depth: DEPTHS[(case_index as usize / 4) % DEPTHS.len()],
             lifecycle: Lifecycle::ALL[case_index as usize % Lifecycle::ALL.len()],
             annotate: ((r >> 40) % 3) as u8,
+            preemption: PreemptionMode::ALL[((r >> 48) % 3) as usize],
+            qos_mix: ((r >> 52) % 3) as u8,
         }
     }
 
@@ -250,7 +279,8 @@ impl CaseKnobs {
     pub fn summary(&self) -> String {
         format!(
             "lifecycle={} depth={} templates={} apps={} rus={} arrival={} \
-             policy={} annotate={} lookahead={:?} scenario_seed={:#018x}",
+             policy={} annotate={} preemption={} qos={} lookahead={:?} \
+             scenario_seed={:#018x}",
             self.lifecycle.name(),
             self.depth,
             self.templates,
@@ -263,6 +293,8 @@ impl CaseKnobs {
                 1 => "mobility+skip",
                 _ => "forced-delay",
             },
+            self.preemption.label(),
+            qos_mix_label(self.qos_mix),
             self.lookahead(),
             self.scenario_seed,
         )
@@ -336,9 +368,10 @@ pub fn build_case(fp: &Fingerprint) -> Case {
         .with_lookahead(knobs.lookahead())
         .with_skip_events(knobs.annotate % 3 == 1)
         .with_prefetch(PrefetchConfig::with_depth(knobs.depth))
+        .with_preemption(knobs.preemption)
         .with_trace(true);
     let arrivals = arrival_process(knobs.arrival_kind).generate(knobs.apps, seed ^ 0x5EED);
-    let jobs: Vec<JobSpec> = (0..knobs.apps)
+    let mut jobs: Vec<JobSpec> = (0..knobs.apps)
         .map(|i| {
             let graph = Arc::clone(&family[i % family.len()]);
             let mut job = JobSpec::new(Arc::clone(&graph)).with_arrival(arrivals[i]);
@@ -358,6 +391,12 @@ pub fn build_case(fp: &Fingerprint) -> Case {
             job
         })
         .collect();
+    let sequence: Vec<Arc<TaskGraph>> = jobs.iter().map(|j| Arc::clone(&j.graph)).collect();
+    if let Some(classes) = qos_mix_spec(knobs.qos_mix).assign(&sequence, &arrivals, knobs.rus) {
+        for (job, class) in jobs.iter_mut().zip(classes) {
+            job.qos = class;
+        }
+    }
     Case { knobs, jobs, cfg }
 }
 
@@ -633,7 +672,23 @@ pub fn minimize_case(
         }
     }
 
-    // 4. Fresh lifecycle.
+    // 4. Strip QoS (preemption off, every job back to best-effort).
+    if best.knobs.preemption != PreemptionMode::Off || best.jobs.iter().any(|j| !j.qos.is_default())
+    {
+        let mut candidate = best.clone();
+        candidate.knobs.preemption = PreemptionMode::Off;
+        candidate.knobs.qos_mix = 0;
+        candidate.cfg = candidate.cfg.with_preemption(PreemptionMode::Off);
+        for job in &mut candidate.jobs {
+            job.qos = QosClass::default();
+        }
+        if try_candidate(&candidate, &mut evals) {
+            summary.steps.push("qos stripped".into());
+            best = candidate;
+        }
+    }
+
+    // 5. Fresh lifecycle.
     if best.knobs.lifecycle != Lifecycle::Fresh {
         let mut candidate = best.clone();
         candidate.knobs.lifecycle = Lifecycle::Fresh;
@@ -643,7 +698,7 @@ pub fn minimize_case(
         }
     }
 
-    // 5. Fewest RUs that still fail.
+    // 6. Fewest RUs that still fail.
     for rus in 1..best.knobs.rus {
         let mut candidate = best.clone();
         candidate.knobs.rus = rus;
@@ -766,6 +821,10 @@ pub struct CampaignSummary {
     pub lifecycle_cases: [u64; 4],
     /// Completed (checked) cases per depth, indexed like [`DEPTHS`].
     pub depth_cases: [u64; 4],
+    /// Cases per preemption mode, indexed like [`PreemptionMode::ALL`].
+    pub preemption_cases: [u64; 3],
+    /// Cases per QoS class mix, indexed by the `qos_mix` selector.
+    pub qos_mix_cases: [u64; 3],
     /// Per-checker fired/violation totals, in registry order.
     pub coverage: Vec<CheckerCoverage>,
     /// Stall-mismatch failures (not attributable to one checker).
@@ -809,6 +868,8 @@ pub fn run_campaign(config: &CampaignConfig, registry: &CheckerRegistry) -> Camp
         violating_cases: 0,
         lifecycle_cases: [0; 4],
         depth_cases: [0; 4],
+        preemption_cases: [0; 3],
+        qos_mix_cases: [0; 3],
         // Coverage rows for the *enabled* checkers only: a deliberately
         // disabled checker must not read as a silent coverage hole.
         coverage: registry
@@ -838,6 +899,12 @@ pub fn run_campaign(config: &CampaignConfig, registry: &CheckerRegistry) -> Camp
             .position(|l| *l == outcome.knobs.lifecycle)
             .expect("derived lifecycle is canonical");
         summary.lifecycle_cases[lifecycle_idx] += 1;
+        let mode_idx = PreemptionMode::ALL
+            .iter()
+            .position(|m| *m == outcome.knobs.preemption)
+            .expect("derived preemption mode is canonical");
+        summary.preemption_cases[mode_idx] += 1;
+        summary.qos_mix_cases[(outcome.knobs.qos_mix % 3) as usize] += 1;
         match &outcome.status {
             CaseStatus::Checked(report) => {
                 if let Some(depth_idx) = DEPTHS.iter().position(|&d| d == outcome.knobs.depth) {
@@ -902,7 +969,9 @@ mod tests {
     fn knob_derivation_is_deterministic_and_covering() {
         let mut lifecycles = [0u64; 4];
         let mut depths = [0u64; 4];
-        for i in 0..16 {
+        let mut modes = [0u64; 3];
+        let mut mixes = [0u64; 3];
+        for i in 0..64 {
             let a = CaseKnobs::derive(99, i);
             let b = CaseKnobs::derive(99, i);
             assert_eq!(a, b);
@@ -911,9 +980,43 @@ mod tests {
                 .position(|l| *l == a.lifecycle)
                 .unwrap()] += 1;
             depths[DEPTHS.iter().position(|&d| d == a.depth).unwrap()] += 1;
+            modes[PreemptionMode::ALL
+                .iter()
+                .position(|m| *m == a.preemption)
+                .unwrap()] += 1;
+            mixes[(a.qos_mix % 3) as usize] += 1;
         }
         assert!(lifecycles.iter().all(|&c| c > 0), "{lifecycles:?}");
         assert!(depths.iter().all(|&c| c > 0), "{depths:?}");
+        assert!(modes.iter().all(|&c| c > 0), "{modes:?}");
+        assert!(mixes.iter().all(|&c| c > 0), "{mixes:?}");
+    }
+
+    #[test]
+    fn qos_cases_materialise_classes_and_modes() {
+        // Scan forward for a case whose knobs select a non-uniform mix
+        // under a non-Off mode, and check the decoration landed.
+        let found = (0..64).find_map(|i| {
+            let fp = Fingerprint {
+                master_seed: 0x0005_EEDC,
+                case_index: i,
+                fault: None,
+            };
+            let case = build_case(&fp);
+            (!case.knobs.qos_mix.is_multiple_of(3) && case.knobs.preemption != PreemptionMode::Off)
+                .then_some(case)
+        });
+        let case = found.expect("64 cases cover a qos-active combination");
+        assert_eq!(case.cfg.preemption, case.knobs.preemption);
+        let spec = qos_mix_spec(case.knobs.qos_mix);
+        for (i, job) in case.jobs.iter().enumerate() {
+            if (i + 1) % spec.stride == 0 {
+                assert_eq!(job.qos.priority, spec.priority);
+                assert!(job.qos.deadline.is_some());
+            } else {
+                assert!(job.qos.is_default());
+            }
+        }
     }
 
     #[test]

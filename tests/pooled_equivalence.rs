@@ -19,8 +19,9 @@ use rtr_core::{
 };
 use rtr_manager::{
     simulate, CheckContext, CheckerRegistry, Engine, FirstCandidatePolicy, JobSpec, Lookahead,
-    ManagerConfig, PrefetchConfig, ReplacementPolicy, SimulationOutcome,
+    ManagerConfig, PreemptionMode, PrefetchConfig, QosClass, ReplacementPolicy, SimulationOutcome,
 };
+use rtr_sim::SimDuration;
 use rtr_taskgraph::TaskGraph;
 use rtr_workload::ArrivalProcess;
 use std::sync::Arc;
@@ -218,6 +219,73 @@ proptest! {
         // And back to A, exercising a config retarget after a replay.
         let pooled_a2 = run_pooled(&mut engine, &a);
         assert_same(&pooled_a2, &fresh_a, &a, "scenario A after replay of B");
+    }
+
+
+    /// With uniform default QoS no arrival can out-prioritise the
+    /// current graph, so flipping the preemption knob to `Kill` or
+    /// `Checkpoint` must be invisible: stats and trace bit-exact with
+    /// the `Off` run (the tentpole's backward-compatibility contract).
+    #[test]
+    fn preemption_modes_invisible_with_default_qos(
+        seed in any::<u64>(),
+        apps in 1usize..16,
+        rus in 1usize..7,
+        arrivals in 0u8..4,
+        policy in 0u8..8,
+    ) {
+        let templates = 1 + (seed % 3) as usize;
+        let s = build_scenario(seed, templates, apps, rus, arrivals, policy, false, 0);
+        let fresh_off = run_fresh(&s);
+        for mode in [PreemptionMode::Kill, PreemptionMode::Checkpoint] {
+            let mut armed = s.clone();
+            armed.cfg = armed.cfg.with_preemption(mode);
+            let mut engine = Engine::new(&armed.cfg);
+            let pooled = run_pooled(&mut engine, &armed);
+            assert_same(&pooled, &fresh_off, &armed, "armed preemption, default QoS");
+        }
+    }
+
+    /// QoS workloads (priority lanes, deadlines, live preemptions)
+    /// through the pooled engine: bit-exact with a fresh engine on the
+    /// first run *and* on a warm replay, so the suspended stack, the
+    /// execution tokens and the QoS ledgers all reset cleanly.
+    #[test]
+    fn pooled_engine_is_bit_exact_with_fresh_under_qos(
+        seed in any::<u64>(),
+        apps in 2usize..14,
+        rus in 1usize..6,
+        arrivals in 0u8..4,
+        policy in 0u8..8,
+        mode in 0u8..3,
+    ) {
+        let templates = 1 + (seed % 3) as usize;
+        let mut s = build_scenario(seed, templates, apps, rus, arrivals, policy, false, 0);
+        s.cfg = s.cfg.with_preemption(match mode {
+            0 => PreemptionMode::Off,
+            1 => PreemptionMode::Kill,
+            _ => PreemptionMode::Checkpoint,
+        });
+        for (i, job) in s.jobs.iter_mut().enumerate() {
+            let r = seed.rotate_left(i as u32 * 7) ^ i as u64;
+            let mut qos = QosClass::priority((r % 4) as u8);
+            if r.is_multiple_of(3) {
+                qos = qos.with_deadline(
+                    job.arrival + SimDuration::from_us(10_000 + (r % 200_000)),
+                );
+            }
+            job.qos = qos;
+        }
+        let fresh = run_fresh(&s);
+        let mut engine = Engine::new(&s.cfg);
+        let pooled = run_pooled(&mut engine, &s);
+        assert_same(&pooled, &fresh, &s, "QoS scenario on a fresh pool");
+        let mut policy = build_policy(s.policy_id, s.policy_seed);
+        policy.reset();
+        engine.reset_replay();
+        engine.run(policy.as_mut());
+        let replay = engine.outcome().expect("replay completes");
+        assert_same(&replay, &fresh, &s, "QoS scenario replayed");
     }
 
     /// Skip Events (mobility-annotated jobs, the paper's Fig. 8 steps
