@@ -499,6 +499,64 @@ impl RuPool {
     pub fn snapshot(&self) -> Vec<(RuId, RuState)> {
         self.ids().map(|r| (r, self.states[r.idx()])).collect()
     }
+
+    /// Writes the unclaimed residency of each RU into `out` — `None`
+    /// for empty, `Some(config)` for an unclaimed resident — or `None`
+    /// (the outer option) if any RU is mid-load, claimed, or executing.
+    ///
+    /// Only fully quiescent pools are capturable: this is the warm-start
+    /// checkpoint format, restorable later via
+    /// [`RuPool::restore_unclaimed`].
+    pub fn capture_unclaimed(&self, out: &mut Vec<Option<ConfigId>>) -> bool {
+        out.clear();
+        for s in &self.states {
+            match *s {
+                RuState::Empty => out.push(None),
+                RuState::Loaded {
+                    config,
+                    claimed: false,
+                } => out.push(Some(config)),
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Force-sets every RU to the given quiescent residency (`None` =
+    /// empty, `Some(config)` = unclaimed resident), rebuilding the
+    /// empty count and the reusable-config mask.
+    ///
+    /// This is the warm-start restore hook: `residency` must come from
+    /// [`RuPool::capture_unclaimed`] on an identically-sized pool.
+    ///
+    /// # Panics
+    /// Panics if `residency.len()` differs from the pool size.
+    pub fn restore_unclaimed(&mut self, residency: &[Option<ConfigId>]) {
+        assert_eq!(
+            residency.len(),
+            self.states.len(),
+            "warm-start residency snapshot does not match the pool size"
+        );
+        self.reusable.clear();
+        self.empties = 0;
+        for (ru, (slot, r)) in self.states.iter_mut().zip(residency).enumerate() {
+            match *r {
+                None => {
+                    *slot = RuState::Empty;
+                    self.empties += 1;
+                }
+                Some(config) => {
+                    *slot = RuState::Loaded {
+                        config,
+                        claimed: false,
+                    };
+                    if self.mask_tracking {
+                        self.reusable.mark(config, ru);
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

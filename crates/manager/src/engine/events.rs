@@ -278,6 +278,10 @@ impl ManagerState {
                         );
                         self.pending_activation = Some(now);
                     }
+                    // Graph completions are the warm-start checkpoint
+                    // sites: with nothing in flight this instant is
+                    // fully restorable (no-op unless recording).
+                    self.maybe_warm_checkpoint(now);
                 }
             }
         }

@@ -42,6 +42,7 @@ pub(crate) mod events;
 pub(crate) mod prefetch;
 pub(crate) mod qos;
 pub(crate) mod residency;
+pub(crate) mod warm;
 
 pub(crate) use events::{
     Event, PRIO_END_OF_EXECUTION, PRIO_END_OF_RECONFIGURATION, PRIO_JOB_ARRIVAL,
@@ -322,6 +323,10 @@ pub(crate) struct ManagerState {
     /// One `(priority, sojourn, lateness)` record per completed graph,
     /// in completion order — folded into per-class stats at `outcome`.
     pub(crate) qos_records: Vec<(u8, SimDuration, SimDuration)>,
+    /// Warm-start shadow recording of the in-progress run (see
+    /// [`warm`]). Inactive — and free — unless the engine is pooled
+    /// and the policy opted in.
+    pub(crate) warm: warm::WarmRecorder,
 }
 
 impl ManagerState {
@@ -329,8 +334,14 @@ impl ManagerState {
     /// (every large sweep) never even construct the event — this sits
     /// on paths that fire once per task.
     pub(crate) fn record(&mut self, ev: impl FnOnce() -> TraceEvent) {
-        if self.cfg.record_trace {
-            self.trace.push(ev());
+        if self.cfg.record_trace || self.warm.active {
+            let e = ev();
+            if self.cfg.record_trace {
+                self.trace.push(e);
+            }
+            if self.warm.active {
+                self.warm.events.push(e);
+            }
         }
     }
 

@@ -1,0 +1,322 @@
+//! Warm-start incremental re-simulation.
+//!
+//! A parameter sweep re-runs near-identical job batches: adjacent grid
+//! cells differ in a single knob, and replication loops differ in
+//! nothing at all. This module lets a pooled [`Engine`](crate::Engine)
+//! skip the shared prefix of such runs instead of re-simulating from
+//! t = 0.
+//!
+//! **Recording.** While a pooled run executes (and the policy opted in
+//! via [`ReplacementPolicy::warm_key`]), the engine shadows every trace
+//! event into a compact decision log — independent of
+//! `cfg.record_trace`, so disabled-trace sweeps still record — and, at
+//! each fully quiescent graph completion (port idle, queue empty, no
+//! pending reconfiguration, nothing suspended), captures a checkpoint:
+//! completed-job count, clock, counter snapshot, and the unclaimed
+//! residency of every RU. The next `reset`/`reset_with_config`/
+//! `reset_replay` seals the log of a *completed* run as the engine's
+//! reference.
+//!
+//! **Replay.** At the start of the next run the engine compares the new
+//! batch against the reference. An identical batch under an identical
+//! configuration and policy key replays the entire log (a timing
+//! replication); a batch sharing a job-spec prefix restores the last
+//! checkpoint that provably precedes any divergent decision and
+//! re-simulates only the tail. Replay pushes the logged events into the
+//! trace (when enabled) and feeds the policy the exact callback
+//! sequence the original run produced, so policy state, counters,
+//! residency, the `ReuseIndex` backlog and all QoS ledgers end up
+//! bit-exact with a cold run — the pooled-equivalence property tests
+//! and the vopr `pooled-identity` checker gate this.
+//!
+//! **Eligibility.** Recording is restricted to runs where every policy
+//! callback pairs 1:1 with a logged event: prefetch disabled and
+//! preemption off (a resumed graph re-fires `on_graph_start` from a
+//! `GraphResume` record, which replay does not map). Prefix restore is
+//! further restricted to the provably-prefix-stable shape — a
+//! same-instant batch of default-QoS jobs under a *finite* lookahead
+//! window `w` (`Lookahead::All` sees the whole tail, so any appended
+//! job can change the first decision): with `k` graphs completed at the
+//! checkpoint and a common spec prefix of `p` jobs, every replacement
+//! decision up to the checkpoint saw only jobs `< k + w ≤ p`, which
+//! both runs share. Full-log replay needs none of that shape — any
+//! recorded run replays onto an identical batch.
+
+use super::ManagerState;
+use crate::config::ManagerConfig;
+use crate::job::JobSpec;
+use crate::policy::ReplacementPolicy;
+use crate::qos::{PreemptionMode, QosClass};
+use crate::trace::TraceEvent;
+use rtr_hw::TrafficStats;
+use rtr_sim::{SimDuration, SimTime};
+use rtr_taskgraph::ConfigId;
+use std::sync::Arc;
+
+/// Scalar counter snapshot at a quiescent instant. Prefetch and
+/// preemption counters are absent by construction: recording is gated
+/// on both features being off, so they are provably zero.
+#[derive(Debug, Clone)]
+pub(crate) struct WarmCounters {
+    executed: u64,
+    reuses: u64,
+    loads: u64,
+    skips: u64,
+    stalls: u64,
+    traffic: TrafficStats,
+    controller_loads: u64,
+    controller_busy: SimDuration,
+    qos_deadline_misses: u64,
+    qos_tardiness: SimDuration,
+}
+
+/// A restorable quiescent instant of a recorded run.
+#[derive(Debug, Clone)]
+pub(crate) struct WarmCheckpoint {
+    /// Graphs completed (and retired from the backlog) at this point.
+    pub(crate) jobs_done: usize,
+    /// Log length at this point (events `[..event_pos]` led here).
+    pub(crate) event_pos: usize,
+    /// The completion instant.
+    pub(crate) now: SimTime,
+    counters: WarmCounters,
+    /// Unclaimed resident configuration per RU (`None` = empty).
+    residency: Vec<Option<ConfigId>>,
+}
+
+/// A completed run's sealed decision log — the warm-start reference.
+pub(crate) struct SealedRun {
+    pub(crate) cfg: ManagerConfig,
+    pub(crate) jobs: Vec<JobSpec>,
+    pub(crate) key: String,
+    pub(crate) events: Vec<TraceEvent>,
+    pub(crate) checkpoints: Vec<WarmCheckpoint>,
+    pub(crate) final_counters: WarmCounters,
+    pub(crate) final_residency: Vec<Option<ConfigId>>,
+    pub(crate) makespan_end: SimTime,
+}
+
+/// Live recording state of the run in progress (owned by
+/// [`ManagerState`] so the `record` choke point can shadow events).
+#[derive(Default)]
+pub(crate) struct WarmRecorder {
+    /// Shadow-recording is on for the current lifecycle.
+    pub(crate) active: bool,
+    /// The recording policy's [`ReplacementPolicy::warm_key`].
+    pub(crate) key: String,
+    pub(crate) events: Vec<TraceEvent>,
+    pub(crate) checkpoints: Vec<WarmCheckpoint>,
+}
+
+/// Warm-start observability: cumulative hit counters plus the shape of
+/// the most recent run (all zero / `false` for cold runs).
+#[derive(Debug, Clone, Default)]
+pub struct WarmStats {
+    /// Runs that compared a fresh batch against a sealed reference.
+    pub attempts: u64,
+    /// Attempts replaying the entire reference log (identical batch).
+    pub full_hits: u64,
+    /// Attempts restoring an intermediate checkpoint (shared prefix).
+    pub prefix_hits: u64,
+    /// The last run started warm (full or prefix).
+    pub last_was_hit: bool,
+    /// Graphs the last run skipped re-simulating — the depth of the
+    /// first divergent decision (0 = cold start).
+    pub last_divergence_depth: usize,
+    /// Logged events the last run replayed instead of re-deriving.
+    pub last_replayed_events: usize,
+}
+
+/// Feeds a policy the callback a logged event originally produced.
+/// Events without callbacks (arrivals, load starts, skips, stalls)
+/// replay silently.
+pub(crate) fn deliver_callback<P: ReplacementPolicy + ?Sized>(policy: &mut P, e: TraceEvent) {
+    match e {
+        TraceEvent::LoadEnd { config, ru, at, .. } => policy.on_load_complete(config, ru, at),
+        TraceEvent::Reuse { config, ru, at, .. } => policy.on_reuse(config, ru, at),
+        TraceEvent::ExecStart { config, at, .. } => policy.on_exec_start(config, at),
+        TraceEvent::ExecEnd { config, at, .. } => policy.on_exec_end(config, at),
+        TraceEvent::GraphStart { job, at } => policy.on_graph_start(job, at),
+        TraceEvent::GraphEnd { job, at } => policy.on_graph_end(job, at),
+        _ => {}
+    }
+}
+
+/// Job-spec identity for prefix comparison: cheap pointer equality on
+/// the shared design-time artifacts plus value equality on the
+/// scheduling-relevant scalars.
+pub(crate) fn same_spec(a: &JobSpec, b: &JobSpec) -> bool {
+    Arc::ptr_eq(&a.graph, &b.graph)
+        && a.arrival == b.arrival
+        && a.qos == b.qos
+        && match (&a.mobility, &b.mobility) {
+            (None, None) => true,
+            (Some(x), Some(y)) => Arc::ptr_eq(x, y),
+            _ => false,
+        }
+        && match (&a.forced_delays, &b.forced_delays) {
+            (None, None) => true,
+            (Some(x), Some(y)) => Arc::ptr_eq(x, y),
+            _ => false,
+        }
+}
+
+/// The prefix-stable batch shape: every job arrives at the same instant
+/// and carries the default QoS class, so activation is plain FIFO and
+/// no deadline or priority can reorder anything mid-run.
+pub(crate) fn batch_default(jobs: &[JobSpec]) -> bool {
+    let Some(first) = jobs.first() else {
+        return false;
+    };
+    jobs.iter()
+        .all(|j| j.arrival == first.arrival && j.qos == QosClass::BEST_EFFORT)
+}
+
+/// True when `cfg` admits shadow recording: every policy callback of
+/// such a run pairs 1:1 with a logged trace event.
+pub(crate) fn recordable_cfg(cfg: &ManagerConfig) -> bool {
+    !cfg.prefetch.enabled() && cfg.preemption == PreemptionMode::Off
+}
+
+impl SealedRun {
+    /// The last checkpoint safe to restore for the engine's submitted
+    /// batch `jobs` under lookahead window `w` — see the module docs
+    /// for the `k + w ≤ p` bound.
+    pub(crate) fn pick_prefix_checkpoint(&self, jobs: &[JobSpec], w: usize) -> Option<usize> {
+        if !batch_default(jobs) || !batch_default(&self.jobs) {
+            return None;
+        }
+        let p = self
+            .jobs
+            .iter()
+            .zip(jobs)
+            .take_while(|(a, b)| same_spec(a, b))
+            .count();
+        // The restored run must still have at least one job left to
+        // activate (jobs_done ≤ len − 1), and no replayed decision may
+        // have seen a job past the shared prefix (jobs_done ≤ p − w).
+        let max_done = p.saturating_sub(w).min(jobs.len().saturating_sub(1));
+        if max_done == 0 {
+            return None;
+        }
+        let idx = self
+            .checkpoints
+            .partition_point(|c| c.jobs_done <= max_done);
+        idx.checked_sub(1)
+    }
+}
+
+impl ManagerState {
+    /// Snapshot of every scalar counter a warm restore must reproduce.
+    pub(crate) fn warm_counters(&self) -> WarmCounters {
+        WarmCounters {
+            executed: self.executed,
+            reuses: self.reuses,
+            loads: self.loads,
+            skips: self.skips,
+            stalls: self.stalls,
+            traffic: self.energy.stats(),
+            controller_loads: self.controller.completed_loads(),
+            controller_busy: self.controller.busy_time(),
+            qos_deadline_misses: self.qos_deadline_misses,
+            qos_tardiness: self.qos_tardiness,
+        }
+    }
+
+    /// Restores a counter snapshot, including the hardware models'.
+    pub(crate) fn warm_apply_counters(&mut self, c: &WarmCounters) {
+        self.executed = c.executed;
+        self.reuses = c.reuses;
+        self.loads = c.loads;
+        self.skips = c.skips;
+        self.stalls = c.stalls;
+        self.energy.restore_stats(c.traffic);
+        self.controller
+            .restore_counters(c.controller_loads, c.controller_busy);
+        self.qos_deadline_misses = c.qos_deadline_misses;
+        self.qos_tardiness = c.qos_tardiness;
+    }
+
+    /// Captures a checkpoint if the engine is fully quiescent: called
+    /// at every graph completion of a recorded run. Quiescence means
+    /// nothing is in flight anywhere — the restored run can re-enter
+    /// the event loop with only the activation slot armed.
+    pub(crate) fn maybe_warm_checkpoint(&mut self, now: SimTime) {
+        if !self.warm.active
+            || !self.suspended.is_empty()
+            || self.pending_preempt
+            || !self.controller.is_idle()
+            || !self.queue.is_empty()
+            || self.pending_reconfig.is_some()
+        {
+            return;
+        }
+        let mut residency = Vec::with_capacity(self.pool.len());
+        if self.pool.capture_unclaimed(&mut residency) {
+            self.warm.checkpoints.push(WarmCheckpoint {
+                jobs_done: self.completed_jobs,
+                event_pos: self.warm.events.len(),
+                now,
+                counters: self.warm_counters(),
+                residency,
+            });
+        }
+    }
+
+    /// Restores counters, hardware residency, clock and completion
+    /// bookkeeping shared by both replay flavours.
+    fn warm_restore_core(
+        &mut self,
+        counters: &WarmCounters,
+        residency: &[Option<ConfigId>],
+        jobs_done: usize,
+        end: SimTime,
+    ) {
+        self.warm_apply_counters(counters);
+        self.pool.restore_unclaimed(residency);
+        self.completed_jobs = jobs_done;
+        self.makespan_end = end;
+        self.queue.advance_to(end);
+    }
+
+    /// Restores the engine to a recorded checkpoint's quiescent state.
+    pub(crate) fn warm_restore_checkpoint(&mut self, cp: &WarmCheckpoint) {
+        self.warm_restore_core(&cp.counters, &cp.residency, cp.jobs_done, cp.now);
+    }
+
+    /// Restores the engine to the sealed run's end-of-run state.
+    pub(crate) fn warm_restore_final(&mut self, r: &SealedRun) {
+        self.warm_restore_core(
+            &r.final_counters,
+            &r.final_residency,
+            r.jobs.len(),
+            r.makespan_end,
+        );
+    }
+
+    /// Re-applies the per-graph completion ledger for a replayed
+    /// `GraphEnd` event — exactly what the cold completion branch
+    /// pushes, minus the miss/tardiness counter bumps (those are part
+    /// of the restored counter snapshot).
+    pub(crate) fn warm_graph_ledger(&mut self, jobs: &[JobSpec], job: u32, at: SimTime) {
+        let spec = &jobs[job as usize];
+        self.graph_arrivals.push(spec.arrival);
+        self.graph_completions.push(at);
+        let sojourn = at.since(spec.arrival);
+        let lateness = spec
+            .qos
+            .deadline
+            .map_or(SimDuration::ZERO, |d| at.saturating_since(d));
+        self.qos_records
+            .push((spec.qos.priority, sojourn, lateness));
+    }
+}
+
+/// The replay flavour one warm-start attempt decided on — computed
+/// against the sealed reference before any engine state is mutated.
+pub(crate) enum WarmPlan {
+    /// Identical batch: replay the whole log, the run is over.
+    Full,
+    /// Shared prefix: restore checkpoint `idx`, re-simulate the tail.
+    Prefix(usize),
+}

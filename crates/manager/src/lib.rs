@@ -45,6 +45,7 @@ pub mod trace;
 pub mod validate;
 
 pub use config::{Lookahead, ManagerConfig, PrefetchConfig};
+pub use engine::warm::WarmStats;
 pub use job::JobSpec;
 pub use manager::{simulate, Engine, SimError, SimulationOutcome};
 pub use policy::{

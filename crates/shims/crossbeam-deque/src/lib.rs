@@ -1,0 +1,192 @@
+//! Offline stand-in for `crossbeam-deque`: the work-stealing deque API
+//! (`Worker` / `Stealer` / `Steal`) backed by a mutexed `VecDeque`
+//! instead of the real crate's lock-free Chase-Lev buffer.
+//!
+//! The surface is exactly what the workspace's parallel sweep runner
+//! uses: a FIFO owner queue per worker thread plus cloneable stealers
+//! over it. Semantics match the real crate — the owner pops from the
+//! front, stealers take from the front too (FIFO deques steal from the
+//! same end), and a stealer that loses a race reports [`Steal::Retry`]
+//! rather than blocking. The differences are performance-shaped, not
+//! behavioral: every operation takes the queue's mutex (the real crate
+//! is lock-free), and `Retry` arises from `try_lock` contention rather
+//! than a CAS failure. Callers must already treat `Retry` as "try
+//! again", so the substitution is invisible above the API.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, TryLockError};
+
+/// The outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// Lost a race with a concurrent operation; trying again may
+    /// succeed.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// True if a task was stolen.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// True if the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// True if the attempt lost a race and should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// A FIFO work queue owned by one worker thread. The owner pushes and
+/// pops; other threads steal through [`Stealer`] handles.
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// An empty FIFO worker queue.
+    pub fn new_fifo() -> Self {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Enqueues a task at the back.
+    pub fn push(&self, task: T) {
+        self.inner
+            .lock()
+            .expect("deque mutex poisoned")
+            .push_back(task);
+    }
+
+    /// Dequeues the front task (FIFO order), or `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().expect("deque mutex poisoned").pop_front()
+    }
+
+    /// True when no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("deque mutex poisoned").is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("deque mutex poisoned").len()
+    }
+
+    /// A new stealer handle over this queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Default for Worker<T> {
+    fn default() -> Self {
+        Worker::new_fifo()
+    }
+}
+
+/// A cloneable handle for stealing tasks from another worker's queue.
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Attempts to steal the front task. Contention with the owner or
+    /// another stealer surfaces as [`Steal::Retry`] instead of
+    /// blocking, mirroring the real crate's lock-free CAS failure.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.try_lock() {
+            Ok(mut q) => match q.pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+            Err(TryLockError::WouldBlock) => Steal::Retry,
+            Err(TryLockError::Poisoned(e)) => panic!("deque mutex poisoned: {e}"),
+        }
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn owner_pops_fifo() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn stealer_takes_from_the_front() {
+        let w = Worker::new_fifo();
+        w.push(10);
+        w.push(20);
+        let s = w.stealer();
+        assert_eq!(s.steal().success(), Some(10));
+        assert_eq!(w.pop(), Some(20));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn concurrent_stealers_drain_every_task_exactly_once() {
+        let w = Worker::new_fifo();
+        for i in 0..1000u32 {
+            w.push(i);
+        }
+        let seen = StdMutex::new(BTreeSet::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = w.stealer();
+                let seen = &seen;
+                scope.spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(t) => {
+                            assert!(seen.lock().unwrap().insert(t), "task stolen twice");
+                        }
+                        Steal::Retry => std::thread::yield_now(),
+                        Steal::Empty => break,
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len(), 1000);
+        assert!(w.is_empty());
+    }
+}

@@ -196,6 +196,31 @@ impl<T> EventQueue<T> {
         Some(ev)
     }
 
+    /// Drains every queued event sharing the head's `(time, priority)`
+    /// into `out` in deterministic (insertion) order, returning that
+    /// shared `(time, priority)` — or `None` on an empty queue.
+    ///
+    /// Events pushed *while the batch is being handled* are not part of
+    /// it: they carry later sequence numbers and would have popped after
+    /// every pre-existing same-key event anyway, so handling the drained
+    /// batch then re-merging preserves the one-at-a-time total order.
+    /// `out` is appended to, not cleared — callers own the scratch
+    /// buffer.
+    pub fn pop_same_instant_into(&mut self, out: &mut Vec<T>) -> Option<(SimTime, u8)> {
+        let (_, head) = self.events.last()?;
+        let (time, priority) = (head.time, head.priority);
+        while let Some((_, e)) = self.events.last() {
+            if e.time != time || e.priority != priority {
+                break;
+            }
+            let (_, e) = self.events.pop().expect("peeked event vanished");
+            out.push(e.payload);
+        }
+        self.last_popped = time;
+        self.popped_any = true;
+        Some((time, priority))
+    }
+
     /// The timestamp of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.events.last().map(|(_, e)| e.time)
@@ -341,6 +366,24 @@ mod tests {
             b.pop().unwrap().seq
         };
         assert_eq!(a.pop().unwrap().seq, fresh_seq);
+    }
+
+    #[test]
+    fn pop_same_instant_drains_only_the_head_key() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(4);
+        q.push(t, 0, "a");
+        q.push(t, 0, "b");
+        q.push(t, 1, "later-prio");
+        q.push(SimTime::from_ms(5), 0, "later-time");
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_same_instant_into(&mut batch), Some((t, 0)));
+        assert_eq!(batch, vec!["a", "b"], "insertion order within the batch");
+        assert_eq!(q.now(), t);
+        assert_eq!(q.len(), 2, "other keys untouched");
+        assert_eq!(q.pop().unwrap().payload, "later-prio");
+        let mut empty: EventQueue<u8> = EventQueue::new();
+        assert_eq!(empty.pop_same_instant_into(&mut Vec::new()), None);
     }
 
     #[test]

@@ -3,13 +3,24 @@
 //! Experiment grids (policy × RU count × seed) are embarrassingly
 //! parallel: each cell is an independent, internally deterministic
 //! simulation. [`parallel_map`] fans the cells out over a scoped
-//! crossbeam thread pool and returns results in input order, so sweep
-//! output is identical to a sequential run regardless of scheduling.
+//! thread pool with work-stealing deques and returns results in input
+//! order, so sweep output is identical to a sequential run regardless
+//! of scheduling.
+//!
+//! Each worker owns a FIFO deque pre-filled with a *contiguous* block
+//! of the input — with a Gray-code-ordered sweep, neighbouring cells
+//! land on the same worker, which is what lets a pooled engine's
+//! warm-start log hit on the next cell. A worker that drains its block
+//! steals from the busiest point of the grid instead of idling, so
+//! uneven per-cell cost (an LFD oracle cell is far more expensive than
+//! an LRU cell) still balances.
 
 use crossbeam::channel;
+use crossbeam_deque::{Steal, Stealer, Worker};
 use std::any::Any;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A captured panic payload, tagged with the input index it came from.
 type CellPanic = (usize, Box<dyn Any + Send + 'static>);
@@ -36,9 +47,10 @@ fn resume_cell_panic(idx: usize, payload: Box<dyn Any + Send + 'static>) -> ! {
 /// Applies `f` to every item, using up to `workers` threads, preserving
 /// input order in the result.
 ///
-/// Items are distributed through a work-stealing channel, so uneven
-/// per-item cost (an LFD oracle cell is far more expensive than an LRU
-/// cell) balances automatically.
+/// Items are distributed through per-worker work-stealing deques, so
+/// uneven per-item cost (an LFD oracle cell is far more expensive than
+/// an LRU cell) balances automatically while each worker still walks a
+/// contiguous block of the input in order.
 ///
 /// # Panics
 /// If `f` panics on some item, the panic is captured per cell, the
@@ -93,38 +105,44 @@ where
             .collect();
     }
 
-    let (work_tx, work_rx) = channel::unbounded::<(usize, T)>();
     let (res_tx, res_rx) = channel::unbounded::<(usize, Result<R, Box<dyn Any + Send>>)>();
-    for pair in items.into_iter().enumerate() {
-        work_tx
-            .send(pair)
-            .expect("unbounded channel accepts all work");
+    // Contiguous block per worker: worker `w` owns cells
+    // `[w·chunk, (w+1)·chunk)`. Sweep drivers order cells so that
+    // neighbours share simulation state (Gray-code walks), and a block
+    // keeps those neighbours on one worker — stealing only kicks in
+    // once a worker's own block is drained.
+    let queues: Vec<Worker<(usize, T)>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<(usize, T)>> = queues.iter().map(Worker::stealer).collect();
+    let chunk = n.div_ceil(workers);
+    for (idx, item) in items.into_iter().enumerate() {
+        queues[idx / chunk].push((idx, item));
     }
-    drop(work_tx);
 
-    // Set once any cell panics: later items drain without running `f`,
-    // so a long sweep fails fast instead of computing every remaining
-    // cell first. Items are dispatched FIFO, so the lowest-indexed
-    // failing cell is always computed before the flag can be set.
-    let aborted = std::sync::atomic::AtomicBool::new(false);
+    // The lowest panicked index so far (`usize::MAX` = none). Cells
+    // above it drain without running `f` — a long sweep fails fast —
+    // while cells *below* it still compute, so the lowest-indexed
+    // failing cell always wins no matter which block panicked first.
+    let panic_floor = AtomicUsize::new(usize::MAX);
     let (slots, first_panic) = crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            let work_rx = work_rx.clone();
+        for (me, local) in queues.into_iter().enumerate() {
+            let stealers = stealers.clone();
             let res_tx = res_tx.clone();
             let f = &f;
             let init = &init;
-            let aborted = &aborted;
+            let panic_floor = &panic_floor;
             scope.spawn(move |_| {
                 let mut state = init();
-                while let Ok((idx, item)) = work_rx.recv() {
-                    if aborted.load(std::sync::atomic::Ordering::Relaxed) {
-                        continue; // drain the queue without computing
+                loop {
+                    let task = local.pop().or_else(|| steal_task(&stealers, me));
+                    let Some((idx, item)) = task else { break };
+                    if idx > panic_floor.load(Ordering::Relaxed) {
+                        continue; // a lower cell already failed
                     }
                     // Catch per-cell panics so one bad cell neither
                     // poisons the scope join nor loses its origin.
                     let out = catch_unwind(AssertUnwindSafe(|| f(&mut state, item)));
                     if out.is_err() {
-                        aborted.store(true, std::sync::atomic::Ordering::Relaxed);
+                        panic_floor.fetch_min(idx, Ordering::Relaxed);
                     }
                     if res_tx.send((idx, out)).is_err() {
                         return; // receiver gone: abort quietly
@@ -156,6 +174,27 @@ where
         .into_iter()
         .map(|s| s.expect("every index produced a result"))
         .collect()
+}
+
+/// One round-robin pass over the other workers' stealers, looping while
+/// any attempt reports contention. `None` means every queue was
+/// observed empty — with no producers after startup that is a stable
+/// termination condition, so the worker can exit.
+fn steal_task<T>(stealers: &[Stealer<(usize, T)>], me: usize) -> Option<(usize, T)> {
+    loop {
+        let mut contended = false;
+        for off in 1..stealers.len() {
+            match stealers[(me + off) % stealers.len()].steal() {
+                Steal::Success(task) => return Some(task),
+                Steal::Retry => contended = true,
+                Steal::Empty => {}
+            }
+        }
+        if !contended {
+            return None;
+        }
+        std::thread::yield_now();
+    }
 }
 
 /// A sensible default worker count: available parallelism, at least 1.
@@ -246,6 +285,41 @@ mod tests {
         // Across 4 workers and 64 items, at least one worker processed
         // more than one item — the state really is reused.
         assert!(out.iter().any(|&(_, seen)| seen > 1));
+    }
+
+    #[test]
+    fn uneven_costs_steal_across_blocks_and_keep_order() {
+        // Worker 0's contiguous block (the first half) is made of slow
+        // cells; the other workers' blocks are instant. The idle
+        // workers must steal into block 0 — observable as block-0 items
+        // running on more than one thread — while results stay in input
+        // order and every worker's state threads through its cells.
+        let n = 16usize;
+        let out = parallel_map_with(
+            (0..n).collect::<Vec<_>>(),
+            2,
+            || 0usize,
+            |seen, x| {
+                *seen += 1;
+                if x < n / 2 {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                (x, *seen, std::thread::current().id())
+            },
+        );
+        assert_eq!(out.len(), n);
+        for (i, &(x, seen, _)) in out.iter().enumerate() {
+            assert_eq!(x, i, "results keep input order");
+            assert!(seen >= 1, "per-worker state threads through");
+        }
+        let slow_threads: std::collections::BTreeSet<_> = out[..n / 2]
+            .iter()
+            .map(|&(_, _, id)| format!("{id:?}"))
+            .collect();
+        assert!(
+            slow_threads.len() > 1,
+            "the fast worker never stole from the slow block"
+        );
     }
 
     #[test]

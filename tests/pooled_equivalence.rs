@@ -288,6 +288,101 @@ proptest! {
         assert_same(&replay, &fresh, &s, "QoS scenario replayed");
     }
 
+    /// Warm-start: an adjacent-cell knob walk over one pooled engine.
+    /// Every leg must be bit-exact with a fresh engine, and on eligible
+    /// shapes (batch arrivals, default QoS, prefetch off, preemption
+    /// off, a keyed policy) the walk must actually take the warm path:
+    /// an identical re-run replays the full log, one-job-adjacent
+    /// batches restore a checkpoint prefix, and an ineligible detour
+    /// cell neither hits nor corrupts the sealed reference.
+    #[test]
+    fn warm_start_walk_is_bit_exact_and_hits(
+        seed in any::<u64>(),
+        apps0 in 2usize..10,
+        rus in 1usize..7,
+        policy in 0u8..8,
+        depth_detour in 0usize..3,
+        preempt_detour in 0u8..3,
+    ) {
+        let base = build_scenario(seed, 1 + (seed % 3) as usize, apps0 + 2, rus, 0, policy, false, 0);
+        // Legs share the base jobs' Arcs — truncation, not rebuilding,
+        // is what makes adjacent batches recognisably the same specs.
+        let leg = |n: usize| Scenario { jobs: base.jobs[..n].to_vec(), ..base.clone() };
+        let keyed = policy % 8 != 5; // RandomPolicy opts out of warm keys
+        let window0 = matches!(lookahead_for(policy, seed), Lookahead::None);
+
+        let mut engine = Engine::new(&base.cfg);
+        let a = leg(apps0);
+        let fresh_a = run_fresh(&a);
+        let pooled = run_pooled(&mut engine, &a);
+        assert_same(&pooled, &fresh_a, &a, "warm walk: cold leg");
+        prop_assert!(!engine.warm_stats().last_was_hit);
+
+        // Identical batch: a keyed policy replays the whole log.
+        let pooled = run_pooled(&mut engine, &a);
+        assert_same(&pooled, &fresh_a, &a, "warm walk: identical re-run");
+        prop_assert_eq!(
+            engine.warm_stats().last_was_hit, keyed,
+            "an identical re-run must fully hit iff the policy is keyed"
+        );
+        if keyed {
+            prop_assert_eq!(engine.warm_stats().full_hits, 1);
+            prop_assert_eq!(engine.warm_stats().last_divergence_depth, apps0);
+        }
+
+        // One job appended: with the whole prefix visible (window 0)
+        // the run must restore a checkpoint instead of starting cold.
+        let b = leg(apps0 + 1);
+        let fresh_b = run_fresh(&b);
+        let pooled = run_pooled(&mut engine, &b);
+        assert_same(&pooled, &fresh_b, &b, "warm walk: one job appended");
+        if keyed && window0 {
+            prop_assert!(
+                engine.warm_stats().last_was_hit,
+                "appending one job to a window-0 batch must prefix-hit"
+            );
+            let depth = engine.warm_stats().last_divergence_depth;
+            prop_assert!((1..=apps0).contains(&depth));
+        }
+
+        // Shrink back: the common prefix still restores.
+        let pooled = run_pooled(&mut engine, &a);
+        assert_same(&pooled, &fresh_a, &a, "warm walk: shrink back");
+        if keyed && window0 {
+            prop_assert!(engine.warm_stats().last_was_hit);
+        }
+
+        // Detour through a possibly-ineligible cell (prefetch on and/or
+        // preemption armed): runs cold, stays bit-exact, and must not
+        // corrupt the sealed reference.
+        let mut d = leg(apps0);
+        d.cfg = d.cfg
+            .with_prefetch(PrefetchConfig::with_depth(depth_detour))
+            .with_preemption(match preempt_detour {
+                0 => PreemptionMode::Off,
+                1 => PreemptionMode::Kill,
+                _ => PreemptionMode::Checkpoint,
+            });
+        let detour_differs = d.cfg != a.cfg;
+        let fresh_d = run_fresh(&d);
+        let pooled = run_pooled(&mut engine, &d);
+        assert_same(&pooled, &fresh_d, &d, "warm walk: detour cell");
+        if detour_differs {
+            prop_assert!(!engine.warm_stats().last_was_hit);
+        }
+
+        // Return to the base cell: the reference sealed before the
+        // detour must still hit in full.
+        let pooled = run_pooled(&mut engine, &a);
+        assert_same(&pooled, &fresh_a, &a, "warm walk: return after detour");
+        if keyed {
+            prop_assert!(
+                engine.warm_stats().last_was_hit,
+                "the detour must not invalidate the sealed reference"
+            );
+        }
+    }
+
     /// Skip Events (mobility-annotated jobs, the paper's Fig. 8 steps
     /// 4–5) through the pooled engine: bit-exact with fresh, including
     /// the skip counters in the trace.
