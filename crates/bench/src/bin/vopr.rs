@@ -17,20 +17,22 @@
 //! fixed master seed, 1000 cases, all checkers enabled; it writes the
 //! per-checker coverage summary to `results/vopr_coverage.csv`, fails
 //! on any violation, and fails if any registered checker never fired
-//! or any lifecycle, required depth, preemption mode or QoS class mix
-//! went unexercised.
+//! or any lifecycle, required depth, preemption mode, QoS class mix,
+//! runtime fault-rate class, fault-class mix or fault class went
+//! unexercised.
 
 use rtr_manager::{CheckerRegistry, PreemptionMode};
 use rtr_workload::vopr::{
-    case_report, qos_mix_label, run_campaign, CampaignConfig, CampaignSummary, Fingerprint,
-    Lifecycle, DEPTHS,
+    case_report, fault_mix_label, fault_rate_label, qos_mix_label, run_campaign, CampaignConfig,
+    CampaignSummary, Fingerprint, Lifecycle, DEPTHS,
 };
 use std::path::Path;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: vopr [smoke] [options]
-  smoke              CI campaign: fixed seed, 1000 cases, all checkers,
+  smoke              CI campaign: fixed seed, 1000 cases (override with
+                     --cases for the nightly tier), all checkers,
                      coverage gate, results/vopr_coverage.csv
 options:
   --seed N           master seed (decimal or 0x hex; default 0x5EEDC)
@@ -45,7 +47,7 @@ options:
 struct Args {
     smoke: bool,
     seed: u64,
-    cases: u64,
+    cases: Option<u64>,
     enable: Vec<String>,
     disable: Vec<String>,
     replay: Option<String>,
@@ -66,7 +68,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         smoke: false,
         seed: CampaignConfig::default().master_seed,
-        cases: 1000,
+        cases: None,
         enable: Vec::new(),
         disable: Vec::new(),
         replay: None,
@@ -79,7 +81,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "smoke" => args.smoke = true,
             "--seed" => args.seed = parse_u64(&value("--seed")?)?,
-            "--cases" => args.cases = parse_u64(&value("--cases")?)?,
+            "--cases" => args.cases = Some(parse_u64(&value("--cases")?)?),
             "--enable" => args
                 .enable
                 .extend(value("--enable")?.split(',').map(str::to_string)),
@@ -140,6 +142,21 @@ fn print_summary(summary: &CampaignSummary) {
     for (mix, n) in summary.qos_mix_cases.iter().enumerate() {
         print!(" {}={n}", qos_mix_label(mix as u8));
     }
+    print!("\nfault rates:");
+    for (rate, n) in summary.fault_rate_cases.iter().enumerate() {
+        print!(" {}={n}", fault_rate_label(rate as u8));
+    }
+    print!("\nfault mixes (fault-active cases):");
+    for (mix, n) in summary.fault_mix_cases.iter().enumerate() {
+        print!(" {}={n}", fault_mix_label(mix as u8));
+    }
+    print!("\nfault injections:");
+    for (name, n) in ["transient-load", "upset", "ru-hard"]
+        .iter()
+        .zip(summary.fault_injections)
+    {
+        print!(" {name}={n}");
+    }
     println!("\n\nchecker coverage (fired / violations):");
     for c in &summary.coverage {
         println!("  {:<22} {:>10} / {}", c.name, c.fired, c.violations);
@@ -158,12 +175,33 @@ fn print_summary(summary: &CampaignSummary) {
 
 /// The coverage gate: every registered checker fired, every lifecycle
 /// ran, the depths the acceptance envelope names (0 and 4) were both
-/// exercised by checked cases, and every preemption mode and QoS
-/// class mix was exercised at least once.
+/// exercised by checked cases, every preemption mode and QoS class
+/// mix was exercised at least once, every runtime fault-rate class
+/// and fault-class mix ran, and every fault class actually injected.
 fn coverage_gate(summary: &CampaignSummary) -> Result<(), String> {
     let unfired = summary.unfired();
     if !unfired.is_empty() {
         return Err(format!("checkers never fired: {unfired:?}"));
+    }
+    let fault_holes = summary.fault_holes();
+    if !fault_holes.is_empty() {
+        return Err(format!("fault classes never injected: {fault_holes:?}"));
+    }
+    for (rate, n) in summary.fault_rate_cases.iter().enumerate() {
+        if *n == 0 {
+            return Err(format!(
+                "fault rate class '{}' never ran",
+                fault_rate_label(rate as u8)
+            ));
+        }
+    }
+    for (mix, n) in summary.fault_mix_cases.iter().enumerate() {
+        if *n == 0 {
+            return Err(format!(
+                "fault class mix '{}' never ran",
+                fault_mix_label(mix as u8)
+            ));
+        }
     }
     for (l, n) in Lifecycle::ALL.iter().zip(summary.lifecycle_cases) {
         if n == 0 {
@@ -217,15 +255,18 @@ fn run() -> Result<ExitCode, String> {
 
     let config = if args.smoke {
         // The CI campaign is pinned: same seed, same cases, all
-        // checkers — its pass/fail must not drift run to run.
+        // checkers — its pass/fail must not drift run to run. The
+        // nightly tier reuses the pinned seed and the coverage gate
+        // but scales the case count with an explicit `--cases`.
         CampaignConfig {
+            cases: args.cases.unwrap_or(CampaignConfig::default().cases),
             minimize: args.minimize,
             ..CampaignConfig::default()
         }
     } else {
         CampaignConfig {
             master_seed: args.seed,
-            cases: args.cases,
+            cases: args.cases.unwrap_or(1000),
             minimize: args.minimize,
             ..CampaignConfig::default()
         }
@@ -254,7 +295,8 @@ fn run() -> Result<ExitCode, String> {
         coverage_gate(&summary)?;
         println!(
             "coverage gate: all checkers fired; all lifecycles, required depths, \
-             preemption modes and qos mixes ran"
+             preemption modes, qos mixes, fault rates and fault mixes ran; \
+             every fault class injected"
         );
     }
 

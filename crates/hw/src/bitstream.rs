@@ -18,6 +18,7 @@ use std::collections::HashMap;
 pub struct BitstreamRepository {
     size_bytes: usize,
     blobs: HashMap<ConfigId, Bytes>,
+    sums: HashMap<ConfigId, u64>,
 }
 
 impl BitstreamRepository {
@@ -26,6 +27,7 @@ impl BitstreamRepository {
         BitstreamRepository {
             size_bytes,
             blobs: HashMap::new(),
+            sums: HashMap::new(),
         }
     }
 
@@ -40,6 +42,18 @@ impl BitstreamRepository {
     /// Number of distinct bitstreams generated so far.
     pub fn generated(&self) -> usize {
         self.blobs.len()
+    }
+
+    /// The golden checksum of `config`'s bitstream (generating the blob
+    /// on first access, memoising the sum) — what an integrity check
+    /// compares a transferred copy against.
+    pub fn expected_checksum(&mut self, config: ConfigId) -> u64 {
+        if let Some(&sum) = self.sums.get(&config) {
+            return sum;
+        }
+        let sum = checksum(&self.fetch(config));
+        self.sums.insert(config, sum);
+        sum
     }
 
     /// Bitstream size in bytes.
@@ -67,8 +81,8 @@ fn synthesize(config: ConfigId, size: usize) -> Bytes {
     Bytes::from(out)
 }
 
-/// A Fletcher-style checksum used by tests to emulate integrity checking
-/// of a transferred bitstream.
+/// A Fletcher-style checksum used to emulate integrity checking of a
+/// transferred bitstream (the fault model's "CRC").
 pub fn checksum(data: &Bytes) -> u64 {
     let mut a: u64 = 1;
     let mut b: u64 = 0;
@@ -77,6 +91,24 @@ pub fn checksum(data: &Bytes) -> u64 {
         b = (b + a) % 65_521;
     }
     (b << 32) | a
+}
+
+/// A transfer-corrupted copy of `data`: one byte (picked by `salt`) is
+/// flipped by a non-zero XOR derived from `salt`. A single-byte delta
+/// is never ≡ 0 mod 65 521, so [`verify`] always detects it.
+pub fn corrupt(data: &Bytes, salt: u64) -> Bytes {
+    assert!(!data.is_empty(), "cannot corrupt an empty bitstream");
+    let mut out = data.to_vec();
+    let idx = (salt % data.len() as u64) as usize;
+    let flip = (salt >> 32) as u8 | 1; // never zero: the byte must change
+    out[idx] ^= flip;
+    Bytes::from(out)
+}
+
+/// Integrity check of a transferred bitstream against its golden
+/// checksum.
+pub fn verify(data: &Bytes, expected: u64) -> bool {
+    checksum(data) == expected
 }
 
 #[cfg(test)]
@@ -113,5 +145,22 @@ mod tests {
         let a = checksum(&repo.fetch(ConfigId(1)));
         let b = checksum(&repo.fetch(ConfigId(2)));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn corruption_is_always_detected() {
+        let mut repo = BitstreamRepository::new(512);
+        let golden = repo.expected_checksum(ConfigId(5));
+        let clean = repo.fetch(ConfigId(5));
+        assert!(verify(&clean, golden));
+        // Any salt yields a one-byte flip the checksum catches.
+        for salt in [0u64, 1, 511, 512, 0xDEAD_BEEF_0000_0000, u64::MAX] {
+            let bad = corrupt(&clean, salt);
+            assert_eq!(bad.len(), clean.len());
+            assert_ne!(bad, clean);
+            assert!(!verify(&bad, golden), "salt {salt} went undetected");
+        }
+        // The memoised golden sum matches a fresh computation.
+        assert_eq!(golden, checksum(&clean));
     }
 }

@@ -134,6 +134,39 @@ impl ReconfigController {
         completes
     }
 
+    /// Re-arms the port for a backoff retry of a corrupt load: the
+    /// port is held from `now`, but the actual rewrite only occupies
+    /// `[now + backoff, now + backoff + latency]` — only that write
+    /// window is accounted as busy time. The retry keeps its lane, so
+    /// a speculative retry stays cancellable by demand (including
+    /// during the backoff wait, which then costs no port time).
+    ///
+    /// # Panics
+    /// Panics if the controller is busy, like [`Self::start`].
+    pub fn start_retry(
+        &mut self,
+        ru: RuId,
+        config: ConfigId,
+        now: SimTime,
+        lane: LoadLane,
+        backoff: SimDuration,
+    ) -> SimTime {
+        assert!(
+            self.in_flight.is_none(),
+            "reconfiguration controller is single-ported: start() while busy"
+        );
+        let started = now + backoff;
+        let completes = started + self.latency;
+        self.in_flight = Some(InFlight {
+            ru,
+            config,
+            started,
+            completes,
+            lane,
+        });
+        completes
+    }
+
     /// Completes the in-flight operation; `now` must match the promised
     /// completion time.
     pub fn complete(&mut self, now: SimTime) -> InFlight {
@@ -159,7 +192,9 @@ impl ReconfigController {
     /// # Panics
     /// Panics if nothing is in flight, if the in-flight operation is a
     /// demand load (demand loads always complete), or if `now` lies
-    /// outside the operation's write interval.
+    /// after the operation's completion. Cancellation *before*
+    /// `started` is legal — it aborts a backoff retry that has not
+    /// begun rewriting yet, and charges no port time.
     pub fn cancel(&mut self, now: SimTime) -> InFlight {
         let op = self
             .in_flight
@@ -171,12 +206,11 @@ impl ReconfigController {
             "only speculative loads are cancellable"
         );
         assert!(
-            op.started <= now && now <= op.completes,
-            "cancellation at {now} outside the write interval [{}, {}]",
-            op.started,
+            now <= op.completes,
+            "cancellation at {now} after the write completed at {}",
             op.completes
         );
-        self.busy_time += now.since(op.started);
+        self.busy_time += now.saturating_since(op.started);
         op
     }
 
@@ -334,6 +368,44 @@ mod tests {
         let mut c = ctl();
         c.start(RuId(0), ConfigId(1), SimTime::ZERO);
         c.cancel(SimTime::from_ms(1));
+    }
+
+    #[test]
+    fn retry_delays_the_write_window() {
+        let mut c = ctl();
+        // Backoff 8 ms from t = 10: the rewrite occupies [18, 22].
+        let done = c.start_retry(
+            RuId(0),
+            ConfigId(1),
+            SimTime::from_ms(10),
+            LoadLane::Demand,
+            SimDuration::from_ms(8),
+        );
+        assert_eq!(done, SimTime::from_ms(22));
+        assert!(!c.is_idle());
+        let op = c.complete(SimTime::from_ms(22));
+        assert_eq!(op.started, SimTime::from_ms(18));
+        // Only the write itself is port-busy, not the backoff wait.
+        assert_eq!(c.busy_time(), SimDuration::from_ms(4));
+        assert_eq!(c.completed_loads(), 1);
+    }
+
+    #[test]
+    fn cancel_during_backoff_charges_nothing() {
+        let mut c = ctl();
+        c.start_retry(
+            RuId(0),
+            ConfigId(1),
+            SimTime::from_ms(10),
+            LoadLane::Speculative,
+            SimDuration::from_ms(8),
+        );
+        // Demand claims the port at t = 12, before the rewrite begins
+        // at t = 18: no port time was spent.
+        let op = c.cancel(SimTime::from_ms(12));
+        assert_eq!(op.lane, LoadLane::Speculative);
+        assert!(c.is_idle());
+        assert_eq!(c.busy_time(), SimDuration::ZERO);
     }
 
     #[test]

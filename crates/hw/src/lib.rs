@@ -28,6 +28,7 @@ pub mod device;
 pub mod energy;
 pub mod ru;
 
+pub use bitstream::BitstreamRepository;
 pub use controller::{InFlight, LoadLane, ReconfigController};
 pub use device::DeviceSpec;
 pub use energy::{EnergyModel, TrafficStats};

@@ -97,13 +97,17 @@ pub enum RuState {
         /// Resident configuration.
         config: ConfigId,
     },
+    /// The unit hard-faulted and is out of the pool: nothing resident,
+    /// no placement, claim or prefetch may target it until it heals
+    /// back to [`RuState::Empty`].
+    Quarantined,
 }
 
 impl RuState {
     /// The configuration physically present in the RU, if any.
     pub fn resident_config(self) -> Option<ConfigId> {
         match self {
-            RuState::Empty => None,
+            RuState::Empty | RuState::Quarantined => None,
             RuState::Loading { config }
             | RuState::Loaded { config, .. }
             | RuState::Executing { config } => Some(config),
@@ -153,6 +157,12 @@ pub struct RuPool {
     reusable: ReusableTable,
     /// True for pools of ≤ 64 RUs, where one `u64` covers the pool.
     mask_tracking: bool,
+    /// Per-RU upset flags: `true` marks a resident, unclaimed bitstream
+    /// silently invalidated by an SEU — physically present but never
+    /// reusable until the RU is rewritten.
+    corrupt: Vec<bool>,
+    /// Number of RUs currently in [`RuState::Quarantined`].
+    quarantined: usize,
 }
 
 impl RuPool {
@@ -168,6 +178,8 @@ impl RuPool {
             empties: count,
             reusable: ReusableTable::default(),
             mask_tracking: count <= 64,
+            corrupt: vec![false; count],
+            quarantined: 0,
         }
     }
 
@@ -217,10 +229,11 @@ impl RuPool {
             return Some(ru);
         }
         self.ids().find(|&r| {
-            matches!(
-                self.states[r.idx()],
-                RuState::Loaded { config: c, claimed: false } if c == config
-            )
+            !self.corrupt[r.idx()]
+                && matches!(
+                    self.states[r.idx()],
+                    RuState::Loaded { config: c, claimed: false } if c == config
+                )
         })
     }
 
@@ -240,10 +253,13 @@ impl RuPool {
         Some(ru)
     }
 
-    /// Whether `config` is resident anywhere (any state).
+    /// Whether `config` is resident anywhere (any state). Upset
+    /// residents do not count — their bits are garbage, so a re-fetch
+    /// of the same configuration is useful, not redundant.
     pub fn is_resident(&self, config: ConfigId) -> bool {
-        self.ids()
-            .any(|r| self.states[r.idx()].resident_config() == Some(config))
+        self.ids().any(|r| {
+            !self.corrupt[r.idx()] && self.states[r.idx()].resident_config() == Some(config)
+        })
     }
 
     /// Eviction candidates in RU-index order (the paper's tie-break:
@@ -271,6 +287,8 @@ impl RuPool {
         self.states.fill(RuState::Empty);
         self.empties = self.states.len();
         self.reusable.clear();
+        self.corrupt.fill(false);
+        self.quarantined = 0;
     }
 
     /// Resets and, if `count` differs from the current size, resizes the
@@ -287,6 +305,9 @@ impl RuPool {
         self.empties = count;
         self.reusable.clear();
         self.mask_tracking = count <= 64;
+        self.corrupt.clear();
+        self.corrupt.resize(count, false);
+        self.quarantined = 0;
     }
 
     /// Starts loading `config` into `ru`, evicting any unclaimed
@@ -305,6 +326,8 @@ impl RuPool {
                 if self.mask_tracking {
                     self.reusable.unmark(evicted, ru.idx());
                 }
+                // Rewriting the unit repairs any pending upset.
+                self.corrupt[ru.idx()] = false;
                 self.states[ru.idx()] = RuState::Loading { config };
                 Ok(())
             }
@@ -495,6 +518,95 @@ impl RuPool {
         }
     }
 
+    /// Marks the resident, unclaimed bitstream of `ru` as upset: it
+    /// stays physically present (and evictable) but stops counting as
+    /// reusable or resident until the unit is rewritten or
+    /// quarantined. Returns the invalidated configuration.
+    pub fn mark_corrupt(&mut self, ru: RuId) -> Result<ConfigId, TransitionError> {
+        match self.states[ru.idx()] {
+            RuState::Loaded {
+                config,
+                claimed: false,
+            } if !self.corrupt[ru.idx()] => {
+                if self.mask_tracking {
+                    self.reusable.unmark(config, ru.idx());
+                }
+                self.corrupt[ru.idx()] = true;
+                Ok(config)
+            }
+            found => Err(TransitionError {
+                ru,
+                found,
+                attempted: "mark_corrupt",
+            }),
+        }
+    }
+
+    /// True while `ru` holds an upset (invalid) resident bitstream.
+    pub fn is_corrupt(&self, ru: RuId) -> bool {
+        self.corrupt[ru.idx()]
+    }
+
+    /// Takes `ru` out of the pool after a hard fault or retry
+    /// exhaustion. Only quiescent units can be quarantined directly —
+    /// the manager revokes executions, releases claims and cancels
+    /// in-flight loads first. Returns the discarded resident
+    /// configuration, if any.
+    pub fn quarantine(&mut self, ru: RuId) -> Result<Option<ConfigId>, TransitionError> {
+        match self.states[ru.idx()] {
+            RuState::Empty => {
+                self.empties -= 1;
+                self.quarantined += 1;
+                self.states[ru.idx()] = RuState::Quarantined;
+                Ok(None)
+            }
+            RuState::Loaded {
+                config,
+                claimed: false,
+            } => {
+                if self.mask_tracking {
+                    self.reusable.unmark(config, ru.idx());
+                }
+                self.corrupt[ru.idx()] = false;
+                self.quarantined += 1;
+                self.states[ru.idx()] = RuState::Quarantined;
+                Ok(Some(config))
+            }
+            found => Err(TransitionError {
+                ru,
+                found,
+                attempted: "quarantine",
+            }),
+        }
+    }
+
+    /// Returns a quarantined unit to the pool, empty.
+    pub fn heal(&mut self, ru: RuId) -> Result<(), TransitionError> {
+        match self.states[ru.idx()] {
+            RuState::Quarantined => {
+                self.quarantined -= 1;
+                self.empties += 1;
+                self.states[ru.idx()] = RuState::Empty;
+                Ok(())
+            }
+            found => Err(TransitionError {
+                ru,
+                found,
+                attempted: "heal",
+            }),
+        }
+    }
+
+    /// Number of RUs currently quarantined out of the pool.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined
+    }
+
+    /// Number of RUs still in service (total minus quarantined).
+    pub fn usable_len(&self) -> usize {
+        self.states.len() - self.quarantined
+    }
+
     /// Resident configurations with their claim status, for diagnostics.
     pub fn snapshot(&self) -> Vec<(RuId, RuState)> {
         self.ids().map(|r| (r, self.states[r.idx()])).collect()
@@ -509,7 +621,11 @@ impl RuPool {
     /// [`RuPool::restore_unclaimed`].
     pub fn capture_unclaimed(&self, out: &mut Vec<Option<ConfigId>>) -> bool {
         out.clear();
-        for s in &self.states {
+        for (i, s) in self.states.iter().enumerate() {
+            if self.corrupt[i] {
+                // An upset resident is not a replayable residency.
+                return false;
+            }
             match *s {
                 RuState::Empty => out.push(None),
                 RuState::Loaded {
@@ -539,6 +655,8 @@ impl RuPool {
         );
         self.reusable.clear();
         self.empties = 0;
+        self.corrupt.fill(false);
+        self.quarantined = 0;
         for (ru, (slot, r)) in self.states.iter_mut().zip(residency).enumerate() {
             match *r {
                 None => {
@@ -749,6 +867,95 @@ mod tests {
         assert!(pool.release_claim(ru).is_err());
         pool.finish_execution(ru).unwrap();
         assert!(pool.release_claim(ru).is_err());
+    }
+
+    #[test]
+    fn upset_resident_is_not_reusable_until_rewritten() {
+        let mut pool = RuPool::new(2);
+        let ru = RuId(0);
+        pool.begin_load(ru, C1).unwrap();
+        pool.finish_load(ru).unwrap();
+        pool.begin_execution(ru).unwrap();
+        pool.finish_execution(ru).unwrap();
+        assert_eq!(pool.find_reusable(C1), Some(ru));
+
+        assert_eq!(pool.mark_corrupt(ru).unwrap(), C1);
+        assert!(pool.is_corrupt(ru));
+        // The garbage bits are neither reusable nor resident...
+        assert_eq!(pool.find_reusable(C1), None);
+        assert_eq!(pool.try_claim_reuse(C1), None);
+        assert!(!pool.is_resident(C1));
+        // ...but the unit is still an eviction candidate, and a rewrite
+        // (same or different config) repairs it.
+        assert_eq!(pool.eviction_candidates(), vec![ru]);
+        pool.begin_load(ru, C1).unwrap();
+        assert!(!pool.is_corrupt(ru));
+        pool.finish_load(ru).unwrap();
+        pool.begin_execution(ru).unwrap();
+        pool.finish_execution(ru).unwrap();
+        assert_eq!(pool.find_reusable(C1), Some(ru));
+        // Double upsets and upsets of claimed/executing/empty units are
+        // rejected.
+        pool.mark_corrupt(ru).unwrap();
+        assert!(pool.mark_corrupt(ru).is_err());
+        assert!(pool.mark_corrupt(RuId(1)).is_err());
+    }
+
+    #[test]
+    fn quarantine_removes_and_heal_restores() {
+        let mut pool = RuPool::new(2);
+        let ru = RuId(0);
+        pool.begin_load(ru, C1).unwrap();
+        pool.finish_load(ru).unwrap();
+        pool.begin_execution(ru).unwrap();
+        pool.finish_execution(ru).unwrap();
+
+        assert_eq!(pool.quarantine(ru).unwrap(), Some(C1));
+        assert_eq!(pool.state(ru), RuState::Quarantined);
+        assert_eq!(pool.quarantined_count(), 1);
+        assert_eq!(pool.usable_len(), 1);
+        assert!(!pool.is_resident(C1));
+        assert_eq!(pool.find_reusable(C1), None);
+        assert!(pool.eviction_candidates().is_empty());
+        // A quarantined unit accepts no transitions but heal.
+        assert!(pool.begin_load(ru, C2).is_err());
+        assert!(pool.quarantine(ru).is_err());
+        pool.heal(ru).unwrap();
+        assert_eq!(pool.state(ru), RuState::Empty);
+        assert_eq!(pool.quarantined_count(), 0);
+        assert_eq!(pool.first_empty(), Some(ru));
+        assert!(pool.heal(ru).is_err());
+
+        // Quarantining an empty unit removes it from the free list.
+        let other = RuId(1);
+        assert_eq!(pool.quarantine(other).unwrap(), None);
+        assert_eq!(pool.first_empty(), Some(ru));
+        assert_eq!(pool.usable_len(), 1);
+        // Busy units cannot be quarantined directly.
+        pool.begin_load(ru, C2).unwrap();
+        assert!(pool.quarantine(ru).is_err());
+        // Reset clears quarantine and upset flags.
+        pool.reset();
+        assert_eq!(pool.quarantined_count(), 0);
+        assert_eq!(pool.first_empty(), Some(RuId(0)));
+    }
+
+    #[test]
+    fn corrupt_pool_is_not_capturable() {
+        let mut pool = RuPool::new(1);
+        let ru = RuId(0);
+        pool.begin_load(ru, C1).unwrap();
+        pool.finish_load(ru).unwrap();
+        pool.begin_execution(ru).unwrap();
+        pool.finish_execution(ru).unwrap();
+        let mut out = Vec::new();
+        assert!(pool.capture_unclaimed(&mut out));
+        pool.mark_corrupt(ru).unwrap();
+        assert!(!pool.capture_unclaimed(&mut out));
+        // Restoring a clean snapshot wipes the upset flag.
+        pool.restore_unclaimed(&[Some(C1)]);
+        assert!(!pool.is_corrupt(ru));
+        assert_eq!(pool.find_reusable(C1), Some(ru));
     }
 
     #[test]

@@ -17,6 +17,10 @@ pub(crate) const PRIO_END_OF_EXECUTION: u8 = 0;
 pub(crate) const PRIO_END_OF_RECONFIGURATION: u8 = 1;
 pub(crate) const PRIO_JOB_ARRIVAL: u8 = 2;
 pub(crate) const PRIO_NEW_TASK_GRAPH: u8 = 3;
+/// RU repairs land after every same-instant completion, arrival and
+/// activation — a healed unit serves the *next* decision, never the
+/// one already being made at its instant.
+pub(crate) const PRIO_RU_HEAL: u8 = 4;
 
 /// Events driving the manager.
 #[derive(Debug, Clone, Copy)]
@@ -36,6 +40,9 @@ pub(crate) enum Event {
     /// execution bumps the RU's counter, so this event arrives stale
     /// and is dropped. Always zero with preemption off.
     EndOfExecution { ru: RuId, node: NodeId, token: u64 },
+    /// A quarantined RU finished its repair and rejoins the pool
+    /// (fault plans with a repair latency only).
+    RuHeal { ru: RuId },
 }
 
 impl ManagerState {
@@ -131,6 +138,17 @@ impl ManagerState {
             Event::EndOfReconfiguration { ru, node } => {
                 let op = self.controller.complete(now);
                 debug_assert_eq!(op.ru, ru);
+                if !self.cfg.faults.is_off() {
+                    // Integrity-check the transfer before accepting it.
+                    if self
+                        .faults
+                        .transfer_corrupt(self.cfg.faults.load_fault_pm, op.config)
+                    {
+                        self.fault_demand_corrupt(ru, node, op.config, now, policy);
+                        return;
+                    }
+                    self.faults.load_attempts = 0;
+                }
                 let config = self
                     .pool
                     .finish_load(ru)
@@ -170,6 +188,19 @@ impl ManagerState {
                 self.try_advance(now, policy);
             }
             Event::EndOfPrefetch { ru, config } => {
+                let op = self.controller.complete(now);
+                debug_assert_eq!(op.ru, ru);
+                if !self.cfg.faults.is_off() {
+                    // Integrity-check the transfer before accepting it.
+                    if self
+                        .faults
+                        .transfer_corrupt(self.cfg.faults.load_fault_pm, config)
+                    {
+                        self.fault_prefetch_corrupt(ru, config, now, policy);
+                        return;
+                    }
+                    self.faults.load_attempts = 0;
+                }
                 self.finish_prefetch(ru, config, now);
                 // The speculative resident may satisfy the head (a
                 // coalesced demand claims it via reuse here), and the
@@ -283,7 +314,14 @@ impl ManagerState {
                     // fully restorable (no-op unless recording).
                     self.maybe_warm_checkpoint(now);
                 }
+                // Executions are the fault clock: each completion draws
+                // once for a resident upset and once for an RU hard
+                // fault (no-ops on an inactive plan).
+                if !self.cfg.faults.is_off() {
+                    self.fault_post_exec(now, policy);
+                }
             }
+            Event::RuHeal { ru } => self.fault_heal(ru, now, policy),
         }
     }
 }

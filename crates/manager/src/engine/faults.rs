@@ -1,0 +1,416 @@
+//! Deterministic fault injection and recovery.
+//!
+//! An active [`FaultPlan`](crate::FaultPlan) threads three hardware
+//! fault classes through the engine, each drawn from a SplitMix64
+//! stream seeded by the plan (never wall-clock), so every run — fresh,
+//! pooled, or replayed — sees the identical fault schedule:
+//!
+//! * **Transient load corruption** — a completed reconfiguration
+//!   (demand or speculative) fails its integrity check. The checker is
+//!   real: the runtime fetches the configuration's synthetic bitstream,
+//!   flips one byte and verifies the Fletcher checksum catches it. The
+//!   load is retried with exponential backoff (attempt *k* waits
+//!   `latency × 2^(k−1)` before rewriting); a speculative retry stays
+//!   cancellable by demand, including for free during the backoff wait.
+//!   Exhausting the retry budget condemns the unit (persistent port or
+//!   cell damage is indistinguishable from bad luck at that point) and
+//!   re-queues the demanded task for placement elsewhere.
+//! * **Resident upsets** — an SEU silently flips a resident, unclaimed
+//!   configuration. Residency stops counting it reusable, so the next
+//!   request misses and the rewrite repairs the unit lazily.
+//! * **RU hard faults** — a unit dies outright. In-flight execution is
+//!   revoked through the same token machinery preemption uses, the
+//!   task re-queues on the recovery lane, and the unit is quarantined
+//!   out of the pool — healing after the plan's repair latency, if one
+//!   is configured.
+//!
+//! With the default [`FaultPlan::off`](crate::FaultPlan::off) none of
+//! this code runs and the engine stays bit-exact with the fault-free
+//! golden outputs.
+
+use super::{ActiveJob, Event, ManagerState, ReconfigKind, PRIO_RU_HEAL};
+use crate::policy::ReplacementPolicy;
+use crate::trace::{FaultKind, TraceEvent};
+use rtr_hw::bitstream;
+use rtr_hw::{BitstreamRepository, LoadLane, RuId, RuState};
+use rtr_sim::{SimDuration, SimTime};
+use rtr_taskgraph::{ConfigId, NodeId};
+
+/// Size of the synthetic bitstreams the fault runtime verifies. The
+/// integrity check needs *a* real data path, not device-sized blobs.
+const FAULT_REPO_BYTES: usize = 256;
+
+/// Per-run fault state: the deterministic draw stream, the retry
+/// counter of the single in-flight load, the degradation clock and the
+/// fault ledger that [`outcome`](crate::Engine::outcome) folds into
+/// [`FaultStats`](crate::FaultStats).
+#[derive(Debug, Default)]
+pub(crate) struct FaultRuntime {
+    /// SplitMix64 state, reseeded from the plan at every run start.
+    rng: u64,
+    /// Attempts of the in-flight load so far (0 = first try pending).
+    pub(crate) load_attempts: u8,
+    /// When the pool entered its current degraded (≥ 1 quarantined)
+    /// stretch, if it is in one.
+    pub(crate) degraded_since: Option<SimTime>,
+    /// Closed degraded stretches accumulated so far this run.
+    pub(crate) degraded: SimDuration,
+    pub(crate) injected: u64,
+    pub(crate) retries: u64,
+    pub(crate) repairs: u64,
+    pub(crate) quarantines: u64,
+    pub(crate) heals: u64,
+    pub(crate) lost_work: SimDuration,
+    /// Lazily built bitstream store backing the integrity checks.
+    /// Survives reseeds — blobs are a pure function of the config id.
+    repo: Option<BitstreamRepository>,
+}
+
+impl FaultRuntime {
+    /// A fresh runtime for a plan seeded with `seed`.
+    pub(crate) fn seeded(seed: u64) -> Self {
+        let mut f = FaultRuntime::default();
+        f.reseed(seed);
+        f
+    }
+
+    /// Re-arms the runtime for a new run of a plan seeded with `seed`.
+    pub(crate) fn reseed(&mut self, seed: u64) {
+        self.rng = seed;
+        self.load_attempts = 0;
+        self.degraded_since = None;
+        self.degraded = SimDuration::ZERO;
+        self.injected = 0;
+        self.retries = 0;
+        self.repairs = 0;
+        self.quarantines = 0;
+        self.heals = 0;
+        self.lost_work = SimDuration::ZERO;
+    }
+
+    /// Next draw of the SplitMix64 stream.
+    fn next(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Per-mille Bernoulli draw; consumes no stream state when the
+    /// class is disabled.
+    pub(crate) fn roll(&mut self, pm: u16) -> bool {
+        pm > 0 && self.next() % 1000 < u64::from(pm)
+    }
+
+    /// Draws whether the just-completed transfer of `config` came back
+    /// corrupt — and when it did, actually corrupts a copy of the
+    /// bitstream and proves the checksum catches it.
+    pub(crate) fn transfer_corrupt(&mut self, pm: u16, config: ConfigId) -> bool {
+        if !self.roll(pm) {
+            return false;
+        }
+        let salt = self.next();
+        let repo = self
+            .repo
+            .get_or_insert_with(|| BitstreamRepository::new(FAULT_REPO_BYTES));
+        let golden = repo.expected_checksum(config);
+        let bad = bitstream::corrupt(&repo.fetch(config), salt);
+        let detected = !bitstream::verify(&bad, golden);
+        debug_assert!(detected, "a one-byte flip must fail the checksum");
+        detected
+    }
+}
+
+/// Re-queues `node` on its job's recovery lane (kept in
+/// reconfiguration-sequence order) after its placement was lost to a
+/// fault, forgetting the placement.
+fn requeue(job: &mut ActiveJob, node: NodeId) {
+    let n = node.idx();
+    debug_assert!(!job.done[n], "completed work cannot be lost");
+    job.loaded[n] = false;
+    job.exec_started[n] = false;
+    job.node_ru[n] = None;
+    let at = {
+        let seq = &job.tpl.rec_seq;
+        let pos = |x: NodeId| seq.iter().position(|&s| s.idx() == x.idx());
+        let mine = pos(node);
+        job.replaced
+            .iter()
+            .position(|&r| pos(r) > mine)
+            .unwrap_or(job.replaced.len())
+    };
+    job.replaced.insert(at, node);
+}
+
+impl ManagerState {
+    /// Handles a corrupt *demand* load completion of `config` into
+    /// `ru` for `node`: re-arm a backoff retry on the port, or give up,
+    /// quarantine the unit and re-queue the task for placement
+    /// elsewhere.
+    pub(crate) fn fault_demand_corrupt<P: ReplacementPolicy + ?Sized>(
+        &mut self,
+        ru: RuId,
+        node: NodeId,
+        config: ConfigId,
+        now: SimTime,
+        policy: &mut P,
+    ) {
+        self.faults.injected += 1;
+        self.record(|| TraceEvent::FaultInject {
+            kind: FaultKind::TransientLoad,
+            ru,
+            config: Some(config),
+            at: now,
+        });
+        self.faults.load_attempts += 1;
+        let attempt = self.faults.load_attempts;
+        if attempt <= self.cfg.faults.max_retries {
+            let backoff = self.controller.latency() * (1u64 << (attempt - 1));
+            let completes = self
+                .controller
+                .start_retry(ru, config, now, LoadLane::Demand, backoff);
+            // The rewrite moves the full bitstream again.
+            self.energy.record_load();
+            self.faults.retries += 1;
+            self.record(|| TraceEvent::FaultRetry {
+                ru,
+                config,
+                attempt,
+                until: completes,
+                at: now,
+            });
+            self.pending_reconfig = Some((completes, ru, ReconfigKind::Demand(node)));
+            return;
+        }
+        self.faults.load_attempts = 0;
+        self.record(|| TraceEvent::FaultGiveUp {
+            ru,
+            config,
+            attempts: attempt,
+            at: now,
+        });
+        self.pool
+            .cancel_load(ru)
+            .expect("the abandoned load was in flight on this RU");
+        let job = self
+            .current
+            .as_mut()
+            .expect("demand loads belong to the current graph");
+        requeue(job, node);
+        self.fault_quarantine(ru, now);
+        self.try_advance(now, policy);
+    }
+
+    /// Handles a corrupt *speculative* load completion: retry on the
+    /// speculative lane (still cancellable by demand) or abandon the
+    /// prefetch and quarantine the unit.
+    pub(crate) fn fault_prefetch_corrupt<P: ReplacementPolicy + ?Sized>(
+        &mut self,
+        ru: RuId,
+        config: ConfigId,
+        now: SimTime,
+        policy: &mut P,
+    ) {
+        self.faults.injected += 1;
+        self.record(|| TraceEvent::FaultInject {
+            kind: FaultKind::TransientLoad,
+            ru,
+            config: Some(config),
+            at: now,
+        });
+        // The corrupt transfer still moved the bits over the bus.
+        self.energy.record_prefetch();
+        self.faults.load_attempts += 1;
+        let attempt = self.faults.load_attempts;
+        if attempt <= self.cfg.faults.max_retries {
+            let backoff = self.controller.latency() * (1u64 << (attempt - 1));
+            let completes =
+                self.controller
+                    .start_retry(ru, config, now, LoadLane::Speculative, backoff);
+            self.faults.retries += 1;
+            self.record(|| TraceEvent::FaultRetry {
+                ru,
+                config,
+                attempt,
+                until: completes,
+                at: now,
+            });
+            self.pending_reconfig = Some((completes, ru, ReconfigKind::Speculative(config)));
+            return;
+        }
+        self.faults.load_attempts = 0;
+        self.record(|| TraceEvent::FaultGiveUp {
+            ru,
+            config,
+            attempts: attempt,
+            at: now,
+        });
+        self.pool
+            .cancel_load(ru)
+            .expect("the abandoned load was in flight on this RU");
+        // Close the speculative ledger: issued = completed + cancelled.
+        self.prefetch_cancelled += 1;
+        self.record(|| TraceEvent::PrefetchCancel {
+            config,
+            ru,
+            at: now,
+        });
+        self.fault_quarantine(ru, now);
+        self.try_advance(now, policy);
+    }
+
+    /// Post-execution fault draws: one upset draw, then one hard-fault
+    /// draw, both across the whole pool. Runs once per (non-stale)
+    /// `EndOfExecution` after its normal processing.
+    pub(crate) fn fault_post_exec<P: ReplacementPolicy + ?Sized>(
+        &mut self,
+        now: SimTime,
+        policy: &mut P,
+    ) {
+        let plan = self.cfg.faults;
+        if self.faults.roll(plan.upset_pm) {
+            let draw = self.faults.next();
+            let victim = pick_ru(draw, self.pool.len(), |r| {
+                self.pool.state(r).is_eviction_candidate() && !self.pool.is_corrupt(r)
+            });
+            if let Some(ru) = victim {
+                let config = self
+                    .pool
+                    .mark_corrupt(ru)
+                    .expect("upset victims are loaded and unclaimed");
+                // A speculative resident dies unclaimed — provably waste.
+                self.note_eviction(ru);
+                self.faults.injected += 1;
+                self.record(|| TraceEvent::FaultInject {
+                    kind: FaultKind::Upset,
+                    ru,
+                    config: Some(config),
+                    at: now,
+                });
+            }
+        }
+        if self.faults.roll(plan.ru_fault_pm) {
+            let draw = self.faults.next();
+            let victim = pick_ru(draw, self.pool.len(), |r| {
+                !matches!(
+                    self.pool.state(r),
+                    RuState::Loading { .. } | RuState::Quarantined
+                )
+            });
+            if let Some(ru) = victim {
+                self.fault_kill_ru(ru, now);
+                if self.current.is_some() {
+                    self.try_advance(now, policy);
+                }
+            }
+        }
+    }
+
+    /// An RU dies: revoke whatever ran on it, re-queue the lost task on
+    /// the recovery lane, quarantine the unit.
+    pub(crate) fn fault_kill_ru(&mut self, ru: RuId, now: SimTime) {
+        let state = self.pool.state(ru);
+        self.faults.injected += 1;
+        self.record(|| TraceEvent::FaultInject {
+            kind: FaultKind::RuHard,
+            ru,
+            config: state.resident_config(),
+            at: now,
+        });
+        match state {
+            RuState::Executing { .. } => {
+                self.pool
+                    .revoke_execution(ru)
+                    .expect("revoking the killed unit's execution");
+                self.exec_token[ru.idx()] += 1;
+            }
+            RuState::Loaded { claimed: true, .. } => {
+                self.pool
+                    .release_claim(ru)
+                    .expect("releasing the killed unit's claim");
+            }
+            _ => {}
+        }
+        // Any live placement of the current graph on this unit is lost;
+        // elapsed execution is charged as lost work and the task
+        // re-queues for recovery placement. Suspended graphs hold no
+        // placements (released at suspension).
+        if let Some(mut job) = self.current.take() {
+            if let Some(node) = (0..job.node_ru.len())
+                .find(|&n| job.node_ru[n] == Some(ru) && !job.done[n])
+                .map(|n| NodeId(n as u32))
+            {
+                if job.exec_started[node.idx()] {
+                    self.faults.lost_work += now.since(job.exec_start[node.idx()]);
+                }
+                requeue(&mut job, node);
+            }
+            self.current = Some(job);
+        }
+        self.fault_quarantine(ru, now);
+    }
+
+    /// Removes `ru` from service: quarantines it in the pool, opens the
+    /// degradation clock when it is the first unit out, and schedules
+    /// the heal when the plan repairs units.
+    pub(crate) fn fault_quarantine(&mut self, ru: RuId, now: SimTime) {
+        // An unclaimed prefetched resident dies with the unit.
+        self.note_eviction(ru);
+        self.pool
+            .quarantine(ru)
+            .expect("quarantine victims are empty or unclaimed");
+        self.faults.quarantines += 1;
+        self.record(|| TraceEvent::RuQuarantine { ru, at: now });
+        if self.pool.quarantined_count() == 1 {
+            self.faults.degraded_since = Some(now);
+        }
+        if let Some(repair) = self.cfg.faults.repair_latency {
+            self.queue
+                .push(now + repair, PRIO_RU_HEAL, Event::RuHeal { ru });
+        }
+    }
+
+    /// A quarantined unit finished its repair: rejoin the pool empty,
+    /// close the degradation clock when it was the last unit out, and
+    /// let a stalled demand path use the fresh capacity.
+    pub(crate) fn fault_heal<P: ReplacementPolicy + ?Sized>(
+        &mut self,
+        ru: RuId,
+        now: SimTime,
+        policy: &mut P,
+    ) {
+        self.pool
+            .heal(ru)
+            .expect("heal events target quarantined units");
+        self.faults.heals += 1;
+        self.record(|| TraceEvent::RuHeal { ru, at: now });
+        if self.pool.quarantined_count() == 0 {
+            if let Some(since) = self.faults.degraded_since.take() {
+                self.faults.degraded += now.since(since);
+            }
+        }
+        if self.current.is_some() {
+            self.try_advance(now, policy);
+        }
+    }
+
+    /// Total degraded-pool time, closing a still-open stretch at `end`.
+    pub(crate) fn fault_degraded_time(&self, end: SimTime) -> SimDuration {
+        match self.faults.degraded_since {
+            Some(since) => self.faults.degraded + end.saturating_since(since),
+            None => self.faults.degraded,
+        }
+    }
+}
+
+/// Uniform pick (via `draw`) among the RUs satisfying `keep`, or `None`
+/// when none does. Two passes, no allocation — fault draws are rare.
+fn pick_ru(draw: u64, pool_len: usize, keep: impl Fn(RuId) -> bool) -> Option<RuId> {
+    let ids = || (0..pool_len as u16).map(RuId).filter(|&r| keep(r));
+    let n = ids().count();
+    if n == 0 {
+        return None;
+    }
+    ids().nth((draw % n as u64) as usize)
+}

@@ -39,6 +39,7 @@ use std::sync::Arc;
 
 pub(crate) mod decision;
 pub(crate) mod events;
+pub(crate) mod faults;
 pub(crate) mod prefetch;
 pub(crate) mod qos;
 pub(crate) mod residency;
@@ -46,7 +47,7 @@ pub(crate) mod warm;
 
 pub(crate) use events::{
     Event, PRIO_END_OF_EXECUTION, PRIO_END_OF_RECONFIGURATION, PRIO_JOB_ARRIVAL,
-    PRIO_NEW_TASK_GRAPH,
+    PRIO_NEW_TASK_GRAPH, PRIO_RU_HEAL,
 };
 
 /// Run-time state of the current task graph. The per-node vectors are
@@ -327,6 +328,10 @@ pub(crate) struct ManagerState {
     /// [`warm`]). Inactive — and free — unless the engine is pooled
     /// and the policy opted in.
     pub(crate) warm: warm::WarmRecorder,
+    /// Fault-injection runtime (see [`faults`]). Never consulted — and
+    /// its draw stream never advanced — unless the run's
+    /// [`FaultPlan`](crate::FaultPlan) is active.
+    pub(crate) faults: faults::FaultRuntime,
 }
 
 impl ManagerState {

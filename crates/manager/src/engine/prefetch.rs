@@ -162,6 +162,10 @@ impl ManagerState {
     /// engine's reconfiguration slot with a cancellable completion.
     fn begin_prefetch(&mut self, ru: RuId, config: ConfigId, now: SimTime) {
         self.note_eviction(ru);
+        if self.pool.is_corrupt(ru) {
+            // Rewriting an upset resident repairs the unit.
+            self.faults.repairs += 1;
+        }
         self.pool
             .begin_load(ru, config)
             .expect("prefetch target is empty or an unclaimed candidate");
@@ -176,12 +180,12 @@ impl ManagerState {
         self.pending_reconfig = Some((completes, ru, ReconfigKind::Speculative(config)));
     }
 
-    /// The in-flight speculative load finished: the configuration is
-    /// resident and *unclaimed* — immediately claimable by the demand
-    /// path (a hit) and evictable by replacement (then counted wasted).
+    /// The in-flight speculative load finished (the caller already
+    /// completed the port operation and integrity-checked it): the
+    /// configuration is resident and *unclaimed* — immediately
+    /// claimable by the demand path (a hit) and evictable by
+    /// replacement (then counted wasted).
     pub(crate) fn finish_prefetch(&mut self, ru: RuId, config: ConfigId, now: SimTime) {
-        let op = self.controller.complete(now);
-        debug_assert_eq!(op.ru, ru);
         let loaded = self
             .pool
             .finish_load_unclaimed(ru)

@@ -114,6 +114,10 @@ impl ManagerState {
         now: SimTime,
     ) {
         self.note_eviction(target);
+        if self.pool.is_corrupt(target) {
+            // Rewriting an upset resident repairs the unit.
+            self.faults.repairs += 1;
+        }
         self.pool
             .begin_load(target, config)
             .expect("target RU is empty or an unclaimed candidate");

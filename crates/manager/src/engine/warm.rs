@@ -173,9 +173,12 @@ pub(crate) fn batch_default(jobs: &[JobSpec]) -> bool {
 }
 
 /// True when `cfg` admits shadow recording: every policy callback of
-/// such a run pairs 1:1 with a logged trace event.
+/// such a run pairs 1:1 with a logged trace event. An active fault
+/// plan also disqualifies a run — replaying a recorded prefix would
+/// skip the fault draws made while producing it, detaching the replay
+/// from the plan's deterministic schedule.
 pub(crate) fn recordable_cfg(cfg: &ManagerConfig) -> bool {
-    !cfg.prefetch.enabled() && cfg.preemption == PreemptionMode::Off
+    !cfg.prefetch.enabled() && cfg.preemption == PreemptionMode::Off && cfg.faults.is_off()
 }
 
 impl SealedRun {

@@ -44,7 +44,7 @@ pub mod stats;
 pub mod trace;
 pub mod validate;
 
-pub use config::{Lookahead, ManagerConfig, PrefetchConfig};
+pub use config::{FaultPlan, Lookahead, ManagerConfig, PrefetchConfig};
 pub use engine::warm::WarmStats;
 pub use job::JobSpec;
 pub use manager::{simulate, Engine, SimError, SimulationOutcome};
@@ -54,8 +54,8 @@ pub use policy::{
 };
 pub use qos::{PreemptionMode, QosClass};
 pub use reuse_index::{ReuseIndex, ReuseWindow};
-pub use stats::{ClassSojournStats, PrefetchStats, QosStats, RunStats};
-pub use trace::{Trace, TraceCounts, TraceEvent};
+pub use stats::{ClassSojournStats, FaultStats, PrefetchStats, QosStats, RunStats};
+pub use trace::{FaultKind, Trace, TraceCounts, TraceEvent};
 pub use validate::{
     CheckContext, CheckOutput, Checker, CheckerOutcome, CheckerRegistry, RegistryReport, Violation,
 };

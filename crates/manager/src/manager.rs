@@ -20,12 +20,14 @@
 //! activation.
 
 use crate::config::{Lookahead, ManagerConfig};
+use crate::engine::faults::FaultRuntime;
 use crate::engine::warm::{
     deliver_callback, recordable_cfg, same_spec, SealedRun, WarmPlan, WarmRecorder, WarmStats,
 };
 use crate::engine::{Event, JobScratch, ManagerState, ReconfigKind};
 use crate::engine::{
     PRIO_END_OF_EXECUTION, PRIO_END_OF_RECONFIGURATION, PRIO_JOB_ARRIVAL, PRIO_NEW_TASK_GRAPH,
+    PRIO_RU_HEAL,
 };
 use crate::ideal::ideal_graph_makespan;
 use crate::job::JobSpec;
@@ -56,6 +58,16 @@ pub enum SimError {
         /// Time of the last processed event.
         at: SimTime,
     },
+    /// Every RU was quarantined by hardware faults with no repair
+    /// pending, so the remaining jobs can never be placed. Only
+    /// reachable with an active [`FaultPlan`](crate::FaultPlan) whose
+    /// `repair_latency` is `None`.
+    PoolExhausted {
+        /// Jobs fully completed before the pool died.
+        completed_jobs: usize,
+        /// Time of the last processed event.
+        at: SimTime,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -65,6 +77,11 @@ impl fmt::Display for SimError {
                 f,
                 "simulation stalled at {at} after {completed_jobs} jobs: a delayed \
                  reconfiguration waited for an event that never comes"
+            ),
+            SimError::PoolExhausted { completed_jobs, at } => write!(
+                f,
+                "simulation halted at {at} after {completed_jobs} jobs: every RU is \
+                 quarantined and the fault plan repairs none"
             ),
         }
     }
@@ -223,6 +240,7 @@ impl Engine {
                 qos_tardiness: SimDuration::ZERO,
                 qos_records: Vec::new(),
                 warm: WarmRecorder::default(),
+                faults: FaultRuntime::seeded(cfg.faults.seed),
                 cfg: cfg.clone(),
             },
             jobs: Vec::new(),
@@ -400,7 +418,10 @@ impl Engine {
             // (ordered by the lane's stable sort).
             let mut pick: Option<(SimTime, u8)> = None;
             if let Some((qt, qp, _)) = self.m.queue.peek_key() {
-                debug_assert_eq!(qp, PRIO_END_OF_EXECUTION, "queue holds only executions");
+                debug_assert!(
+                    qp == PRIO_END_OF_EXECUTION || qp == PRIO_RU_HEAL,
+                    "queue holds only executions and RU heals"
+                );
                 pick = Some((qt, qp));
             }
             if let Some((rt, _, _)) = self.m.pending_reconfig {
@@ -422,7 +443,12 @@ impl Engine {
                 }
             }
             let Some((now, prio)) = pick else { break };
-            self.m.makespan_end = now;
+            if prio != PRIO_RU_HEAL {
+                // Heals are maintenance, not workload: one firing after
+                // the last graph completed must not stretch the
+                // makespan (which is defined by the final `GraphEnd`).
+                self.m.makespan_end = now;
+            }
             match prio {
                 PRIO_END_OF_EXECUTION => {
                     // Simultaneous completions (parallel tasks on many
@@ -477,6 +503,10 @@ impl Engine {
                             _ => break,
                         }
                     }
+                }
+                PRIO_RU_HEAL => {
+                    let ev = self.m.queue.pop().expect("picked from the queue").payload;
+                    self.m.handle(ev, now, &self.jobs, policy);
                 }
                 _ => {
                     self.m.pending_activation = None;
@@ -638,6 +668,9 @@ impl Engine {
         self.m.qos_deadline_misses = 0;
         self.m.qos_tardiness = SimDuration::ZERO;
         self.m.qos_records.clear();
+        // Reseeding makes pooled, replayed and retargeted runs draw the
+        // identical fault schedule a fresh engine would.
+        self.m.faults.reseed(cfg.faults.seed);
         self.finalised = false;
         self.policy_name.clear();
     }
@@ -840,6 +873,15 @@ impl Engine {
     /// event that never came).
     pub fn outcome(&mut self) -> Result<SimulationOutcome, SimError> {
         if self.m.completed_jobs != self.jobs.len() {
+            // Distinguish "the whole pool died with no repair coming"
+            // (a fault-plan outcome the caller may expect and handle)
+            // from a genuine scheduling stall.
+            if self.m.pool.usable_len() == 0 {
+                return Err(SimError::PoolExhausted {
+                    completed_jobs: self.m.completed_jobs,
+                    at: self.m.makespan_end,
+                });
+            }
             return Err(SimError::StalledAwaitingEvent {
                 completed_jobs: self.m.completed_jobs,
                 at: self.m.makespan_end,
@@ -870,6 +912,15 @@ impl Engine {
             ideal_makespan,
             reconfig_latency: self.m.cfg.device.reconfig_latency,
             qos,
+            faults: crate::stats::FaultStats {
+                injected: self.m.faults.injected,
+                retries: self.m.faults.retries,
+                repairs: self.m.faults.repairs,
+                quarantines: self.m.faults.quarantines,
+                heals: self.m.faults.heals,
+                degraded_time: self.m.fault_degraded_time(self.m.makespan_end),
+                lost_work_cycles: self.m.faults.lost_work,
+            },
         };
         Ok(SimulationOutcome {
             stats,

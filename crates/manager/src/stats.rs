@@ -43,6 +43,53 @@ impl PrefetchStats {
     }
 }
 
+/// Counters of the fault-injection + recovery subsystem (all zero when
+/// the fault plan is off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Faults injected, all classes (transient loads + upsets + RU
+    /// hard faults).
+    pub injected: u64,
+    /// Backoff retries of corrupt loads.
+    pub retries: u64,
+    /// Upset residents repaired by a later rewrite of the same RU.
+    pub repairs: u64,
+    /// RUs quarantined out of the pool (hard faults and retry
+    /// exhaustion combined).
+    pub quarantines: u64,
+    /// Quarantined RUs that healed back into the pool.
+    pub heals: u64,
+    /// Total time the pool spent with at least one RU quarantined.
+    pub degraded_time: SimDuration,
+    /// Execution time discarded by hard faults (work done before the
+    /// fault instant that must be redone elsewhere).
+    pub lost_work_cycles: SimDuration,
+}
+
+impl Default for FaultStats {
+    fn default() -> Self {
+        FaultStats {
+            injected: 0,
+            retries: 0,
+            repairs: 0,
+            quarantines: 0,
+            heals: 0,
+            degraded_time: SimDuration::ZERO,
+            lost_work_cycles: SimDuration::ZERO,
+        }
+    }
+}
+
+impl FaultStats {
+    /// Internal-consistency identities the `fault-accounting` checker
+    /// asserts: a unit can only heal after being quarantined, and a
+    /// run that never lost a unit accrued no degraded time.
+    pub fn balanced(&self) -> bool {
+        self.heals <= self.quarantines
+            && (self.quarantines > 0 || self.degraded_time == SimDuration::ZERO)
+    }
+}
+
 /// Sojourn / deadline breakdown for one QoS priority class.
 ///
 /// Percentiles use the nearest-rank definition on the sorted per-graph
@@ -221,6 +268,9 @@ pub struct RunStats {
     /// QoS counters: deadline misses, tardiness, preemption ledger and
     /// per-class sojourn breakdowns (defaulted for pre-QoS runs).
     pub qos: QosStats,
+    /// Fault-injection + recovery counters (all zero with the fault
+    /// plan off).
+    pub faults: FaultStats,
 }
 
 impl RunStats {
@@ -278,6 +328,17 @@ impl RunStats {
         self.total_overhead().percent_of(self.original_overhead())
     }
 
+    /// Pool availability under faults: the fraction of the run during
+    /// which *no* RU was quarantined, in percent
+    /// (`100 · (1 − degraded_time / makespan)`; 100 for a zero-length
+    /// or fault-free run — never NaN).
+    pub fn availability_pct(&self) -> f64 {
+        if self.makespan == SimDuration::ZERO {
+            return 100.0;
+        }
+        100.0 - self.faults.degraded_time.percent_of(self.makespan)
+    }
+
     /// Per-graph sojourn times (completion − arrival): how long each
     /// application spent in the system, queueing included. The key
     /// responsiveness metric of streaming-arrival runs; in the batch
@@ -325,6 +386,7 @@ mod tests {
             ideal_makespan: SimDuration::from_ms(100),
             reconfig_latency: SimDuration::from_ms(4),
             qos: QosStats::default(),
+            faults: FaultStats::default(),
         }
     }
 
@@ -441,6 +503,27 @@ mod tests {
     }
 
     #[test]
+    fn fault_ledger_balance_and_availability() {
+        let mut f = FaultStats::default();
+        assert!(f.balanced());
+        f.degraded_time = SimDuration::from_ms(5); // degraded without any quarantine
+        assert!(!f.balanced());
+        f.quarantines = 2;
+        f.heals = 1;
+        assert!(f.balanced());
+        f.heals = 3; // more heals than quarantines
+        assert!(!f.balanced());
+
+        let mut s = stats();
+        assert_eq!(s.availability_pct(), 100.0);
+        s.faults.quarantines = 1;
+        s.faults.degraded_time = SimDuration::from_ms(30); // of a 120 ms run
+        assert!((s.availability_pct() - 75.0).abs() < 1e-9);
+        s.makespan = SimDuration::ZERO;
+        assert_eq!(s.availability_pct(), 100.0);
+    }
+
+    #[test]
     fn qos_ledger_balance() {
         let mut q = QosStats::default();
         assert!(q.balanced());
@@ -496,6 +579,7 @@ mod tests {
             ideal_makespan: SimDuration::ZERO,
             reconfig_latency: SimDuration::from_ms(4),
             qos: QosStats::default(),
+            faults: FaultStats::default(),
         };
         for v in [
             s.reuse_rate_pct(),

@@ -13,6 +13,31 @@ use rtr_sim::SimTime;
 use rtr_taskgraph::{ConfigId, NodeId};
 use serde::{Deserialize, Serialize};
 
+/// Which hardware fault class a [`TraceEvent::FaultInject`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A demand or speculative reconfiguration completed corrupt
+    /// (checksum mismatch) and enters the retry/backoff path.
+    TransientLoad,
+    /// An SEU silently invalidated a resident, unclaimed bitstream; it
+    /// stops counting as reusable until the RU is rewritten.
+    Upset,
+    /// A reconfigurable unit hard-faulted and is quarantined out of
+    /// the pool.
+    RuHard,
+}
+
+impl FaultKind {
+    /// Stable label (checker reports, coverage CSV).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::TransientLoad => "transient-load",
+            FaultKind::Upset => "upset",
+            FaultKind::RuHard => "ru-hard",
+        }
+    }
+}
+
 /// One schedule event. `job` is the index of the application instance
 /// in the submitted sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -203,6 +228,63 @@ pub enum TraceEvent {
         /// Event time.
         at: SimTime,
     },
+    /// The fault plan injected a hardware fault.
+    FaultInject {
+        /// Fault class.
+        kind: FaultKind,
+        /// Affected RU.
+        ru: RuId,
+        /// Affected configuration, when one was involved (the corrupt
+        /// load target, the upset resident, or the hard-faulted unit's
+        /// resident; `None` for a hard fault on an empty unit).
+        config: Option<ConfigId>,
+        /// Event time.
+        at: SimTime,
+    },
+    /// A corrupt reconfiguration is being retried after exponential
+    /// backoff; the rewrite occupies the port over
+    /// `[until - latency, until]`.
+    FaultRetry {
+        /// RU being rewritten.
+        ru: RuId,
+        /// Configuration being rewritten.
+        config: ConfigId,
+        /// Retry attempt number (1-based).
+        attempt: u8,
+        /// When the retried write completes.
+        until: SimTime,
+        /// Event time.
+        at: SimTime,
+    },
+    /// A corrupt reconfiguration exhausted its retry budget; the load
+    /// is abandoned and the unit condemned (a [`TraceEvent::RuQuarantine`]
+    /// follows at the same instant).
+    FaultGiveUp {
+        /// RU whose load was abandoned.
+        ru: RuId,
+        /// Configuration that failed to load.
+        config: ConfigId,
+        /// Total attempts made (initial load + retries).
+        attempts: u8,
+        /// Event time.
+        at: SimTime,
+    },
+    /// An RU left the pool (hard fault or retry exhaustion); no
+    /// placement, claim, or prefetch may target it until it heals.
+    RuQuarantine {
+        /// Quarantined RU.
+        ru: RuId,
+        /// Event time.
+        at: SimTime,
+    },
+    /// A quarantined RU finished its repair and rejoined the pool
+    /// empty.
+    RuHeal {
+        /// Healed RU.
+        ru: RuId,
+        /// Event time.
+        at: SimTime,
+    },
 }
 
 impl TraceEvent {
@@ -227,6 +309,11 @@ impl TraceEvent {
             TraceEvent::NodeKilled { .. } => "NodeKilled",
             TraceEvent::NodeCheckpointed { .. } => "NodeCheckpointed",
             TraceEvent::GraphResume { .. } => "GraphResume",
+            TraceEvent::FaultInject { .. } => "FaultInject",
+            TraceEvent::FaultRetry { .. } => "FaultRetry",
+            TraceEvent::FaultGiveUp { .. } => "FaultGiveUp",
+            TraceEvent::RuQuarantine { .. } => "RuQuarantine",
+            TraceEvent::RuHeal { .. } => "RuHeal",
         }
     }
 
@@ -249,7 +336,12 @@ impl TraceEvent {
             | TraceEvent::Preempt { at, .. }
             | TraceEvent::NodeKilled { at, .. }
             | TraceEvent::NodeCheckpointed { at, .. }
-            | TraceEvent::GraphResume { at, .. } => at,
+            | TraceEvent::GraphResume { at, .. }
+            | TraceEvent::FaultInject { at, .. }
+            | TraceEvent::FaultRetry { at, .. }
+            | TraceEvent::FaultGiveUp { at, .. }
+            | TraceEvent::RuQuarantine { at, .. }
+            | TraceEvent::RuHeal { at, .. } => at,
         }
     }
 }
@@ -293,6 +385,24 @@ pub struct TraceCounts {
     pub killed_nodes: u64,
     /// Suspended graphs that became current again.
     pub resumes: u64,
+    /// Faults injected, all classes.
+    pub fault_injected: u64,
+    /// Transient load-corruption faults injected.
+    pub fault_transients: u64,
+    /// Resident-config upsets injected.
+    pub fault_upsets: u64,
+    /// RU hard faults injected.
+    pub fault_ru: u64,
+    /// Backoff retries of corrupt loads.
+    pub fault_retries: u64,
+    /// Corrupt loads abandoned after exhausting the retry budget.
+    pub fault_giveups: u64,
+    /// Upset residents repaired by a later rewrite of the same RU.
+    pub fault_repairs: u64,
+    /// RUs quarantined out of the pool.
+    pub ru_quarantines: u64,
+    /// Quarantined RUs that healed back into the pool.
+    pub ru_heals: u64,
 }
 
 /// An ordered schedule trace.
@@ -340,12 +450,16 @@ impl Trace {
     pub fn counts(&self) -> TraceCounts {
         let mut c = TraceCounts::default();
         let mut speculative: std::collections::HashSet<u16> = std::collections::HashSet::new();
+        let mut corrupt: std::collections::HashSet<u16> = std::collections::HashSet::new();
         for ev in &self.events {
             match *ev {
                 TraceEvent::LoadStart { ru, .. } => {
                     c.loads += 1;
                     if speculative.remove(&ru.0) {
                         c.prefetch_wasted += 1;
+                    }
+                    if corrupt.remove(&ru.0) {
+                        c.fault_repairs += 1;
                     }
                 }
                 TraceEvent::Reuse { ru, .. } => {
@@ -362,6 +476,9 @@ impl Trace {
                     if speculative.remove(&ru.0) {
                         c.prefetch_wasted += 1;
                     }
+                    if corrupt.remove(&ru.0) {
+                        c.fault_repairs += 1;
+                    }
                 }
                 TraceEvent::PrefetchEnd { ru, .. } => {
                     c.prefetch_completed += 1;
@@ -372,6 +489,37 @@ impl Trace {
                 TraceEvent::NodeCheckpointed { .. } => c.checkpoints += 1,
                 TraceEvent::NodeKilled { .. } => c.killed_nodes += 1,
                 TraceEvent::GraphResume { .. } => c.resumes += 1,
+                TraceEvent::FaultInject { kind, ru, .. } => {
+                    c.fault_injected += 1;
+                    match kind {
+                        FaultKind::TransientLoad => c.fault_transients += 1,
+                        FaultKind::Upset => {
+                            c.fault_upsets += 1;
+                            // An upset resident that was prefetched and
+                            // never claimed can no longer become a hit;
+                            // the engine writes it off as wasted at the
+                            // upset instant.
+                            if speculative.remove(&ru.0) {
+                                c.prefetch_wasted += 1;
+                            }
+                            corrupt.insert(ru.0);
+                        }
+                        FaultKind::RuHard => c.fault_ru += 1,
+                    }
+                }
+                TraceEvent::FaultRetry { .. } => c.fault_retries += 1,
+                TraceEvent::FaultGiveUp { .. } => c.fault_giveups += 1,
+                TraceEvent::RuQuarantine { ru, .. } => {
+                    c.ru_quarantines += 1;
+                    // Quarantine discards whatever was resident: an
+                    // unclaimed prefetch is wasted, a pending upset is
+                    // wiped without counting as repaired.
+                    if speculative.remove(&ru.0) {
+                        c.prefetch_wasted += 1;
+                    }
+                    corrupt.remove(&ru.0);
+                }
+                TraceEvent::RuHeal { .. } => c.ru_heals += 1,
                 _ => {}
             }
         }

@@ -11,10 +11,10 @@
 
 use super::{CheckContext, CheckOutput, Checker};
 use crate::job::JobSpec;
-use crate::trace::TraceEvent;
+use crate::trace::{FaultKind, TraceEvent};
 use rtr_sim::SimTime;
 use rtr_taskgraph::{reconfiguration_sequence, ConfigId, NodeId};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Every checker this crate defines, in canonical order.
 pub fn standard_checkers() -> Vec<Box<dyn Checker>> {
@@ -33,8 +33,29 @@ pub fn standard_checkers() -> Vec<Box<dyn Checker>> {
         Box::new(NoLostWork),
         Box::new(PreemptionOrder),
         Box::new(QosAccounting),
+        Box::new(FaultRetryBounded),
+        Box::new(QuarantineIsolation),
+        Box::new(CorruptNeverReused),
+        Box::new(FaultAccounting),
         Box::new(PooledIdentity),
     ]
+}
+
+/// True when the trace records any fault-subsystem event. The
+/// recovery-lane re-queues reorder the demand request stream, so the
+/// linear-stream checkers (`prefetch-guard`) relax on fault runs — the
+/// fault checkers own the tightened assertions there.
+fn faults_active(cx: &CheckContext<'_>) -> bool {
+    cx.trace.iter().any(|e| {
+        matches!(
+            e,
+            TraceEvent::FaultInject { .. }
+                | TraceEvent::FaultRetry { .. }
+                | TraceEvent::FaultGiveUp { .. }
+                | TraceEvent::RuQuarantine { .. }
+                | TraceEvent::RuHeal { .. }
+        )
+    })
 }
 
 /// True when the trace or the workload leaves the strict-FIFO regime:
@@ -188,8 +209,11 @@ impl Checker for PortLanes {
     fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
         let latency = cx.latency;
         let mut port_busy_until: Option<(SimTime, u32)> = None;
-        // The single in-flight speculative load `(config, started, ru)`.
-        let mut pending_prefetch: Option<(ConfigId, SimTime, u16)> = None;
+        // The single in-flight speculative load
+        // `(config, write-window end, ru, retried)` — a backoff retry
+        // moves the window end forward.
+        let mut pending_prefetch: Option<(ConfigId, SimTime, u16, bool)> = None;
+        // Per-RU in-flight demand load `(config, window end, job, node)`.
         let mut pending_load: HashMap<u16, (ConfigId, SimTime, u32, u32)> = HashMap::new();
         for ev in cx.trace.iter() {
             match *ev {
@@ -215,7 +239,7 @@ impl Checker for PortLanes {
                         )
                     });
                     port_busy_until = Some((at + latency, job));
-                    pending_load.insert(ru.0, (config, at, job, node.0));
+                    pending_load.insert(ru.0, (config, at + latency, job, node.0));
                 }
                 TraceEvent::LoadEnd {
                     job,
@@ -224,14 +248,14 @@ impl Checker for PortLanes {
                     ru,
                     at,
                 } => match pending_load.remove(&ru.0) {
-                    Some((c, started, j, n)) => {
+                    Some((c, ends, j, n)) => {
                         out.probe(c == config && j == job && n == node.0, || {
                             format!("load end at {at} on {ru} does not match its start")
                         });
-                        out.probe(at.since(started) == latency, || {
+                        out.probe(at == ends, || {
                             format!(
-                                "load of {config} on {ru} took {} (expected {latency})",
-                                at.since(started)
+                                "load of {config} on {ru} completed at {at}, but its \
+                                 write window ends at {ends}"
                             )
                         });
                     }
@@ -249,18 +273,17 @@ impl Checker for PortLanes {
                     out.probe(pending_prefetch.is_none(), || {
                         format!("speculative load at {at} while another one is in flight")
                     });
-                    pending_prefetch = Some((config, at, ru.0));
+                    pending_prefetch = Some((config, at + latency, ru.0, false));
                 }
                 TraceEvent::PrefetchEnd { config, ru, at } => match pending_prefetch.take() {
-                    Some((c, started, r)) => {
+                    Some((c, ends, r, _)) => {
                         out.probe(c == config && r == ru.0, || {
                             format!("speculative load end at {at} on {ru} does not match its start")
                         });
-                        out.probe(at.since(started) == latency, || {
+                        out.probe(at == ends, || {
                             format!(
-                                "speculative load of {config} on {ru} took {} \
-                                 (expected {latency})",
-                                at.since(started)
+                                "speculative load of {config} on {ru} completed at {at}, \
+                                 but its write window ends at {ends}"
                             )
                         });
                     }
@@ -269,24 +292,85 @@ impl Checker for PortLanes {
                     )),
                 },
                 TraceEvent::PrefetchCancel { config, ru, at } => match pending_prefetch.take() {
-                    Some((c, started, r)) => {
+                    Some((c, ends, r, retried)) => {
                         out.probe(c == config && r == ru.0, || {
                             format!(
                                 "speculative cancel at {at} on {ru} does not match \
                                  the in-flight load"
                             )
                         });
-                        out.probe(at >= started && at.since(started) <= latency, || {
-                            format!(
-                                "speculative load of {config} cancelled at {at}, \
-                                 outside its write interval (started {started})"
-                            )
-                        });
+                        if retried {
+                            // A retried speculative load may be cancelled
+                            // any time up to its rewrite completion — the
+                            // backoff wait before the window is free.
+                            out.probe(at <= ends, || {
+                                format!(
+                                    "speculative retry of {config} cancelled at {at}, \
+                                     after its rewrite window ended at {ends}"
+                                )
+                            });
+                        } else {
+                            out.probe(at <= ends && ends.saturating_since(at) <= latency, || {
+                                format!(
+                                    "speculative load of {config} cancelled at {at}, \
+                                     outside its write interval (ends {ends})"
+                                )
+                            });
+                        }
                     }
                     None => out.fail(format!(
                         "speculative cancel at {at} on {ru} with nothing in flight"
                     )),
                 },
+                TraceEvent::FaultRetry {
+                    ru,
+                    config,
+                    until,
+                    at,
+                    ..
+                } => {
+                    // The retry re-arms the port: the rewrite occupies
+                    // `[until - latency, until]`, moving the pending
+                    // operation's window.
+                    match pending_prefetch.as_mut() {
+                        Some((c, ends, r, retried)) if *r == ru.0 => {
+                            out.probe(*c == config, || {
+                                format!(
+                                    "fault retry at {at} rewrites {config} but the \
+                                     in-flight speculative load is of a different \
+                                     configuration"
+                                )
+                            });
+                            *ends = until;
+                            *retried = true;
+                        }
+                        _ => match pending_load.get_mut(&ru.0) {
+                            Some((c, ends, j, _)) => {
+                                out.probe(*c == config, || {
+                                    format!(
+                                        "fault retry at {at} rewrites {config} but the \
+                                         in-flight demand load on {ru} is of a different \
+                                         configuration"
+                                    )
+                                });
+                                port_busy_until = Some((until, *j));
+                                *ends = until;
+                            }
+                            None => out.fail(format!(
+                                "fault retry at {at} on {ru} with no load in flight"
+                            )),
+                        },
+                    }
+                }
+                // A speculative give-up is closed by the
+                // PrefetchCancel that follows; a demand give-up
+                // abandons the load with no LoadEnd.
+                TraceEvent::FaultGiveUp { ru, at, .. } if !matches!(pending_prefetch, Some((_, _, r, _)) if r == ru.0) =>
+                {
+                    out.probe(pending_load.remove(&ru.0).is_some(), || {
+                        format!("fault give-up at {at} on {ru} with no load in flight")
+                    });
+                }
                 _ => {}
             }
         }
@@ -360,6 +444,16 @@ impl Checker for RuIntervals {
                 }
                 TraceEvent::PrefetchCancel { ru, at, .. } => {
                     // The partially written RU holds nothing and is free.
+                    ru_busy_until.insert(ru.0, at);
+                }
+                TraceEvent::FaultRetry { ru, until, .. } => {
+                    // The backoff rewrite extends the unit's busy window.
+                    ru_busy_until.insert(ru.0, until);
+                }
+                TraceEvent::RuQuarantine { ru, at, .. } => {
+                    // Claims die with the unit (the engine revoked or
+                    // released them); the unit returns empty at heal.
+                    ru_claims.remove(&ru.0);
                     ru_busy_until.insert(ru.0, at);
                 }
                 _ => {}
@@ -482,6 +576,23 @@ impl Checker for TaskLifecycle {
                     entry.placed_at = None;
                     entry.ru = None;
                     entry.expected = None;
+                }
+                TraceEvent::FaultInject {
+                    kind: FaultKind::RuHard,
+                    ru,
+                    ..
+                } => {
+                    // The dead unit's live placement (claimed or
+                    // executing) is revoked and the node re-queues for a
+                    // fresh placement — reset its life like a kill.
+                    for entry in life.values_mut() {
+                        if entry.ru == Some(ru.0) && entry.exec_end.is_none() {
+                            entry.exec_start = None;
+                            entry.placed_at = None;
+                            entry.ru = None;
+                            entry.expected = None;
+                        }
+                    }
                 }
                 TraceEvent::NodeCheckpointed { job, node, at, .. } => {
                     let entry = life.entry((job, node.0)).or_default();
@@ -664,6 +775,18 @@ impl Checker for ReuseResidency {
                 TraceEvent::PrefetchCancel { ru, .. } => {
                     resident.remove(&ru.0);
                 }
+                TraceEvent::FaultInject {
+                    kind: FaultKind::Upset,
+                    ru,
+                    ..
+                } => {
+                    // The upset resident no longer counts as reusable;
+                    // only a full rewrite re-establishes residency.
+                    resident.remove(&ru.0);
+                }
+                TraceEvent::RuQuarantine { ru, .. } => {
+                    resident.remove(&ru.0);
+                }
                 _ => {}
             }
         }
@@ -687,11 +810,12 @@ impl Checker for PrefetchGuard {
     }
     fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
         let jobs = cx.jobs;
-        // Priority lanes and preemptions reorder the request stream
-        // dynamically; the linear arrival-order model below would
-        // produce false positives, so the guard only audits FIFO runs
-        // (the engine-side slack guard covers the QoS regime).
-        if qos_active(cx) {
+        // Priority lanes, preemptions and fault-recovery re-queues
+        // reorder the request stream dynamically; the linear
+        // arrival-order model below would produce false positives, so
+        // the guard only audits FIFO fault-free runs (the engine-side
+        // slack guard covers the QoS regime).
+        if qos_active(cx) || faults_active(cx) {
             return;
         }
         let expected_order = activation_order(jobs);
@@ -869,29 +993,59 @@ impl Checker for TrafficEquality {
         let latency = cx.latency;
         // Port write time actually spent (vs `port_busy_time`).
         let mut port_busy_total = rtr_sim::SimDuration::ZERO;
-        let mut prefetch_started: Option<SimTime> = None;
+        // In-flight speculative load: `(ru, current write-window start)`
+        // — a backoff retry moves the window.
+        let mut spec: Option<(u16, SimTime)> = None;
+        // Extra bus transfers the fault path performs: every demand
+        // retry rewrites the full bitstream (traffic.loads), and a
+        // corrupt speculative completion moved the bits even though no
+        // PrefetchEnd was recorded (traffic.prefetch_loads).
+        let mut demand_retries = 0u64;
+        let mut spec_corrupts = 0u64;
         let mut last_graph_end: Option<SimTime> = None;
         for ev in cx.trace.iter() {
             match *ev {
                 TraceEvent::LoadEnd { .. } => port_busy_total += latency,
-                TraceEvent::PrefetchStart { at, .. } => prefetch_started = Some(at),
+                TraceEvent::PrefetchStart { ru, at, .. } => spec = Some((ru.0, at)),
                 TraceEvent::PrefetchEnd { at, .. } | TraceEvent::PrefetchCancel { at, .. } => {
-                    if let Some(started) = prefetch_started.take() {
-                        port_busy_total += at.since(started);
+                    if let Some((_, window)) = spec.take() {
+                        port_busy_total += at.saturating_since(window);
                     }
                 }
+                TraceEvent::FaultInject {
+                    kind: FaultKind::TransientLoad,
+                    at,
+                    ..
+                } => {
+                    // A corrupt completion held the port for a full
+                    // write on either lane.
+                    port_busy_total += latency;
+                    if let Some((_, window)) = spec.as_mut() {
+                        spec_corrupts += 1;
+                        // The write is accounted; only time after the
+                        // corrupt completion charges the next window.
+                        *window = at;
+                    }
+                }
+                TraceEvent::FaultRetry { until, .. } => match spec.as_mut() {
+                    // The rewrite occupies `[until - latency, until]`.
+                    Some((_, window)) => *window = until - latency,
+                    None => demand_retries += 1,
+                },
                 TraceEvent::GraphEnd { at, .. } => last_graph_end = Some(at),
                 _ => {}
             }
         }
         let c = cx.trace.counts();
         out.probe(
-            s.traffic.loads == c.loads
+            s.traffic.loads == c.loads + demand_retries
                 && s.traffic.reuses == c.reuses
-                && s.traffic.prefetch_loads == c.prefetch_completed,
+                && s.traffic.prefetch_loads == c.prefetch_completed + spec_corrupts,
             || {
                 format!(
-                    "stats.traffic load/reuse/prefetch counters {:?} != trace {:?}",
+                    "stats.traffic load/reuse/prefetch counters {:?} != trace {:?} \
+                     (incl. {demand_retries} demand retries, {spec_corrupts} corrupt \
+                     speculative completions)",
                     (s.traffic.loads, s.traffic.reuses, s.traffic.prefetch_loads),
                     (c.loads, c.reuses, c.prefetch_completed)
                 )
@@ -952,13 +1106,34 @@ impl Checker for PrefetchAccounting {
             out.probe(s.prefetch.balanced(), || {
                 format!("stats prefetch ledger is open: {:?}", s.prefetch)
             });
-            out.probe(s.traffic.prefetch_loads == s.prefetch.completed, || {
-                format!(
-                    "only completed speculative loads move bitstreams: \
-                     traffic.prefetch_loads {} != prefetch.completed {}",
-                    s.traffic.prefetch_loads, s.prefetch.completed
-                )
-            });
+            // Corrupt speculative completions moved a bitstream without
+            // a PrefetchEnd; count them from the trace.
+            let mut spec_inflight = false;
+            let mut spec_corrupts = 0u64;
+            for ev in cx.trace.iter() {
+                match *ev {
+                    TraceEvent::PrefetchStart { .. } => spec_inflight = true,
+                    TraceEvent::PrefetchEnd { .. } | TraceEvent::PrefetchCancel { .. } => {
+                        spec_inflight = false
+                    }
+                    TraceEvent::FaultInject {
+                        kind: FaultKind::TransientLoad,
+                        ..
+                    } if spec_inflight => spec_corrupts += 1,
+                    _ => {}
+                }
+            }
+            out.probe(
+                s.traffic.prefetch_loads == s.prefetch.completed + spec_corrupts,
+                || {
+                    format!(
+                        "only completed (or corrupt-completed) speculative loads move \
+                         bitstreams: traffic.prefetch_loads {} != prefetch.completed {} \
+                         + corrupt completions {spec_corrupts}",
+                        s.traffic.prefetch_loads, s.prefetch.completed
+                    )
+                },
+            );
         }
     }
 }
@@ -1026,17 +1201,33 @@ impl Checker for NoLostWork {
         let mut starts: HashMap<(u32, u32), u64> = HashMap::new();
         let mut ends: HashMap<(u32, u32), u64> = HashMap::new();
         let mut revoked: HashMap<(u32, u32), u64> = HashMap::new();
+        // In-flight execution per RU, so a hard fault's implicit kill
+        // is booked as a revocation (no NodeKilled event is emitted —
+        // the FaultInject carries the consequence).
+        let mut inflight: HashMap<u16, (u32, u32)> = HashMap::new();
         for ev in cx.trace.iter() {
             match *ev {
-                TraceEvent::ExecStart { job, node, .. } => {
+                TraceEvent::ExecStart { job, node, ru, .. } => {
                     *starts.entry((job, node.0)).or_default() += 1;
+                    inflight.insert(ru.0, (job, node.0));
                 }
-                TraceEvent::ExecEnd { job, node, .. } => {
+                TraceEvent::ExecEnd { job, node, ru, .. } => {
                     *ends.entry((job, node.0)).or_default() += 1;
+                    inflight.remove(&ru.0);
                 }
-                TraceEvent::NodeKilled { job, node, .. }
-                | TraceEvent::NodeCheckpointed { job, node, .. } => {
+                TraceEvent::NodeKilled { job, node, ru, .. }
+                | TraceEvent::NodeCheckpointed { job, node, ru, .. } => {
                     *revoked.entry((job, node.0)).or_default() += 1;
+                    inflight.remove(&ru.0);
+                }
+                TraceEvent::FaultInject {
+                    kind: FaultKind::RuHard,
+                    ru,
+                    ..
+                } => {
+                    if let Some(key) = inflight.remove(&ru.0) {
+                        *revoked.entry(key).or_default() += 1;
+                    }
                 }
                 TraceEvent::GraphEnd { job, at } => {
                     let Some(spec) = jobs.get(job as usize) else {
@@ -1216,6 +1407,402 @@ impl Checker for QosAccounting {
                 "per-class job counts sum to {class_jobs}, but the trace completed \
                  {completed} graphs"
             )
+        });
+    }
+}
+
+/// The retry/backoff protocol: every corrupt load completion is
+/// resolved at the same instant by a retry or a give-up, attempts
+/// count up by one and never exceed the plan's budget, retried writes
+/// honour the exponential-backoff schedule, and every give-up is
+/// followed by its unit's quarantine.
+struct FaultRetryBounded;
+
+impl Checker for FaultRetryBounded {
+    fn name(&self) -> &'static str {
+        "fault-retry-bounded"
+    }
+    fn description(&self) -> &'static str {
+        "corrupt loads retry with bounded exponential backoff, then quarantine"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let latency = cx.latency;
+        // Unresolved corrupt completion per RU: `(config, instant)`.
+        let mut open: HashMap<u16, (Option<ConfigId>, SimTime)> = HashMap::new();
+        // Attempts burned on the RU's in-flight load so far.
+        let mut attempts: HashMap<u16, u8> = HashMap::new();
+        // A give-up whose RuQuarantine has not arrived yet.
+        let mut due_quarantine: Option<(u16, SimTime)> = None;
+        for ev in cx.trace.iter() {
+            match *ev {
+                TraceEvent::FaultInject {
+                    kind: FaultKind::TransientLoad,
+                    ru,
+                    config,
+                    at,
+                } => {
+                    out.probe(!open.contains_key(&ru.0), || {
+                        format!(
+                            "corrupt completion on {ru} at {at} while an earlier one \
+                             is still unresolved"
+                        )
+                    });
+                    open.insert(ru.0, (config, at));
+                }
+                TraceEvent::FaultRetry {
+                    ru,
+                    config,
+                    attempt,
+                    until,
+                    at,
+                } => {
+                    match open.remove(&ru.0) {
+                        Some((c, t)) => out.probe(c == Some(config) && t == at, || {
+                            format!(
+                                "retry of {config} on {ru} at {at} does not match the \
+                                 corrupt completion it resolves ({c:?} at {t})"
+                            )
+                        }),
+                        None => out.fail(format!(
+                            "retry of {config} on {ru} at {at} without a corrupt completion"
+                        )),
+                    }
+                    let prev = attempts.get(&ru.0).copied().unwrap_or(0);
+                    out.probe(attempt == prev + 1, || {
+                        format!(
+                            "retry attempt {attempt} on {ru} at {at} does not follow \
+                             attempt {prev}"
+                        )
+                    });
+                    if let Some(plan) = cx.fault_plan {
+                        out.probe(attempt <= plan.max_retries, || {
+                            format!(
+                                "retry attempt {attempt} on {ru} at {at} exceeds the \
+                                 plan's budget of {}",
+                                plan.max_retries
+                            )
+                        });
+                    }
+                    if (1..=32).contains(&attempt) {
+                        let expected = latency * ((1u64 << (attempt - 1)) + 1);
+                        out.probe(until.since(at) == expected, || {
+                            format!(
+                                "retry attempt {attempt} on {ru} at {at} completes at \
+                                 {until}; the backoff schedule requires {expected} \
+                                 (latency × (2^(k−1) + 1))"
+                            )
+                        });
+                    }
+                    attempts.insert(ru.0, attempt);
+                }
+                TraceEvent::FaultGiveUp {
+                    ru,
+                    config,
+                    attempts: total,
+                    at,
+                } => {
+                    match open.remove(&ru.0) {
+                        Some((c, t)) => out.probe(c == Some(config) && t == at, || {
+                            format!(
+                                "give-up of {config} on {ru} at {at} does not match the \
+                                 corrupt completion it resolves ({c:?} at {t})"
+                            )
+                        }),
+                        None => out.fail(format!(
+                            "give-up of {config} on {ru} at {at} without a corrupt completion"
+                        )),
+                    }
+                    let prev = attempts.remove(&ru.0).unwrap_or(0);
+                    out.probe(total == prev + 1, || {
+                        format!(
+                            "give-up on {ru} at {at} reports {total} attempts after \
+                             attempt {prev}"
+                        )
+                    });
+                    if let Some(plan) = cx.fault_plan {
+                        out.probe(total == plan.max_retries + 1, || {
+                            format!(
+                                "give-up on {ru} at {at} after {total} attempts; the \
+                                 plan's budget allows exactly {}",
+                                plan.max_retries + 1
+                            )
+                        });
+                    }
+                    out.probe(due_quarantine.is_none(), || {
+                        format!(
+                            "give-up on {ru} at {at} while {due_quarantine:?} still \
+                             awaits its quarantine"
+                        )
+                    });
+                    due_quarantine = Some((ru.0, at));
+                }
+                TraceEvent::RuQuarantine { ru, at } if due_quarantine == Some((ru.0, at)) => {
+                    due_quarantine = None;
+                }
+                TraceEvent::LoadEnd { ru, at, .. } | TraceEvent::PrefetchEnd { ru, at, .. } => {
+                    out.probe(!open.contains_key(&ru.0), || {
+                        format!(
+                            "clean completion on {ru} at {at} while a corrupt one is \
+                             unresolved"
+                        )
+                    });
+                    attempts.remove(&ru.0);
+                }
+                TraceEvent::PrefetchCancel { ru, .. } => {
+                    // A cancelled speculative retry abandons the load.
+                    attempts.remove(&ru.0);
+                }
+                _ => {}
+            }
+        }
+        out.probe(open.is_empty(), || {
+            format!("corrupt completions never resolved: {open:?}")
+        });
+        out.probe(due_quarantine.is_none(), || {
+            format!("give-up {due_quarantine:?} was never followed by its quarantine")
+        });
+    }
+}
+
+/// Quarantine isolation: no load, reuse, execution, retry or further
+/// fault ever targets a quarantined RU, quarantines and heals pair up,
+/// and a unit only heals out of quarantine.
+struct QuarantineIsolation;
+
+impl Checker for QuarantineIsolation {
+    fn name(&self) -> &'static str {
+        "quarantine-isolation"
+    }
+    fn description(&self) -> &'static str {
+        "no event targets a quarantined RU; quarantines and heals pair up"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let mut quarantined: HashSet<u16> = HashSet::new();
+        let mut quarantines = 0u64;
+        let mut heals = 0u64;
+        for ev in cx.trace.iter() {
+            match *ev {
+                TraceEvent::RuQuarantine { ru, at } => {
+                    out.probe(quarantined.insert(ru.0), || {
+                        format!("{ru} quarantined at {at} but is already out of the pool")
+                    });
+                    quarantines += 1;
+                }
+                TraceEvent::RuHeal { ru, at } => {
+                    out.probe(quarantined.remove(&ru.0), || {
+                        format!("{ru} healed at {at} but was not quarantined")
+                    });
+                    heals += 1;
+                }
+                TraceEvent::LoadStart { ru, at, .. }
+                | TraceEvent::LoadEnd { ru, at, .. }
+                | TraceEvent::Reuse { ru, at, .. }
+                | TraceEvent::ExecStart { ru, at, .. }
+                | TraceEvent::ExecEnd { ru, at, .. }
+                | TraceEvent::PrefetchStart { ru, at, .. }
+                | TraceEvent::PrefetchEnd { ru, at, .. }
+                | TraceEvent::PrefetchCancel { ru, at, .. }
+                | TraceEvent::FaultInject { ru, at, .. }
+                | TraceEvent::FaultRetry { ru, at, .. }
+                | TraceEvent::FaultGiveUp { ru, at, .. }
+                | TraceEvent::NodeKilled { ru, at, .. }
+                | TraceEvent::NodeCheckpointed { ru, at, .. } => {
+                    out.probe(!quarantined.contains(&ru.0), || {
+                        format!("{} targets quarantined {ru} at {at}", ev.kind_name())
+                    });
+                }
+                _ => {}
+            }
+        }
+        out.probe(heals <= quarantines, || {
+            format!("{heals} heals recorded for only {quarantines} quarantines")
+        });
+    }
+}
+
+/// An upset (corrupt) resident never satisfies a reuse claim or backs
+/// an execution start; only a full rewrite of the unit (or its
+/// quarantine) clears the corruption.
+struct CorruptNeverReused;
+
+impl Checker for CorruptNeverReused {
+    fn name(&self) -> &'static str {
+        "corrupt-never-reused"
+    }
+    fn description(&self) -> &'static str {
+        "upset residents are never reused or executed before a rewrite"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let mut corrupt: HashSet<u16> = HashSet::new();
+        let mut upsets = 0u64;
+        for ev in cx.trace.iter() {
+            match *ev {
+                TraceEvent::FaultInject {
+                    kind: FaultKind::Upset,
+                    ru,
+                    at,
+                    ..
+                } => {
+                    out.probe(corrupt.insert(ru.0), || {
+                        format!("upset at {at} hit {ru}, whose resident is already corrupt")
+                    });
+                    upsets += 1;
+                }
+                // A rewrite (either lane) repairs the unit; quarantine
+                // discards the resident outright.
+                TraceEvent::LoadStart { ru, .. }
+                | TraceEvent::PrefetchStart { ru, .. }
+                | TraceEvent::RuQuarantine { ru, .. } => {
+                    corrupt.remove(&ru.0);
+                }
+                TraceEvent::Reuse { ru, at, .. } => {
+                    out.probe(!corrupt.contains(&ru.0), || {
+                        format!("reuse claim on {ru} at {at} of an upset (corrupt) resident")
+                    });
+                }
+                TraceEvent::ExecStart { ru, at, .. } => {
+                    out.probe(!corrupt.contains(&ru.0), || {
+                        format!("execution start on {ru} at {at} over an upset resident")
+                    });
+                }
+                _ => {}
+            }
+        }
+        out.probe(corrupt.len() as u64 <= upsets, || {
+            format!(
+                "{} residents marked corrupt by only {upsets} upsets",
+                corrupt.len()
+            )
+        });
+    }
+}
+
+/// The fault ledger closes: [`RunStats`](crate::stats::RunStats) fault
+/// counters match the trace tallies, the per-class injections sum to
+/// the total, every give-up and hard fault quarantined a unit, and the
+/// degraded-pool time and lost work re-derive from the trace.
+struct FaultAccounting;
+
+impl Checker for FaultAccounting {
+    fn name(&self) -> &'static str {
+        "fault-accounting"
+    }
+    fn description(&self) -> &'static str {
+        "stats fault counters equal the trace; degraded time and lost work re-derive"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let c = cx.trace.counts();
+        out.probe(
+            c.fault_injected == c.fault_transients + c.fault_upsets + c.fault_ru,
+            || {
+                format!(
+                    "per-class injections {} + {} + {} do not sum to the total {}",
+                    c.fault_transients, c.fault_upsets, c.fault_ru, c.fault_injected
+                )
+            },
+        );
+        out.probe(c.ru_quarantines == c.fault_giveups + c.fault_ru, || {
+            format!(
+                "{} quarantines for {} give-ups + {} hard faults",
+                c.ru_quarantines, c.fault_giveups, c.fault_ru
+            )
+        });
+        out.probe(c.ru_heals <= c.ru_quarantines, || {
+            format!(
+                "{} heals recorded for only {} quarantines",
+                c.ru_heals, c.ru_quarantines
+            )
+        });
+        // Re-derive the degraded-pool clock and the lost work.
+        let mut degraded = rtr_sim::SimDuration::ZERO;
+        let mut since: Option<SimTime> = None;
+        let mut depth = 0u32;
+        let mut lost = rtr_sim::SimDuration::ZERO;
+        let mut exec_started: HashMap<u16, SimTime> = HashMap::new();
+        for ev in cx.trace.iter() {
+            match *ev {
+                TraceEvent::RuQuarantine { at, .. } => {
+                    depth += 1;
+                    if depth == 1 {
+                        since = Some(at);
+                    }
+                }
+                TraceEvent::RuHeal { at, .. } => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        if let Some(s) = since.take() {
+                            degraded += at.since(s);
+                        }
+                    }
+                }
+                TraceEvent::ExecStart { ru, at, .. } => {
+                    exec_started.insert(ru.0, at);
+                }
+                TraceEvent::ExecEnd { ru, .. }
+                | TraceEvent::NodeKilled { ru, .. }
+                | TraceEvent::NodeCheckpointed { ru, .. } => {
+                    exec_started.remove(&ru.0);
+                }
+                TraceEvent::FaultInject {
+                    kind: FaultKind::RuHard,
+                    ru,
+                    at,
+                    ..
+                } => {
+                    if let Some(s) = exec_started.remove(&ru.0) {
+                        lost += at.since(s);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(s) = cx.stats else { return };
+        // A stretch still open at end of trace closes at the makespan.
+        if let Some(open) = since {
+            degraded += (SimTime::ZERO + s.makespan).saturating_since(open);
+        }
+        let f = &s.faults;
+        out.probe(f.injected == c.fault_injected, || {
+            format!(
+                "stats.faults.injected {} != trace {}",
+                f.injected, c.fault_injected
+            )
+        });
+        out.probe(f.retries == c.fault_retries, || {
+            format!(
+                "stats.faults.retries {} != trace {}",
+                f.retries, c.fault_retries
+            )
+        });
+        out.probe(f.repairs == c.fault_repairs, || {
+            format!(
+                "stats.faults.repairs {} != trace {}",
+                f.repairs, c.fault_repairs
+            )
+        });
+        out.probe(f.quarantines == c.ru_quarantines, || {
+            format!(
+                "stats.faults.quarantines {} != trace {}",
+                f.quarantines, c.ru_quarantines
+            )
+        });
+        out.probe(f.heals == c.ru_heals, || {
+            format!("stats.faults.heals {} != trace {}", f.heals, c.ru_heals)
+        });
+        out.probe(f.degraded_time == degraded, || {
+            format!(
+                "stats.faults.degraded_time {} != {degraded} re-derived from the trace",
+                f.degraded_time
+            )
+        });
+        out.probe(f.lost_work_cycles == lost, || {
+            format!(
+                "stats.faults.lost_work_cycles {} != {lost} re-derived from the trace",
+                f.lost_work_cycles
+            )
+        });
+        out.probe(f.balanced(), || {
+            format!("fault ledger internal identities do not hold: {f:?}")
         });
     }
 }

@@ -51,6 +51,20 @@
 //! * `qos-accounting` — the QoS counters in [`RunStats`] match the
 //!   trace, deadline misses/tardiness re-derive from completions, and
 //!   the per-class rows sum to the run totals.
+//! * `fault-retry-bounded` — every corrupt load completion resolves at
+//!   the same instant into a retry or a give-up; attempts count up by
+//!   one, never exceed the fault plan's budget, retried writes honour
+//!   the exponential-backoff schedule, and every give-up quarantines
+//!   its unit.
+//! * `quarantine-isolation` — no load, reuse, execution, retry or
+//!   further fault targets a quarantined RU; quarantines and heals
+//!   pair up.
+//! * `corrupt-never-reused` — an upset resident never satisfies a
+//!   reuse claim or backs an execution start before a rewrite (or the
+//!   unit's quarantine) clears it.
+//! * `fault-accounting` — the fault counters in [`RunStats`] match the
+//!   trace tallies, per-class injections sum to the total, and the
+//!   degraded-pool time and lost work re-derive from the trace.
 //! * `pooled-identity` — the run is bit-exact with a reference
 //!   [`SimulationOutcome`] (stats and trace), the pooled-engine
 //!   contract.
@@ -63,6 +77,7 @@ mod checkers;
 
 pub use checkers::standard_checkers;
 
+use crate::config::FaultPlan;
 use crate::job::JobSpec;
 use crate::manager::SimulationOutcome;
 use crate::stats::RunStats;
@@ -101,6 +116,9 @@ pub struct CheckContext<'a> {
     pub reference: Option<&'a SimulationOutcome>,
     /// The prefetch depth the run was configured with, when known.
     pub prefetch_depth: Option<usize>,
+    /// The fault plan the run was configured with, when known —
+    /// tightens `fault-retry-bounded` to the plan's exact retry budget.
+    pub fault_plan: Option<&'a FaultPlan>,
 }
 
 impl<'a> CheckContext<'a> {
@@ -118,6 +136,7 @@ impl<'a> CheckContext<'a> {
             stats,
             reference: None,
             prefetch_depth: None,
+            fault_plan: None,
         }
     }
 
@@ -131,6 +150,13 @@ impl<'a> CheckContext<'a> {
     /// `prefetch-off-invisible`).
     pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
         self.prefetch_depth = Some(depth);
+        self
+    }
+
+    /// Records the run's fault plan, tightening `fault-retry-bounded`
+    /// to the plan's exact retry budget.
+    pub fn with_fault_plan(mut self, plan: &'a FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 }

@@ -6,6 +6,7 @@
 
 pub mod ablations;
 pub mod arrivals;
+pub mod faults;
 pub mod fig9;
 pub mod prefetch;
 pub mod qos;

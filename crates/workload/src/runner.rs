@@ -12,8 +12,8 @@ use crate::policies::PolicyKind;
 use rtr_core::TemplateRegistry;
 use rtr_hw::{DeviceSpec, RuId};
 use rtr_manager::{
-    DecisionContext, Engine, JobSpec, ManagerConfig, PreemptionMode, PrefetchConfig, QosClass,
-    ReplacementPolicy, RunStats, SimError, Trace,
+    DecisionContext, Engine, FaultPlan, JobSpec, ManagerConfig, PreemptionMode, PrefetchConfig,
+    QosClass, ReplacementPolicy, RunStats, SimError, Trace,
 };
 use rtr_sim::SimTime;
 use rtr_taskgraph::{ConfigId, TaskGraph};
@@ -37,6 +37,9 @@ pub struct CellConfig {
     /// Preemption policy for QoS-class scheduling (`Off` by default,
     /// which is bit-exact with the pre-QoS cells).
     pub preemption: PreemptionMode,
+    /// Fault-injection plan (off by default, which is bit-exact with
+    /// the fault-free cells).
+    pub faults: FaultPlan,
 }
 
 impl CellConfig {
@@ -49,12 +52,19 @@ impl CellConfig {
             record_trace: false,
             prefetch: PrefetchConfig::off(),
             preemption: PreemptionMode::Off,
+            faults: FaultPlan::off(),
         }
     }
 
     /// Builder-style preemption-mode override.
     pub fn with_preemption(mut self, mode: PreemptionMode) -> Self {
         self.preemption = mode;
+        self
+    }
+
+    /// Builder-style fault-plan override.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -75,6 +85,7 @@ impl CellConfig {
             record_trace: self.record_trace,
             prefetch: self.prefetch,
             preemption: self.preemption,
+            faults: self.faults,
         }
     }
 }

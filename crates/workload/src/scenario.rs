@@ -14,7 +14,7 @@ use crate::sequence::SequenceModel;
 use crate::table::{fmt_f, Table};
 use rtr_core::TemplateRegistry;
 use rtr_hw::DeviceSpec;
-use rtr_manager::PreemptionMode;
+use rtr_manager::{FaultPlan, PreemptionMode};
 use rtr_taskgraph::serialize::GraphSpec;
 use rtr_taskgraph::TaskGraph;
 use serde::{Deserialize, Serialize};
@@ -52,6 +52,9 @@ pub struct Scenario {
     /// QoS class assignment over the generated sequence (uniform
     /// best-effort when absent from the file).
     pub qos: QosSpec,
+    /// Runtime fault plan injected into every cell (off — the exact
+    /// pre-fault engine — when absent from the file).
+    pub faults: FaultPlan,
 }
 
 impl Scenario {
@@ -72,6 +75,7 @@ impl Scenario {
             policies: PolicyKind::fig9a_set(),
             preemption: PreemptionMode::Off,
             qos: QosSpec::UNIFORM,
+            faults: FaultPlan::off(),
         }
     }
 
@@ -153,6 +157,7 @@ impl Scenario {
                 let mut cell = CellConfig::new(policy, self.rus);
                 cell.device = self.device.clone();
                 cell.preemption = self.preemption;
+                cell.faults = self.faults;
                 let out = runner
                     .run_with_arrivals_qos(&sequence, Some(&arrivals), qos.as_deref(), &cell)
                     .expect("scenario cell simulates");
@@ -194,6 +199,43 @@ mod tests {
         assert_eq!(back, s);
         assert_eq!(back.preemption, PreemptionMode::Checkpoint);
         assert_eq!(back.qos, QosSpec::strided(4, 5, 150));
+    }
+
+    #[test]
+    fn fault_scenario_round_trips() {
+        let mut s = Scenario::paper_fig9(4, 30, 17);
+        s.faults = FaultPlan::low(0xFA17);
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.faults, FaultPlan::low(0xFA17));
+    }
+
+    #[test]
+    fn pre_fault_files_load_with_faults_off() {
+        // A file written before the fault model existed has no `faults`
+        // key; it must load as the fault-free scenario it always
+        // described and run bit-identically.
+        let s = Scenario::paper_fig9(4, 25, 3);
+        let mut v: serde::Value = serde_json::from_str(&s.to_json()).unwrap();
+        if let serde::Value::Object(m) = &mut v {
+            assert!(m.remove("faults").is_some());
+        } else {
+            panic!("scenario serialises to an object");
+        }
+        let legacy = serde_json::to_string(&v).unwrap();
+        assert!(!legacy.contains("faults"), "field really removed");
+        let back = Scenario::from_json(&legacy).expect("legacy file loads");
+        assert!(back.faults.is_off());
+        assert_eq!(back, s, "defaults equal the freshly built scenario");
+        assert_eq!(s.run().to_csv(), back.run().to_csv());
+    }
+
+    #[test]
+    fn fault_scenario_runs_to_a_table() {
+        let mut s = Scenario::paper_fig9(4, 24, 21);
+        s.faults = FaultPlan::low(99);
+        let t = s.run();
+        assert_eq!(t.len(), s.policies.len());
     }
 
     #[test]

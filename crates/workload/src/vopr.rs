@@ -4,7 +4,8 @@
 //! A campaign is a pure function of one `master_seed`: case `i`
 //! derives its knobs (scenario seed, template count, apps, RUs,
 //! arrival process, policy, prefetch depth, engine lifecycle,
-//! head-blocking annotation, preemption mode, QoS class mix) with a
+//! head-blocking annotation, preemption mode, QoS class mix, runtime
+//! fault-rate class and fault-class mix) with a
 //! SplitMix64 stream, materialises
 //! the scenario, drives the engine through one of four lifecycles
 //! (fresh / reset / retarget / replay), and validates the run through
@@ -17,7 +18,13 @@
 //! violation report, after a greedy minimisation pass shrank the
 //! scenario. Faults ([`Fault`]) deliberately corrupt the subject
 //! outcome after the run — the harness's own self-check that the
-//! checkers, fingerprints and the replay path all have teeth.
+//! checkers, fingerprints and the replay path all have teeth. These
+//! post-run corruptions are distinct from the *runtime* fault plans
+//! ([`FaultPlan`]) two thirds of the cases carry: those inject
+//! transient load corruption, resident upsets and RU hard faults
+//! *inside* the engine, and the campaign's coverage gate requires
+//! every fault class (and every fault-aware checker) to actually
+//! exercise.
 
 use crate::arrivals::ArrivalProcess;
 use crate::qos::QosSpec;
@@ -25,9 +32,9 @@ use rtr_core::{
     compute_mobility, FifoPolicy, LfdPolicy, LfuPolicy, LruPolicy, MruPolicy, RandomPolicy,
 };
 use rtr_manager::{
-    simulate, CheckContext, CheckerRegistry, Engine, FirstCandidatePolicy, JobSpec, Lookahead,
-    ManagerConfig, PreemptionMode, PrefetchConfig, QosClass, ReplacementPolicy, SimError,
-    SimulationOutcome, TraceEvent,
+    simulate, CheckContext, CheckerRegistry, Engine, FaultPlan, FirstCandidatePolicy, JobSpec,
+    Lookahead, ManagerConfig, PreemptionMode, PrefetchConfig, QosClass, ReplacementPolicy,
+    SimError, SimulationOutcome, TraceEvent,
 };
 use rtr_taskgraph::generate::{self, GenConfig};
 use rtr_taskgraph::TaskGraph;
@@ -227,6 +234,14 @@ pub struct CaseKnobs {
     /// [`qos_mix_label`]): 0 = uniform best-effort, 1/2 = strided
     /// high-priority mixes with deadlines.
     pub qos_mix: u8,
+    /// Runtime fault-rate class (see [`fault_rate_label`]): 0 = off
+    /// (the exact pre-fault code path), 1 = [`FaultPlan::low`],
+    /// 2 = [`FaultPlan::high`].
+    pub fault_rate: u8,
+    /// Fault-class mix selector (see [`fault_plan`] /
+    /// [`fault_mix_label`]): 0 = all three classes, 1 = transient
+    /// loads only, 2 = resident upsets only, 3 = RU hard faults only.
+    pub fault_mix: u8,
 }
 
 /// The class mix a `qos_mix` selector decodes to.
@@ -247,12 +262,67 @@ pub fn qos_mix_label(mix: u8) -> &'static str {
     }
 }
 
+/// Salt decorrelating the fault-decision stream from the workload
+/// streams drawn with the same scenario seed.
+const FAULT_SEED_SALT: u64 = 0xFA17_5EED;
+
+/// Stable label for a `fault_rate` selector (knob summaries, coverage).
+pub fn fault_rate_label(rate: u8) -> &'static str {
+    match rate % 3 {
+        0 => "off",
+        1 => "low",
+        _ => "high",
+    }
+}
+
+/// Stable label for a `fault_mix` selector (knob summaries, coverage).
+pub fn fault_mix_label(mix: u8) -> &'static str {
+    match mix % 4 {
+        0 => "all",
+        1 => "transient",
+        2 => "upset",
+        _ => "ru-hard",
+    }
+}
+
+/// The runtime fault plan a case's fault knobs decode to. The rate
+/// class picks the [`FaultPlan::low`]/[`FaultPlan::high`] preset (or
+/// the exact-off plan), the mix selector masks it down to a single
+/// fault class so each class is also exercised in isolation. The
+/// preset's finite repair latency is kept in every mix — transient
+/// give-ups quarantine their RU, and a permanently dead pool would
+/// turn small-RU cases into stalls instead of checked runs.
+pub fn fault_plan(rate: u8, mix: u8, scenario_seed: u64) -> FaultPlan {
+    let mut plan = match rate % 3 {
+        0 => return FaultPlan::off(),
+        1 => FaultPlan::low(scenario_seed ^ FAULT_SEED_SALT),
+        _ => FaultPlan::high(scenario_seed ^ FAULT_SEED_SALT),
+    };
+    match mix % 4 {
+        0 => {}
+        1 => {
+            plan.upset_pm = 0;
+            plan.ru_fault_pm = 0;
+        }
+        2 => {
+            plan.load_fault_pm = 0;
+            plan.ru_fault_pm = 0;
+        }
+        _ => {
+            plan.load_fault_pm = 0;
+            plan.upset_pm = 0;
+        }
+    }
+    plan
+}
+
 impl CaseKnobs {
     /// Derives the knobs of case `case_index` under `master_seed`.
     pub fn derive(master_seed: u64, case_index: u64) -> CaseKnobs {
         let mut state = master_seed ^ case_index.wrapping_mul(0xA076_1D64_78BD_642F);
         let scenario_seed = splitmix64(&mut state);
         let r = splitmix64(&mut state);
+        let f = splitmix64(&mut state);
         CaseKnobs {
             scenario_seed,
             templates: 1 + (r % 3) as usize,
@@ -265,6 +335,8 @@ impl CaseKnobs {
             annotate: ((r >> 40) % 3) as u8,
             preemption: PreemptionMode::ALL[((r >> 48) % 3) as usize],
             qos_mix: ((r >> 52) % 3) as u8,
+            fault_rate: (f % 3) as u8,
+            fault_mix: ((f >> 8) % 4) as u8,
         }
     }
 
@@ -287,8 +359,8 @@ impl CaseKnobs {
     pub fn summary(&self) -> String {
         format!(
             "lifecycle={} depth={} templates={} apps={} rus={} arrival={} \
-             policy={} annotate={} preemption={} qos={} lookahead={:?} \
-             scenario_seed={:#018x}",
+             policy={} annotate={} preemption={} qos={} faults={}/{} \
+             lookahead={:?} scenario_seed={:#018x}",
             self.lifecycle.name(),
             self.depth,
             self.templates,
@@ -303,6 +375,8 @@ impl CaseKnobs {
             },
             self.preemption.label(),
             qos_mix_label(self.qos_mix),
+            fault_rate_label(self.fault_rate),
+            fault_mix_label(self.fault_mix),
             self.lookahead(),
             self.scenario_seed,
         )
@@ -324,7 +398,7 @@ fn arrival_process(kind: u8) -> ArrivalProcess {
 }
 
 /// Builds the policy for selector `id` (fresh state every call).
-fn build_policy(id: u8, seed: u64) -> Box<dyn ReplacementPolicy> {
+pub fn build_policy(id: u8, seed: u64) -> Box<dyn ReplacementPolicy> {
     match id % 8 {
         0 => Box::new(FirstCandidatePolicy),
         1 => Box::new(LruPolicy::new()),
@@ -377,6 +451,7 @@ pub fn build_case(fp: &Fingerprint) -> Case {
         .with_skip_events(knobs.annotate % 3 == 1)
         .with_prefetch(PrefetchConfig::with_depth(knobs.depth))
         .with_preemption(knobs.preemption)
+        .with_faults(fault_plan(knobs.fault_rate, knobs.fault_mix, seed))
         .with_trace(true);
     let arrivals = arrival_process(knobs.arrival_kind).generate(knobs.apps, seed ^ 0x5EED);
     let mut jobs: Vec<JobSpec> = (0..knobs.apps)
@@ -497,6 +572,18 @@ pub enum CaseStatus {
     StallMismatch(String),
 }
 
+/// Runtime-fault injections observed in one checked case's subject
+/// trace (all zero for stalled or fault-off cases).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaseFaultCounts {
+    /// Transient load corruptions injected.
+    pub transients: u64,
+    /// Resident-configuration upsets injected.
+    pub upsets: u64,
+    /// RU hard faults injected.
+    pub ru_hard: u64,
+}
+
 /// One case's full result: its fingerprint, knobs and verdict.
 #[derive(Debug)]
 pub struct CaseOutcome {
@@ -504,6 +591,8 @@ pub struct CaseOutcome {
     pub fingerprint: Fingerprint,
     /// Its derived knobs.
     pub knobs: CaseKnobs,
+    /// Runtime-fault injections the subject trace recorded.
+    pub faults: CaseFaultCounts,
     /// The verdict.
     pub status: CaseStatus,
 }
@@ -568,11 +657,18 @@ pub fn run_case(fp: &Fingerprint, case: &Case, registry: &CheckerRegistry) -> Ca
     let subject = execute_subject(case);
     let mut reference_policy = build_policy(case.knobs.policy, case.knobs.scenario_seed);
     let reference = simulate(&case.cfg, &case.jobs, reference_policy.as_mut());
+    let mut faults = CaseFaultCounts::default();
     let status = match (subject, reference) {
         (Ok(mut subject), Ok(reference)) => {
             if let Some(fault) = fp.fault {
                 fault.apply(&mut subject);
             }
+            let counts = subject.trace.counts();
+            faults = CaseFaultCounts {
+                transients: counts.fault_transients,
+                upsets: counts.fault_upsets,
+                ru_hard: counts.fault_ru,
+            };
             let cx = CheckContext::new(
                 &subject.trace,
                 &case.jobs,
@@ -580,7 +676,8 @@ pub fn run_case(fp: &Fingerprint, case: &Case, registry: &CheckerRegistry) -> Ca
                 Some(&subject.stats),
             )
             .with_reference(&reference)
-            .with_prefetch_depth(case.knobs.depth);
+            .with_prefetch_depth(case.knobs.depth)
+            .with_fault_plan(&case.cfg.faults);
             CaseStatus::Checked(registry.run(&cx))
         }
         (Err(a), Err(b)) if a == b => CaseStatus::Stalled,
@@ -597,6 +694,7 @@ pub fn run_case(fp: &Fingerprint, case: &Case, registry: &CheckerRegistry) -> Ca
     CaseOutcome {
         fingerprint: *fp,
         knobs: case.knobs,
+        faults,
         status,
     }
 }
@@ -625,10 +723,11 @@ pub struct MinimizeSummary {
 }
 
 /// Greedy scenario minimiser: drop job chunks (ddmin-style), then
-/// simplify knobs (prefetch off, annotations stripped, fresh
-/// lifecycle, fewer RUs) — keeping a candidate only while at least one
-/// of the originally failing checkers still fails. Deterministic, and
-/// bounded to 200 candidate evaluations.
+/// simplify knobs (prefetch off, annotations stripped, QoS stripped,
+/// runtime faults stripped, fresh lifecycle, fewer RUs) — keeping a
+/// candidate only while at least one of the originally failing
+/// checkers still fails. Deterministic, and bounded to 200 candidate
+/// evaluations.
 pub fn minimize_case(
     fp: &Fingerprint,
     case: &Case,
@@ -716,7 +815,18 @@ pub fn minimize_case(
         }
     }
 
-    // 5. Fresh lifecycle.
+    // 5. Strip runtime faults.
+    if !best.cfg.faults.is_off() {
+        let mut candidate = best.clone();
+        candidate.knobs.fault_rate = 0;
+        candidate.cfg = candidate.cfg.with_faults(FaultPlan::off());
+        if try_candidate(&candidate, &mut evals) {
+            summary.steps.push("faults stripped".into());
+            best = candidate;
+        }
+    }
+
+    // 6. Fresh lifecycle.
     if best.knobs.lifecycle != Lifecycle::Fresh {
         let mut candidate = best.clone();
         candidate.knobs.lifecycle = Lifecycle::Fresh;
@@ -726,7 +836,7 @@ pub fn minimize_case(
         }
     }
 
-    // 6. Fewest RUs that still fail.
+    // 7. Fewest RUs that still fail.
     for rus in 1..best.knobs.rus {
         let mut candidate = best.clone();
         candidate.knobs.rus = rus;
@@ -853,6 +963,14 @@ pub struct CampaignSummary {
     pub preemption_cases: [u64; 3],
     /// Cases per QoS class mix, indexed by the `qos_mix` selector.
     pub qos_mix_cases: [u64; 3],
+    /// Cases per runtime fault-rate class (off / low / high).
+    pub fault_rate_cases: [u64; 3],
+    /// Cases per fault-class mix selector (all / transient / upset /
+    /// ru-hard), counting fault-active cases only.
+    pub fault_mix_cases: [u64; 4],
+    /// Total runtime injections per fault class across all checked
+    /// cases (transient loads / upsets / RU hard faults).
+    pub fault_injections: [u64; 3],
     /// Per-checker fired/violation totals, in registry order.
     pub coverage: Vec<CheckerCoverage>,
     /// Stall-mismatch failures (not attributable to one checker).
@@ -877,11 +995,31 @@ impl CampaignSummary {
             .collect()
     }
 
-    /// The per-checker coverage summary as CSV.
+    /// Names of runtime fault classes that never injected across the
+    /// campaign — silent holes the coverage gate fails on (a campaign
+    /// whose fault knobs never actually fire is not testing recovery).
+    pub fn fault_holes(&self) -> Vec<&'static str> {
+        ["transient-load", "upset", "ru-hard"]
+            .iter()
+            .zip(self.fault_injections)
+            .filter(|(_, n)| *n == 0)
+            .map(|(name, _)| *name)
+            .collect()
+    }
+
+    /// The per-checker coverage summary as CSV, with one
+    /// `fault:<class>` row per runtime fault class (fired = total
+    /// injections of that class).
     pub fn coverage_csv(&self) -> String {
         let mut s = String::from("checker,fired,violations\n");
         for c in &self.coverage {
             s.push_str(&format!("{},{},{}\n", c.name, c.fired, c.violations));
+        }
+        for (name, n) in ["transient-load", "upset", "ru-hard"]
+            .iter()
+            .zip(self.fault_injections)
+        {
+            s.push_str(&format!("fault:{name},{n},0\n"));
         }
         s
     }
@@ -898,6 +1036,9 @@ pub fn run_campaign(config: &CampaignConfig, registry: &CheckerRegistry) -> Camp
         depth_cases: [0; 4],
         preemption_cases: [0; 3],
         qos_mix_cases: [0; 3],
+        fault_rate_cases: [0; 3],
+        fault_mix_cases: [0; 4],
+        fault_injections: [0; 3],
         // Coverage rows for the *enabled* checkers only: a deliberately
         // disabled checker must not read as a silent coverage hole.
         coverage: registry
@@ -933,6 +1074,13 @@ pub fn run_campaign(config: &CampaignConfig, registry: &CheckerRegistry) -> Camp
             .expect("derived preemption mode is canonical");
         summary.preemption_cases[mode_idx] += 1;
         summary.qos_mix_cases[(outcome.knobs.qos_mix % 3) as usize] += 1;
+        summary.fault_rate_cases[(outcome.knobs.fault_rate % 3) as usize] += 1;
+        if !outcome.knobs.fault_rate.is_multiple_of(3) {
+            summary.fault_mix_cases[(outcome.knobs.fault_mix % 4) as usize] += 1;
+        }
+        summary.fault_injections[0] += outcome.faults.transients;
+        summary.fault_injections[1] += outcome.faults.upsets;
+        summary.fault_injections[2] += outcome.faults.ru_hard;
         match &outcome.status {
             CaseStatus::Checked(report) => {
                 if let Some(depth_idx) = DEPTHS.iter().position(|&d| d == outcome.knobs.depth) {
@@ -999,6 +1147,8 @@ mod tests {
         let mut depths = [0u64; 4];
         let mut modes = [0u64; 3];
         let mut mixes = [0u64; 3];
+        let mut fault_rates = [0u64; 3];
+        let mut fault_mixes = [0u64; 4];
         for i in 0..64 {
             let a = CaseKnobs::derive(99, i);
             let b = CaseKnobs::derive(99, i);
@@ -1013,11 +1163,81 @@ mod tests {
                 .position(|m| *m == a.preemption)
                 .unwrap()] += 1;
             mixes[(a.qos_mix % 3) as usize] += 1;
+            fault_rates[(a.fault_rate % 3) as usize] += 1;
+            if !a.fault_rate.is_multiple_of(3) {
+                fault_mixes[(a.fault_mix % 4) as usize] += 1;
+            }
         }
         assert!(lifecycles.iter().all(|&c| c > 0), "{lifecycles:?}");
         assert!(depths.iter().all(|&c| c > 0), "{depths:?}");
         assert!(modes.iter().all(|&c| c > 0), "{modes:?}");
         assert!(mixes.iter().all(|&c| c > 0), "{mixes:?}");
+        assert!(fault_rates.iter().all(|&c| c > 0), "{fault_rates:?}");
+        assert!(fault_mixes.iter().all(|&c| c > 0), "{fault_mixes:?}");
+    }
+
+    #[test]
+    fn fault_plans_decode_and_mask_by_class() {
+        assert!(fault_plan(0, 2, 7).is_off());
+        let all = fault_plan(1, 0, 7);
+        assert!(all.load_fault_pm > 0 && all.upset_pm > 0 && all.ru_fault_pm > 0);
+        let transient = fault_plan(2, 1, 7);
+        assert!(transient.load_fault_pm > 0);
+        assert_eq!((transient.upset_pm, transient.ru_fault_pm), (0, 0));
+        // Give-up quarantines need a finite repair even in the
+        // transient-only mix, or one-RU cases would die permanently.
+        assert!(transient.repair_latency.is_some());
+        let upset = fault_plan(1, 2, 7);
+        assert!(upset.upset_pm > 0);
+        assert_eq!((upset.load_fault_pm, upset.ru_fault_pm), (0, 0));
+        let hard = fault_plan(1, 3, 7);
+        assert!(hard.ru_fault_pm > 0 && hard.repair_latency.is_some());
+        assert_eq!((hard.load_fault_pm, hard.upset_pm), (0, 0));
+        // The plan is a pure function of its inputs (replays depend on
+        // this).
+        assert_eq!(fault_plan(1, 0, 7), fault_plan(1, 0, 7));
+        assert_ne!(fault_plan(1, 0, 7).seed, fault_plan(1, 0, 8).seed);
+    }
+
+    #[test]
+    fn fault_active_case_validates_clean_and_counts_injections() {
+        // Scan forward for a case whose plan keeps all three classes at
+        // the hostile rate, and require the run both to stay clean and
+        // to actually inject (the campaign coverage gate relies on
+        // these tallies).
+        let registry = CheckerRegistry::standard();
+        let mut injected = CaseFaultCounts::default();
+        let mut found_active = false;
+        for i in 0..96 {
+            let fp = Fingerprint {
+                master_seed: 0x0005_EEDC,
+                case_index: i,
+                fault: None,
+            };
+            let case = build_case(&fp);
+            if case.knobs.fault_rate.is_multiple_of(3) {
+                continue;
+            }
+            found_active = true;
+            let outcome = run_case(&fp, &case, &registry);
+            assert_eq!(
+                outcome.violation_count(),
+                0,
+                "fault-active case {fp} violated:\n{}",
+                outcome.render()
+            );
+            injected.transients += outcome.faults.transients;
+            injected.upsets += outcome.faults.upsets;
+            injected.ru_hard += outcome.faults.ru_hard;
+            if injected.transients > 0 && injected.upsets > 0 && injected.ru_hard > 0 {
+                break;
+            }
+        }
+        assert!(found_active, "96 cases cover a fault-active knob draw");
+        assert!(
+            injected.transients > 0 && injected.upsets > 0 && injected.ru_hard > 0,
+            "every fault class injects within 96 cases, got {injected:?}"
+        );
     }
 
     #[test]

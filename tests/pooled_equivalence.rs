@@ -18,8 +18,9 @@ use rtr_core::{
     compute_mobility, FifoPolicy, LfdPolicy, LfuPolicy, LruPolicy, MruPolicy, RandomPolicy,
 };
 use rtr_manager::{
-    simulate, CheckContext, CheckerRegistry, Engine, FirstCandidatePolicy, JobSpec, Lookahead,
-    ManagerConfig, PreemptionMode, PrefetchConfig, QosClass, ReplacementPolicy, SimulationOutcome,
+    simulate, CheckContext, CheckerRegistry, Engine, FaultPlan, FirstCandidatePolicy, JobSpec,
+    Lookahead, ManagerConfig, PreemptionMode, PrefetchConfig, QosClass, ReplacementPolicy,
+    SimulationOutcome,
 };
 use rtr_sim::SimDuration;
 use rtr_taskgraph::TaskGraph;
@@ -145,7 +146,8 @@ fn assert_same(pooled: &SimulationOutcome, fresh: &SimulationOutcome, s: &Scenar
         Some(&pooled.stats),
     )
     .with_reference(fresh)
-    .with_prefetch_depth(s.cfg.prefetch.depth);
+    .with_prefetch_depth(s.cfg.prefetch.depth)
+    .with_fault_plan(&s.cfg.faults);
     let report = CheckerRegistry::standard().run(&cx);
     assert!(
         report.is_clean(),
@@ -379,6 +381,30 @@ proptest! {
             prop_assert!(
                 engine.warm_stats().last_was_hit,
                 "the detour must not invalidate the sealed reference"
+            );
+        }
+
+        // Fault-injecting detour: a non-empty fault plan is never
+        // warm-recordable, so the cell runs cold — but it must stay
+        // bit-exact with a fresh fault run and leave no residue.
+        let mut f = leg(apps0);
+        f.cfg = base.cfg.clone().with_faults(FaultPlan::low(seed));
+        let fresh_f = run_fresh(&f);
+        let pooled = run_pooled(&mut engine, &f);
+        assert_same(&pooled, &fresh_f, &f, "warm walk: fault-injecting detour");
+        prop_assert!(
+            !engine.warm_stats().last_was_hit,
+            "a fault-active cell must never take the warm path"
+        );
+
+        // Return once more: the fault detour must not have perturbed
+        // or invalidated the sealed fault-off reference either.
+        let pooled = run_pooled(&mut engine, &a);
+        assert_same(&pooled, &fresh_a, &a, "warm walk: return after fault detour");
+        if keyed {
+            prop_assert!(
+                engine.warm_stats().last_was_hit,
+                "the fault detour must not invalidate the sealed reference"
             );
         }
     }
