@@ -18,10 +18,10 @@
 //! per-checker coverage summary to `results/vopr_coverage.csv`, fails
 //! on any violation, and fails if any registered checker never fired
 //! or any lifecycle, required depth, preemption mode, QoS class mix,
-//! runtime fault-rate class, fault-class mix or fault class went
-//! unexercised.
+//! runtime fault-rate class, fault-class mix, fault class, pooled
+//! device count or placement policy went unexercised.
 
-use rtr_manager::{CheckerRegistry, PreemptionMode};
+use rtr_manager::{CheckerRegistry, PlacementKind, PreemptionMode};
 use rtr_workload::vopr::{
     case_report, fault_mix_label, fault_rate_label, qos_mix_label, run_campaign, CampaignConfig,
     CampaignSummary, Fingerprint, Lifecycle, DEPTHS,
@@ -157,6 +157,14 @@ fn print_summary(summary: &CampaignSummary) {
     {
         print!(" {name}={n}");
     }
+    print!("\nfleet widths:");
+    for (width, n) in [1usize, 2, 4].iter().zip(summary.device_cases) {
+        print!(" {width}-device={n}");
+    }
+    print!("\nplacements (multi-device cases):");
+    for (kind, n) in PlacementKind::ALL.iter().zip(summary.placement_cases) {
+        print!(" {}={n}", kind.label());
+    }
     println!("\n\nchecker coverage (fired / violations):");
     for c in &summary.coverage {
         println!("  {:<22} {:>10} / {}", c.name, c.fired, c.violations);
@@ -177,7 +185,9 @@ fn print_summary(summary: &CampaignSummary) {
 /// ran, the depths the acceptance envelope names (0 and 4) were both
 /// exercised by checked cases, every preemption mode and QoS class
 /// mix was exercised at least once, every runtime fault-rate class
-/// and fault-class mix ran, and every fault class actually injected.
+/// and fault-class mix ran, every fault class actually injected, and
+/// the fleet dimension was covered (2- and 4-device pools both ran,
+/// and every placement policy routed at least one multi-device case).
 fn coverage_gate(summary: &CampaignSummary) -> Result<(), String> {
     let unfired = summary.unfired();
     if !unfired.is_empty() {
@@ -186,6 +196,10 @@ fn coverage_gate(summary: &CampaignSummary) -> Result<(), String> {
     let fault_holes = summary.fault_holes();
     if !fault_holes.is_empty() {
         return Err(format!("fault classes never injected: {fault_holes:?}"));
+    }
+    let fleet_holes = summary.fleet_holes();
+    if !fleet_holes.is_empty() {
+        return Err(format!("fleet dimensions never ran: {fleet_holes:?}"));
     }
     for (rate, n) in summary.fault_rate_cases.iter().enumerate() {
         if *n == 0 {
@@ -295,8 +309,8 @@ fn run() -> Result<ExitCode, String> {
         coverage_gate(&summary)?;
         println!(
             "coverage gate: all checkers fired; all lifecycles, required depths, \
-             preemption modes, qos mixes, fault rates and fault mixes ran; \
-             every fault class injected"
+             preemption modes, qos mixes, fault rates, fault mixes, pool widths \
+             and placement policies ran; every fault class injected"
         );
     }
 

@@ -149,6 +149,7 @@ pub(crate) fn same_spec(a: &JobSpec, b: &JobSpec) -> bool {
     Arc::ptr_eq(&a.graph, &b.graph)
         && a.arrival == b.arrival
         && a.qos == b.qos
+        && a.tenant == b.tenant
         && match (&a.mobility, &b.mobility) {
             (None, None) => true,
             (Some(x), Some(y)) => Arc::ptr_eq(x, y),

@@ -1,0 +1,347 @@
+//! Placement: routing an admitted job to one device of the fleet.
+//!
+//! Placement decisions happen at dispatch time, before any device has
+//! simulated a cycle, so the router scores devices against a
+//! deterministic *residency model*: a per-device LRU set over the
+//! configuration sequences of the jobs already routed there, with
+//! capacity equal to the device's RU count. The model is the dispatch
+//! plane's view of "what will be resident" — the same design-time
+//! information the paper's replacement module exploits inside one
+//! device, lifted to cluster scope. Every decision is recorded (when
+//! enabled) with the *full* per-device score vector, so the
+//! `placement-residency` checker can replay the model independently
+//! and confirm the claimed overlap actually existed at decision time.
+
+use crate::job::{JobSpec, TenantId};
+use rtr_sim::SimDuration;
+use rtr_taskgraph::{reconfiguration_sequence, ConfigId};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The pluggable placement policies the fleet knows by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementKind {
+    /// Cycle through the devices in submission order.
+    RoundRobin,
+    /// Route to the device with the least design-time work queued,
+    /// ties to the lowest index.
+    LeastLoaded,
+    /// The headline router: route to the device whose residency model
+    /// overlaps the job's configuration sequence the most — the
+    /// paper's reuse insight at cluster scope. Ties fall back to the
+    /// least-loaded device, so an overlap-free fleet degrades to load
+    /// balancing instead of pile-up.
+    ReuseAffinity,
+}
+
+impl PlacementKind {
+    /// All placement policies, in sweep order.
+    pub const ALL: [PlacementKind; 3] = [
+        PlacementKind::RoundRobin,
+        PlacementKind::LeastLoaded,
+        PlacementKind::ReuseAffinity,
+    ];
+
+    /// Stable kebab-case label (tables, CSV, JSON round-trips).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlacementKind::RoundRobin => "round-robin",
+            PlacementKind::LeastLoaded => "least-loaded",
+            PlacementKind::ReuseAffinity => "reuse-affinity",
+        }
+    }
+
+    /// Parses a [`Self::label`] back to the kind.
+    pub fn from_label(s: &str) -> Option<PlacementKind> {
+        PlacementKind::ALL.iter().copied().find(|k| k.label() == s)
+    }
+
+    /// Builds the policy implementation for this kind.
+    pub fn build(&self) -> Box<dyn PlacementPolicy> {
+        match self {
+            PlacementKind::RoundRobin => Box::new(RoundRobin::default()),
+            PlacementKind::LeastLoaded => Box::new(LeastLoaded),
+            PlacementKind::ReuseAffinity => Box::new(ReuseAffinity),
+        }
+    }
+}
+
+impl Serialize for PlacementKind {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::String(self.label().to_string())
+    }
+}
+
+impl Deserialize for PlacementKind {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let s = String::deserialize(v)?;
+        PlacementKind::from_label(&s)
+            .ok_or_else(|| serde::Error::msg(format!("unknown placement policy '{s}'")))
+    }
+}
+
+/// What one device looks like to the router at decision time. All
+/// fields derive from dispatch-plane bookkeeping only — no device has
+/// simulated anything yet when placement runs.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceView {
+    /// Device index within the fleet.
+    pub index: usize,
+    /// The device's RU count (its residency-model capacity).
+    pub rus: usize,
+    /// Jobs already routed to the device.
+    pub queued_jobs: usize,
+    /// Summed design-time execution work already routed there.
+    pub queued_work: SimDuration,
+    /// Distinct configurations of the arriving job's cfg-sequence
+    /// present in the device's residency model.
+    pub overlap: u32,
+}
+
+/// A deterministic device router. `place` must be a pure function of
+/// the views (plus internal counters seeded at construction): the
+/// whole fleet contract is replayability.
+pub trait PlacementPolicy: Send {
+    /// Stable name (matches the [`PlacementKind`] label).
+    fn name(&self) -> &'static str;
+    /// Picks the device index for `job` among `views` (never empty).
+    fn place(&mut self, job: &JobSpec, views: &[DeviceView]) -> usize;
+}
+
+/// Cycle through devices in dispatch order.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl PlacementPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        PlacementKind::RoundRobin.label()
+    }
+    fn place(&mut self, _job: &JobSpec, views: &[DeviceView]) -> usize {
+        let idx = self.next % views.len();
+        self.next = self.next.wrapping_add(1);
+        idx
+    }
+}
+
+/// Route to the device with the least queued design-time work.
+#[derive(Debug)]
+pub struct LeastLoaded;
+
+impl PlacementPolicy for LeastLoaded {
+    fn name(&self) -> &'static str {
+        PlacementKind::LeastLoaded.label()
+    }
+    fn place(&mut self, _job: &JobSpec, views: &[DeviceView]) -> usize {
+        least_loaded(views)
+    }
+}
+
+/// Route to the device with the highest residency overlap; ties fall
+/// back to least-loaded.
+#[derive(Debug)]
+pub struct ReuseAffinity;
+
+impl PlacementPolicy for ReuseAffinity {
+    fn name(&self) -> &'static str {
+        PlacementKind::ReuseAffinity.label()
+    }
+    fn place(&mut self, _job: &JobSpec, views: &[DeviceView]) -> usize {
+        let best = views.iter().map(|v| v.overlap).max().unwrap_or(0);
+        let candidates: Vec<DeviceView> = views
+            .iter()
+            .copied()
+            .filter(|v| v.overlap == best)
+            .collect();
+        candidates[least_loaded(&candidates)].index
+    }
+}
+
+/// Lowest-queued-work view (ties to the lowest device index, which is
+/// the iteration order).
+fn least_loaded(views: &[DeviceView]) -> usize {
+    let mut best = 0usize;
+    for (i, v) in views.iter().enumerate().skip(1) {
+        if v.queued_work < views[best].queued_work {
+            best = i;
+        }
+    }
+    best
+}
+
+/// The dispatch plane's deterministic model of one device's residency:
+/// an LRU set of configurations with capacity equal to the device's
+/// usable RU count. Public so the `placement-residency` checker can
+/// replay decisions independently of the fleet that made them.
+#[derive(Debug, Clone)]
+pub struct ResidencyModel {
+    capacity: usize,
+    /// LRU order, least recent first.
+    resident: Vec<ConfigId>,
+}
+
+impl ResidencyModel {
+    /// An empty model for a device with `capacity` RUs.
+    pub fn new(capacity: usize) -> Self {
+        ResidencyModel {
+            capacity,
+            resident: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Distinct configurations of `seq` present in the model.
+    pub fn overlap(&self, seq: &[ConfigId]) -> u32 {
+        let mut n = 0u32;
+        for (i, c) in seq.iter().enumerate() {
+            if seq[..i].contains(c) {
+                continue; // count each distinct configuration once
+            }
+            if self.resident.contains(c) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Records that `seq` was routed here: every configuration is
+    /// touched in sequence order (moved to most-recent, inserted with
+    /// LRU eviction when absent).
+    pub fn admit(&mut self, seq: &[ConfigId]) {
+        if self.capacity == 0 {
+            return;
+        }
+        for &c in seq {
+            if let Some(pos) = self.resident.iter().position(|&r| r == c) {
+                self.resident.remove(pos);
+            } else if self.resident.len() == self.capacity {
+                self.resident.remove(0);
+            }
+            self.resident.push(c);
+        }
+    }
+
+    /// The resident set in LRU order (least recent first).
+    pub fn resident(&self) -> &[ConfigId] {
+        &self.resident
+    }
+}
+
+/// One recorded placement decision: everything the
+/// `placement-residency` checker needs to replay the router's view at
+/// the instant the decision was made.
+#[derive(Debug, Clone)]
+pub struct PlacementDecision {
+    /// Fleet-wide submission index of the job.
+    pub submit_index: usize,
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// The device the router chose.
+    pub device: usize,
+    /// The job's distinct-configuration sequence the overlap was
+    /// scored against.
+    pub cfg_seq: Arc<Vec<ConfigId>>,
+    /// Per-device residency overlaps at decision time.
+    pub overlaps: Vec<u32>,
+    /// Per-device queued design-time work at decision time.
+    pub queued_work: Vec<SimDuration>,
+}
+
+/// The distinct-configuration sequence of one job, in design-time
+/// reconfiguration order — the unit the residency model tracks.
+pub fn job_cfg_seq(job: &JobSpec) -> Vec<ConfigId> {
+    let mut seq = Vec::new();
+    for node in reconfiguration_sequence(&job.graph) {
+        let c = job.graph.config_of(node);
+        if !seq.contains(&c) {
+            seq.push(c);
+        }
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_taskgraph::benchmarks;
+
+    fn views(work: &[u64], overlap: &[u32]) -> Vec<DeviceView> {
+        work.iter()
+            .zip(overlap)
+            .enumerate()
+            .map(|(i, (&w, &o))| DeviceView {
+                index: i,
+                rus: 4,
+                queued_jobs: 0,
+                queued_work: SimDuration::from_us(w),
+                overlap: o,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in PlacementKind::ALL {
+            assert_eq!(PlacementKind::from_label(kind.label()), Some(kind));
+            let v = Serialize::serialize(&kind);
+            assert_eq!(PlacementKind::deserialize(&v).unwrap(), kind);
+        }
+        assert!(PlacementKind::from_label("nope").is_none());
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = RoundRobin::default();
+        let g = std::sync::Arc::new(benchmarks::jpeg());
+        let job = JobSpec::new(g);
+        let v = views(&[0, 0, 0], &[0, 0, 0]);
+        let picks: Vec<usize> = (0..5).map(|_| rr.place(&job, &v)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn least_loaded_prefers_min_work_lowest_index() {
+        let g = std::sync::Arc::new(benchmarks::jpeg());
+        let job = JobSpec::new(g);
+        let mut ll = LeastLoaded;
+        assert_eq!(ll.place(&job, &views(&[5, 2, 2], &[0, 0, 0])), 1);
+        assert_eq!(ll.place(&job, &views(&[3, 3, 3], &[0, 0, 0])), 0);
+    }
+
+    #[test]
+    fn reuse_affinity_prefers_overlap_then_load() {
+        let g = std::sync::Arc::new(benchmarks::jpeg());
+        let job = JobSpec::new(g);
+        let mut ra = ReuseAffinity;
+        // Highest overlap wins even when busier.
+        assert_eq!(ra.place(&job, &views(&[9, 1, 1], &[3, 1, 0])), 0);
+        // Overlap ties fall back to least-loaded.
+        assert_eq!(ra.place(&job, &views(&[9, 1, 4], &[2, 2, 0])), 1);
+    }
+
+    #[test]
+    fn residency_model_is_lru_with_capacity() {
+        let mut m = ResidencyModel::new(2);
+        let c = |n: u32| ConfigId(n);
+        m.admit(&[c(1), c(2)]);
+        assert_eq!(m.overlap(&[c(1), c(2), c(3)]), 2);
+        // Touch 1, then admit 3: 2 is the LRU victim.
+        m.admit(&[c(1)]);
+        m.admit(&[c(3)]);
+        assert_eq!(m.resident(), &[c(1), c(3)]);
+        assert_eq!(m.overlap(&[c(2)]), 0);
+        // Duplicates in a sequence count once.
+        assert_eq!(m.overlap(&[c(1), c(1)]), 1);
+    }
+
+    #[test]
+    fn cfg_seq_is_distinct_in_reconfiguration_order() {
+        let g = std::sync::Arc::new(benchmarks::jpeg());
+        let job = JobSpec::new(std::sync::Arc::clone(&g));
+        let seq = job_cfg_seq(&job);
+        assert!(!seq.is_empty());
+        for (i, c) in seq.iter().enumerate() {
+            assert!(!seq[..i].contains(c), "duplicate config in cfg_seq");
+        }
+    }
+}

@@ -3,7 +3,32 @@
 use crate::qos::QosClass;
 use rtr_sim::SimTime;
 use rtr_taskgraph::TaskGraph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::sync::Arc;
+
+/// Identity of the tenant a job is submitted on behalf of.
+///
+/// Tenants exist at the fleet layer (admission control, per-tenant
+/// quotas and ledgers); the single-device [`Engine`](crate::Engine)
+/// ignores the field entirely, so a workload where every job carries
+/// the default tenant is byte-identical to the pre-fleet engine.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The default tenant every pre-fleet job belongs to.
+    pub const DEFAULT: TenantId = TenantId(0);
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
 
 /// One application instance submitted to the streaming
 /// [`Engine`](crate::Engine) (or, in batch form, to
@@ -34,6 +59,11 @@ pub struct JobSpec {
     /// Scheduling class: lane priority plus an optional deadline. The
     /// default best-effort class reproduces the pre-QoS FIFO engine.
     pub qos: QosClass,
+    /// Tenant the job is submitted on behalf of. Only the fleet layer
+    /// (admission control, quotas, per-tenant ledgers) reads it; the
+    /// engine itself is tenant-agnostic, so the default tenant
+    /// reproduces the pre-fleet behaviour exactly.
+    pub tenant: TenantId,
 }
 
 impl JobSpec {
@@ -45,12 +75,19 @@ impl JobSpec {
             mobility: None,
             forced_delays: None,
             qos: QosClass::default(),
+            tenant: TenantId::DEFAULT,
         }
     }
 
     /// Sets the job's QoS class (builder style).
     pub fn with_qos(mut self, qos: QosClass) -> Self {
         self.qos = qos;
+        self
+    }
+
+    /// Sets the submitting tenant (builder style).
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
         self
     }
 
@@ -113,6 +150,16 @@ mod tests {
             JobSpec::new(g).with_qos(QosClass::priority(4).with_deadline(SimTime::from_ms(80)));
         assert_eq!(urgent.qos.priority, 4);
         assert_eq!(urgent.qos.deadline, Some(SimTime::from_ms(80)));
+    }
+
+    #[test]
+    fn default_tenant_is_zero_and_builder_attaches() {
+        let g = Arc::new(benchmarks::jpeg());
+        let job = JobSpec::new(Arc::clone(&g));
+        assert_eq!(job.tenant, TenantId::DEFAULT);
+        let tenanted = JobSpec::new(g).with_tenant(TenantId(7));
+        assert_eq!(tenanted.tenant, TenantId(7));
+        assert_eq!(TenantId(7).to_string(), "t7");
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 pub mod config;
 pub(crate) mod engine;
+pub mod fleet;
 pub mod ideal;
 pub mod job;
 pub mod manager;
@@ -46,7 +47,11 @@ pub mod validate;
 
 pub use config::{FaultPlan, Lookahead, ManagerConfig, PrefetchConfig};
 pub use engine::warm::WarmStats;
-pub use job::JobSpec;
+pub use fleet::{
+    simulate_fleet, Fleet, FleetConfig, FleetError, FleetOutcome, FleetSpec, FleetStats,
+    PlacementKind, PlacementPolicy, TenantStats,
+};
+pub use job::{JobSpec, TenantId};
 pub use manager::{simulate, Engine, SimError, SimulationOutcome};
 pub use policy::{
     DecisionContext, FirstCandidatePolicy, FutureView, ReplacementPolicy, VictimCandidate,

@@ -38,6 +38,9 @@ pub fn standard_checkers() -> Vec<Box<dyn Checker>> {
         Box::new(CorruptNeverReused),
         Box::new(FaultAccounting),
         Box::new(PooledIdentity),
+        Box::new(TenantIsolation),
+        Box::new(PlacementResidency),
+        Box::new(FleetAccounting),
     ]
 }
 
@@ -1880,5 +1883,250 @@ impl Checker for PooledIdentity {
                 ),
             }
         });
+    }
+}
+
+/// Admission control never starves a tenant that stayed inside its
+/// own quota: replaying the admission event stream, a submission is
+/// rejected if and only if the submitting tenant itself was already at
+/// quota, independent of every other tenant's behaviour.
+struct TenantIsolation;
+
+impl Checker for TenantIsolation {
+    fn name(&self) -> &'static str {
+        "tenant-isolation"
+    }
+    fn description(&self) -> &'static str {
+        "a tenant over quota never starves tenants below quota"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let Some(fleet) = cx.fleet else {
+            return; // single-device run: nothing to isolate
+        };
+        // Replay the per-tenant pending windows independently of the
+        // fleet's own bookkeeping. Windows reset when the recorded
+        // pending count drops back (a drain happened in between), so
+        // the replay follows the recorded `pending_before` and only
+        // asserts the *decision* taken on it.
+        let mut last_index = None;
+        for ev in fleet.admissions {
+            out.probe(last_index < Some(ev.submit_index), || {
+                format!(
+                    "admission events out of submission order at index {}",
+                    ev.submit_index
+                )
+            });
+            last_index = Some(ev.submit_index);
+            let own_quota_open = fleet.quota.is_none_or(|q| (ev.pending_before as usize) < q);
+            out.probe(ev.admitted == own_quota_open, || {
+                if ev.admitted {
+                    format!(
+                        "submission {} of tenant {} admitted although the tenant \
+                         was at quota ({} pending, quota {:?})",
+                        ev.submit_index, ev.tenant, ev.pending_before, fleet.quota
+                    )
+                } else {
+                    format!(
+                        "submission {} of tenant {} rejected although the tenant \
+                         was below quota ({} pending, quota {:?}) — \
+                         starved by another tenant",
+                        ev.submit_index, ev.tenant, ev.pending_before, fleet.quota
+                    )
+                }
+            });
+        }
+    }
+}
+
+/// Every recorded placement score existed at decision time: the
+/// checker replays the dispatch plane's residency models from scratch
+/// (same LRU rule, same capacities) and re-derives each decision's
+/// per-device overlap vector. For `ReuseAffinity` it additionally
+/// asserts the routing claim itself — the chosen device had the
+/// maximal overlap, with ties broken toward the least queued work.
+struct PlacementResidency;
+
+impl Checker for PlacementResidency {
+    fn name(&self) -> &'static str {
+        "placement-residency"
+    }
+    fn description(&self) -> &'static str {
+        "placement scores replay exactly; reuse-affinity routed to a best-overlap device"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let Some(fleet) = cx.fleet else {
+            return;
+        };
+        let mut models: Vec<crate::fleet::ResidencyModel> = fleet
+            .device_rus
+            .iter()
+            .map(|&rus| crate::fleet::ResidencyModel::new(rus))
+            .collect();
+        for d in fleet.decisions {
+            if d.device >= models.len() || d.overlaps.len() != models.len() {
+                out.fail(format!(
+                    "decision {} malformed: device {} of {}, {} overlap entries",
+                    d.submit_index,
+                    d.device,
+                    models.len(),
+                    d.overlaps.len()
+                ));
+                continue;
+            }
+            for (i, model) in models.iter().enumerate() {
+                let replayed = model.overlap(&d.cfg_seq);
+                out.probe(replayed == d.overlaps[i], || {
+                    format!(
+                        "decision {}: recorded overlap {} on device {i}, but the \
+                         replayed residency model says {replayed} — the claimed \
+                         score did not exist at decision time",
+                        d.submit_index, d.overlaps[i]
+                    )
+                });
+            }
+            if fleet.placement == crate::fleet::PlacementKind::ReuseAffinity {
+                let best = d.overlaps.iter().copied().max().unwrap_or(0);
+                out.probe(d.overlaps[d.device] == best, || {
+                    format!(
+                        "decision {}: reuse-affinity routed to device {} with \
+                         overlap {}, but device {} offered {}",
+                        d.submit_index,
+                        d.device,
+                        d.overlaps[d.device],
+                        d.overlaps
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|&(_, &o)| o)
+                            .map(|(i, _)| i)
+                            .unwrap_or(0),
+                        best
+                    )
+                });
+                let min_work = d
+                    .overlaps
+                    .iter()
+                    .zip(&d.queued_work)
+                    .filter(|(&o, _)| o == best)
+                    .map(|(_, &w)| w)
+                    .min();
+                out.probe(Some(d.queued_work[d.device]) == min_work, || {
+                    format!(
+                        "decision {}: reuse-affinity broke the overlap tie toward \
+                         device {} with queued work {}, not the least-loaded \
+                         candidate ({:?})",
+                        d.submit_index, d.device, d.queued_work[d.device], min_work
+                    )
+                });
+            }
+            models[d.device].admit(&d.cfg_seq);
+        }
+    }
+}
+
+/// The [`FleetStats`](crate::fleet::FleetStats) roll-up is a pure
+/// function of its parts: totals equal the per-device `RunStats` sums,
+/// the per-tenant ledger sums to the totals and re-derives from the
+/// admission event stream, and the makespan is the device maximum.
+struct FleetAccounting;
+
+impl Checker for FleetAccounting {
+    fn name(&self) -> &'static str {
+        "fleet-accounting"
+    }
+    fn description(&self) -> &'static str {
+        "FleetStats equals the sum of the per-device RunStats ledgers"
+    }
+    fn check(&self, cx: &CheckContext<'_>, out: &mut CheckOutput) {
+        let Some(fleet) = cx.fleet else {
+            return;
+        };
+        let s = fleet.stats;
+        out.probe(s.balanced(), || {
+            format!(
+                "FleetStats roll-up out of balance: {} devices, totals \
+                 submitted={} admitted={} rejected={} completed={} \
+                 executed={} reuses={} loads={} makespan={}",
+                s.devices,
+                s.submitted,
+                s.admitted,
+                s.rejected,
+                s.completed,
+                s.executed,
+                s.reuses,
+                s.loads,
+                s.makespan
+            )
+        });
+        out.probe(s.devices == fleet.device_rus.len(), || {
+            format!(
+                "FleetStats reports {} devices, fleet config has {}",
+                s.devices,
+                fleet.device_rus.len()
+            )
+        });
+        // Re-derive the admission ledger from the event stream.
+        let mut submitted = 0u64;
+        let mut admitted = 0u64;
+        let mut per_tenant: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+        for ev in fleet.admissions {
+            submitted += 1;
+            let t = per_tenant.entry(ev.tenant.0).or_insert((0, 0));
+            t.0 += 1;
+            if ev.admitted {
+                admitted += 1;
+                t.1 += 1;
+            }
+        }
+        out.probe((submitted, admitted) == (s.submitted, s.admitted), || {
+            format!(
+                "admission events tally {submitted} submitted / {admitted} \
+                     admitted, FleetStats says {} / {}",
+                s.submitted, s.admitted
+            )
+        });
+        out.probe(s.per_tenant.len() == per_tenant.len(), || {
+            format!(
+                "{} tenant ledger rows, but {} tenants appear in the \
+                 admission events",
+                s.per_tenant.len(),
+                per_tenant.len()
+            )
+        });
+        for row in &s.per_tenant {
+            let (sub, adm) = per_tenant.get(&row.tenant).copied().unwrap_or((0, 0));
+            out.probe((row.submitted, row.admitted) == (sub, adm), || {
+                format!(
+                    "tenant {} ledger says submitted={} admitted={}, the \
+                         admission events tally {sub} / {adm}",
+                    row.tenant, row.submitted, row.admitted
+                )
+            });
+        }
+        // Placed jobs must cover exactly the admitted ones when
+        // decisions were recorded.
+        if !fleet.decisions.is_empty() || s.admitted == 0 {
+            out.probe(fleet.decisions.len() as u64 == s.admitted, || {
+                format!(
+                    "{} placement decisions recorded for {} admitted jobs",
+                    fleet.decisions.len(),
+                    s.admitted
+                )
+            });
+            let mut per_device = vec![0u64; s.devices];
+            for d in fleet.decisions {
+                if let Some(n) = per_device.get_mut(d.device) {
+                    *n += 1;
+                }
+            }
+            for (i, dev) in s.per_device.iter().enumerate() {
+                out.probe(dev.graph_completions.len() as u64 == per_device[i], || {
+                    format!(
+                        "device {i} completed {} graphs but was routed {}",
+                        dev.graph_completions.len(),
+                        per_device[i]
+                    )
+                });
+            }
+        }
     }
 }

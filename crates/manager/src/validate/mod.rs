@@ -68,6 +68,16 @@
 //! * `pooled-identity` — the run is bit-exact with a reference
 //!   [`SimulationOutcome`] (stats and trace), the pooled-engine
 //!   contract.
+//! * `tenant-isolation` — admission control rejects only over-quota
+//!   submissions: a below-quota tenant is always admitted, no matter
+//!   how far another tenant overdrew its own quota.
+//! * `placement-residency` — every recorded placement score existed
+//!   at decision time (replayed through a fresh residency model), and
+//!   `ReuseAffinity` never routed below the best-overlap candidate.
+//! * `fleet-accounting` — the [`FleetStats`](crate::fleet::FleetStats)
+//!   roll-up equals the sum of the per-device [`RunStats`] ledgers,
+//!   per-tenant rows sum to the totals, and the admission event stream
+//!   re-derives the submitted/admitted/rejected counters.
 //!
 //! [`validate_trace`] and [`assert_valid`] keep the original one-call
 //! interface: they run every checker of the standard registry and
@@ -78,6 +88,7 @@ mod checkers;
 pub use checkers::standard_checkers;
 
 use crate::config::FaultPlan;
+use crate::fleet::FleetCheckInfo;
 use crate::job::JobSpec;
 use crate::manager::SimulationOutcome;
 use crate::stats::RunStats;
@@ -119,6 +130,10 @@ pub struct CheckContext<'a> {
     /// The fault plan the run was configured with, when known —
     /// tightens `fault-retry-bounded` to the plan's exact retry budget.
     pub fault_plan: Option<&'a FaultPlan>,
+    /// Fleet-run context (placement decisions, admission events,
+    /// aggregate stats) — arms the three fleet checkers. `None` on
+    /// single-device runs, where they pass vacuously.
+    pub fleet: Option<&'a FleetCheckInfo<'a>>,
 }
 
 impl<'a> CheckContext<'a> {
@@ -137,6 +152,7 @@ impl<'a> CheckContext<'a> {
             reference: None,
             prefetch_depth: None,
             fault_plan: None,
+            fleet: None,
         }
     }
 
@@ -157,6 +173,13 @@ impl<'a> CheckContext<'a> {
     /// to the plan's exact retry budget.
     pub fn with_fault_plan(mut self, plan: &'a FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Attaches fleet-run context, arming the `tenant-isolation`,
+    /// `placement-residency` and `fleet-accounting` checkers.
+    pub fn with_fleet(mut self, fleet: &'a FleetCheckInfo<'a>) -> Self {
+        self.fleet = Some(fleet);
         self
     }
 }

@@ -8,6 +8,7 @@ pub mod ablations;
 pub mod arrivals;
 pub mod faults;
 pub mod fig9;
+pub mod fleet;
 pub mod prefetch;
 pub mod qos;
 pub mod table1;

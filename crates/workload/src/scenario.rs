@@ -14,7 +14,8 @@ use crate::sequence::SequenceModel;
 use crate::table::{fmt_f, Table};
 use rtr_core::TemplateRegistry;
 use rtr_hw::DeviceSpec;
-use rtr_manager::{FaultPlan, PreemptionMode};
+use rtr_manager::fleet::simulate_fleet;
+use rtr_manager::{FaultPlan, FleetSpec, JobSpec, PreemptionMode, TenantId};
 use rtr_taskgraph::serialize::GraphSpec;
 use rtr_taskgraph::TaskGraph;
 use serde::{Deserialize, Serialize};
@@ -55,6 +56,11 @@ pub struct Scenario {
     /// Runtime fault plan injected into every cell (off — the exact
     /// pre-fault engine — when absent from the file).
     pub faults: FaultPlan,
+    /// Optional fleet section: pooled devices behind the placement
+    /// front-end, with jobs spread across `tenants` round-robin.
+    /// Absent (`None`) runs the classic single-device path,
+    /// byte-identical to pre-fleet files.
+    pub fleet: Option<FleetSpec>,
 }
 
 impl Scenario {
@@ -76,6 +82,7 @@ impl Scenario {
             preemption: PreemptionMode::Off,
             qos: QosSpec::UNIFORM,
             faults: FaultPlan::off(),
+            fleet: None,
         }
     }
 
@@ -124,7 +131,13 @@ impl Scenario {
     /// Runs the scenario's policy cells on up to `workers` threads.
     /// Each cell is internally deterministic and results are collected
     /// in policy order, so the table is identical to a sequential run.
+    /// Scenarios carrying a `fleet` section route through the pooled
+    /// devices instead; everything else takes the exact pre-fleet
+    /// single-device path.
     pub fn run_with_workers(&self, workers: usize) -> Table {
+        if let Some(spec) = &self.fleet {
+            return self.run_fleet_with_workers(spec, workers);
+        }
         let templates = self.template_graphs();
         let sequence = self.model.generate(&templates, self.apps, self.seed);
         let arrivals = self
@@ -168,6 +181,80 @@ impl Scenario {
                     fmt_f(out.stats.remaining_overhead_pct(), 2),
                     fmt_f(out.stats.mean_sojourn_ms(), 1),
                     out.stats.loads.to_string(),
+                ]
+            },
+        );
+        for row in rows {
+            t.push_row(row);
+        }
+        t
+    }
+
+    /// The fleet path of [`Scenario::run_with_workers`]: the same
+    /// generated workload, tenant-stamped round-robin over
+    /// `spec.tenants`, submitted to the pooled devices with one fresh
+    /// policy instance per device.
+    fn run_fleet_with_workers(&self, spec: &FleetSpec, workers: usize) -> Table {
+        let templates = self.template_graphs();
+        let sequence = self.model.generate(&templates, self.apps, self.seed);
+        let arrivals = self
+            .arrivals
+            .generate(self.apps, self.seed ^ ARRIVAL_SEED_SALT);
+        let qos = self.qos.assign(&sequence, &arrivals, self.rus);
+        let jobs: Vec<JobSpec> = sequence
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                let mut job = JobSpec::new(Arc::clone(g))
+                    .with_arrival(arrivals[i])
+                    .with_tenant(TenantId((i % spec.tenants) as u32));
+                if let Some(classes) = &qos {
+                    job = job.with_qos(classes[i]);
+                }
+                job
+            })
+            .collect();
+        let mut t = Table::new(
+            format!(
+                "Scenario {} ({} apps, {} arrivals, {} devices, {} placement, {} tenants)",
+                self.name,
+                self.apps,
+                self.arrivals.label(),
+                spec.devices.len(),
+                spec.placement.label(),
+                spec.tenants
+            ),
+            &[
+                "Policy",
+                "Reuse (%)",
+                "Admitted",
+                "Rejected",
+                "Fairness",
+                "Makespan (ms)",
+            ],
+        );
+        let registry = Arc::new(TemplateRegistry::new());
+        let rows = parallel_map_with(
+            self.policies.clone(),
+            workers,
+            pooled_workers(&registry),
+            |_runner, policy| {
+                let cell = CellConfig {
+                    device: self.device.clone(),
+                    preemption: self.preemption,
+                    faults: self.faults,
+                    ..CellConfig::new(policy, self.rus)
+                };
+                let fleet_cfg = spec.to_config(&cell.manager_config());
+                let outcome = simulate_fleet(&fleet_cfg, &jobs, || policy.build())
+                    .expect("fleet scenario cell simulates");
+                vec![
+                    policy.label(),
+                    fmt_f(outcome.stats.cross_device_reuse_rate_pct(), 2),
+                    outcome.stats.admitted.to_string(),
+                    outcome.stats.rejected.to_string(),
+                    fmt_f(outcome.stats.fairness_index(), 3),
+                    fmt_f(outcome.stats.makespan.as_ms_f64(), 1),
                 ]
             },
         );
@@ -275,6 +362,68 @@ mod tests {
         s.qos = QosSpec::strided(3, 5, 130);
         let t = s.run();
         assert_eq!(t.len(), s.policies.len());
+    }
+
+    #[test]
+    fn fleet_scenario_round_trips() {
+        use rtr_manager::PlacementKind;
+        let mut s = Scenario::paper_fig9(4, 40, 23);
+        s.fleet = Some(FleetSpec {
+            devices: vec![2, 4, 6],
+            placement: PlacementKind::ReuseAffinity,
+            quota: Some(8),
+            tenants: 3,
+            seed: 41,
+        });
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.fleet.as_ref().unwrap().devices, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn pre_fleet_files_load_single_device() {
+        // A file written before the fleet layer existed has no `fleet`
+        // key; it must load as the single-device scenario it always
+        // described and run bit-identically.
+        let s = Scenario::paper_fig9(4, 25, 3);
+        let mut v: serde::Value = serde_json::from_str(&s.to_json()).unwrap();
+        if let serde::Value::Object(m) = &mut v {
+            assert!(m.remove("fleet").is_some());
+        } else {
+            panic!("scenario serialises to an object");
+        }
+        let legacy = serde_json::to_string(&v).unwrap();
+        assert!(!legacy.contains("fleet"), "field really removed");
+        let back = Scenario::from_json(&legacy).expect("legacy file loads");
+        assert!(back.fleet.is_none());
+        assert_eq!(back, s, "defaults equal the freshly built scenario");
+        assert_eq!(s.run().to_csv(), back.run().to_csv());
+    }
+
+    #[test]
+    fn fleet_scenario_runs_to_a_table() {
+        use rtr_manager::PlacementKind;
+        let mut s = Scenario::streaming(
+            4,
+            30,
+            19,
+            ArrivalProcess::Poisson {
+                mean_gap_us: 40_000,
+            },
+        );
+        s.fleet = Some(FleetSpec {
+            devices: vec![2, 4],
+            placement: PlacementKind::ReuseAffinity,
+            quota: None,
+            tenants: 3,
+            seed: 7,
+        });
+        let t = s.run_with_workers(2);
+        assert_eq!(t.len(), s.policies.len());
+        assert!(t.to_markdown().contains("2 devices"));
+        assert!(t.to_markdown().contains("reuse-affinity"));
+        // The fleet path is deterministic across worker counts.
+        assert_eq!(t.to_csv(), s.run().to_csv());
     }
 
     #[test]

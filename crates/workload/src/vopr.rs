@@ -5,12 +5,16 @@
 //! derives its knobs (scenario seed, template count, apps, RUs,
 //! arrival process, policy, prefetch depth, engine lifecycle,
 //! head-blocking annotation, preemption mode, QoS class mix, runtime
-//! fault-rate class and fault-class mix) with a
-//! SplitMix64 stream, materialises
+//! fault-rate class, fault-class mix, pooled device count, placement
+//! policy and tenant mix) with a SplitMix64 stream, materialises
 //! the scenario, drives the engine through one of four lifecycles
-//! (fresh / reset / retarget / replay), and validates the run through
+//! (fresh / reset / retarget / replay) — or, on multi-device draws,
+//! through the fleet front-end — and validates the run through
 //! the shared [`CheckerRegistry`] — including bit-exactness against a
-//! fresh reference run (`pooled-identity`).
+//! fresh reference run (`pooled-identity`); fleet cases additionally
+//! partition the jobs by the recorded placement decisions and check
+//! every pooled engine against an independent run on its routed
+//! subset.
 //!
 //! Every failing case is summarised by a [`Fingerprint`]
 //! (`vopr-<master_seed>-<case_index>[-f<fault>]`) that
@@ -32,9 +36,10 @@ use rtr_core::{
     compute_mobility, FifoPolicy, LfdPolicy, LfuPolicy, LruPolicy, MruPolicy, RandomPolicy,
 };
 use rtr_manager::{
-    simulate, CheckContext, CheckerRegistry, Engine, FaultPlan, FirstCandidatePolicy, JobSpec,
-    Lookahead, ManagerConfig, PreemptionMode, PrefetchConfig, QosClass, ReplacementPolicy,
-    SimError, SimulationOutcome, TraceEvent,
+    simulate, simulate_fleet, CheckContext, CheckerRegistry, Engine, FaultPlan,
+    FirstCandidatePolicy, FleetConfig, JobSpec, Lookahead, ManagerConfig, PlacementKind,
+    PreemptionMode, PrefetchConfig, QosClass, RegistryReport, ReplacementPolicy, SimError,
+    SimulationOutcome, TenantId, TraceEvent,
 };
 use rtr_taskgraph::generate::{self, GenConfig};
 use rtr_taskgraph::TaskGraph;
@@ -242,6 +247,16 @@ pub struct CaseKnobs {
     /// [`fault_mix_label`]): 0 = all three classes, 1 = transient
     /// loads only, 2 = resident upsets only, 3 = RU hard faults only.
     pub fault_mix: u8,
+    /// Pooled device count (1/1/2/4 — half the draws stay
+    /// single-device so the engine lifecycles keep their coverage).
+    /// Multi-device cases run the fleet path, which ignores the
+    /// `lifecycle` knob: the fleet front-end always drives fresh
+    /// engines.
+    pub devices: usize,
+    /// Placement policy routing multi-device cases.
+    pub placement: PlacementKind,
+    /// Tenant count (1–3); jobs are stamped round-robin.
+    pub tenants: usize,
 }
 
 /// The class mix a `qos_mix` selector decodes to.
@@ -337,6 +352,9 @@ impl CaseKnobs {
             qos_mix: ((r >> 52) % 3) as u8,
             fault_rate: (f % 3) as u8,
             fault_mix: ((f >> 8) % 4) as u8,
+            devices: [1, 1, 2, 4][((f >> 12) % 4) as usize],
+            placement: PlacementKind::ALL[((f >> 16) % 3) as usize],
+            tenants: 1 + ((f >> 20) % 3) as usize,
         }
     }
 
@@ -360,6 +378,7 @@ impl CaseKnobs {
         format!(
             "lifecycle={} depth={} templates={} apps={} rus={} arrival={} \
              policy={} annotate={} preemption={} qos={} faults={}/{} \
+             devices={} placement={} tenants={} \
              lookahead={:?} scenario_seed={:#018x}",
             self.lifecycle.name(),
             self.depth,
@@ -377,6 +396,9 @@ impl CaseKnobs {
             qos_mix_label(self.qos_mix),
             fault_rate_label(self.fault_rate),
             fault_mix_label(self.fault_mix),
+            self.devices,
+            self.placement.label(),
+            self.tenants,
             self.lookahead(),
             self.scenario_seed,
         )
@@ -457,7 +479,9 @@ pub fn build_case(fp: &Fingerprint) -> Case {
     let mut jobs: Vec<JobSpec> = (0..knobs.apps)
         .map(|i| {
             let graph = Arc::clone(&family[i % family.len()]);
-            let mut job = JobSpec::new(Arc::clone(&graph)).with_arrival(arrivals[i]);
+            let mut job = JobSpec::new(Arc::clone(&graph))
+                .with_arrival(arrivals[i])
+                .with_tenant(TenantId((i % knobs.tenants) as u32));
             match knobs.annotate % 3 {
                 1 => {
                     let mobility =
@@ -651,9 +675,136 @@ impl CaseOutcome {
     }
 }
 
+/// The per-device manager configurations of a multi-device case: RU
+/// counts are staggered from the case's own (`1 + ((rus - 1 + d) % 6)`
+/// for device `d`, keeping every count in the legal 1–6 band), and an
+/// active fault plan is re-salted per device so the pooled engines
+/// draw decorrelated injection streams (device 0 keeps the
+/// single-device plan).
+pub fn fleet_device_configs(case: &Case) -> Vec<ManagerConfig> {
+    (0..case.knobs.devices)
+        .map(|d| {
+            let rus = 1 + ((case.knobs.rus - 1 + d) % 6);
+            let mut cfg = case.cfg.clone().with_rus(rus);
+            if !cfg.faults.is_off() {
+                cfg = cfg.with_faults(fault_plan(
+                    case.knobs.fault_rate,
+                    case.knobs.fault_mix,
+                    case.knobs.scenario_seed ^ ((d as u64) << 32),
+                ));
+            }
+            cfg
+        })
+        .collect()
+}
+
+/// Runs a multi-device case through the fleet front-end. The subject
+/// is one [`simulate_fleet`] run; the reference partitions the jobs by
+/// the recorded placement decisions and re-runs each device's routed
+/// subset through an independent [`simulate`] — the fleet contract in
+/// miniature (the pooled engine must be indistinguishable from a
+/// dedicated one). Every device outcome is validated through the full
+/// registry against its partitioned reference, and the fleet checkers
+/// ride on device 0's context.
+fn run_fleet_case(fp: &Fingerprint, case: &Case, registry: &CheckerRegistry) -> CaseOutcome {
+    let devices = fleet_device_configs(case);
+    let device_rus: Vec<usize> = devices.iter().map(|c| c.rus).collect();
+    let cfg = FleetConfig::new(devices, case.knobs.placement)
+        .with_seed(case.knobs.scenario_seed)
+        .with_decisions(true);
+    let build = || build_policy(case.knobs.policy, case.knobs.scenario_seed);
+    let mut faults = CaseFaultCounts::default();
+    let status = match simulate_fleet(&cfg, &case.jobs, build) {
+        Ok(mut outcome) => {
+            if let Some(fault) = fp.fault {
+                fault.apply(&mut outcome.devices[0]);
+            }
+            for dev in &outcome.devices {
+                let counts = dev.trace.counts();
+                faults.transients += counts.fault_transients;
+                faults.upsets += counts.fault_upsets;
+                faults.ru_hard += counts.fault_ru;
+            }
+            let mut routed: Vec<Vec<JobSpec>> = vec![Vec::new(); cfg.devices.len()];
+            for d in &outcome.decisions {
+                routed[d.device].push(case.jobs[d.submit_index].clone());
+            }
+            let mut references = Vec::with_capacity(cfg.devices.len());
+            let mut mismatch = None;
+            for (d, dev_cfg) in cfg.devices.iter().enumerate() {
+                let mut policy = build();
+                match simulate(dev_cfg, &routed[d], policy.as_mut()) {
+                    Ok(reference) => references.push(reference),
+                    Err(e) => {
+                        mismatch = Some(format!(
+                            "fleet subject completed but the reference run of \
+                             device {d} stalled with {e:?}"
+                        ));
+                        break;
+                    }
+                }
+            }
+            match mismatch {
+                Some(msg) => CaseStatus::StallMismatch(msg),
+                None => {
+                    let info = outcome.check_info(&cfg, &device_rus);
+                    let mut merged: Vec<rtr_manager::CheckerOutcome> = Vec::new();
+                    for (d, dev) in outcome.devices.iter().enumerate() {
+                        let cx = CheckContext::new(
+                            &dev.trace,
+                            &routed[d],
+                            cfg.devices[d].device.reconfig_latency,
+                            Some(&dev.stats),
+                        )
+                        .with_reference(&references[d])
+                        .with_prefetch_depth(case.knobs.depth)
+                        .with_fault_plan(&cfg.devices[d].faults);
+                        let cx = if d == 0 { cx.with_fleet(&info) } else { cx };
+                        let report = registry.run(&cx);
+                        if merged.is_empty() {
+                            merged = report.outcomes;
+                        } else {
+                            // Registry order is stable run to run, so
+                            // the outcome rows zip by position.
+                            for (m, o) in merged.iter_mut().zip(report.outcomes) {
+                                m.fired += o.fired;
+                                m.violations.extend(o.violations);
+                            }
+                        }
+                    }
+                    CaseStatus::Checked(RegistryReport { outcomes: merged })
+                }
+            }
+        }
+        // The fleet cannot partition jobs without decisions from a
+        // completed run; a stall is legitimate only if it replays
+        // identically.
+        Err(a) => match simulate_fleet(&cfg, &case.jobs, build) {
+            Err(b) if a == b => CaseStatus::Stalled,
+            Err(b) => CaseStatus::StallMismatch(format!(
+                "fleet subject stalled with {a:?} but the replay stalled with {b:?}"
+            )),
+            Ok(_) => CaseStatus::StallMismatch(format!(
+                "fleet subject stalled with {a:?} but the replay completed"
+            )),
+        },
+    };
+    CaseOutcome {
+        fingerprint: *fp,
+        knobs: case.knobs,
+        faults,
+        status,
+    }
+}
+
 /// Runs one materialised case through its lifecycle, applies `fault`
 /// to the subject outcome, and validates through `registry`.
+/// Multi-device knob draws route through the fleet front-end instead
+/// (`run_fleet_case`).
 pub fn run_case(fp: &Fingerprint, case: &Case, registry: &CheckerRegistry) -> CaseOutcome {
+    if case.knobs.devices > 1 {
+        return run_fleet_case(fp, case, registry);
+    }
     let subject = execute_subject(case);
     let mut reference_policy = build_policy(case.knobs.policy, case.knobs.scenario_seed);
     let reference = simulate(&case.cfg, &case.jobs, reference_policy.as_mut());
@@ -724,10 +875,10 @@ pub struct MinimizeSummary {
 
 /// Greedy scenario minimiser: drop job chunks (ddmin-style), then
 /// simplify knobs (prefetch off, annotations stripped, QoS stripped,
-/// runtime faults stripped, fresh lifecycle, fewer RUs) — keeping a
-/// candidate only while at least one of the originally failing
-/// checkers still fails. Deterministic, and bounded to 200 candidate
-/// evaluations.
+/// runtime faults stripped, fleet stripped to a single device, fresh
+/// lifecycle, fewer RUs) — keeping a candidate only while at least one
+/// of the originally failing checkers still fails. Deterministic, and
+/// bounded to 200 candidate evaluations.
 pub fn minimize_case(
     fp: &Fingerprint,
     case: &Case,
@@ -826,7 +977,23 @@ pub fn minimize_case(
         }
     }
 
-    // 6. Fresh lifecycle.
+    // 6. Strip the fleet down to a single dedicated device (tenant
+    // stamps included — the engine ignores them, but a minimal
+    // reproduction should not advertise knobs it no longer needs).
+    if best.knobs.devices > 1 {
+        let mut candidate = best.clone();
+        candidate.knobs.devices = 1;
+        candidate.knobs.tenants = 1;
+        for job in &mut candidate.jobs {
+            job.tenant = TenantId::DEFAULT;
+        }
+        if try_candidate(&candidate, &mut evals) {
+            summary.steps.push("fleet -> single device".into());
+            best = candidate;
+        }
+    }
+
+    // 7. Fresh lifecycle.
     if best.knobs.lifecycle != Lifecycle::Fresh {
         let mut candidate = best.clone();
         candidate.knobs.lifecycle = Lifecycle::Fresh;
@@ -836,7 +1003,7 @@ pub fn minimize_case(
         }
     }
 
-    // 7. Fewest RUs that still fail.
+    // 8. Fewest RUs that still fail.
     for rus in 1..best.knobs.rus {
         let mut candidate = best.clone();
         candidate.knobs.rus = rus;
@@ -971,6 +1138,12 @@ pub struct CampaignSummary {
     /// Total runtime injections per fault class across all checked
     /// cases (transient loads / upsets / RU hard faults).
     pub fault_injections: [u64; 3],
+    /// Cases per pooled device count (1 / 2 / 4 devices).
+    pub device_cases: [u64; 3],
+    /// Multi-device cases per placement policy, indexed like
+    /// [`PlacementKind::ALL`] (single-device cases never exercise
+    /// placement and are not counted).
+    pub placement_cases: [u64; 3],
     /// Per-checker fired/violation totals, in registry order.
     pub coverage: Vec<CheckerCoverage>,
     /// Stall-mismatch failures (not attributable to one checker).
@@ -1007,9 +1180,33 @@ impl CampaignSummary {
             .collect()
     }
 
+    /// Fleet-dimension coverage holes the gate fails on: a placement
+    /// policy that never routed a multi-device case, or a pool width
+    /// (2 / 4 devices) that never ran at all. A campaign that never
+    /// pools devices is not testing the fleet layer.
+    pub fn fleet_holes(&self) -> Vec<String> {
+        let mut holes = Vec::new();
+        for (label, n) in ["devices-2", "devices-4"]
+            .iter()
+            .zip(&self.device_cases[1..])
+        {
+            if *n == 0 {
+                holes.push((*label).to_string());
+            }
+        }
+        for (kind, n) in PlacementKind::ALL.iter().zip(self.placement_cases) {
+            if n == 0 {
+                holes.push(format!("placement-{}", kind.label()));
+            }
+        }
+        holes
+    }
+
     /// The per-checker coverage summary as CSV, with one
     /// `fault:<class>` row per runtime fault class (fired = total
-    /// injections of that class).
+    /// injections of that class), one `fleet:devices-<n>` row per pool
+    /// width and one `fleet:placement-<policy>` row per placement
+    /// policy (fired = cases).
     pub fn coverage_csv(&self) -> String {
         let mut s = String::from("checker,fired,violations\n");
         for c in &self.coverage {
@@ -1020,6 +1217,12 @@ impl CampaignSummary {
             .zip(self.fault_injections)
         {
             s.push_str(&format!("fault:{name},{n},0\n"));
+        }
+        for (n, width) in self.device_cases.iter().zip([1usize, 2, 4]) {
+            s.push_str(&format!("fleet:devices-{width},{n},0\n"));
+        }
+        for (kind, n) in PlacementKind::ALL.iter().zip(self.placement_cases) {
+            s.push_str(&format!("fleet:placement-{},{n},0\n", kind.label()));
         }
         s
     }
@@ -1039,6 +1242,8 @@ pub fn run_campaign(config: &CampaignConfig, registry: &CheckerRegistry) -> Camp
         fault_rate_cases: [0; 3],
         fault_mix_cases: [0; 4],
         fault_injections: [0; 3],
+        device_cases: [0; 3],
+        placement_cases: [0; 3],
         // Coverage rows for the *enabled* checkers only: a deliberately
         // disabled checker must not read as a silent coverage hole.
         coverage: registry
@@ -1081,6 +1286,18 @@ pub fn run_campaign(config: &CampaignConfig, registry: &CheckerRegistry) -> Camp
         summary.fault_injections[0] += outcome.faults.transients;
         summary.fault_injections[1] += outcome.faults.upsets;
         summary.fault_injections[2] += outcome.faults.ru_hard;
+        summary.device_cases[match outcome.knobs.devices {
+            1 => 0,
+            2 => 1,
+            _ => 2,
+        }] += 1;
+        if outcome.knobs.devices > 1 {
+            let placement_idx = PlacementKind::ALL
+                .iter()
+                .position(|k| *k == outcome.knobs.placement)
+                .expect("derived placement is canonical");
+            summary.placement_cases[placement_idx] += 1;
+        }
         match &outcome.status {
             CaseStatus::Checked(report) => {
                 if let Some(depth_idx) = DEPTHS.iter().position(|&d| d == outcome.knobs.depth) {
@@ -1149,10 +1366,24 @@ mod tests {
         let mut mixes = [0u64; 3];
         let mut fault_rates = [0u64; 3];
         let mut fault_mixes = [0u64; 4];
+        let mut devices = [0u64; 3];
+        let mut placements = [0u64; 3];
         for i in 0..64 {
             let a = CaseKnobs::derive(99, i);
             let b = CaseKnobs::derive(99, i);
             assert_eq!(a, b);
+            devices[match a.devices {
+                1 => 0,
+                2 => 1,
+                _ => 2,
+            }] += 1;
+            if a.devices > 1 {
+                placements[PlacementKind::ALL
+                    .iter()
+                    .position(|k| *k == a.placement)
+                    .unwrap()] += 1;
+            }
+            assert!((1..=3).contains(&a.tenants));
             lifecycles[Lifecycle::ALL
                 .iter()
                 .position(|l| *l == a.lifecycle)
@@ -1174,6 +1405,8 @@ mod tests {
         assert!(mixes.iter().all(|&c| c > 0), "{mixes:?}");
         assert!(fault_rates.iter().all(|&c| c > 0), "{fault_rates:?}");
         assert!(fault_mixes.iter().all(|&c| c > 0), "{fault_mixes:?}");
+        assert!(devices.iter().all(|&c| c > 0), "{devices:?}");
+        assert!(placements.iter().all(|&c| c > 0), "{placements:?}");
     }
 
     #[test]
@@ -1278,5 +1511,82 @@ mod tests {
         let a = case_report(&fp, &registry, true);
         let b = case_report(&fp, &registry, true);
         assert_eq!(a.rendered, b.rendered);
+    }
+
+    /// The first multi-device, multi-tenant case within `limit` cases
+    /// of the default master seed (skipping stalled draws when a
+    /// checked one is required).
+    fn find_fleet_case(limit: u64, registry: &CheckerRegistry) -> (Fingerprint, Case) {
+        for i in 0..limit {
+            let fp = Fingerprint {
+                master_seed: 0x0005_EEDC,
+                case_index: i,
+                fault: None,
+            };
+            let case = build_case(&fp);
+            if case.knobs.devices > 1 && case.knobs.tenants > 1 {
+                let outcome = run_case(&fp, &case, registry);
+                if matches!(outcome.status, CaseStatus::Checked(_)) {
+                    return (fp, case);
+                }
+            }
+        }
+        panic!("{limit} cases cover a checked multi-device, multi-tenant draw");
+    }
+
+    #[test]
+    fn fleet_case_validates_clean_and_fires_fleet_checkers() {
+        let registry = CheckerRegistry::standard();
+        let (fp, case) = find_fleet_case(64, &registry);
+        let outcome = run_case(&fp, &case, &registry);
+        assert_eq!(
+            outcome.violation_count(),
+            0,
+            "fleet case {fp} violated:\n{}",
+            outcome.render()
+        );
+        let CaseStatus::Checked(report) = &outcome.status else {
+            panic!("find_fleet_case returned a non-checked case");
+        };
+        for name in [
+            "tenant-isolation",
+            "placement-residency",
+            "fleet-accounting",
+        ] {
+            let checker = report.outcome(name).expect("fleet checker is registered");
+            assert!(checker.fired > 0, "{name} never fired on a fleet case");
+        }
+        // Every pooled device also went through the single-device
+        // checkers against its partitioned reference.
+        let identity = report.outcome("pooled-identity").expect("registered");
+        assert!(identity.fired > 0);
+    }
+
+    #[test]
+    fn corrupted_fleet_case_trips_checkers_and_minimises_to_one_device() {
+        let registry = CheckerRegistry::standard();
+        let (clean_fp, case) = find_fleet_case(64, &registry);
+        let fp = Fingerprint {
+            fault: Some(Fault::BumpReuses),
+            ..clean_fp
+        };
+        let outcome = run_case(&fp, &case, &registry);
+        assert!(
+            outcome.violation_count() > 0,
+            "BumpReuses on device 0 must trip a checker"
+        );
+        // The corruption survives the fleet-strip (it applies to the
+        // single remaining device just the same), so the minimiser must
+        // keep that step.
+        let (min_case, summary) = minimize_case(&fp, &case, &registry);
+        assert_eq!(min_case.knobs.devices, 1, "{:?}", summary.steps);
+        assert!(
+            summary
+                .steps
+                .iter()
+                .any(|s| s.contains("fleet -> single device")),
+            "{:?}",
+            summary.steps
+        );
     }
 }

@@ -6,8 +6,9 @@
 
 use rtr_core::LfdPolicy;
 use rtr_manager::{
-    simulate, CheckContext, CheckerRegistry, JobSpec, Lookahead, ManagerConfig, PrefetchConfig,
-    ReplacementPolicy, SimulationOutcome,
+    simulate, simulate_fleet, CheckContext, CheckerRegistry, FleetConfig, FleetOutcome, JobSpec,
+    Lookahead, ManagerConfig, PlacementKind, PrefetchConfig, ReplacementPolicy, SimulationOutcome,
+    TenantId,
 };
 use rtr_sim::SimDuration;
 use rtr_taskgraph::{benchmarks, TaskGraph};
@@ -107,6 +108,57 @@ fn golden_suite() -> Vec<Golden> {
     suite
 }
 
+/// The fleet golden: a 2-device ReuseAffinity pool under a tenant
+/// quota tight enough to reject some submissions, so the admission
+/// replay of `tenant-isolation` exercises both branches. Each device
+/// carries a partitioned reference run (jobs routed to it, replayed
+/// through a dedicated engine) so the single-device checkers fire on
+/// the pooled traces too.
+struct FleetGolden {
+    cfg: FleetConfig,
+    outcome: FleetOutcome,
+    routed: Vec<Vec<JobSpec>>,
+    references: Vec<SimulationOutcome>,
+    device_rus: Vec<usize>,
+}
+
+fn fleet_golden() -> FleetGolden {
+    let base = ManagerConfig::paper_default().with_lookahead(Lookahead::Graphs(1));
+    let devices: Vec<ManagerConfig> = [2usize, 4]
+        .iter()
+        .map(|&rus| base.clone().with_rus(rus))
+        .collect();
+    let device_rus: Vec<usize> = devices.iter().map(|c| c.rus).collect();
+    let cfg = FleetConfig::new(devices, PlacementKind::ReuseAffinity).with_quota(10);
+    let jobs: Vec<JobSpec> = multimedia_jobs(48, 23, &ArrivalProcess::Batch)
+        .into_iter()
+        .enumerate()
+        .map(|(i, job)| job.with_tenant(TenantId((i % 3) as u32)))
+        .collect();
+    let build = || Box::new(LfdPolicy::local(1)) as Box<dyn ReplacementPolicy>;
+    let outcome = simulate_fleet(&cfg, &jobs, build).expect("fleet golden completes");
+    let mut routed: Vec<Vec<JobSpec>> = vec![Vec::new(); cfg.devices.len()];
+    for d in &outcome.decisions {
+        routed[d.device].push(jobs[d.submit_index].clone());
+    }
+    let references: Vec<SimulationOutcome> = cfg
+        .devices
+        .iter()
+        .zip(&routed)
+        .map(|(dev_cfg, dev_jobs)| {
+            let mut policy = build();
+            simulate(dev_cfg, dev_jobs, policy.as_mut()).expect("fleet reference completes")
+        })
+        .collect();
+    FleetGolden {
+        cfg,
+        outcome,
+        routed,
+        references,
+        device_rus,
+    }
+}
+
 #[test]
 fn every_registered_checker_fires_on_the_golden_suite() {
     let registry = CheckerRegistry::standard();
@@ -121,6 +173,27 @@ fn every_registered_checker_fires_on_the_golden_suite() {
             report.is_clean(),
             "golden scenario '{}' must validate:\n{}",
             g.name,
+            report.render()
+        );
+        for o in &report.outcomes {
+            *fired.get_mut(o.name).expect("registered name") += o.fired;
+        }
+    }
+    let fg = fleet_golden();
+    let info = fg.outcome.check_info(&fg.cfg, &fg.device_rus);
+    for (d, dev) in fg.outcome.devices.iter().enumerate() {
+        let cx = CheckContext::new(
+            &dev.trace,
+            &fg.routed[d],
+            fg.cfg.devices[d].device.reconfig_latency,
+            Some(&dev.stats),
+        )
+        .with_reference(&fg.references[d]);
+        let cx = if d == 0 { cx.with_fleet(&info) } else { cx };
+        let report = registry.run(&cx);
+        assert!(
+            report.is_clean(),
+            "fleet golden device {d} must validate:\n{}",
             report.render()
         );
         for o in &report.outcomes {

@@ -1,0 +1,304 @@
+//! Fleet-layer equivalence properties.
+//!
+//! The multi-tenant fleet virtualizes N pooled engines behind one
+//! submission front-end, and its contract is that the virtualization
+//! is *invisible*:
+//!
+//! * a single-device fleet is byte-identical (stats and trace) to the
+//!   plain [`simulate`] path, however the ingress is interleaved with
+//!   [`Fleet::drain`];
+//! * an N-device round-robin fleet equals N independent engines run on
+//!   the round-robin partition of the job list;
+//! * `reuse-affinity` placement never routes a job to a device with
+//!   less resident-configuration overlap than the best available;
+//! * per-tenant quota backpressure is pure filtering — dropping the
+//!   rejected submissions up front and running without a quota yields
+//!   the byte-identical fleet outcome.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reconfig_reuse::taskgraph::generate::{self, GenConfig};
+use rtr_core::{FifoPolicy, LfdPolicy, LfuPolicy, LruPolicy, MruPolicy, RandomPolicy};
+use rtr_manager::fleet::ResidencyModel;
+use rtr_manager::{
+    simulate, simulate_fleet, FirstCandidatePolicy, Fleet, FleetConfig, JobSpec, Lookahead,
+    ManagerConfig, PlacementKind, ReplacementPolicy, SimulationOutcome, TenantId,
+};
+use rtr_taskgraph::TaskGraph;
+use rtr_workload::ArrivalProcess;
+use std::sync::Arc;
+
+fn arrival_process(kind: u8) -> ArrivalProcess {
+    match kind % 4 {
+        0 => ArrivalProcess::Batch,
+        1 => ArrivalProcess::Poisson {
+            mean_gap_us: 40_000,
+        },
+        2 => ArrivalProcess::Periodic { period_us: 35_000 },
+        _ => ArrivalProcess::Bursty {
+            size: 3,
+            mean_gap_us: 150_000,
+        },
+    }
+}
+
+/// Builds the policy for `id` (fresh state every call).
+fn build_policy(id: u8, seed: u64) -> Box<dyn ReplacementPolicy> {
+    match id % 8 {
+        0 => Box::new(FirstCandidatePolicy),
+        1 => Box::new(LruPolicy::new()),
+        2 => Box::new(FifoPolicy::new()),
+        3 => Box::new(MruPolicy::new()),
+        4 => Box::new(LfuPolicy::new()),
+        5 => Box::new(RandomPolicy::new(seed)),
+        6 => Box::new(LfdPolicy::local(1 + (seed % 3) as usize)),
+        _ => Box::new(LfdPolicy::oracle()),
+    }
+}
+
+fn lookahead_for(id: u8, seed: u64) -> Lookahead {
+    match id % 8 {
+        6 => Lookahead::Graphs(1 + (seed % 3) as usize),
+        7 => Lookahead::All,
+        _ => Lookahead::None,
+    }
+}
+
+/// One randomly drawn fleet scenario: tenant-stamped jobs and the base
+/// device configuration.
+#[derive(Debug, Clone)]
+struct Scenario {
+    jobs: Vec<JobSpec>,
+    cfg: ManagerConfig,
+    policy_id: u8,
+    policy_seed: u64,
+}
+
+fn build_scenario(
+    seed: u64,
+    apps: usize,
+    rus: usize,
+    arrivals_kind: u8,
+    policy_id: u8,
+    tenants: usize,
+) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gen_cfg = GenConfig {
+        exec_us: (1_000, 25_000),
+        config_base: 50,
+        config_pool: Some(10),
+    };
+    let templates = 1 + (seed % 3) as usize;
+    let family: Vec<Arc<TaskGraph>> = generate::template_family(&mut rng, templates, &gen_cfg)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    let cfg = ManagerConfig::paper_default()
+        .with_rus(rus)
+        .with_lookahead(lookahead_for(policy_id, seed))
+        .with_trace(true);
+    let arrivals = arrival_process(arrivals_kind).generate(apps, seed ^ 0x5EED);
+    let jobs: Vec<JobSpec> = (0..apps)
+        .map(|i| {
+            JobSpec::new(Arc::clone(&family[i % family.len()]))
+                .with_arrival(arrivals[i])
+                .with_tenant(TenantId((i % tenants) as u32))
+        })
+        .collect();
+    Scenario {
+        jobs,
+        cfg,
+        policy_id,
+        policy_seed: seed,
+    }
+}
+
+fn fingerprint(outcome: &SimulationOutcome) -> (String, String) {
+    (
+        serde_json::to_string(&outcome.stats).expect("stats serialise"),
+        serde_json::to_string(&outcome.trace).expect("trace serialises"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A single-device fleet is byte-identical to the plain engine
+    /// path, including when the ingress is drained midway (drain is
+    /// dispatch, not execution — the FIFO order cannot change).
+    #[test]
+    fn single_device_fleet_is_bit_exact_with_simulate(
+        seed in any::<u64>(),
+        apps in 1usize..16,
+        rus in 1usize..7,
+        arrivals in 0u8..4,
+        policy in 0u8..8,
+        tenants in 1usize..4,
+    ) {
+        let s = build_scenario(seed, apps, rus, arrivals, policy, tenants);
+        let fresh = {
+            let mut p = build_policy(s.policy_id, s.policy_seed);
+            simulate(&s.cfg, &s.jobs, p.as_mut()).expect("scenario completes")
+        };
+
+        // Batch ingress through the wrapper.
+        let cfg = FleetConfig::single(s.cfg.clone());
+        let outcome = simulate_fleet(&cfg, &s.jobs, || build_policy(s.policy_id, s.policy_seed))
+            .expect("fleet completes");
+        prop_assert_eq!(fingerprint(&outcome.devices[0]), fingerprint(&fresh));
+
+        // Interleaved ingress: submit half, drain, submit the rest.
+        let mut fleet = Fleet::new(cfg);
+        let half = s.jobs.len() / 2;
+        for job in &s.jobs[..half] {
+            fleet.submit(job.clone()).expect("no quota configured");
+        }
+        fleet.drain();
+        for job in &s.jobs[half..] {
+            fleet.submit(job.clone()).expect("no quota configured");
+        }
+        let mut policies = vec![build_policy(s.policy_id, s.policy_seed)];
+        fleet.run(&mut policies);
+        let outcome = fleet.outcome().expect("fleet completes");
+        prop_assert_eq!(fingerprint(&outcome.devices[0]), fingerprint(&fresh));
+    }
+
+    /// An N-device round-robin fleet equals N independent engines, each
+    /// running the round-robin partition of the job list (job `i` on
+    /// device `i % N`).
+    #[test]
+    fn round_robin_fleet_equals_independent_engines(
+        seed in any::<u64>(),
+        apps in 1usize..16,
+        rus in 1usize..6,
+        arrivals in 0u8..4,
+        policy in 0u8..8,
+        devices in 2usize..5,
+    ) {
+        let s = build_scenario(seed, apps, rus, arrivals, policy, 2);
+        let device_cfgs: Vec<ManagerConfig> = (0..devices)
+            .map(|d| s.cfg.clone().with_rus(1 + ((rus - 1 + d) % 6)))
+            .collect();
+        let cfg = FleetConfig::new(device_cfgs.clone(), PlacementKind::RoundRobin);
+        let outcome = simulate_fleet(&cfg, &s.jobs, || build_policy(s.policy_id, s.policy_seed))
+            .expect("fleet completes");
+        for (d, dev_cfg) in device_cfgs.iter().enumerate() {
+            let routed: Vec<JobSpec> = s
+                .jobs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % devices == d)
+                .map(|(_, j)| j.clone())
+                .collect();
+            let mut p = build_policy(s.policy_id, s.policy_seed);
+            let independent =
+                simulate(dev_cfg, &routed, p.as_mut()).expect("independent engine completes");
+            prop_assert_eq!(
+                fingerprint(&outcome.devices[d]),
+                fingerprint(&independent),
+                "device {} diverged from its independent engine",
+                d
+            );
+        }
+    }
+
+    /// `reuse-affinity` placement never routes below the best resident
+    /// overlap: replaying the residency models from scratch, every
+    /// recorded decision chose a device whose overlap equals the
+    /// maximum across the pool.
+    #[test]
+    fn reuse_affinity_never_routes_below_best_overlap(
+        seed in any::<u64>(),
+        apps in 2usize..20,
+        rus in 1usize..6,
+        arrivals in 0u8..4,
+        policy in 0u8..8,
+        devices in 2usize..5,
+    ) {
+        let s = build_scenario(seed, apps, rus, arrivals, policy, 3);
+        let device_cfgs: Vec<ManagerConfig> = (0..devices)
+            .map(|d| s.cfg.clone().with_rus(1 + ((rus - 1 + d) % 6)))
+            .collect();
+        let rus_per_device: Vec<usize> = device_cfgs.iter().map(|c| c.rus).collect();
+        let cfg = FleetConfig::new(device_cfgs, PlacementKind::ReuseAffinity);
+        let outcome = simulate_fleet(&cfg, &s.jobs, || build_policy(s.policy_id, s.policy_seed))
+            .expect("fleet completes");
+        prop_assert_eq!(outcome.decisions.len(), s.jobs.len());
+        let mut models: Vec<ResidencyModel> = rus_per_device
+            .iter()
+            .map(|&capacity| ResidencyModel::new(capacity))
+            .collect();
+        for decision in &outcome.decisions {
+            let replayed: Vec<u32> = models
+                .iter()
+                .map(|m| m.overlap(&decision.cfg_seq))
+                .collect();
+            prop_assert_eq!(
+                &replayed,
+                &decision.overlaps,
+                "recorded overlaps diverge from the replayed residency model"
+            );
+            let best = *replayed.iter().max().expect("at least one device");
+            prop_assert_eq!(
+                replayed[decision.device], best,
+                "job {} routed to device {} with overlap {} while {} was available",
+                decision.submit_index, decision.device,
+                replayed[decision.device], best
+            );
+            models[decision.device].admit(&decision.cfg_seq);
+        }
+    }
+
+    /// Quota backpressure is pure filtering: running the admitted
+    /// prefix (the first `quota` submissions of each tenant) without
+    /// any quota reproduces the quota'd fleet byte for byte, and the
+    /// rejection ledger accounts for exactly the filtered jobs.
+    #[test]
+    fn quota_rejections_are_pure_filtering(
+        seed in any::<u64>(),
+        apps in 4usize..20,
+        rus in 1usize..6,
+        arrivals in 0u8..4,
+        policy in 0u8..8,
+        tenants in 1usize..4,
+        quota in 1usize..6,
+    ) {
+        let s = build_scenario(seed, apps, rus, arrivals, policy, tenants);
+        let device_cfgs: Vec<ManagerConfig> =
+            vec![s.cfg.clone(), s.cfg.clone().with_rus(1 + (rus % 6))];
+        let quotad = FleetConfig::new(device_cfgs.clone(), PlacementKind::LeastLoaded)
+            .with_quota(quota);
+        let outcome = simulate_fleet(&quotad, &s.jobs, || build_policy(s.policy_id, s.policy_seed))
+            .expect("fleet completes");
+
+        // With one undrained ingress window, the admitted set is the
+        // first `quota` submissions of each tenant.
+        let mut pending = vec![0usize; tenants];
+        let admitted: Vec<JobSpec> = s
+            .jobs
+            .iter()
+            .filter(|j| {
+                let p = &mut pending[j.tenant.0 as usize];
+                *p += 1;
+                *p <= quota
+            })
+            .cloned()
+            .collect();
+        let rejected = s.jobs.len() - admitted.len();
+        prop_assert_eq!(outcome.stats.admitted, admitted.len() as u64);
+        prop_assert_eq!(outcome.stats.rejected, rejected as u64);
+
+        let open = FleetConfig::new(device_cfgs, PlacementKind::LeastLoaded);
+        let filtered = simulate_fleet(&open, &admitted, || build_policy(s.policy_id, s.policy_seed))
+            .expect("filtered fleet completes");
+        for (d, dev) in outcome.devices.iter().enumerate() {
+            prop_assert_eq!(
+                fingerprint(dev),
+                fingerprint(&filtered.devices[d]),
+                "device {} diverged once the rejected jobs were pre-filtered",
+                d
+            );
+        }
+    }
+}
